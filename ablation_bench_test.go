@@ -1,0 +1,116 @@
+package fdp
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// scheduler family (does stabilization speed depend on scheduling?), the
+// fairness aging bound, the oracle choice, and legitimacy-check cadence.
+
+import (
+	"fmt"
+	"testing"
+
+	"fdp/internal/churn"
+	"fdp/internal/oracle"
+	"fdp/internal/sim"
+)
+
+// BenchmarkAblationScheduler compares steps-to-legitimacy across the four
+// fair schedulers on the same scenario.
+func BenchmarkAblationScheduler(b *testing.B) {
+	mk := map[string]func(seed int64) sim.Scheduler{
+		"random":      func(seed int64) sim.Scheduler { return sim.NewRandomScheduler(seed, 0) },
+		"rounds":      func(seed int64) sim.Scheduler { return sim.NewRoundScheduler() },
+		"adversarial": func(seed int64) sim.Scheduler { return sim.NewAdversarialScheduler(seed, 0) },
+		"fifo":        func(seed int64) sim.Scheduler { return sim.NewFIFOScheduler() },
+	}
+	for name, factory := range mk {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := churn.Build(churn.Config{
+					N: 20, Topology: churn.TopoRandom, LeaveFraction: 0.5,
+					Pattern: churn.LeaveRandom,
+					Corrupt: churn.Corruption{FlipBeliefs: 0.4, RandomAnchors: 0.4, JunkMessages: 10},
+					Oracle:  oracle.Single{}, Seed: int64(i),
+				})
+				r := sim.Run(s.World, factory(int64(i)), sim.RunOptions{
+					Variant: sim.FDP, MaxSteps: 4_000_000,
+				})
+				if !r.Converged {
+					b.Fatalf("%s did not converge", name)
+				}
+				b.ReportMetric(float64(r.Steps), "steps/run")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationAgingBound sweeps the random scheduler's fairness aging
+// bound: small bounds approach round-robin, large bounds allow long
+// starvation within fairness.
+func BenchmarkAblationAgingBound(b *testing.B) {
+	for _, bound := range []int{32, 128, 512, 2048} {
+		b.Run(fmt.Sprintf("bound=%d", bound), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := churn.Build(churn.Config{
+					N: 20, Topology: churn.TopoRandom, LeaveFraction: 0.5,
+					Pattern: churn.LeaveRandom, Oracle: oracle.Single{}, Seed: int64(i),
+				})
+				r := sim.Run(s.World, sim.NewRandomScheduler(int64(i), bound), sim.RunOptions{
+					Variant: sim.FDP, MaxSteps: 4_000_000,
+				})
+				if !r.Converged {
+					b.Fatal("no convergence")
+				}
+				b.ReportMetric(float64(r.Steps), "steps/run")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationOracle compares time-to-exit under the safe oracles:
+// SINGLE (the paper's choice) vs the ideal ExitSafe vs the stale timeout
+// approximation.
+func BenchmarkAblationOracle(b *testing.B) {
+	cases := map[string]func() sim.Oracle{
+		"SINGLE":   func() sim.Oracle { return oracle.Single{} },
+		"EXITSAFE": func() sim.Oracle { return oracle.ExitSafe{} },
+		"TIMEOUT":  func() sim.Oracle { return oracle.NewTimeoutSingle(5) },
+	}
+	for name, mk := range cases {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := churn.Build(churn.Config{
+					N: 20, Topology: churn.TopoRandom, LeaveFraction: 0.5,
+					Pattern: churn.LeaveRandom, Oracle: mk(), Seed: int64(i),
+				})
+				r := sim.Run(s.World, sim.NewRandomScheduler(int64(i), 0), sim.RunOptions{
+					Variant: sim.FDP, MaxSteps: 4_000_000,
+				})
+				if !r.Converged {
+					b.Fatalf("%s did not converge", name)
+				}
+				b.ReportMetric(float64(r.Steps), "steps/run")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCheckCadence measures the overhead of legitimacy-check
+// frequency (the experimenter's instrument, not the protocol).
+func BenchmarkAblationCheckCadence(b *testing.B) {
+	for _, every := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("every=%d", every), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := churn.Build(churn.Config{
+					N: 20, Topology: churn.TopoRandom, LeaveFraction: 0.5,
+					Pattern: churn.LeaveRandom, Oracle: oracle.Single{}, Seed: int64(i),
+				})
+				r := sim.Run(s.World, sim.NewRandomScheduler(int64(i), 0), sim.RunOptions{
+					Variant: sim.FDP, MaxSteps: 4_000_000, CheckEvery: every,
+				})
+				if !r.Converged {
+					b.Fatal("no convergence")
+				}
+			}
+		})
+	}
+}

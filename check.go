@@ -1,0 +1,133 @@
+package fdp
+
+import (
+	"fmt"
+
+	"fdp/internal/check"
+	"fdp/internal/core"
+	"fdp/internal/graph"
+	"fdp/internal/oracle"
+	"fdp/internal/ref"
+	"fdp/internal/sim"
+)
+
+// CheckConfig describes a bounded exhaustive schedule exploration: EVERY
+// fair schedule of a small departure scenario is explored up to Depth
+// atomic actions, verifying the Lemma 2 safety invariant in each reachable
+// state. Keep N tiny (3–4): the state space is exponential.
+type CheckConfig struct {
+	// N is the number of processes (>= 2).
+	N int
+	// Leavers is the number of leaving processes, placed in the middle of
+	// the topology (the most dangerous spot on a line).
+	Leavers int
+	// Topology is Line (default), Ring or Clique.
+	Topology Topology
+	// Depth bounds the schedule length (default 12).
+	Depth int
+	// MaxStates bounds the exploration (default 1<<20).
+	MaxStates int
+	// Oracle guards exits (default OracleSingle; OracleUnsafe demonstrates
+	// the counterexample).
+	Oracle OracleKind
+	// Variant selects FDP (default) or FSP (no oracle).
+	Variant Variant
+}
+
+// CheckReport is the outcome of CheckSchedules.
+type CheckReport struct {
+	// Safe reports whether no explored schedule violated safety.
+	Safe bool
+	// StatesExplored counts distinct protocol states expanded.
+	StatesExplored int
+	// DepthReached is the deepest fully explored level.
+	DepthReached int
+	// Truncated reports whether MaxStates cut the exploration short.
+	Truncated bool
+	// LegitimateStates counts explored states satisfying legitimacy.
+	LegitimateStates int
+	// Counterexample describes the violating schedule when Safe is false.
+	Counterexample string
+}
+
+// CheckSchedules explores every fair schedule of the configured scenario up
+// to the depth bound (bounded explicit-state model checking). With
+// OracleSingle the result is expected Safe; with OracleUnsafe it returns the
+// concrete schedule on which an early exit disconnects the staying nodes.
+func CheckSchedules(cfg CheckConfig) (CheckReport, error) {
+	if cfg.N < 2 {
+		return CheckReport{}, fmt.Errorf("%w: N = %d", ErrBadConfig, cfg.N)
+	}
+	if cfg.Leavers < 0 || cfg.Leavers >= cfg.N {
+		return CheckReport{}, fmt.Errorf("%w: Leavers = %d of %d", ErrBadConfig, cfg.Leavers, cfg.N)
+	}
+	coreVariant := core.VariantFDP
+	simVariant := sim.FDP
+	var orc sim.Oracle
+	if cfg.Variant == FSP {
+		coreVariant, simVariant = core.VariantFSP, sim.FSP
+	} else {
+		switch cfg.Oracle {
+		case OracleUnsafe:
+			orc = oracle.Always(true)
+		case OracleExitSafe:
+			orc = oracle.ExitSafe{}
+		default:
+			orc = oracle.Single{}
+		}
+	}
+	space := ref.NewSpace()
+	nodes := space.NewN(cfg.N)
+	var g *graph.Graph
+	switch cfg.Topology {
+	case Ring:
+		g = graph.Ring(nodes)
+	case Clique:
+		g = graph.Clique(nodes)
+	default:
+		g = graph.Line(nodes)
+	}
+	leaving := ref.NewSet()
+	start := (cfg.N - cfg.Leavers) / 2
+	for i := start; i < start+cfg.Leavers; i++ {
+		leaving.Add(nodes[i])
+	}
+	w := sim.NewWorld(orc)
+	procs := make(map[ref.Ref]*core.Proc, cfg.N)
+	for _, r := range nodes {
+		p := core.New(coreVariant)
+		procs[r] = p
+		mode := sim.Staying
+		if leaving.Has(r) {
+			mode = sim.Leaving
+		}
+		w.AddProcess(r, mode, p)
+	}
+	for _, e := range g.Edges() {
+		mode := sim.Staying
+		if leaving.Has(e.To) {
+			mode = sim.Leaving
+		}
+		procs[e.From].SetNeighbor(e.To, mode)
+	}
+	w.SealInitialState()
+
+	out := check.Explore(w, check.Options{
+		MaxDepth:         cfg.Depth,
+		MaxStates:        cfg.MaxStates,
+		Invariant:        check.SafetyInvariant(),
+		Variant:          simVariant,
+		StopAtLegitimate: true,
+	})
+	rep := CheckReport{
+		Safe:             out.OK(),
+		StatesExplored:   out.StatesExplored,
+		DepthReached:     out.DepthReached,
+		Truncated:        out.Truncated,
+		LegitimateStates: out.LegitimateStates,
+	}
+	if !out.OK() {
+		rep.Counterexample = out.Violations[0].String()
+	}
+	return rep, nil
+}

@@ -1,0 +1,95 @@
+// Command fdpbench runs the reproduction suite E1–E15 and prints every
+// table and figure recorded in EXPERIMENTS.md.
+//
+// Example:
+//
+//	fdpbench -quick          # CI scale (seconds)
+//	fdpbench                 # full scale (minutes)
+//	fdpbench -only E5,E6     # a subset
+//	fdpbench -quick -json    # machine-readable summary for CI
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fdp"
+)
+
+// jsonReport is the machine-readable form of one experiment.
+type jsonReport struct {
+	ID     string   `json:"id"`
+	Title  string   `json:"title"`
+	Claim  string   `json:"claim"`
+	Pass   bool     `json:"pass"`
+	Tables []string `json:"tables,omitempty"`
+	Notes  []string `json:"notes,omitempty"`
+}
+
+func main() {
+	var (
+		quick   = flag.Bool("quick", false, "run at CI scale")
+		only    = flag.String("only", "", "comma-separated experiment IDs (e.g. E2,E5)")
+		asJSON  = flag.Bool("json", false, "emit a JSON array instead of text tables")
+		noPlots = flag.Bool("no-plots", false, "suppress ASCII plots in text mode")
+	)
+	flag.Parse()
+
+	wanted := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(strings.ToUpper(id)); id != "" {
+			wanted[id] = true
+		}
+	}
+
+	failures := 0
+	var jsonOut []jsonReport
+	for _, r := range fdp.Experiments(*quick) {
+		if len(wanted) > 0 && !wanted[r.ID] {
+			continue
+		}
+		if !r.Pass {
+			failures++
+		}
+		if *asJSON {
+			jsonOut = append(jsonOut, jsonReport{
+				ID: r.ID, Title: r.Title, Claim: r.Claim, Pass: r.Pass,
+				Tables: r.Tables, Notes: r.Notes,
+			})
+			continue
+		}
+		status := "PASS"
+		if !r.Pass {
+			status = "FAIL"
+		}
+		fmt.Printf("=== %s: %s [%s]\n", r.ID, r.Title, status)
+		fmt.Printf("claim: %s\n\n", r.Claim)
+		for _, tb := range r.Tables {
+			fmt.Println(tb)
+		}
+		if !*noPlots {
+			for _, p := range r.Plots {
+				fmt.Println(p)
+			}
+		}
+		for _, n := range r.Notes {
+			fmt.Printf("note: %s\n", n)
+		}
+		fmt.Println()
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "fdpbench:", err)
+			os.Exit(2)
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "fdpbench: %d experiment(s) failed\n", failures)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,114 @@
+// Command fdpsim runs a single departure-protocol scenario and reports the
+// outcome.
+//
+// Example:
+//
+//	fdpsim -n 32 -topology random -leave 0.5 -corrupt 0.5 -seed 7 -safety
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"fdp"
+)
+
+var topologies = map[string]fdp.Topology{
+	"line": fdp.Line, "dirline": fdp.DirectedLine, "ring": fdp.Ring,
+	"star": fdp.Star, "tree": fdp.Tree, "clique": fdp.Clique,
+	"hypercube": fdp.Hypercube, "random": fdp.Random,
+}
+
+var patterns = map[string]fdp.LeavePattern{
+	"random": fdp.LeaveRandom, "articulation": fdp.LeaveArticulation,
+	"block": fdp.LeaveBlock, "allbutone": fdp.LeaveAllButOne,
+}
+
+var oracles = map[string]fdp.OracleKind{
+	"single": fdp.OracleSingle, "nidec": fdp.OracleNIDEC,
+	"exitsafe": fdp.OracleExitSafe, "timeout": fdp.OracleTimeoutSingle,
+	"unsafe": fdp.OracleUnsafe,
+}
+
+var schedulers = map[string]fdp.Scheduler{
+	"random": fdp.SchedRandom, "rounds": fdp.SchedRounds,
+	"adversarial": fdp.SchedAdversarial, "fifo": fdp.SchedFIFO,
+}
+
+func keysOf[M ~map[string]V, V any](m M) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func main() {
+	var (
+		n        = flag.Int("n", 16, "number of processes")
+		topo     = flag.String("topology", "random", fmt.Sprintf("initial topology %v", keysOf(topologies)))
+		leave    = flag.Float64("leave", 0.5, "fraction of processes leaving")
+		pattern  = flag.String("pattern", "random", fmt.Sprintf("leaver placement %v", keysOf(patterns)))
+		variant  = flag.String("variant", "fdp", "fdp (exit) or fsp (sleep)")
+		orc      = flag.String("oracle", "single", fmt.Sprintf("oracle %v", keysOf(oracles)))
+		sched    = flag.String("scheduler", "random", fmt.Sprintf("scheduler %v", keysOf(schedulers)))
+		seed     = flag.Int64("seed", 1, "random seed (runs are reproducible)")
+		corrupt  = flag.Float64("corrupt", 0, "initial-state corruption probability (beliefs and anchors)")
+		junk     = flag.Int("junk", 0, "junk in-flight messages injected into the initial state")
+		maxSteps = flag.Int("max-steps", 1<<21, "step budget")
+		safety   = flag.Bool("safety", true, "check the Lemma 2 safety invariant during the run")
+		par      = flag.Bool("parallel", false, "run on the goroutine-per-process runtime instead of the simulator")
+		timeout  = flag.Duration("timeout", 30*time.Second, "wall-clock budget for -parallel")
+	)
+	flag.Parse()
+
+	cfg := fdp.Config{
+		N:              *n,
+		Topology:       topologies[*topo],
+		LeaveFraction:  *leave,
+		Pattern:        patterns[*pattern],
+		Oracle:         oracles[*orc],
+		Scheduler:      schedulers[*sched],
+		Seed:           *seed,
+		MaxSteps:       *maxSteps,
+		CorruptBeliefs: *corrupt,
+		CorruptAnchors: *corrupt,
+		JunkMessages:   *junk,
+		CheckSafety:    *safety,
+	}
+	if *variant == "fsp" {
+		cfg.Variant = fdp.FSP
+	}
+	var (
+		rep fdp.Report
+		err error
+	)
+	if *par {
+		rep, err = fdp.SimulateParallel(cfg, *timeout)
+	} else {
+		rep, err = fdp.Simulate(cfg)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fdpsim:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("converged:        %v\n", rep.Converged)
+	fmt.Printf("steps:            %d\n", rep.Steps)
+	if rep.Rounds > 0 {
+		fmt.Printf("rounds:           %d\n", rep.Rounds)
+	}
+	fmt.Printf("messages sent:    %d\n", rep.MessagesSent)
+	for _, label := range keysOf(rep.MessagesByLabel) {
+		fmt.Printf("  %-14s  %d\n", label+":", rep.MessagesByLabel[label])
+	}
+	fmt.Printf("exits:            %d\n", rep.Exits)
+	fmt.Printf("max channel:      %d\n", rep.MaxChannel)
+	fmt.Printf("safety violated:  %v\n", rep.SafetyViolated)
+	if !rep.Converged || rep.SafetyViolated {
+		os.Exit(1)
+	}
+}

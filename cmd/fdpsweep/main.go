@@ -1,0 +1,116 @@
+// Command fdpsweep runs parameter sweeps of the departure protocol and
+// emits CSV for plotting: one row per (n, leave fraction, corruption, seed)
+// with steps, messages and safety outcome.
+//
+// Example:
+//
+//	fdpsweep -n 8,16,32,64 -leave 0.25,0.5,0.75 -corrupt 0,0.5 -seeds 5 > sweep.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"fdp/internal/churn"
+	"fdp/internal/oracle"
+	"fdp/internal/sim"
+)
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func main() {
+	var (
+		ns       = flag.String("n", "8,16,32", "comma-separated system sizes")
+		leaves   = flag.String("leave", "0.25,0.5,0.75", "comma-separated leave fractions")
+		corrupts = flag.String("corrupt", "0,0.5", "comma-separated corruption probabilities")
+		seeds    = flag.Int("seeds", 3, "seeds per configuration")
+		topology = flag.String("topology", "random", "line|ring|star|tree|clique|hypercube|random")
+		maxSteps = flag.Int("max-steps", 1<<22, "step budget per run")
+	)
+	flag.Parse()
+
+	topoMap := map[string]churn.Topology{
+		"line": churn.TopoLine, "ring": churn.TopoRing, "star": churn.TopoStar,
+		"tree": churn.TopoTree, "clique": churn.TopoClique,
+		"hypercube": churn.TopoHypercube, "random": churn.TopoRandom,
+	}
+	topo, ok := topoMap[*topology]
+	if !ok {
+		fmt.Fprintln(os.Stderr, "fdpsweep: unknown topology", *topology)
+		os.Exit(2)
+	}
+	sizes, err := parseInts(*ns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fdpsweep:", err)
+		os.Exit(2)
+	}
+	fracs, err := parseFloats(*leaves)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fdpsweep:", err)
+		os.Exit(2)
+	}
+	corrs, err := parseFloats(*corrupts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fdpsweep:", err)
+		os.Exit(2)
+	}
+
+	fmt.Println("n,leave,corrupt,seed,converged,steps,messages,exits,max_channel,safety_ok")
+	bad := 0
+	for _, n := range sizes {
+		for _, frac := range fracs {
+			for _, corr := range corrs {
+				for seed := 0; seed < *seeds; seed++ {
+					s := churn.Build(churn.Config{
+						N: n, Topology: topo, LeaveFraction: frac,
+						Pattern: churn.LeaveRandom,
+						Corrupt: churn.Corruption{
+							FlipBeliefs: corr, RandomAnchors: corr,
+							JunkMessages: int(corr * float64(n)),
+						},
+						Oracle: oracle.Single{}, Seed: int64(seed),
+					})
+					r := sim.Run(s.World, sim.NewRandomScheduler(int64(seed), 512), sim.RunOptions{
+						Variant: sim.FDP, MaxSteps: *maxSteps, CheckSafety: true,
+					})
+					safetyOK := r.SafetyViolation == nil
+					if !r.Converged || !safetyOK {
+						bad++
+					}
+					fmt.Printf("%d,%.2f,%.2f,%d,%v,%d,%d,%d,%d,%v\n",
+						n, frac, corr, seed, r.Converged, r.Steps, r.Stats.Sent,
+						r.Stats.Exits, r.Stats.MaxChannel, safetyOK)
+				}
+			}
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "fdpsweep: %d run(s) failed\n", bad)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,39 @@
+// Finite Sleep Problem: when exit is replaced by sleep, no oracle is needed
+// at all. Leaving nodes go to sleep once their references are handed off;
+// any late message wakes them briefly, so nothing is ever stranded, and
+// eventually every leaver is hibernating (asleep, empty channel, and
+// unreachable from anything awake).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fdp"
+)
+
+func main() {
+	fmt.Println("Finite Sleep Problem — no oracle required")
+	for _, corrupt := range []float64{0, 0.4, 0.8} {
+		report, err := fdp.Simulate(fdp.Config{
+			N:              18,
+			Topology:       fdp.Random,
+			LeaveFraction:  0.5,
+			Variant:        fdp.FSP, // sleep instead of exit; Oracle ignored
+			CorruptBeliefs: corrupt,
+			CorruptAnchors: corrupt,
+			JunkMessages:   int(corrupt * 20),
+			Seed:           11,
+			CheckSafety:    true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  corruption=%.1f: converged=%v exits=%d (must be 0) steps=%d\n",
+			corrupt, report.Converged, report.Exits, report.Steps)
+		if !report.Converged || report.Exits != 0 || report.SafetyViolated {
+			log.Fatal("fsp example failed")
+		}
+	}
+	fmt.Println("OK: all leavers hibernate; the impossibility of oracle-free FDP does not apply to FSP.")
+}

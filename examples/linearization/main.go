@@ -1,0 +1,40 @@
+// Linearization under churn: the Section 4 framework P′ wraps the sorted
+// list maintenance protocol, so the overlay keeps self-stabilizing to the
+// sorted list over the *staying* nodes while leavers are safely excluded —
+// even when the initial state is corrupted.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fdp"
+)
+
+func main() {
+	fmt.Println("Sorted-list maintenance with safe departures (framework P′)")
+	for _, corrupt := range []float64{0, 0.5} {
+		report, err := fdp.SimulateOverlay(fdp.OverlayConfig{
+			N:              20,
+			Overlay:        fdp.Linearize,
+			LeaveFraction:  0.4,
+			Seed:           7,
+			CorruptAnchors: corrupt,
+			JunkPending:    int(corrupt * 10),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n  corruption=%.1f\n", corrupt)
+		fmt.Printf("    converged:      %v\n", report.Converged)
+		fmt.Printf("    target reached: %v (staying nodes form the sorted list)\n", report.TargetReached)
+		fmt.Printf("    leavers exited: %d\n", report.Exits)
+		fmt.Printf("    steps:          %d\n", report.Steps)
+		fmt.Printf("    verify msgs:    %d (preprocess mode checks)\n",
+			report.MessagesByLabel["pverify"])
+		if !report.Converged {
+			log.Fatal("linearization example failed")
+		}
+	}
+	fmt.Println("\nOK: P′ solved the FDP and the list protocol kept working for the staying nodes.")
+}

@@ -1,0 +1,38 @@
+// Quickstart: build a 16-node overlay in which half the nodes want to
+// leave, run the paper's self-stabilizing departure protocol with the
+// SINGLE oracle, and confirm every leaver exited without disconnecting the
+// staying nodes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fdp"
+)
+
+func main() {
+	report, err := fdp.Simulate(fdp.Config{
+		N:             16,
+		Topology:      fdp.Random, // any weakly connected start works
+		LeaveFraction: 0.5,        // 8 of 16 processes want out
+		Oracle:        fdp.OracleSingle,
+		Seed:          42,   // runs are fully reproducible
+		CheckSafety:   true, // verify Lemma 2 throughout the run
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Finite Departure Problem — quickstart")
+	fmt.Printf("  converged:       %v (reached a legitimate state)\n", report.Converged)
+	fmt.Printf("  leavers exited:  %d\n", report.Exits)
+	fmt.Printf("  atomic steps:    %d\n", report.Steps)
+	fmt.Printf("  messages sent:   %d\n", report.MessagesSent)
+	fmt.Printf("  safety violated: %v (never, with SINGLE)\n", report.SafetyViolated)
+
+	if !report.Converged || report.SafetyViolated {
+		log.Fatal("quickstart failed")
+	}
+	fmt.Println("OK: all leaving nodes are gone, the staying overlay is intact.")
+}

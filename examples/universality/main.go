@@ -1,0 +1,76 @@
+// Universality (Theorem 1): morph overlay topologies into one another using
+// only the four safe primitives — Introduction, Delegation, Fusion,
+// Reversal — with weak connectivity verified after every single step.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fdp"
+)
+
+// Topology constructors over node indices 0..n-1.
+func line(n int) fdp.EdgeList {
+	var e fdp.EdgeList
+	for i := 0; i+1 < n; i++ {
+		e = append(e, [2]int{i, i + 1}, [2]int{i + 1, i})
+	}
+	return e
+}
+
+func ring(n int) fdp.EdgeList {
+	e := line(n)
+	return append(e, [2]int{n - 1, 0}, [2]int{0, n - 1})
+}
+
+func star(n int) fdp.EdgeList {
+	var e fdp.EdgeList
+	for i := 1; i < n; i++ {
+		e = append(e, [2]int{0, i}, [2]int{i, 0})
+	}
+	return e
+}
+
+func clique(n int) fdp.EdgeList {
+	var e fdp.EdgeList
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				e = append(e, [2]int{i, j})
+			}
+		}
+	}
+	return e
+}
+
+func main() {
+	const n = 10
+	shapes := []struct {
+		name  string
+		edges fdp.EdgeList
+	}{
+		{"line", line(n)},
+		{"ring", ring(n)},
+		{"star", star(n)},
+		{"clique", clique(n)},
+	}
+	fmt.Printf("Theorem 1 in action: morphing %d-node topologies (connectivity verified per op)\n\n", n)
+	fmt.Printf("%-16s %14s %8s %8s %8s %8s\n",
+		"morph", "clique rounds", "intro", "deleg", "fuse", "rev")
+	for _, from := range shapes {
+		for _, to := range shapes {
+			if from.name == to.name {
+				continue
+			}
+			rep, err := fdp.Morph(n, from.edges, to.edges)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-16s %14d %8d %8d %8d %8d\n",
+				from.name+"->"+to.name, rep.CliqueRounds,
+				rep.Introductions, rep.Delegations, rep.Fusions, rep.Reversals)
+		}
+	}
+	fmt.Println("\nOK: every morph reached its target without ever losing weak connectivity.")
+}

@@ -1,0 +1,389 @@
+// Package fdp is a library for safely excluding leaving nodes from overlay
+// networks, reproducing "Towards a Universal Approach for the Finite
+// Departure Problem in Overlay Networks" (Koutsopoulos, Scheideler,
+// Strothmann; SPAA 2015 brief announcement).
+//
+// It provides:
+//
+//   - the self-stabilizing departure protocol of the paper (Algorithms
+//     1–3) relying on the SINGLE oracle, and its oracle-free Finite Sleep
+//     Problem variant — Simulate;
+//   - the Section 4 framework P′ that embeds the departure protocol into
+//     overlay-maintenance protocols (linearization, sorted ring, clique) —
+//     SimulateOverlay;
+//   - the four universal primitives of Section 2 and the constructive
+//     Theorem 1 transformation between arbitrary weakly connected
+//     topologies — Morph;
+//   - a goroutine-per-process concurrent runtime — SimulateParallel;
+//   - the full experiment suite E1–E11 regenerating every table and figure
+//     of EXPERIMENTS.md — Experiments.
+//
+// The deterministic discrete-event simulator underneath implements the
+// paper's exact model: unbounded non-FIFO channels, weakly fair atomic
+// actions, fair message receipt, awake/asleep/gone lifecycle.
+package fdp
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"fdp/internal/churn"
+	"fdp/internal/core"
+	"fdp/internal/framework"
+	"fdp/internal/oracle"
+	"fdp/internal/parallel"
+	"fdp/internal/sim"
+)
+
+// Variant selects the departure flavour.
+type Variant int
+
+// Departure variants.
+const (
+	// FDP — leaving processes irrevocably exit (needs an oracle).
+	FDP Variant = iota
+	// FSP — leaving processes fall asleep (no oracle needed).
+	FSP
+)
+
+// Topology selects the initial overlay shape.
+type Topology int
+
+// Initial topologies.
+const (
+	Line Topology = iota
+	DirectedLine
+	Ring
+	Star
+	Tree
+	Clique
+	Hypercube
+	Random
+)
+
+// LeavePattern selects which processes leave.
+type LeavePattern int
+
+// Leave patterns.
+const (
+	// LeaveRandom marks a uniform random subset.
+	LeaveRandom LeavePattern = iota
+	// LeaveArticulation prefers cut vertices (adversarial placement).
+	LeaveArticulation
+	// LeaveBlock marks a contiguous block of the identifier space.
+	LeaveBlock
+	// LeaveAllButOne marks everyone except a single staying process.
+	LeaveAllButOne
+)
+
+// OracleKind selects the oracle advising leaving processes.
+type OracleKind int
+
+// Oracles.
+const (
+	// OracleSingle is the paper's SINGLE oracle: true when the caller has
+	// edges with at most one other relevant process.
+	OracleSingle OracleKind = iota
+	// OracleNIDEC is the stricter oracle of Foreback et al.
+	OracleNIDEC
+	// OracleExitSafe is the ideal ground-truth safety oracle.
+	OracleExitSafe
+	// OracleTimeoutSingle is a deliberately stale approximation of SINGLE.
+	OracleTimeoutSingle
+	// OracleUnsafe always answers true; exits may disconnect the overlay.
+	// It exists to demonstrate that safety depends on the oracle.
+	OracleUnsafe
+)
+
+// Scheduler selects the fair scheduler driving the simulation.
+type Scheduler int
+
+// Schedulers.
+const (
+	// SchedRandom picks uniformly among enabled actions (seeded, with a
+	// fairness aging bound).
+	SchedRandom Scheduler = iota
+	// SchedRounds executes canonical asynchronous rounds.
+	SchedRounds
+	// SchedAdversarial reorders maximally within the fairness bound.
+	SchedAdversarial
+	// SchedFIFO delivers oldest-first.
+	SchedFIFO
+)
+
+// Config describes one departure simulation.
+type Config struct {
+	// N is the number of processes (>= 1).
+	N int
+	// Topology is the initial overlay shape (default Line).
+	Topology Topology
+	// LeaveFraction in [0,1] marks that share of processes as leaving
+	// (capped so at least one process stays).
+	LeaveFraction float64
+	// Pattern places the leavers (default LeaveRandom).
+	Pattern LeavePattern
+	// Variant selects FDP (default) or FSP.
+	Variant Variant
+	// Oracle advises leavers (default OracleSingle; ignored for FSP).
+	Oracle OracleKind
+	// Scheduler drives the run (default SchedRandom).
+	Scheduler Scheduler
+	// Seed makes the run reproducible.
+	Seed int64
+	// MaxSteps bounds the run (default 1<<20).
+	MaxSteps int
+
+	// CorruptBeliefs is the probability that each initial mode belief is
+	// flipped (self-stabilization stress).
+	CorruptBeliefs float64
+	// CorruptAnchors is the probability that each process starts with a
+	// random (likely invalid) anchor.
+	CorruptAnchors float64
+	// JunkMessages injects that many arbitrary initial in-flight messages.
+	JunkMessages int
+
+	// CheckSafety verifies the Lemma 2 invariant during the run.
+	CheckSafety bool
+}
+
+// Report is the outcome of a simulation.
+type Report struct {
+	// Converged reports whether a legitimate state was reached.
+	Converged bool
+	// Steps is the number of atomic actions executed.
+	Steps int
+	// Rounds is the round count (SchedRounds only, else 0).
+	Rounds int
+	// MessagesSent counts all sends.
+	MessagesSent uint64
+	// MessagesByLabel breaks sends down per action label.
+	MessagesByLabel map[string]uint64
+	// Exits is the number of processes that executed exit.
+	Exits int
+	// MaxChannel is the high-water mark of any channel.
+	MaxChannel int
+	// SafetyViolated reports a Lemma 2 violation (only with CheckSafety;
+	// expected only with OracleUnsafe).
+	SafetyViolated bool
+}
+
+// ErrBadConfig is returned for invalid configurations.
+var ErrBadConfig = errors.New("fdp: invalid configuration")
+
+func (c *Config) oracle() sim.Oracle {
+	switch c.Oracle {
+	case OracleNIDEC:
+		return oracle.NIDEC{}
+	case OracleExitSafe:
+		return oracle.ExitSafe{}
+	case OracleTimeoutSingle:
+		return oracle.NewTimeoutSingle(0)
+	case OracleUnsafe:
+		return oracle.Always(true)
+	default:
+		return oracle.Single{}
+	}
+}
+
+func (c *Config) scheduler() sim.Scheduler {
+	switch c.Scheduler {
+	case SchedRounds:
+		return sim.NewRoundScheduler()
+	case SchedAdversarial:
+		return sim.NewAdversarialScheduler(c.Seed, 0)
+	case SchedFIFO:
+		return sim.NewFIFOScheduler()
+	default:
+		return sim.NewRandomScheduler(c.Seed, 0)
+	}
+}
+
+func (c *Config) variant() (core.Variant, sim.Variant) {
+	if c.Variant == FSP {
+		return core.VariantFSP, sim.FSP
+	}
+	return core.VariantFDP, sim.FDP
+}
+
+// Simulate runs the departure protocol of Section 3 on the configured
+// scenario and reports the outcome.
+func Simulate(cfg Config) (Report, error) {
+	if cfg.N < 1 {
+		return Report{}, fmt.Errorf("%w: N = %d", ErrBadConfig, cfg.N)
+	}
+	if cfg.LeaveFraction < 0 || cfg.LeaveFraction > 1 {
+		return Report{}, fmt.Errorf("%w: LeaveFraction = %v", ErrBadConfig, cfg.LeaveFraction)
+	}
+	coreVariant, simVariant := cfg.variant()
+	var orc sim.Oracle
+	if cfg.Variant == FDP {
+		orc = cfg.oracle()
+	}
+	s := churn.Build(churn.Config{
+		N:             cfg.N,
+		Topology:      churn.Topology(cfg.Topology),
+		LeaveFraction: cfg.LeaveFraction,
+		Pattern:       churn.LeavePattern(cfg.Pattern),
+		Corrupt: churn.Corruption{
+			FlipBeliefs:   cfg.CorruptBeliefs,
+			RandomAnchors: cfg.CorruptAnchors,
+			JunkMessages:  cfg.JunkMessages,
+		},
+		Variant: coreVariant,
+		Oracle:  orc,
+		Seed:    cfg.Seed,
+	})
+	res := sim.Run(s.World, cfg.scheduler(), sim.RunOptions{
+		Variant:     simVariant,
+		MaxSteps:    cfg.MaxSteps,
+		CheckSafety: cfg.CheckSafety,
+	})
+	return reportFrom(res), nil
+}
+
+func reportFrom(res sim.RunResult) Report {
+	return Report{
+		Converged:       res.Converged,
+		Steps:           res.Steps,
+		Rounds:          res.Rounds,
+		MessagesSent:    res.Stats.Sent,
+		MessagesByLabel: res.Stats.SentByLabel,
+		Exits:           res.Stats.Exits,
+		MaxChannel:      res.Stats.MaxChannel,
+		SafetyViolated:  res.SafetyViolation != nil,
+	}
+}
+
+// Overlay selects the maintenance protocol wrapped by SimulateOverlay.
+type Overlay int
+
+// Overlay protocols (members of the class 𝒫).
+const (
+	// Linearize stabilizes to the doubly-linked sorted list.
+	Linearize Overlay = iota
+	// SortRing stabilizes to the sorted ring.
+	SortRing
+	// CliqueTC stabilizes to the complete graph.
+	CliqueTC
+	// SkipList stabilizes to a two-level skip list (sorted list plus a
+	// sorted shortcut list over the even-key nodes).
+	SkipList
+)
+
+// OverlayConfig describes a Section 4 (framework P′) simulation.
+type OverlayConfig struct {
+	// N is the number of processes.
+	N int
+	// Overlay is the wrapped maintenance protocol.
+	Overlay Overlay
+	// LeaveFraction marks that share of processes as leaving.
+	LeaveFraction float64
+	// Variant selects FDP (default) or FSP.
+	Variant Variant
+	// Seed makes the run reproducible.
+	Seed int64
+	// MaxSteps bounds the run (default 1<<21).
+	MaxSteps int
+	// CorruptAnchors / JunkPending corrupt the initial state.
+	CorruptAnchors float64
+	JunkPending    int
+}
+
+// OverlayReport extends Report with the overlay outcome.
+type OverlayReport struct {
+	Report
+	// TargetReached reports whether the staying processes form the
+	// overlay's target topology.
+	TargetReached bool
+}
+
+// SimulateOverlay runs the framework P′ of Section 4: the chosen overlay
+// maintenance protocol combined with the departure protocol.
+func SimulateOverlay(cfg OverlayConfig) (OverlayReport, error) {
+	if cfg.N < 1 {
+		return OverlayReport{}, fmt.Errorf("%w: N = %d", ErrBadConfig, cfg.N)
+	}
+	coreVariant, simVariant := cfg.variantPair()
+	var orc sim.Oracle
+	if coreVariant == core.VariantFDP {
+		orc = oracle.Single{}
+	}
+	s := framework.Build(framework.Config{
+		N:              cfg.N,
+		Overlay:        framework.OverlayKind(cfg.Overlay),
+		LeaveFraction:  cfg.LeaveFraction,
+		Variant:        coreVariant,
+		Oracle:         orc,
+		Seed:           cfg.Seed,
+		ExtraEdges:     cfg.N / 2,
+		CorruptAnchors: cfg.CorruptAnchors,
+		JunkPending:    cfg.JunkPending,
+	})
+	maxSteps := cfg.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 1 << 21
+	}
+	sched := sim.NewRandomScheduler(cfg.Seed, 0)
+	check := cfg.N
+	done := false
+	for s.World.Steps() < maxSteps {
+		if s.World.Steps()%check == 0 && s.World.Legitimate(simVariant) && s.InTarget() {
+			done = true
+			break
+		}
+		a, ok := sched.Next(s.World)
+		if !ok {
+			break
+		}
+		s.World.Execute(a)
+	}
+	if !done {
+		done = s.World.Legitimate(simVariant) && s.InTarget()
+	}
+	st := s.World.Stats()
+	return OverlayReport{
+		Report: Report{
+			Converged:       done,
+			Steps:           s.World.Steps(),
+			MessagesSent:    st.Sent,
+			MessagesByLabel: st.SentByLabel,
+			Exits:           st.Exits,
+			MaxChannel:      st.MaxChannel,
+		},
+		TargetReached: s.InTarget(),
+	}, nil
+}
+
+func (c *OverlayConfig) variantPair() (core.Variant, sim.Variant) {
+	if c.Variant == FSP {
+		return core.VariantFSP, sim.FSP
+	}
+	return core.VariantFDP, sim.FDP
+}
+
+// SimulateParallel runs the same scenario as Simulate on the concurrent
+// goroutine-per-process runtime, until legitimacy or the wall-clock timeout.
+// Only LeaveFraction, N, Variant and Seed of cfg are honoured (topology is
+// random — the runtime exists for cross-validation and throughput, not for
+// scenario sweeps).
+func SimulateParallel(cfg Config, timeout time.Duration) (Report, error) {
+	if cfg.N < 1 {
+		return Report{}, fmt.Errorf("%w: N = %d", ErrBadConfig, cfg.N)
+	}
+	coreVariant, simVariant := cfg.variant()
+	var orc parallel.Oracle
+	if cfg.Variant == FDP {
+		orc = cfg.oracle()
+	}
+	rt, _ := buildParallelWorld(cfg.N, cfg.LeaveFraction, cfg.Seed, coreVariant, orc)
+	ok := rt.RunUntil(func(w *sim.World) bool {
+		return w.Legitimate(simVariant)
+	}, 2*time.Millisecond, timeout)
+	return Report{
+		Converged:    ok,
+		Steps:        int(rt.Events()),
+		MessagesSent: rt.Sent(),
+		Exits:        rt.Gone(),
+	}, nil
+}

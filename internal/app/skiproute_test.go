@@ -1,0 +1,103 @@
+package app
+
+import (
+	"testing"
+
+	"fdp/internal/graph"
+	"fdp/internal/overlay"
+	"fdp/internal/ref"
+	"fdp/internal/sim"
+)
+
+func buildSkipWorld(nodes []ref.Ref) (*sim.World, map[ref.Ref]*Routed) {
+	keys := make(overlay.Keys, len(nodes))
+	for i, r := range nodes {
+		keys[r] = i
+	}
+	w := sim.NewWorld(nil)
+	procs := make(map[ref.Ref]*Routed, len(nodes))
+	for _, r := range nodes {
+		p := NewRoutedSkip(keys)
+		procs[r] = p
+		w.AddProcess(r, sim.Staying, &overlay.Standalone{P: p})
+	}
+	g := graph.Line(nodes)
+	for _, e := range g.Edges() {
+		procs[e.From].AddNeighbor(e.To)
+	}
+	w.SealInitialState()
+	return w, procs
+}
+
+// runUntilTarget drives until the skip list converged.
+func runUntilTarget(t *testing.T, w *sim.World, nodes []ref.Ref, maxSteps int) {
+	t.Helper()
+	sched := sim.NewRandomScheduler(9, 256)
+	for w.Steps() < maxSteps {
+		if w.Steps()%len(nodes) == 0 && overlay.CheckTarget(w, nodes) {
+			return
+		}
+		a, ok := sched.Next(w)
+		if !ok {
+			break
+		}
+		w.Execute(a)
+	}
+	if !overlay.CheckTarget(w, nodes) {
+		t.Fatal("skip list did not converge")
+	}
+}
+
+func TestSkipRoutingHalvesHops(t *testing.T) {
+	const n = 16
+	// Sorted list baseline.
+	nodesL := ref.NewSpace().NewN(n)
+	wl, _, procsL := buildRoutedWorld(graph.Line(nodesL), nodesL)
+	// Skip list.
+	nodesS := ref.NewSpace().NewN(n)
+	ws, procsS := buildSkipWorld(nodesS)
+	runUntilTarget(t, ws, nodesS, 600000)
+
+	// End-to-end lookup (key 0 -> key n-1), the worst case.
+	launch(wl, nodesL[0], n-1)
+	launch(ws, nodesS[0], n-1)
+	drive(wl, sim.NewRandomScheduler(1, 128), 100000)
+	drive(ws, sim.NewRandomScheduler(1, 128), 100000)
+
+	hopsList := totals(procsL).TotalHops
+	hopsSkip := totals(procsS).TotalHops
+	if totals(procsL).Delivered != 1 || totals(procsS).Delivered != 1 {
+		t.Fatalf("lookups not delivered: list=%+v skip=%+v", totals(procsL), totals(procsS))
+	}
+	if hopsList != n-1 {
+		t.Fatalf("list hops = %d, want %d", hopsList, n-1)
+	}
+	// The level-1 shortcuts cover even keys: the route takes ~n/2 hops.
+	if hopsSkip > n/2+2 {
+		t.Fatalf("skip hops = %d, want about %d", hopsSkip, n/2)
+	}
+	t.Logf("hops: list=%d skip=%d", hopsList, hopsSkip)
+}
+
+func TestRoutedWrapperDelegation(t *testing.T) {
+	nodes := ref.NewSpace().NewN(4)
+	keys := overlay.Keys{nodes[0]: 0, nodes[1]: 1, nodes[2]: 2, nodes[3]: 3}
+	r := NewRoutedSkip(keys)
+	if r.Name() != "routed-skiplist" {
+		t.Fatalf("Name = %q", r.Name())
+	}
+	r.AddNeighbor(nodes[1])
+	if len(r.Refs()) != 1 {
+		t.Fatal("AddNeighbor/Refs delegation broken")
+	}
+	r.Exclude(nodes[1])
+	if len(r.Refs()) != 0 {
+		t.Fatal("Exclude delegation broken")
+	}
+	if r.Inner().Name() != "skiplist" {
+		t.Fatal("Inner accessor broken")
+	}
+	if overlay.AsLinearize(r) == nil {
+		t.Fatal("AsLinearize must see through the Routed wrapper")
+	}
+}

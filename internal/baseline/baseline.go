@@ -1,0 +1,173 @@
+// Package baseline reimplements (in simplified form) the departure protocol
+// of Foreback, Koutsopoulos, Nesterenko, Scheideler and Strothmann, "On
+// Stabilizing Departures in Overlay Networks" (SSS 2014) — the prior work
+// the paper positions itself against. It is the comparator for experiment
+// E9.
+//
+// Characteristics that the paper's universal protocol deliberately avoids:
+//
+//   - a fixed total order on the processes is required (keys);
+//   - the protocol is tied to one topology: the sorted list. A leaving
+//     process bridges its closest left and right neighbors to each other,
+//     announces its departure so they drop its reference, and exits when
+//     the NIDEC oracle confirms nobody references it and its channel is
+//     empty;
+//   - dropping a departing neighbor's reference is a plain deletion: it is
+//     only safe because the bridge edge was installed first, i.e. the
+//     protocol is NOT decomposable into the four primitives of Section 2.
+package baseline
+
+import (
+	"fdp/internal/overlay"
+	"fdp/internal/ref"
+	"fdp/internal/sim"
+)
+
+// Message labels of the baseline protocol.
+const (
+	// LabelLink introduces/delegates a reference, as in linearization.
+	LabelLink = "blink"
+	// LabelDepart announces the sender's departure; it carries the sender's
+	// reference first and optionally a replacement neighbor to bridge to.
+	LabelDepart = "bdepart"
+)
+
+// Proc is one process of the baseline protocol. It implements sim.Protocol
+// directly (it cannot be wrapped by the Section 4 framework: its depart
+// action is not primitive-decomposable).
+type Proc struct {
+	keys overlay.Keys
+	n    ref.Set
+	// announce throttles departure announcements to every other timeout:
+	// a leaver's own depart messages carry its reference and count as
+	// incoming implicit edges, so NIDEC can only observe a quiet state in
+	// the timeouts where nothing was just sent.
+	announce bool
+}
+
+var _ sim.Protocol = (*Proc)(nil)
+
+// New returns a baseline process using the given key order.
+func New(keys overlay.Keys) *Proc {
+	return &Proc{keys: keys, n: ref.NewSet()}
+}
+
+// AddNeighbor seeds the initial neighborhood — scenario construction only.
+func (p *Proc) AddNeighbor(v ref.Ref) { p.n.Add(v) }
+
+// Refs implements sim.Protocol.
+func (p *Proc) Refs() []ref.Ref { return p.n.Sorted() }
+
+// Neighbors returns a copy of the stored neighborhood.
+func (p *Proc) Neighbors() ref.Set { return p.n.Clone() }
+
+func (p *Proc) sides(self ref.Ref) (left, right []ref.Ref) {
+	for r := range p.n {
+		if p.keys.Less(r, self) {
+			left = append(left, r)
+		} else if p.keys.Less(self, r) {
+			right = append(right, r)
+		}
+	}
+	p.keys.SortAsc(left)
+	for i, j := 0, len(left)-1; i < j; i, j = i+1, j-1 {
+		left[i], left[j] = left[j], left[i]
+	}
+	p.keys.SortAsc(right)
+	return left, right
+}
+
+// Timeout implements sim.Protocol.
+func (p *Proc) Timeout(ctx sim.Context) {
+	u := ctx.Self()
+	left, right := p.sides(u)
+	if ctx.Mode() == sim.Staying {
+		// Plain linearization, as in overlay.Linearize.
+		if len(left) > 0 {
+			for _, v := range left[1:] {
+				p.n.Remove(v)
+				ctx.Send(left[0], link(v))
+			}
+			ctx.Send(left[0], link(u))
+		}
+		if len(right) > 0 {
+			for _, v := range right[1:] {
+				p.n.Remove(v)
+				ctx.Send(right[0], link(v))
+			}
+			ctx.Send(right[0], link(u))
+		}
+		return
+	}
+	// Leaving: exit as soon as NIDEC confirms no references to u remain
+	// anywhere and u's channel is empty. This is checked before announcing,
+	// because u's own depart/link messages carry u's reference and would
+	// otherwise keep re-creating incoming implicit edges.
+	if ctx.OracleSays() {
+		ctx.Exit()
+		return
+	}
+	// First squeeze extra references toward the list as usual.
+	if len(left) > 1 {
+		for _, v := range left[1:] {
+			p.n.Remove(v)
+			ctx.Send(left[0], link(v))
+		}
+	}
+	if len(right) > 1 {
+		for _, v := range right[1:] {
+			p.n.Remove(v)
+			ctx.Send(right[0], link(v))
+		}
+	}
+	// Bridge the closest neighbors to each other and announce departure
+	// (every other timeout; see the announce field).
+	p.announce = !p.announce
+	if !p.announce {
+		return
+	}
+	switch {
+	case len(left) > 0 && len(right) > 0:
+		ctx.Send(left[0], depart(u, right[0]))
+		ctx.Send(right[0], depart(u, left[0]))
+	case len(left) > 0:
+		ctx.Send(left[0], depart(u, ref.Nil))
+	case len(right) > 0:
+		ctx.Send(right[0], depart(u, ref.Nil))
+	}
+}
+
+func link(v ref.Ref) sim.Message {
+	return sim.NewMessage(LabelLink, sim.RefInfo{Ref: v, Mode: sim.Unknown})
+}
+
+func depart(u, replacement ref.Ref) sim.Message {
+	refs := []sim.RefInfo{{Ref: u, Mode: sim.Leaving}}
+	if !replacement.IsNil() {
+		refs = append(refs, sim.RefInfo{Ref: replacement, Mode: sim.Unknown})
+	}
+	return sim.NewMessage(LabelDepart, refs...)
+}
+
+// Deliver implements sim.Protocol.
+func (p *Proc) Deliver(ctx sim.Context, msg sim.Message) {
+	u := ctx.Self()
+	switch msg.Label {
+	case LabelLink:
+		if len(msg.Refs) != 1 || msg.Refs[0].Ref == u {
+			return
+		}
+		p.n.Add(msg.Refs[0].Ref)
+	case LabelDepart:
+		if len(msg.Refs) == 0 || msg.Refs[0].Ref == u {
+			return
+		}
+		leaver := msg.Refs[0].Ref
+		// Plain deletion — safe only thanks to the bridge that arrives with
+		// the announcement.
+		p.n.Remove(leaver)
+		if len(msg.Refs) > 1 && msg.Refs[1].Ref != u {
+			p.n.Add(msg.Refs[1].Ref)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"fdp/internal/graph"
+	"fdp/internal/oracle"
+	"fdp/internal/overlay"
+	"fdp/internal/ref"
+	"fdp/internal/sim"
+)
+
+// buildList installs baseline processes on a topology with the given set of
+// leavers (by index).
+func buildList(t *testing.T, n int, g *graph.Graph, nodes []ref.Ref, leaving map[int]bool) (*sim.World, overlay.Keys) {
+	t.Helper()
+	keys := make(overlay.Keys, n)
+	for i, r := range nodes {
+		keys[r] = i
+	}
+	w := sim.NewWorld(oracle.NIDEC{})
+	procs := make(map[ref.Ref]*Proc, n)
+	for i, r := range nodes {
+		p := New(keys)
+		procs[r] = p
+		mode := sim.Staying
+		if leaving[i] {
+			mode = sim.Leaving
+		}
+		w.AddProcess(r, mode, p)
+	}
+	for _, e := range g.Edges() {
+		procs[e.From].AddNeighbor(e.To)
+	}
+	w.SealInitialState()
+	return w, keys
+}
+
+func runBaseline(w *sim.World, sched sim.Scheduler, maxSteps int) sim.RunResult {
+	return sim.Run(w, sched, sim.RunOptions{
+		Variant: sim.FDP, MaxSteps: maxSteps, CheckSafety: true,
+	})
+}
+
+func TestBaselineDeparturesFromCleanList(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10
+		nodes := ref.NewSpace().NewN(n)
+		g := graph.Line(nodes)
+		leaving := map[int]bool{}
+		for len(leaving) < 4 {
+			leaving[rng.Intn(n)] = true
+		}
+		w, _ := buildList(t, n, g, nodes, leaving)
+		res := runBaseline(w, sim.NewRandomScheduler(seed, 256), 400000)
+		if res.SafetyViolation != nil {
+			t.Fatalf("seed %d: %v", seed, res.SafetyViolation)
+		}
+		if !res.Converged {
+			t.Fatalf("seed %d: baseline did not converge in %d steps (%d left)",
+				seed, res.Steps, w.LeavingRemaining())
+		}
+		if w.GoneCount() != len(leaving) {
+			t.Fatalf("seed %d: gone=%d want %d", seed, w.GoneCount(), len(leaving))
+		}
+	}
+}
+
+func TestBaselineEndpointLeaves(t *testing.T) {
+	nodes := ref.NewSpace().NewN(6)
+	g := graph.Line(nodes)
+	w, _ := buildList(t, 6, g, nodes, map[int]bool{0: true, 5: true})
+	res := runBaseline(w, sim.NewRoundScheduler(), 200000)
+	if res.SafetyViolation != nil || !res.Converged {
+		t.Fatalf("endpoint departure failed: %+v", res)
+	}
+}
+
+func TestBaselineAdjacentLeavers(t *testing.T) {
+	nodes := ref.NewSpace().NewN(8)
+	g := graph.Line(nodes)
+	w, _ := buildList(t, 8, g, nodes, map[int]bool{3: true, 4: true})
+	res := runBaseline(w, sim.NewRandomScheduler(2, 256), 400000)
+	if res.SafetyViolation != nil || !res.Converged {
+		t.Fatalf("adjacent leavers failed: %+v", res)
+	}
+}
+
+func TestBaselineFromRandomGraph(t *testing.T) {
+	// The baseline also linearizes from random graphs (its maintenance
+	// protocol is the list protocol).
+	rng := rand.New(rand.NewSource(7))
+	nodes := ref.NewSpace().NewN(10)
+	g := graph.RandomConnected(nodes, 5, rng)
+	w, _ := buildList(t, 10, g, nodes, map[int]bool{2: true, 7: true})
+	res := runBaseline(w, sim.NewRandomScheduler(7, 256), 600000)
+	if res.SafetyViolation != nil || !res.Converged {
+		t.Fatalf("random-graph start failed: %+v", res)
+	}
+}
+
+func TestBaselineRequiresKeys(t *testing.T) {
+	// Structural contrast with the universal protocol: the baseline stores
+	// and uses the key order — demonstrate the sides() split.
+	nodes := ref.NewSpace().NewN(5)
+	keys := make(overlay.Keys, 5)
+	for i, r := range nodes {
+		keys[r] = i
+	}
+	p := New(keys)
+	p.AddNeighbor(nodes[0])
+	p.AddNeighbor(nodes[4])
+	left, right := p.sides(nodes[2])
+	if len(left) != 1 || left[0] != nodes[0] || len(right) != 1 || right[0] != nodes[4] {
+		t.Fatal("key-order split broken")
+	}
+}
+
+func TestBaselineDeliverIgnoresJunk(t *testing.T) {
+	nodes := ref.NewSpace().NewN(3)
+	keys := overlay.Keys{nodes[0]: 0, nodes[1]: 1, nodes[2]: 2}
+	p := New(keys)
+	ctx := &stubCtx{self: nodes[0]}
+	p.Deliver(ctx, sim.NewMessage("junk", sim.RefInfo{Ref: nodes[1]}))
+	p.Deliver(ctx, sim.NewMessage(LabelLink, sim.RefInfo{Ref: nodes[0]})) // self
+	p.Deliver(ctx, sim.NewMessage(LabelLink))                             // malformed
+	if p.n.Len() != 0 {
+		t.Fatal("junk must be ignored")
+	}
+	p.Deliver(ctx, sim.NewMessage(LabelDepart,
+		sim.RefInfo{Ref: nodes[1], Mode: sim.Leaving},
+		sim.RefInfo{Ref: nodes[2], Mode: sim.Unknown}))
+	if !p.n.Has(nodes[2]) {
+		t.Fatal("depart replacement must be adopted")
+	}
+}
+
+type stubCtx struct{ self ref.Ref }
+
+func (c *stubCtx) Self() ref.Ref             { return c.self }
+func (c *stubCtx) Mode() sim.Mode            { return sim.Staying }
+func (c *stubCtx) Send(ref.Ref, sim.Message) {}
+func (c *stubCtx) Exit()                     {}
+func (c *stubCtx) Sleep()                    {}
+func (c *stubCtx) OracleSays() bool          { return false }

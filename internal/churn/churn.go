@@ -1,0 +1,376 @@
+// Package churn builds simulation scenarios: an initial topology, a choice
+// of leaving processes, and optional corruption of the initial state
+// (invalid mode beliefs, stale anchors, junk in-flight messages) — the
+// "arbitrary initial states" the self-stabilizing protocol must recover
+// from.
+//
+// The builder enforces the paper's constraints on initial states (Section
+// 1.2 and the Section 1.5 note): every process is relevant, only finitely
+// many action-triggering messages exist, every reference belongs to a live
+// process, and at least one staying process exists per weakly connected
+// component.
+package churn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fdp/internal/core"
+	"fdp/internal/graph"
+	"fdp/internal/ref"
+	"fdp/internal/sim"
+)
+
+// Topology selects the initial overlay shape.
+type Topology uint8
+
+// Topology kinds.
+const (
+	TopoLine Topology = iota
+	TopoDirectedLine
+	TopoRing
+	TopoStar
+	TopoTree
+	TopoClique
+	TopoHypercube
+	TopoRandom
+)
+
+// String names the topology.
+func (t Topology) String() string {
+	switch t {
+	case TopoLine:
+		return "line"
+	case TopoDirectedLine:
+		return "directed-line"
+	case TopoRing:
+		return "ring"
+	case TopoStar:
+		return "star"
+	case TopoTree:
+		return "tree"
+	case TopoClique:
+		return "clique"
+	case TopoHypercube:
+		return "hypercube"
+	default:
+		return "random"
+	}
+}
+
+// Build the initial graph for a topology.
+func (t Topology) Build(nodes []ref.Ref, rng *rand.Rand) *graph.Graph {
+	switch t {
+	case TopoLine:
+		return graph.Line(nodes)
+	case TopoDirectedLine:
+		return graph.DirectedLine(nodes)
+	case TopoRing:
+		return graph.Ring(nodes)
+	case TopoStar:
+		return graph.Star(nodes)
+	case TopoTree:
+		return graph.BinaryTree(nodes)
+	case TopoClique:
+		return graph.Clique(nodes)
+	case TopoHypercube:
+		return graph.Hypercube(nodes)
+	default:
+		return graph.RandomConnected(nodes, len(nodes)/2, rng)
+	}
+}
+
+// LeavePattern selects which processes want to leave.
+type LeavePattern uint8
+
+// Leave patterns.
+const (
+	// LeaveRandom picks a uniform random subset of the requested size.
+	LeaveRandom LeavePattern = iota
+	// LeaveArticulation prefers articulation points — the adversarial
+	// placement, since those are exactly the processes whose naive removal
+	// disconnects the overlay.
+	LeaveArticulation
+	// LeaveBlock picks a contiguous block of the node list (burst churn in
+	// one region).
+	LeaveBlock
+	// LeaveAllButOne marks every process but one as leaving — the extreme
+	// case still permitted by the one-staying-process-per-component rule.
+	LeaveAllButOne
+)
+
+// String names the pattern.
+func (p LeavePattern) String() string {
+	switch p {
+	case LeaveRandom:
+		return "random"
+	case LeaveArticulation:
+		return "articulation"
+	case LeaveBlock:
+		return "block"
+	default:
+		return "all-but-one"
+	}
+}
+
+// Corruption configures how far the initial state deviates from a valid
+// one. Zero value = clean start.
+type Corruption struct {
+	// FlipBeliefs is the probability that each stored mode belief is
+	// flipped to the wrong value.
+	FlipBeliefs float64
+	// RandomAnchors is the probability that each process starts with a
+	// random anchor (staying processes should have none; leaving processes
+	// may get one pointing at a leaving process — both invalid).
+	RandomAnchors float64
+	// JunkMessages injects this many random present/forward messages with
+	// random references and random (often wrong) mode claims.
+	JunkMessages int
+	// AsleepLeavers (FSP only) starts this fraction of leaving processes
+	// asleep... the model only allows initial states where processes are
+	// relevant; an asleep process with a pending message is relevant, so
+	// the builder pairs each asleep start with a wake-up message.
+	// (Unused in FDP, where sleep does not exist.)
+	AsleepLeavers float64
+}
+
+// Config describes a scenario.
+type Config struct {
+	N             int
+	Topology      Topology
+	LeaveFraction float64 // fraction of processes leaving (capped so each component keeps one staying process)
+	Pattern       LeavePattern
+	Corrupt       Corruption
+	Variant       core.Variant
+	Oracle        sim.Oracle
+	Seed          int64
+	// Components splits the N processes into this many disjoint overlay
+	// components (0/1 = a single component). Legitimacy condition (iii) is
+	// per initial component, and the protocol must neither merge nor
+	// disconnect them.
+	Components int
+}
+
+// Scenario is a built world ready to run.
+type Scenario struct {
+	Config  Config
+	Space   *ref.Space
+	Nodes   []ref.Ref
+	World   *sim.World
+	Procs   map[ref.Ref]*core.Proc
+	Leaving ref.Set
+	Initial *graph.Graph
+	// parts is the component partition; corruption stays within a part so
+	// components are never accidentally merged.
+	parts [][]ref.Ref
+}
+
+// partOf returns the component slice containing r.
+func (s *Scenario) partOf(r ref.Ref) []ref.Ref {
+	for _, p := range s.parts {
+		for _, x := range p {
+			if x == r {
+				return p
+			}
+		}
+	}
+	return s.Nodes
+}
+
+// Build constructs the scenario. It panics on nonsensical configs (N < 1);
+// scenario construction errors are programming errors.
+func Build(cfg Config) *Scenario {
+	if cfg.N < 1 {
+		panic(fmt.Sprintf("churn: N = %d", cfg.N))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	space := ref.NewSpace()
+	nodes := space.NewN(cfg.N)
+
+	comps := cfg.Components
+	if comps < 1 {
+		comps = 1
+	}
+	if comps > cfg.N {
+		comps = cfg.N
+	}
+	// Build each component's topology separately and take the union, then
+	// pick leavers per component (so every component keeps one staying
+	// process, the Section 1.5 requirement).
+	g := graph.New()
+	leaving := ref.NewSet()
+	var parts [][]ref.Ref
+	per := cfg.N / comps
+	for c := 0; c < comps; c++ {
+		lo := c * per
+		hi := lo + per
+		if c == comps-1 {
+			hi = cfg.N
+		}
+		part := nodes[lo:hi]
+		parts = append(parts, part)
+		sub := cfg.Topology.Build(part, rng)
+		for _, e := range sub.Edges() {
+			g.AddEdge(e.From, e.To, e.Kind)
+		}
+		for _, n := range part {
+			g.AddNode(n)
+		}
+		subCfg := cfg
+		subCfg.N = len(part)
+		for r := range pickLeavers(sub, part, subCfg, rng) {
+			leaving.Add(r)
+		}
+	}
+
+	w := sim.NewWorld(cfg.Oracle)
+	procs := make(map[ref.Ref]*core.Proc, cfg.N)
+	for _, r := range nodes {
+		p := core.New(cfg.Variant)
+		procs[r] = p
+		mode := sim.Staying
+		if leaving.Has(r) {
+			mode = sim.Leaving
+		}
+		w.AddProcess(r, mode, p)
+	}
+	trueMode := func(r ref.Ref) sim.Mode {
+		if leaving.Has(r) {
+			return sim.Leaving
+		}
+		return sim.Staying
+	}
+
+	// Install the topology's explicit edges with (initially valid) beliefs.
+	for _, e := range g.Edges() {
+		procs[e.From].SetNeighbor(e.To, trueMode(e.To))
+	}
+
+	s := &Scenario{
+		Config: cfg, Space: space, Nodes: nodes, World: w,
+		Procs: procs, Leaving: leaving, Initial: g, parts: parts,
+	}
+	s.corrupt(rng)
+	w.SealInitialState()
+	return s
+}
+
+func pickLeavers(g *graph.Graph, nodes []ref.Ref, cfg Config, rng *rand.Rand) ref.Set {
+	n := len(nodes)
+	k := int(cfg.LeaveFraction*float64(n) + 0.5)
+	if cfg.Pattern == LeaveAllButOne {
+		k = n - 1
+	}
+	if k > n-1 {
+		k = n - 1 // at least one staying process per (connected) component
+	}
+	if k < 0 {
+		k = 0
+	}
+	leaving := ref.NewSet()
+	switch cfg.Pattern {
+	case LeaveArticulation:
+		for _, a := range g.ArticulationPoints() {
+			if leaving.Len() >= k {
+				break
+			}
+			leaving.Add(a)
+		}
+		for _, i := range rng.Perm(n) {
+			if leaving.Len() >= k {
+				break
+			}
+			leaving.Add(nodes[i])
+		}
+	case LeaveBlock:
+		start := 0
+		if n > k {
+			start = rng.Intn(n - k)
+		}
+		for i := start; i < start+k; i++ {
+			leaving.Add(nodes[i])
+		}
+	case LeaveAllButOne:
+		keep := rng.Intn(n)
+		for i, r := range nodes {
+			if i != keep {
+				leaving.Add(r)
+			}
+		}
+	default: // LeaveRandom
+		for _, i := range rng.Perm(n)[:k] {
+			leaving.Add(nodes[i])
+		}
+	}
+	return leaving
+}
+
+// corrupt applies the configured initial-state corruption.
+func (s *Scenario) corrupt(rng *rand.Rand) {
+	c := s.Config.Corrupt
+	flip := func(m sim.Mode) sim.Mode {
+		if m == sim.Staying {
+			return sim.Leaving
+		}
+		return sim.Staying
+	}
+	for _, r := range s.Nodes {
+		p := s.Procs[r]
+		if c.FlipBeliefs > 0 {
+			beliefs := p.Neighbors()
+			for _, v := range p.NeighborRefs() { // deterministic order
+				if rng.Float64() < c.FlipBeliefs {
+					p.SetNeighbor(v, flip(beliefs[v]))
+				}
+			}
+		}
+		if c.RandomAnchors > 0 && rng.Float64() < c.RandomAnchors {
+			part := s.partOf(r)
+			a := part[rng.Intn(len(part))]
+			if a != r {
+				// A random belief, frequently wrong.
+				belief := sim.Staying
+				if rng.Intn(2) == 0 {
+					belief = sim.Leaving
+				}
+				p.SetAnchor(a, belief)
+			}
+		}
+	}
+	for i := 0; i < c.JunkMessages; i++ {
+		to := s.Nodes[rng.Intn(len(s.Nodes))]
+		part := s.partOf(to)
+		carried := part[rng.Intn(len(part))]
+		claim := sim.Staying
+		if rng.Intn(2) == 0 {
+			claim = sim.Leaving
+		}
+		label := core.LabelPresent
+		if rng.Intn(2) == 0 {
+			label = core.LabelForward
+		}
+		s.World.Enqueue(to, sim.NewMessage(label, sim.RefInfo{Ref: carried, Mode: claim}))
+	}
+}
+
+// StayingNodes returns the staying processes in deterministic order.
+func (s *Scenario) StayingNodes() []ref.Ref {
+	var out []ref.Ref
+	for _, r := range s.Nodes {
+		if !s.Leaving.Has(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// LeavingNodes returns the leaving processes in deterministic order.
+func (s *Scenario) LeavingNodes() []ref.Ref {
+	var out []ref.Ref
+	for _, r := range s.Nodes {
+		if s.Leaving.Has(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}

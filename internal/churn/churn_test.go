@@ -1,0 +1,201 @@
+package churn
+
+import (
+	"testing"
+
+	"fdp/internal/core"
+	"fdp/internal/oracle"
+	"fdp/internal/sim"
+)
+
+func TestBuildBasics(t *testing.T) {
+	s := Build(Config{N: 10, Topology: TopoRing, LeaveFraction: 0.5,
+		Pattern: LeaveRandom, Oracle: oracle.Single{}, Seed: 1})
+	if len(s.Nodes) != 10 || len(s.Procs) != 10 {
+		t.Fatal("wrong node count")
+	}
+	if s.Leaving.Len() != 5 {
+		t.Fatalf("leavers = %d, want 5", s.Leaving.Len())
+	}
+	if len(s.StayingNodes())+len(s.LeavingNodes()) != 10 {
+		t.Fatal("partition broken")
+	}
+	for _, r := range s.LeavingNodes() {
+		if s.World.ModeOf(r) != sim.Leaving {
+			t.Fatal("mode not applied")
+		}
+	}
+	if s.World.InitialComponents() == nil {
+		t.Fatal("initial state not sealed")
+	}
+}
+
+func TestBuildCleanStateIsValid(t *testing.T) {
+	s := Build(Config{N: 12, Topology: TopoRandom, LeaveFraction: 0.4,
+		Pattern: LeaveRandom, Seed: 3})
+	if phi := core.Phi(s.World); phi != 0 {
+		t.Fatalf("clean build must have Φ = 0, got %d", phi)
+	}
+}
+
+func TestBuildCorruptionProducesInvalidInfo(t *testing.T) {
+	s := Build(Config{N: 12, Topology: TopoRandom, LeaveFraction: 0.4,
+		Pattern: LeaveRandom, Seed: 3,
+		Corrupt: Corruption{FlipBeliefs: 1.0, RandomAnchors: 1.0, JunkMessages: 20}})
+	if phi := core.Phi(s.World); phi == 0 {
+		t.Fatal("fully corrupted build must have Φ > 0")
+	}
+}
+
+func TestBuildLeaveCap(t *testing.T) {
+	// Fraction 1.0 must be capped to n-1: at least one staying process.
+	s := Build(Config{N: 8, Topology: TopoLine, LeaveFraction: 1.0,
+		Pattern: LeaveRandom, Seed: 5})
+	if s.Leaving.Len() != 7 {
+		t.Fatalf("leavers = %d, want 7 (capped)", s.Leaving.Len())
+	}
+	if len(s.StayingNodes()) != 1 {
+		t.Fatal("one staying process must remain")
+	}
+}
+
+func TestBuildAllButOne(t *testing.T) {
+	s := Build(Config{N: 6, Topology: TopoClique, Pattern: LeaveAllButOne, Seed: 2})
+	if s.Leaving.Len() != 5 {
+		t.Fatalf("leavers = %d, want 5", s.Leaving.Len())
+	}
+}
+
+func TestBuildArticulationTargetsCutVertices(t *testing.T) {
+	s := Build(Config{N: 9, Topology: TopoStar, LeaveFraction: 0.12,
+		Pattern: LeaveArticulation, Seed: 4})
+	// The star hub is the only articulation point; with k=1 it must be it.
+	if !s.Leaving.Has(s.Nodes[0]) {
+		t.Fatal("articulation pattern must pick the star hub first")
+	}
+}
+
+func TestBuildBlockIsContiguous(t *testing.T) {
+	s := Build(Config{N: 10, Topology: TopoLine, LeaveFraction: 0.3,
+		Pattern: LeaveBlock, Seed: 6})
+	first, last := -1, -1
+	for i, r := range s.Nodes {
+		if s.Leaving.Has(r) {
+			if first < 0 {
+				first = i
+			}
+			last = i
+		}
+	}
+	if first < 0 || last-first+1 != s.Leaving.Len() {
+		t.Fatalf("block not contiguous: first=%d last=%d len=%d", first, last, s.Leaving.Len())
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	cfg := Config{N: 15, Topology: TopoRandom, LeaveFraction: 0.5,
+		Pattern: LeaveRandom, Seed: 9,
+		Corrupt: Corruption{FlipBeliefs: 0.5, RandomAnchors: 0.5, JunkMessages: 10}}
+	a, b := Build(cfg), Build(cfg)
+	if !a.Leaving.Equal(b.Leaving) {
+		t.Fatal("leaver choice nondeterministic")
+	}
+	if core.Phi(a.World) != core.Phi(b.World) {
+		t.Fatal("corruption nondeterministic")
+	}
+	if !a.Initial.Equal(b.Initial) {
+		t.Fatal("topology nondeterministic")
+	}
+}
+
+func TestBuildInitialStateConstraints(t *testing.T) {
+	// Section 1.2: initial PG weakly connected per component (here: one
+	// component), all references belong to live processes.
+	for topo := TopoLine; topo <= TopoRandom; topo++ {
+		s := Build(Config{N: 8, Topology: topo, LeaveFraction: 0.5,
+			Pattern: LeaveRandom, Seed: int64(topo),
+			Corrupt: Corruption{JunkMessages: 10}})
+		if !s.World.PG().WeaklyConnected() {
+			t.Fatalf("%v: initial PG not weakly connected", topo)
+		}
+		if got := len(s.World.InitialComponents()); got != 1 {
+			t.Fatalf("%v: components = %d", topo, got)
+		}
+	}
+}
+
+func TestTopologyAndPatternNames(t *testing.T) {
+	names := []string{}
+	for topo := TopoLine; topo <= TopoRandom; topo++ {
+		names = append(names, topo.String())
+	}
+	want := []string{"line", "directed-line", "ring", "star", "tree", "clique", "hypercube", "random"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("topology name %d = %q, want %q", i, names[i], want[i])
+		}
+	}
+	if LeaveRandom.String() != "random" || LeaveArticulation.String() != "articulation" ||
+		LeaveBlock.String() != "block" || LeaveAllButOne.String() != "all-but-one" {
+		t.Fatal("pattern names wrong")
+	}
+}
+
+func TestBuildZeroNodesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("N=0 must panic")
+		}
+	}()
+	Build(Config{N: 0})
+}
+
+func TestBuildMultiComponent(t *testing.T) {
+	s := Build(Config{N: 12, Topology: TopoRing, LeaveFraction: 0.5,
+		Pattern: LeaveRandom, Components: 3, Seed: 8})
+	if got := len(s.World.InitialComponents()); got != 3 {
+		t.Fatalf("components = %d, want 3", got)
+	}
+	// Each component keeps at least one staying process.
+	for _, comp := range s.World.InitialComponents() {
+		staying := 0
+		for _, r := range comp {
+			if !s.Leaving.Has(r) {
+				staying++
+			}
+		}
+		if staying == 0 {
+			t.Fatal("component with no staying process")
+		}
+	}
+}
+
+func TestBuildMultiComponentConverges(t *testing.T) {
+	s := Build(Config{N: 12, Topology: TopoLine, LeaveFraction: 0.4,
+		Pattern: LeaveRandom, Components: 2, Seed: 9,
+		Corrupt: Corruption{FlipBeliefs: 0.4, JunkMessages: 6},
+		Oracle:  oracle.Single{}})
+	res := sim.Run(s.World, sim.NewRandomScheduler(9, 256), sim.RunOptions{
+		Variant: sim.FDP, MaxSteps: 400000, CheckSafety: true,
+	})
+	if res.SafetyViolation != nil || !res.Converged {
+		t.Fatalf("multi-component run failed: %+v", res)
+	}
+	// Components must not have merged: per initial component, staying
+	// processes connected within it and no cross-component path.
+	comps := s.World.InitialComponents()
+	pg := s.World.PG()
+	for _, a := range comps[0] {
+		if s.World.LifeOf(a) == sim.Gone {
+			continue
+		}
+		for _, b := range comps[1] {
+			if s.World.LifeOf(b) == sim.Gone {
+				continue
+			}
+			if pg.SameWeakComponent(a, b) {
+				t.Fatal("components merged")
+			}
+		}
+	}
+}

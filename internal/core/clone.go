@@ -1,0 +1,37 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"fdp/internal/sim"
+)
+
+// CloneProtocol implements sim.CloneableProtocol, enabling exhaustive
+// schedule exploration of worlds running the departure protocol.
+func (p *Proc) CloneProtocol() sim.Protocol {
+	c := New(p.variant)
+	for r, m := range p.n {
+		c.n[r] = m
+	}
+	c.anchor = p.anchor
+	c.anchorMode = p.anchorMode
+	return c
+}
+
+// FingerprintState implements sim.FingerprintableProtocol: the full
+// variable assignment — neighborhood with beliefs, anchor with belief, and
+// the variant.
+func (p *Proc) FingerprintState() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "v%d;a%v:%d;", p.variant, p.anchor, p.anchorMode)
+	for _, r := range p.NeighborRefs() {
+		fmt.Fprintf(&b, "%v:%d,", r, p.n[r])
+	}
+	return b.String()
+}
+
+var (
+	_ sim.CloneableProtocol       = (*Proc)(nil)
+	_ sim.FingerprintableProtocol = (*Proc)(nil)
+)

@@ -1,0 +1,355 @@
+package core_test
+
+import (
+	"testing"
+
+	"fdp/internal/churn"
+	"fdp/internal/core"
+	"fdp/internal/oracle"
+	"fdp/internal/sim"
+)
+
+func schedulers(seed int64) map[string]func() sim.Scheduler {
+	return map[string]func() sim.Scheduler{
+		"random":      func() sim.Scheduler { return sim.NewRandomScheduler(seed, 256) },
+		"rounds":      func() sim.Scheduler { return sim.NewRoundScheduler() },
+		"adversarial": func() sim.Scheduler { return sim.NewAdversarialScheduler(seed, 128) },
+		"fifo":        func() sim.Scheduler { return sim.NewFIFOScheduler() },
+	}
+}
+
+func runScenario(t *testing.T, s *churn.Scenario, sched sim.Scheduler, maxSteps int) sim.RunResult {
+	t.Helper()
+	variant := sim.FDP
+	if s.Config.Variant == core.VariantFSP {
+		variant = sim.FSP
+	}
+	res := sim.Run(s.World, sched, sim.RunOptions{
+		Variant:     variant,
+		MaxSteps:    maxSteps,
+		CheckSafety: true,
+	})
+	if res.SafetyViolation != nil {
+		t.Fatalf("SAFETY violated (%s, n=%d, topo=%v, seed=%d): %v",
+			sched.Name(), s.Config.N, s.Config.Topology, s.Config.Seed, res.SafetyViolation)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge in %d steps (%s, n=%d, topo=%v, leave=%.2f, seed=%d); %d leavers remain",
+			res.Steps, sched.Name(), s.Config.N, s.Config.Topology,
+			s.Config.LeaveFraction, s.Config.Seed, s.World.LeavingRemaining())
+	}
+	return res
+}
+
+// Theorem 3: from clean initial states the protocol solves the FDP on every
+// topology, under every scheduler.
+func TestFDPCleanStatesAllTopologies(t *testing.T) {
+	topos := []churn.Topology{
+		churn.TopoLine, churn.TopoDirectedLine, churn.TopoRing, churn.TopoStar,
+		churn.TopoTree, churn.TopoClique, churn.TopoHypercube, churn.TopoRandom,
+	}
+	for _, topo := range topos {
+		for name, mk := range schedulers(42) {
+			s := churn.Build(churn.Config{
+				N: 16, Topology: topo, LeaveFraction: 0.5,
+				Pattern: churn.LeaveRandom, Oracle: oracle.Single{}, Seed: 7,
+			})
+			res := runScenario(t, s, mk(), 400000)
+			if s.World.GoneCount() != s.Leaving.Len() {
+				t.Fatalf("%v/%s: %d of %d leavers gone", topo, name,
+					s.World.GoneCount(), s.Leaving.Len())
+			}
+			_ = res
+		}
+	}
+}
+
+// Self-stabilization: convergence from corrupted initial states — flipped
+// beliefs, random anchors, junk in-flight messages.
+func TestFDPCorruptedStates(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		s := churn.Build(churn.Config{
+			N: 20, Topology: churn.TopoRandom, LeaveFraction: 0.5,
+			Pattern: churn.LeaveRandom,
+			Corrupt: churn.Corruption{
+				FlipBeliefs:   0.5,
+				RandomAnchors: 0.7,
+				JunkMessages:  30,
+			},
+			Oracle: oracle.Single{}, Seed: seed,
+		})
+		runScenario(t, s, sim.NewRandomScheduler(seed, 256), 600000)
+	}
+}
+
+// Adversarial leaver placement: articulation points leave.
+func TestFDPArticulationLeavers(t *testing.T) {
+	for _, topo := range []churn.Topology{churn.TopoLine, churn.TopoStar, churn.TopoTree} {
+		s := churn.Build(churn.Config{
+			N: 15, Topology: topo, LeaveFraction: 0.4,
+			Pattern: churn.LeaveArticulation, Oracle: oracle.Single{}, Seed: 3,
+		})
+		runScenario(t, s, sim.NewRoundScheduler(), 400000)
+	}
+}
+
+// Extreme churn: everybody but one process leaves.
+func TestFDPAllButOneLeave(t *testing.T) {
+	s := churn.Build(churn.Config{
+		N: 12, Topology: churn.TopoRing, Pattern: churn.LeaveAllButOne,
+		Oracle: oracle.Single{}, Seed: 11,
+	})
+	runScenario(t, s, sim.NewRandomScheduler(5, 256), 400000)
+	if s.World.GoneCount() != 11 {
+		t.Fatalf("gone = %d, want 11", s.World.GoneCount())
+	}
+}
+
+// Nobody leaves: the protocol must keep the overlay intact and do nothing
+// harmful (it still runs its periodic self-introduction).
+func TestFDPNoLeavers(t *testing.T) {
+	s := churn.Build(churn.Config{
+		N: 8, Topology: churn.TopoRing, LeaveFraction: 0,
+		Oracle: oracle.Single{}, Seed: 1,
+	})
+	res := sim.Run(s.World, sim.NewRandomScheduler(1, 256), sim.RunOptions{
+		Variant: sim.FDP, MaxSteps: 5000, CheckSafety: true,
+	})
+	if res.SafetyViolation != nil {
+		t.Fatal(res.SafetyViolation)
+	}
+	if !res.Converged {
+		t.Fatal("a state with no leavers should be legitimate immediately")
+	}
+}
+
+// Lemma 2 at full resolution: on small systems, check the safety invariant
+// after every single step.
+func TestFDPSafetyEveryStep(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		s := churn.Build(churn.Config{
+			N: 8, Topology: churn.TopoRandom, LeaveFraction: 0.5,
+			Pattern: churn.LeaveRandom,
+			Corrupt: churn.Corruption{FlipBeliefs: 0.4, RandomAnchors: 0.5, JunkMessages: 10},
+			Oracle:  oracle.Single{}, Seed: seed,
+		})
+		res := sim.Run(s.World, sim.NewRandomScheduler(seed, 128), sim.RunOptions{
+			Variant: sim.FDP, MaxSteps: 200000, SafetyEveryStep: true,
+		})
+		if res.SafetyViolation != nil {
+			t.Fatalf("seed %d: %v", seed, res.SafetyViolation)
+		}
+		if !res.Converged {
+			t.Fatalf("seed %d: no convergence", seed)
+		}
+	}
+}
+
+// Lemma 3's potential argument: Φ never increases along any computation.
+func TestPhiNonIncreasing(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		s := churn.Build(churn.Config{
+			N: 12, Topology: churn.TopoRandom, LeaveFraction: 0.4,
+			Pattern: churn.LeaveRandom,
+			Corrupt: churn.Corruption{FlipBeliefs: 0.6, RandomAnchors: 0.5, JunkMessages: 20},
+			Oracle:  oracle.Single{}, Seed: seed,
+		})
+		last := core.Phi(s.World)
+		res := sim.Run(s.World, sim.NewRandomScheduler(seed, 128), sim.RunOptions{
+			Variant:  sim.FDP,
+			MaxSteps: 300000,
+			OnStep: func(w *sim.World) {
+				phi := core.Phi(w)
+				if phi > last {
+					t.Fatalf("seed %d: Φ increased %d -> %d at step %d", seed, last, phi, w.Steps())
+				}
+				last = phi
+			},
+		})
+		if !res.Converged {
+			t.Fatalf("seed %d: no convergence", seed)
+		}
+		if last != 0 {
+			t.Fatalf("seed %d: Φ = %d in legitimate state, want 0", seed, last)
+		}
+	}
+}
+
+// Closure: once legitimate, the system stays legitimate.
+func TestFDPClosure(t *testing.T) {
+	s := churn.Build(churn.Config{
+		N: 10, Topology: churn.TopoRing, LeaveFraction: 0.5,
+		Pattern: churn.LeaveRandom, Oracle: oracle.Single{}, Seed: 9,
+	})
+	sched := sim.NewRandomScheduler(9, 128)
+	res := runScenario(t, s, sched, 300000)
+	_ = res
+	// Keep running: every state must remain legitimate.
+	for i := 0; i < 3000; i++ {
+		a, ok := sched.Next(s.World)
+		if !ok {
+			break
+		}
+		s.World.Execute(a)
+		if i%100 == 0 && !s.World.Legitimate(sim.FDP) {
+			t.Fatalf("legitimacy lost at closure step %d", i)
+		}
+	}
+	if !s.World.Legitimate(sim.FDP) {
+		t.Fatal("legitimacy lost during closure run")
+	}
+	if !core.AnchorsConsistent(s.World) {
+		t.Fatal("anchors inconsistent in legitimate state")
+	}
+}
+
+// The oracle matters: with the unsafe Always(true) oracle a leaving cut
+// vertex can exit early and disconnect the staying processes.
+func TestUnsafeOracleViolatesSafety(t *testing.T) {
+	violated := false
+	for seed := int64(0); seed < 20 && !violated; seed++ {
+		s := churn.Build(churn.Config{
+			N: 9, Topology: churn.TopoLine, LeaveFraction: 0.4,
+			Pattern: churn.LeaveArticulation,
+			Oracle:  oracle.Always(true), Seed: seed,
+		})
+		res := sim.Run(s.World, sim.NewRandomScheduler(seed, 64), sim.RunOptions{
+			Variant: sim.FDP, MaxSteps: 100000, SafetyEveryStep: true,
+		})
+		if res.SafetyViolation != nil {
+			violated = true
+		}
+	}
+	if !violated {
+		t.Fatal("Always(true) oracle never violated safety in 20 attempts; the SINGLE guard appears vacuous")
+	}
+}
+
+// FSP: without any oracle, leaving processes end up hibernating (Section 4).
+func TestFSPConvergence(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		s := churn.Build(churn.Config{
+			N: 14, Topology: churn.TopoRandom, LeaveFraction: 0.5,
+			Pattern: churn.LeaveRandom, Variant: core.VariantFSP,
+			Corrupt: churn.Corruption{FlipBeliefs: 0.3, RandomAnchors: 0.4, JunkMessages: 10},
+			Oracle:  nil, // no oracle needed for the FSP
+			Seed:    seed,
+		})
+		res := sim.Run(s.World, sim.NewRandomScheduler(seed, 256), sim.RunOptions{
+			Variant: sim.FSP, MaxSteps: 600000, CheckSafety: true,
+		})
+		if res.SafetyViolation != nil {
+			t.Fatalf("seed %d: %v", seed, res.SafetyViolation)
+		}
+		if !res.Converged {
+			t.Fatalf("seed %d: FSP did not converge in %d steps (%d leavers awake)",
+				seed, res.Steps, s.World.LeavingRemaining())
+		}
+		// Every leaver is hibernating, none gone.
+		if s.World.GoneCount() != 0 {
+			t.Fatalf("seed %d: FSP produced gone processes", seed)
+		}
+		hib := s.World.Hibernating()
+		for _, l := range s.LeavingNodes() {
+			if !hib.Has(l) {
+				t.Fatalf("seed %d: leaver %v not hibernating", seed, l)
+			}
+		}
+	}
+}
+
+// FSP wake-up: a hibernating process resumes computation when a message
+// arrives (the defining difference from the FDP).
+func TestFSPWakeOnMessage(t *testing.T) {
+	s := churn.Build(churn.Config{
+		N: 6, Topology: churn.TopoLine, LeaveFraction: 0.34,
+		Pattern: churn.LeaveRandom, Variant: core.VariantFSP, Seed: 2,
+	})
+	res := sim.Run(s.World, sim.NewRoundScheduler(), sim.RunOptions{
+		Variant: sim.FSP, MaxSteps: 300000,
+	})
+	if !res.Converged {
+		t.Fatal("FSP did not converge")
+	}
+	leaver := s.LeavingNodes()[0]
+	if s.World.LifeOf(leaver) != sim.Asleep {
+		t.Fatal("leaver should be asleep")
+	}
+	// Poke it: it must wake and process the message.
+	s.World.Enqueue(leaver, sim.NewMessage(core.LabelPresent,
+		sim.RefInfo{Ref: s.StayingNodes()[0], Mode: sim.Staying}))
+	for _, a := range s.World.EnabledActions() {
+		if a.Proc == leaver && !a.IsTimeout {
+			s.World.Execute(a)
+		}
+	}
+	if s.World.LifeOf(leaver) != sim.Awake {
+		t.Fatal("message must wake an asleep process")
+	}
+}
+
+// Determinism: identical seeds yield identical outcomes.
+func TestRunsAreDeterministic(t *testing.T) {
+	run := func() (int, uint64) {
+		s := churn.Build(churn.Config{
+			N: 12, Topology: churn.TopoRandom, LeaveFraction: 0.5,
+			Pattern: churn.LeaveRandom,
+			Corrupt: churn.Corruption{FlipBeliefs: 0.5, RandomAnchors: 0.5, JunkMessages: 15},
+			Oracle:  oracle.Single{}, Seed: 77,
+		})
+		res := sim.Run(s.World, sim.NewRandomScheduler(77, 256), sim.RunOptions{
+			Variant: sim.FDP, MaxSteps: 400000,
+		})
+		if !res.Converged {
+			t.Fatal("no convergence")
+		}
+		return res.Steps, res.Stats.Sent
+	}
+	s1, m1 := run()
+	s2, m2 := run()
+	if s1 != s2 || m1 != m2 {
+		t.Fatalf("nondeterministic: (%d,%d) vs (%d,%d)", s1, m1, s2, m2)
+	}
+}
+
+// Scale check: convergence holds on a larger instance.
+func TestFDPLargerInstance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large instance")
+	}
+	s := churn.Build(churn.Config{
+		N: 64, Topology: churn.TopoRandom, LeaveFraction: 0.5,
+		Pattern: churn.LeaveRandom,
+		Corrupt: churn.Corruption{FlipBeliefs: 0.3, RandomAnchors: 0.3, JunkMessages: 50},
+		Oracle:  oracle.Single{}, Seed: 123,
+	})
+	res := sim.Run(s.World, sim.NewRandomScheduler(123, 512), sim.RunOptions{
+		Variant: sim.FDP, MaxSteps: 4000000, CheckEvery: 64,
+	})
+	if !res.Converged {
+		t.Fatalf("n=64 did not converge in %d steps (%d leavers remain)",
+			res.Steps, s.World.LeavingRemaining())
+	}
+}
+
+func TestValidAndLeaversWithNeighbors(t *testing.T) {
+	s := churn.Build(churn.Config{
+		N: 8, Topology: churn.TopoRing, LeaveFraction: 0.25,
+		Pattern: churn.LeaveRandom, Oracle: oracle.Single{}, Seed: 21,
+	})
+	if !core.Valid(s.World) {
+		t.Fatal("clean build must be valid (Φ=0)")
+	}
+	if got := core.LeaversWithNeighbors(s.World); len(got) != 2 {
+		t.Fatalf("both leavers start with neighbors, got %v", got)
+	}
+	res := sim.Run(s.World, sim.NewRandomScheduler(21, 256), sim.RunOptions{
+		Variant: sim.FDP, MaxSteps: 300000,
+	})
+	if !res.Converged {
+		t.Fatal("no convergence")
+	}
+	if got := core.LeaversWithNeighbors(s.World); len(got) != 0 {
+		t.Fatalf("gone leavers cannot have neighbors: %v", got)
+	}
+}

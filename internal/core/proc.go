@@ -1,0 +1,340 @@
+// Package core implements the paper's primary contribution: the
+// self-stabilizing protocol for the Finite Departure Problem of Section 3
+// (Algorithms 1–3: timeout, present and forward) and its Finite Sleep
+// Problem variant (Section 4, last paragraph).
+//
+// Every branch of the three actions decomposes into one of the four
+// primitives of Section 2; the code comments carry the paper's suit
+// annotations (♦ Introduction, ♥ Delegation, ♠ Fusion, ♣ Reversal), which
+// is what makes Lemma 2 (safety) an instance of Lemma 1.
+//
+// Protocol state per process u:
+//
+//   - u.N       — the neighborhood set: all ordinary stored references,
+//     each with u's knowledge of that process's mode (u.mode(v));
+//   - u.anchor  — a special reference, not in u.N, used only by leaving
+//     processes: a process u believes to be staying, to which u delegates
+//     every reference it wants to get rid of.
+//
+// Since the protocol is self-stabilizing, any of this information may
+// initially be arbitrary (wrong beliefs, stale anchors, junk in flight).
+package core
+
+import (
+	"fdp/internal/ref"
+	"fdp/internal/sim"
+)
+
+// Message labels of the protocol. A present(v) message introduces the
+// reference v to the receiver (Introduction ♦); a forward(v) message
+// delegates v to the receiver (Delegation ♥). Both carry the sender's mode
+// knowledge of v, and information a process sends about itself is always
+// its true mode.
+const (
+	LabelPresent = "present"
+	LabelForward = "forward"
+)
+
+// Variant selects the departure flavour.
+type Variant uint8
+
+const (
+	// VariantFDP uses exit guarded by the oracle (Section 3).
+	VariantFDP Variant = iota
+	// VariantFSP uses sleep and no oracle (Section 4, last paragraph).
+	VariantFSP
+)
+
+// String names the variant.
+func (v Variant) String() string {
+	if v == VariantFDP {
+		return "FDP"
+	}
+	return "FSP"
+}
+
+// Proc is one process running the departure protocol.
+type Proc struct {
+	variant Variant
+
+	// n is the neighborhood set u.N with u.mode(v) per member.
+	n map[ref.Ref]sim.Mode
+	// anchor is the special anchor variable (⊥ = ref.Nil) and u's belief
+	// about its mode.
+	anchor     ref.Ref
+	anchorMode sim.Mode
+}
+
+var _ sim.Protocol = (*Proc)(nil)
+
+// New returns a fresh process state with empty neighborhood and no anchor.
+func New(variant Variant) *Proc {
+	return &Proc{variant: variant, n: make(map[ref.Ref]sim.Mode)}
+}
+
+// Variant returns the process's departure flavour.
+func (p *Proc) Variant() Variant { return p.variant }
+
+// UsesSleep reports whether the process uses the FSP variant.
+func (p *Proc) UsesSleep() bool { return p.variant == VariantFSP }
+
+// SetNeighbor stores v in u.N with the given mode belief — scenario
+// construction only (possibly deliberately invalid, for self-stabilization
+// experiments).
+func (p *Proc) SetNeighbor(v ref.Ref, belief sim.Mode) {
+	if v.IsNil() {
+		return
+	}
+	p.n[v] = belief
+}
+
+// RemoveNeighbor removes v from u.N — scenario construction only.
+func (p *Proc) RemoveNeighbor(v ref.Ref) { delete(p.n, v) }
+
+// SetAnchor sets the anchor variable — scenario construction only.
+func (p *Proc) SetAnchor(v ref.Ref, belief sim.Mode) {
+	p.anchor = v
+	p.anchorMode = belief
+}
+
+// Anchor returns the anchor reference (⊥ = ref.Nil).
+func (p *Proc) Anchor() ref.Ref { return p.anchor }
+
+// AnchorBelief returns u.mode(anchor); meaningful only when Anchor() != ⊥.
+func (p *Proc) AnchorBelief() sim.Mode { return p.anchorMode }
+
+// Neighbors returns a copy of u.N with beliefs.
+func (p *Proc) Neighbors() map[ref.Ref]sim.Mode {
+	out := make(map[ref.Ref]sim.Mode, len(p.n))
+	for r, m := range p.n {
+		out[r] = m
+	}
+	return out
+}
+
+// NeighborRefs returns the members of u.N in deterministic order.
+func (p *Proc) NeighborRefs() []ref.Ref {
+	out := make([]ref.Ref, 0, len(p.n))
+	for r := range p.n {
+		out = append(out, r)
+	}
+	ref.Sort(out)
+	return out
+}
+
+// Refs implements sim.Protocol: all stored references (u.N plus the
+// anchor) — the explicit edges of PG.
+func (p *Proc) Refs() []ref.Ref {
+	out := p.NeighborRefs()
+	if !p.anchor.IsNil() {
+		out = append(out, p.anchor)
+	}
+	return out
+}
+
+// Beliefs returns every stored reference together with the stored mode
+// belief, for the potential function Φ.
+func (p *Proc) Beliefs() []sim.RefInfo {
+	out := make([]sim.RefInfo, 0, len(p.n)+1)
+	for _, r := range p.NeighborRefs() {
+		out = append(out, sim.RefInfo{Ref: r, Mode: p.n[r]})
+	}
+	if !p.anchor.IsNil() {
+		out = append(out, sim.RefInfo{Ref: p.anchor, Mode: p.anchorMode})
+	}
+	return out
+}
+
+// present builds a present(v) message carrying the given belief about v.
+func present(v ref.Ref, belief sim.Mode) sim.Message {
+	return sim.NewMessage(LabelPresent, sim.RefInfo{Ref: v, Mode: belief})
+}
+
+// forward builds a forward(v) message carrying the given belief about v.
+func forward(v ref.Ref, belief sim.Mode) sim.Message {
+	return sim.NewMessage(LabelForward, sim.RefInfo{Ref: v, Mode: belief})
+}
+
+// Timeout implements Algorithm 1 (u.timeout).
+func (p *Proc) Timeout(ctx sim.Context) {
+	u := ctx.Self()
+
+	// Lines 1–3: an anchor believed to be leaving is not a valid anchor;
+	// move its reference into u's own channel for regular processing.
+	if !p.anchor.IsNil() && p.anchorMode == sim.Leaving {
+		ctx.Send(u, present(p.anchor, p.anchorMode)) // ♦ (reference kept in flight)
+		p.anchor = ref.Nil
+	}
+
+	if ctx.Mode() == sim.Leaving {
+		if len(p.n) == 0 {
+			if p.variant == VariantFDP && ctx.OracleSays() {
+				// Lines 5–7: exit when the oracle SINGLE allows it.
+				ctx.Exit()
+				return
+			}
+			// Lines 9–10: re-verify the anchor. A staying anchor that has
+			// already shed us consumes this silently; a leaving one answers
+			// with its true mode, which clears the invalid anchor — this is
+			// what breaks mutual-anchor cycles between two leavers.
+			if !p.anchor.IsNil() {
+				ctx.Send(p.anchor, present(u, sim.Leaving)) // ♦ self-introduction
+			}
+			if p.variant == VariantFSP {
+				// FSP: no oracle; go to sleep. Incoming messages wake the
+				// process again, so no reference can be stranded.
+				ctx.Sleep()
+			}
+			return
+		}
+		// Lines 12–14: funnel the entire neighborhood into u's own channel;
+		// the forward handler will adopt an anchor and delegate the rest.
+		for _, v := range p.NeighborRefs() {
+			ctx.Send(u, forward(v, p.n[v])) // reference kept in flight (♦/♣)
+		}
+		p.n = make(map[ref.Ref]sim.Mode)
+		if p.variant == VariantFSP {
+			// Sleep immediately; the just-sent self-messages wake us.
+			ctx.Sleep()
+		}
+		return
+	}
+
+	// Staying branch (lines 15–22). A staying process needs no anchor:
+	// reintegrate it as an ordinary reference.
+	if !p.anchor.IsNil() {
+		ctx.Send(u, present(p.anchor, p.anchorMode)) // ♦
+		p.anchor = ref.Nil
+	}
+	for _, v := range p.NeighborRefs() {
+		if p.n[v] == sim.Leaving {
+			delete(p.n, v)                       // drop the reference ...
+			ctx.Send(v, present(u, sim.Staying)) // ... and hand v our own: ♣ reversal
+			continue
+		}
+		ctx.Send(v, present(u, sim.Staying)) // ♦ periodic self-introduction
+	}
+}
+
+// Deliver implements sim.Protocol, dispatching to the present and forward
+// actions. Unknown labels are ignored (the model drops such messages).
+func (p *Proc) Deliver(ctx sim.Context, msg sim.Message) {
+	if len(msg.Refs) != 1 {
+		return
+	}
+	ri := msg.Refs[0]
+	switch msg.Label {
+	case LabelPresent:
+		p.onPresent(ctx, ri)
+	case LabelForward:
+		p.onForward(ctx, ri)
+	}
+}
+
+// onPresent implements Algorithm 2 (u.present(v)).
+func (p *Proc) onPresent(ctx sim.Context, ri sim.RefInfo) {
+	u := ctx.Self()
+	v, claim := ri.Ref, ri.Mode
+	if v == u {
+		// References to oneself carry no connectivity information; they are
+		// discarded (a safe fusion-like cleanup, see DESIGN.md).
+		return
+	}
+	// Incoming information refreshes stored knowledge about v.
+	if _, ok := p.n[v]; ok {
+		p.n[v] = claim
+	}
+	// Lines 1–2: an anchor reported to be leaving is dropped. ♠
+	if v == p.anchor {
+		p.anchorMode = claim
+		if claim == sim.Leaving {
+			p.anchor = ref.Nil
+		}
+	}
+	if claim == sim.Leaving {
+		if ctx.Mode() == sim.Leaving {
+			// Line 5: two leaving processes bounce their own references so
+			// each can shed the other. ♣
+			ctx.Send(v, forward(u, sim.Leaving))
+			return
+		}
+		// Lines 7–9: a staying process sheds a *stored* leaving reference
+		// and hands the leaver its own reference instead (♣ reversal). A
+		// present for a reference we do not hold is consumed silently: the
+		// introducing sender kept its own copy, so no connectivity is lost
+		// — and this quiescence is exactly what lets FSP leavers hibernate
+		// after their anchor verification (the anchor stops answering once
+		// it has shed them).
+		if _, held := p.n[v]; held {
+			delete(p.n, v)
+			ctx.Send(v, forward(u, sim.Staying))
+		}
+		return
+	}
+	// claim == staying.
+	if ctx.Mode() == sim.Leaving {
+		if !p.anchor.IsNil() {
+			// Line 13: already anchored; tell v about ourselves so v can
+			// shed any reference to u. ♣
+			ctx.Send(v, forward(u, sim.Leaving))
+			return
+		}
+		// Line 15: adopt v as anchor. ♠ (reference stored)
+		p.anchor = v
+		p.anchorMode = sim.Staying
+		return
+	}
+	// Line 17: staying processes store staying references. ♠
+	p.n[v] = claim
+}
+
+// onForward implements Algorithm 3 (u.forward(v)).
+func (p *Proc) onForward(ctx sim.Context, ri sim.RefInfo) {
+	u := ctx.Self()
+	v, claim := ri.Ref, ri.Mode
+	if v == u {
+		return
+	}
+	if _, ok := p.n[v]; ok {
+		p.n[v] = claim
+	}
+	// Lines 1–2. ♠
+	if v == p.anchor {
+		p.anchorMode = claim
+		if claim == sim.Leaving {
+			p.anchor = ref.Nil
+		}
+	}
+	if claim == sim.Leaving {
+		if ctx.Mode() == sim.Leaving {
+			if p.anchor.IsNil() {
+				// Line 6: no anchor yet — bounce our reference to v. ♣
+				ctx.Send(v, forward(u, sim.Leaving))
+				return
+			}
+			// Line 8: delegate v's reference to the anchor. ♥
+			// (The only place invalid information could be copied — but v
+			// is not kept, so Φ does not increase; see Lemma 3.)
+			ctx.Send(p.anchor, forward(v, claim))
+			return
+		}
+		// Lines 10–12: staying process sheds v and reverses the edge. ♣
+		delete(p.n, v)
+		ctx.Send(v, forward(u, sim.Staying))
+		return
+	}
+	// claim == staying.
+	if ctx.Mode() == sim.Leaving {
+		if !p.anchor.IsNil() {
+			// Line 16: pass the reference on to the anchor. ♥
+			ctx.Send(p.anchor, forward(v, claim))
+			return
+		}
+		// Line 18: adopt v as anchor. ♠
+		p.anchor = v
+		p.anchorMode = sim.Staying
+		return
+	}
+	// Line 20: staying processes store staying references. ♠
+	p.n[v] = claim
+}

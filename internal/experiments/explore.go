@@ -1,0 +1,17 @@
+package experiments
+
+import (
+	"fdp/internal/check"
+	"fdp/internal/sim"
+)
+
+// exploreWorld runs the bounded model checker with the Lemma 2 invariant.
+func exploreWorld(w *sim.World, depth int) check.Outcome {
+	return check.Explore(w, check.Options{
+		MaxDepth:         depth,
+		MaxStates:        500000,
+		Invariant:        check.SafetyInvariant(),
+		Variant:          sim.FDP,
+		StopAtLegitimate: true,
+	})
+}

@@ -1,0 +1,124 @@
+// Package faults injects transient faults into a RUNNING system — the
+// fault class self-stabilization is defined against (Section 1.2: "a
+// self-stabilizing protocol is thus able to recover from transient faults
+// regardless of their nature"). Where package churn corrupts initial
+// states, this package strikes mid-run: it flips stored mode beliefs,
+// scrambles anchors, and injects spurious messages, then lets the protocol
+// re-converge.
+//
+// A strike never deletes references outright (an adversary that burns the
+// last copy of a reference provably makes reconnection impossible for any
+// copy-store-send protocol, so no protocol could pass such a test); it
+// corrupts values while preserving the reference multiset, plus may ADD
+// junk. After a strike the world's initial components are re-sealed: the
+// post-fault state is the new "arbitrary initial state" convergence is
+// measured from.
+package faults
+
+import (
+	"math/rand"
+
+	"fdp/internal/core"
+	"fdp/internal/ref"
+	"fdp/internal/sim"
+)
+
+// Config tunes a strike.
+type Config struct {
+	// FlipBeliefs is the probability of flipping each stored mode belief.
+	FlipBeliefs float64
+	// ScrambleAnchors is the probability per process of corrupting the
+	// anchor belief (and, for leaving processes, re-pointing the anchor to
+	// a random live process — which adds an edge, never removes one).
+	ScrambleAnchors float64
+	// JunkMessages is the number of spurious present/forward messages
+	// injected with random live references and random claims.
+	JunkMessages int
+}
+
+// Report summarizes what a strike corrupted.
+type Report struct {
+	BeliefsFlipped   int
+	AnchorsScrambled int
+	MessagesInjected int
+}
+
+// Injector applies strikes using its own seeded randomness.
+type Injector struct {
+	cfg Config
+	rng *rand.Rand
+}
+
+// New returns a seeded injector.
+func New(cfg Config, seed int64) *Injector {
+	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Strike corrupts the current state of every (non-gone) process running the
+// departure protocol, then re-seals the world's initial components so
+// legitimacy is judged from the post-fault state.
+func (i *Injector) Strike(w *sim.World) Report {
+	rep := Report{}
+	live := i.liveRefs(w)
+	if len(live) == 0 {
+		return rep
+	}
+	for _, r := range live {
+		p, ok := w.ProtocolOf(r).(*core.Proc)
+		if !ok {
+			continue
+		}
+		for v, belief := range p.Neighbors() {
+			if i.rng.Float64() < i.cfg.FlipBeliefs {
+				p.SetNeighbor(v, flip(belief))
+				rep.BeliefsFlipped++
+			}
+		}
+		if !p.Anchor().IsNil() || w.ModeOf(r) == sim.Leaving {
+			if i.rng.Float64() < i.cfg.ScrambleAnchors {
+				target := live[i.rng.Intn(len(live))]
+				if target != r {
+					p.SetAnchor(target, randomMode(i.rng))
+					rep.AnchorsScrambled++
+				}
+			}
+		}
+	}
+	for n := 0; n < i.cfg.JunkMessages; n++ {
+		to := live[i.rng.Intn(len(live))]
+		carried := live[i.rng.Intn(len(live))]
+		label := core.LabelPresent
+		if i.rng.Intn(2) == 0 {
+			label = core.LabelForward
+		}
+		w.Enqueue(to, sim.NewMessage(label, sim.RefInfo{Ref: carried, Mode: randomMode(i.rng)}))
+		rep.MessagesInjected++
+	}
+	// The post-fault state is the new reference point for condition (iii).
+	w.SealInitialState()
+	return rep
+}
+
+func (i *Injector) liveRefs(w *sim.World) []ref.Ref {
+	var out []ref.Ref
+	for _, r := range w.Refs() {
+		if w.LifeOf(r) != sim.Gone {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func flip(m sim.Mode) sim.Mode {
+	if m == sim.Staying {
+		return sim.Leaving
+	}
+	return sim.Staying
+}
+
+func randomMode(rng *rand.Rand) sim.Mode {
+	if rng.Intn(2) == 0 {
+		return sim.Staying
+	}
+	return sim.Leaving
+}

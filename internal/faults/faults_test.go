@@ -1,0 +1,99 @@
+package faults
+
+import (
+	"testing"
+
+	"fdp/internal/churn"
+	"fdp/internal/core"
+	"fdp/internal/oracle"
+	"fdp/internal/sim"
+)
+
+func buildScenario(seed int64) *churn.Scenario {
+	return churn.Build(churn.Config{
+		N: 14, Topology: churn.TopoRandom, LeaveFraction: 0.4,
+		Pattern: churn.LeaveRandom, Oracle: oracle.Single{}, Seed: seed,
+	})
+}
+
+func TestStrikeCorruptsState(t *testing.T) {
+	s := buildScenario(1)
+	if phi := core.Phi(s.World); phi != 0 {
+		t.Fatalf("clean start must have Φ=0, got %d", phi)
+	}
+	inj := New(Config{FlipBeliefs: 1.0, ScrambleAnchors: 1.0, JunkMessages: 10}, 2)
+	rep := inj.Strike(s.World)
+	if rep.BeliefsFlipped == 0 || rep.MessagesInjected != 10 {
+		t.Fatalf("strike did nothing: %+v", rep)
+	}
+	if phi := core.Phi(s.World); phi == 0 {
+		t.Fatal("full strike must create invalid information")
+	}
+}
+
+func TestStrikePreservesReferenceOwnership(t *testing.T) {
+	// Strikes only corrupt values and add messages; every reference must
+	// still point to a live process (no dangling refs invented).
+	s := buildScenario(3)
+	inj := New(Config{FlipBeliefs: 0.8, ScrambleAnchors: 0.9, JunkMessages: 20}, 4)
+	inj.Strike(s.World)
+	pg := s.World.PG()
+	for _, e := range pg.Edges() {
+		if s.World.LifeOf(e.To) == sim.Gone {
+			t.Fatalf("strike created edge to gone process: %v", e)
+		}
+	}
+}
+
+func TestRecoveryAfterRepeatedStrikes(t *testing.T) {
+	// The headline self-stabilization property: strike mid-run, converge,
+	// strike again, converge again.
+	s := buildScenario(5)
+	sched := sim.NewRandomScheduler(5, 256)
+	inj := New(Config{FlipBeliefs: 0.6, ScrambleAnchors: 0.7, JunkMessages: 10}, 6)
+	for round := 0; round < 3; round++ {
+		res := sim.Run(s.World, sched, sim.RunOptions{
+			Variant: sim.FDP, MaxSteps: s.World.Steps() + 400000, CheckSafety: true,
+		})
+		if res.SafetyViolation != nil {
+			t.Fatalf("round %d: %v", round, res.SafetyViolation)
+		}
+		if !res.Converged {
+			t.Fatalf("round %d: no convergence after strike", round)
+		}
+		inj.Strike(s.World)
+	}
+	// Final convergence check after the last strike.
+	res := sim.Run(s.World, sched, sim.RunOptions{
+		Variant: sim.FDP, MaxSteps: s.World.Steps() + 400000, CheckSafety: true,
+	})
+	if !res.Converged || res.SafetyViolation != nil {
+		t.Fatalf("final recovery failed: %+v", res)
+	}
+}
+
+func TestStrikeReSealsComponents(t *testing.T) {
+	s := buildScenario(7)
+	before := s.World.InitialComponents()
+	inj := New(Config{JunkMessages: 5}, 8)
+	inj.Strike(s.World)
+	after := s.World.InitialComponents()
+	if len(after) == 0 {
+		t.Fatal("components not re-sealed")
+	}
+	_ = before
+}
+
+func TestStrikeOnAllGoneWorld(t *testing.T) {
+	// Degenerate input: everything gone except one process.
+	s := buildScenario(9)
+	res := sim.Run(s.World, sim.NewRandomScheduler(9, 256), sim.RunOptions{
+		Variant: sim.FDP, MaxSteps: 400000,
+	})
+	if !res.Converged {
+		t.Fatal("setup run did not converge")
+	}
+	inj := New(Config{FlipBeliefs: 1, ScrambleAnchors: 1, JunkMessages: 3}, 10)
+	rep := inj.Strike(s.World) // must not panic with gone processes around
+	_ = rep
+}

@@ -1,0 +1,320 @@
+package graph
+
+import (
+	"fdp/internal/ref"
+)
+
+// WeaklyConnected reports whether the graph is weakly connected: for any two
+// nodes u, v there is a (not necessarily directed) path between them. The
+// empty graph and singleton graphs are weakly connected.
+func (g *Graph) WeaklyConnected() bool {
+	return len(g.WeaklyConnectedComponents()) <= 1
+}
+
+// WeaklyConnectedComponents returns the partition of the nodes into weakly
+// connected components, each sorted, with components ordered by their
+// smallest member.
+func (g *Graph) WeaklyConnectedComponents() [][]ref.Ref {
+	visited := ref.NewSet()
+	var comps [][]ref.Ref
+	for _, start := range g.sortedNodes() {
+		if visited.Has(start) {
+			continue
+		}
+		comp := g.undirectedReach(start)
+		for n := range comp {
+			visited.Add(n)
+		}
+		comps = append(comps, comp.Sorted())
+	}
+	return comps
+}
+
+// undirectedReach returns the set of nodes reachable from start ignoring
+// edge directions.
+func (g *Graph) undirectedReach(start ref.Ref) ref.Set {
+	seen := ref.NewSet(start)
+	stack := []ref.Ref{start}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for b := range g.out[n] {
+			if g.out[n][b].total() > 0 && !seen.Has(b) {
+				seen.Add(b)
+				stack = append(stack, b)
+			}
+		}
+		if preds := g.in[n]; preds != nil {
+			for a := range preds {
+				if !seen.Has(a) {
+					seen.Add(a)
+					stack = append(stack, a)
+				}
+			}
+		}
+	}
+	return seen
+}
+
+// SameWeakComponent reports whether u and v lie in the same weakly connected
+// component. A node is in the same component as itself.
+func (g *Graph) SameWeakComponent(u, v ref.Ref) bool {
+	if u == v {
+		return g.nodes.Has(u)
+	}
+	if !g.nodes.Has(u) || !g.nodes.Has(v) {
+		return false
+	}
+	return g.undirectedReach(u).Has(v)
+}
+
+// Reachable reports whether there is a directed path from u to v (v == u
+// counts as reachable when u is a node).
+func (g *Graph) Reachable(u, v ref.Ref) bool {
+	if !g.nodes.Has(u) || !g.nodes.Has(v) {
+		return false
+	}
+	return g.ForwardReach(u).Has(v)
+}
+
+// ForwardReach returns all nodes reachable from start by directed paths,
+// including start.
+func (g *Graph) ForwardReach(start ref.Ref) ref.Set {
+	seen := ref.NewSet(start)
+	stack := []ref.Ref{start}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for b := range g.out[n] {
+			if g.out[n][b].total() > 0 && !seen.Has(b) {
+				seen.Add(b)
+				stack = append(stack, b)
+			}
+		}
+	}
+	return seen
+}
+
+// ForwardReachAll returns all nodes reachable from any node of starts by
+// directed paths, including the starts themselves. Used by the hibernation
+// test: p is hibernating iff p is asleep with an empty channel and no awake
+// or message-holding process has a directed path to p.
+func (g *Graph) ForwardReachAll(starts []ref.Ref) ref.Set {
+	seen := ref.NewSet()
+	var stack []ref.Ref
+	for _, s := range starts {
+		if g.nodes.Has(s) && !seen.Has(s) {
+			seen.Add(s)
+			stack = append(stack, s)
+		}
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for b := range g.out[n] {
+			if g.out[n][b].total() > 0 && !seen.Has(b) {
+				seen.Add(b)
+				stack = append(stack, b)
+			}
+		}
+	}
+	return seen
+}
+
+// StronglyConnected reports whether the graph is strongly connected. Graphs
+// with fewer than two nodes are strongly connected.
+func (g *Graph) StronglyConnected() bool {
+	return len(g.StronglyConnectedComponents()) <= 1
+}
+
+// StronglyConnectedComponents returns the strongly connected components
+// using Tarjan's algorithm (iterative). Components are sorted internally and
+// ordered by smallest member.
+func (g *Graph) StronglyConnectedComponents() [][]ref.Ref {
+	index := make(map[ref.Ref]int)
+	low := make(map[ref.Ref]int)
+	onStack := ref.NewSet()
+	var stack []ref.Ref
+	var comps [][]ref.Ref
+	next := 0
+
+	type frame struct {
+		node  ref.Ref
+		succs []ref.Ref
+		i     int
+	}
+
+	for _, root := range g.sortedNodes() {
+		if _, seen := index[root]; seen {
+			continue
+		}
+		var call []frame
+		push := func(n ref.Ref) {
+			index[n] = next
+			low[n] = next
+			next++
+			stack = append(stack, n)
+			onStack.Add(n)
+			call = append(call, frame{node: n, succs: g.Succ(n)})
+		}
+		push(root)
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			if f.i < len(f.succs) {
+				w := f.succs[f.i]
+				f.i++
+				if _, seen := index[w]; !seen {
+					push(w)
+				} else if onStack.Has(w) {
+					if index[w] < low[f.node] {
+						low[f.node] = index[w]
+					}
+				}
+				continue
+			}
+			// All successors processed: maybe emit a component.
+			n := f.node
+			if low[n] == index[n] {
+				var comp []ref.Ref
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack.Remove(w)
+					comp = append(comp, w)
+					if w == n {
+						break
+					}
+				}
+				ref.Sort(comp)
+				comps = append(comps, comp)
+			}
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				parent := call[len(call)-1].node
+				if low[n] < low[parent] {
+					low[parent] = low[n]
+				}
+			}
+		}
+	}
+	// Order components by smallest member for determinism.
+	for i := 1; i < len(comps); i++ {
+		for j := i; j > 0 && ref.Less(comps[j][0], comps[j-1][0]); j-- {
+			comps[j], comps[j-1] = comps[j-1], comps[j]
+		}
+	}
+	return comps
+}
+
+// ShortestPath returns a shortest directed path from u to v (inclusive), or
+// nil if v is unreachable from u. BFS with deterministic neighbor order.
+func (g *Graph) ShortestPath(u, v ref.Ref) []ref.Ref {
+	if !g.nodes.Has(u) || !g.nodes.Has(v) {
+		return nil
+	}
+	if u == v {
+		return []ref.Ref{u}
+	}
+	prev := map[ref.Ref]ref.Ref{u: u}
+	queue := []ref.Ref{u}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, b := range g.Succ(n) {
+			if _, seen := prev[b]; seen {
+				continue
+			}
+			prev[b] = n
+			if b == v {
+				var path []ref.Ref
+				for cur := v; ; cur = prev[cur] {
+					path = append(path, cur)
+					if cur == u {
+						break
+					}
+				}
+				for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+					path[i], path[j] = path[j], path[i]
+				}
+				return path
+			}
+			queue = append(queue, b)
+		}
+	}
+	return nil
+}
+
+// Diameter returns the longest shortest undirected path length between any
+// node pair, or -1 if the graph is not weakly connected or empty.
+func (g *Graph) Diameter() int {
+	nodes := g.sortedNodes()
+	if len(nodes) == 0 {
+		return -1
+	}
+	diam := 0
+	for _, s := range nodes {
+		dist := map[ref.Ref]int{s: 0}
+		queue := []ref.Ref{s}
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			for _, b := range g.undirectedSucc(n) {
+				if _, seen := dist[b]; !seen {
+					dist[b] = dist[n] + 1
+					if dist[b] > diam {
+						diam = dist[b]
+					}
+					queue = append(queue, b)
+				}
+			}
+		}
+		if len(dist) != len(nodes) {
+			return -1
+		}
+	}
+	return diam
+}
+
+func (g *Graph) undirectedSucc(n ref.Ref) []ref.Ref {
+	return g.UndirectedNeighbors(n)
+}
+
+// ArticulationPoints returns nodes whose removal (with incident edges)
+// increases the number of weakly connected components of the undirected
+// view. These are the dangerous processes for the departure problem: a
+// leaving articulation point must not exit early.
+func (g *Graph) ArticulationPoints() []ref.Ref {
+	base := len(g.WeaklyConnectedComponents())
+	var points []ref.Ref
+	for _, n := range g.sortedNodes() {
+		h := g.Clone()
+		h.RemoveNode(n)
+		if h.NumNodes() > 0 && len(h.WeaklyConnectedComponents()) > base {
+			points = append(points, n)
+		}
+	}
+	return points
+}
+
+// BidirectedExtension returns the graph G” of the Theorem 1 proof: for each
+// edge (u,v) of g, both (u,v) and (v,u) are present (once, explicit).
+func (g *Graph) BidirectedExtension() *Graph {
+	h := New()
+	for n := range g.nodes {
+		h.AddNode(n)
+	}
+	for a, row := range g.out {
+		for b, m := range row {
+			if m.total() == 0 {
+				continue
+			}
+			if !h.HasEdge(a, b) {
+				h.AddEdge(a, b, Explicit)
+			}
+			if !h.HasEdge(b, a) {
+				h.AddEdge(b, a, Explicit)
+			}
+		}
+	}
+	return h
+}

@@ -1,0 +1,236 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fdp/internal/ref"
+)
+
+func TestWeaklyConnectedBasics(t *testing.T) {
+	g := New()
+	if !g.WeaklyConnected() {
+		t.Fatal("empty graph counts as weakly connected")
+	}
+	nodes, _ := mkNodes(3)
+	g.AddNode(nodes[0])
+	if !g.WeaklyConnected() {
+		t.Fatal("singleton is weakly connected")
+	}
+	g.AddNode(nodes[1])
+	if g.WeaklyConnected() {
+		t.Fatal("two isolated nodes are disconnected")
+	}
+	g.AddEdge(nodes[0], nodes[1], Implicit)
+	if !g.WeaklyConnected() {
+		t.Fatal("implicit edge must connect")
+	}
+}
+
+func TestWeaklyConnectedComponents(t *testing.T) {
+	nodes, _ := mkNodes(6)
+	g := New()
+	g.AddEdge(nodes[0], nodes[1], Explicit)
+	g.AddEdge(nodes[2], nodes[1], Explicit) // direction must not matter
+	g.AddEdge(nodes[3], nodes[4], Explicit)
+	g.AddNode(nodes[5])
+	comps := g.WeaklyConnectedComponents()
+	if len(comps) != 3 {
+		t.Fatalf("components = %d, want 3", len(comps))
+	}
+	if len(comps[0]) != 3 || len(comps[1]) != 2 || len(comps[2]) != 1 {
+		t.Fatalf("component sizes %v unexpected", comps)
+	}
+}
+
+func TestSameWeakComponent(t *testing.T) {
+	nodes, _ := mkNodes(4)
+	g := New()
+	g.AddEdge(nodes[0], nodes[1], Explicit)
+	g.AddNode(nodes[2])
+	if !g.SameWeakComponent(nodes[0], nodes[1]) {
+		t.Fatal("connected pair reported disconnected")
+	}
+	if g.SameWeakComponent(nodes[0], nodes[2]) {
+		t.Fatal("disconnected pair reported connected")
+	}
+	if g.SameWeakComponent(nodes[0], nodes[3]) {
+		t.Fatal("non-node must not be in any component")
+	}
+	if !g.SameWeakComponent(nodes[2], nodes[2]) {
+		t.Fatal("node must be in its own component")
+	}
+}
+
+func TestReachableDirected(t *testing.T) {
+	nodes, _ := mkNodes(3)
+	g := DirectedLine(nodes)
+	if !g.Reachable(nodes[0], nodes[2]) {
+		t.Fatal("forward reachability failed")
+	}
+	if g.Reachable(nodes[2], nodes[0]) {
+		t.Fatal("directed reachability must respect direction")
+	}
+}
+
+func TestForwardReachAll(t *testing.T) {
+	nodes, _ := mkNodes(5)
+	g := New()
+	g.AddEdge(nodes[0], nodes[1], Explicit)
+	g.AddEdge(nodes[1], nodes[2], Explicit)
+	g.AddEdge(nodes[3], nodes[4], Explicit)
+	reach := g.ForwardReachAll([]ref.Ref{nodes[0], nodes[3]})
+	for _, n := range []ref.Ref{nodes[0], nodes[1], nodes[2], nodes[3], nodes[4]} {
+		if !reach.Has(n) {
+			t.Fatalf("%v missing from multi-source reach", n)
+		}
+	}
+	reach2 := g.ForwardReachAll([]ref.Ref{nodes[3]})
+	if reach2.Has(nodes[0]) || !reach2.Has(nodes[4]) {
+		t.Fatal("single-source reach wrong")
+	}
+}
+
+func TestStronglyConnectedComponents(t *testing.T) {
+	nodes, _ := mkNodes(5)
+	g := New()
+	// Cycle 0->1->2->0, plus 2->3, isolated 4.
+	g.AddEdge(nodes[0], nodes[1], Explicit)
+	g.AddEdge(nodes[1], nodes[2], Explicit)
+	g.AddEdge(nodes[2], nodes[0], Explicit)
+	g.AddEdge(nodes[2], nodes[3], Explicit)
+	g.AddNode(nodes[4])
+	comps := g.StronglyConnectedComponents()
+	if len(comps) != 3 {
+		t.Fatalf("SCCs = %d, want 3 (%v)", len(comps), comps)
+	}
+	if len(comps[0]) != 3 {
+		t.Fatalf("first SCC should be the 3-cycle, got %v", comps)
+	}
+	if g.StronglyConnected() {
+		t.Fatal("graph with sink must not be strongly connected")
+	}
+}
+
+func TestStronglyConnectedClique(t *testing.T) {
+	nodes, _ := mkNodes(6)
+	if !Clique(nodes).StronglyConnected() {
+		t.Fatal("clique must be strongly connected")
+	}
+	if !Ring(nodes).StronglyConnected() {
+		t.Fatal("bidirected ring must be strongly connected")
+	}
+	if DirectedLine(nodes).StronglyConnected() {
+		t.Fatal("directed line must not be strongly connected")
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	nodes, _ := mkNodes(5)
+	g := DirectedLine(nodes)
+	path := g.ShortestPath(nodes[0], nodes[4])
+	if len(path) != 5 {
+		t.Fatalf("path length %d, want 5", len(path))
+	}
+	if path[0] != nodes[0] || path[4] != nodes[4] {
+		t.Fatal("path endpoints wrong")
+	}
+	if g.ShortestPath(nodes[4], nodes[0]) != nil {
+		t.Fatal("reverse path must not exist")
+	}
+	self := g.ShortestPath(nodes[2], nodes[2])
+	if len(self) != 1 {
+		t.Fatal("trivial path wrong")
+	}
+	// A shortcut should shorten the path.
+	g.AddEdge(nodes[0], nodes[3], Explicit)
+	if got := g.ShortestPath(nodes[0], nodes[4]); len(got) != 3 {
+		t.Fatalf("shortcut path length %d, want 3", len(got))
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	nodes, _ := mkNodes(8)
+	if d := Line(nodes).Diameter(); d != 7 {
+		t.Fatalf("line diameter %d, want 7", d)
+	}
+	if d := Clique(nodes).Diameter(); d != 1 {
+		t.Fatalf("clique diameter %d, want 1", d)
+	}
+	disconnected := New()
+	disconnected.AddNode(nodes[0])
+	disconnected.AddNode(nodes[1])
+	if d := disconnected.Diameter(); d != -1 {
+		t.Fatalf("disconnected diameter %d, want -1", d)
+	}
+}
+
+func TestArticulationPoints(t *testing.T) {
+	nodes, _ := mkNodes(5)
+	g := Star(nodes)
+	pts := g.ArticulationPoints()
+	if len(pts) != 1 || pts[0] != nodes[0] {
+		t.Fatalf("star hub must be the sole articulation point, got %v", pts)
+	}
+	if pts := Clique(nodes).ArticulationPoints(); len(pts) != 0 {
+		t.Fatalf("clique has no articulation points, got %v", pts)
+	}
+	line := Line(nodes)
+	if pts := line.ArticulationPoints(); len(pts) != 3 {
+		t.Fatalf("5-line must have 3 articulation points, got %v", pts)
+	}
+}
+
+func TestBidirectedExtension(t *testing.T) {
+	nodes, _ := mkNodes(3)
+	g := DirectedLine(nodes)
+	h := g.BidirectedExtension()
+	for i := 0; i+1 < len(nodes); i++ {
+		if !h.HasEdge(nodes[i], nodes[i+1]) || !h.HasEdge(nodes[i+1], nodes[i]) {
+			t.Fatal("bidirected extension missing a direction")
+		}
+	}
+	if h.NumEdges() != 4 {
+		t.Fatalf("edges = %d, want 4", h.NumEdges())
+	}
+	if !h.StronglyConnected() {
+		t.Fatal("bidirected extension of a weakly connected graph must be strongly connected")
+	}
+}
+
+// Property: the bidirected extension of any weakly connected random graph is
+// strongly connected — the fact the Theorem 1 proof relies on.
+func TestQuickBidirectedExtensionStronglyConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	f := func(seed int64, nRaw uint8) bool {
+		n := 2 + int(nRaw)%30
+		local := rand.New(rand.NewSource(seed))
+		nodes, _ := mkNodes(n)
+		g := RandomConnected(nodes, local.Intn(2*n), local)
+		return g.BidirectedExtension().StronglyConnected()
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: removing a non-articulation node keeps the component count.
+func TestQuickArticulationDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(12)
+		nodes, _ := mkNodes(n)
+		g := RandomConnected(nodes, rng.Intn(n), rng)
+		arts := ref.NewSet(g.ArticulationPoints()...)
+		for _, v := range nodes {
+			h := g.Clone()
+			h.RemoveNode(v)
+			disconnects := len(h.WeaklyConnectedComponents()) > 1
+			if disconnects != arts.Has(v) {
+				t.Fatalf("trial %d: articulation mismatch for %v", trial, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package graph
+
+import (
+	"math/rand"
+
+	"fdp/internal/ref"
+)
+
+// Generators for the initial topologies used across experiments. Every
+// generator takes the node list explicitly so that references remain under
+// the caller's Space; all produced graphs are weakly connected (a
+// precondition of the paper's initial states) and use explicit edges.
+
+// Line builds the directed sorted list p0 -> p1 -> ... -> pn-1 with edges in
+// both directions, the target topology of the linearization protocol.
+func Line(nodes []ref.Ref) *Graph {
+	g := New()
+	for _, n := range nodes {
+		g.AddNode(n)
+	}
+	for i := 0; i+1 < len(nodes); i++ {
+		g.AddEdge(nodes[i], nodes[i+1], Explicit)
+		g.AddEdge(nodes[i+1], nodes[i], Explicit)
+	}
+	return g
+}
+
+// DirectedLine builds the one-directional list p0 -> p1 -> ... -> pn-1.
+func DirectedLine(nodes []ref.Ref) *Graph {
+	g := New()
+	for _, n := range nodes {
+		g.AddNode(n)
+	}
+	for i := 0; i+1 < len(nodes); i++ {
+		g.AddEdge(nodes[i], nodes[i+1], Explicit)
+	}
+	return g
+}
+
+// Ring builds the bidirected cycle p0 - p1 - ... - pn-1 - p0.
+func Ring(nodes []ref.Ref) *Graph {
+	g := Line(nodes)
+	if len(nodes) > 2 {
+		g.AddEdge(nodes[len(nodes)-1], nodes[0], Explicit)
+		g.AddEdge(nodes[0], nodes[len(nodes)-1], Explicit)
+	}
+	return g
+}
+
+// Clique builds the complete digraph: every ordered pair (u,v), u != v.
+func Clique(nodes []ref.Ref) *Graph {
+	g := New()
+	for _, n := range nodes {
+		g.AddNode(n)
+	}
+	for _, a := range nodes {
+		for _, b := range nodes {
+			if a != b {
+				g.AddEdge(a, b, Explicit)
+			}
+		}
+	}
+	return g
+}
+
+// Star builds the star with nodes[0] as hub, edges in both directions.
+func Star(nodes []ref.Ref) *Graph {
+	g := New()
+	for _, n := range nodes {
+		g.AddNode(n)
+	}
+	for _, leaf := range nodes[1:] {
+		g.AddEdge(nodes[0], leaf, Explicit)
+		g.AddEdge(leaf, nodes[0], Explicit)
+	}
+	return g
+}
+
+// BinaryTree builds the complete binary tree in heap order with edges in
+// both directions.
+func BinaryTree(nodes []ref.Ref) *Graph {
+	g := New()
+	for _, n := range nodes {
+		g.AddNode(n)
+	}
+	for i := 1; i < len(nodes); i++ {
+		parent := (i - 1) / 2
+		g.AddEdge(nodes[parent], nodes[i], Explicit)
+		g.AddEdge(nodes[i], nodes[parent], Explicit)
+	}
+	return g
+}
+
+// Hypercube builds the d-dimensional hypercube on 2^d nodes (len(nodes)
+// must be a power of two), with edges in both directions.
+func Hypercube(nodes []ref.Ref) *Graph {
+	g := New()
+	n := len(nodes)
+	for _, v := range nodes {
+		g.AddNode(v)
+	}
+	for i := 0; i < n; i++ {
+		for bit := 1; bit < n; bit <<= 1 {
+			j := i ^ bit
+			if j > i && j < n {
+				g.AddEdge(nodes[i], nodes[j], Explicit)
+				g.AddEdge(nodes[j], nodes[i], Explicit)
+			}
+		}
+	}
+	return g
+}
+
+// RandomConnected builds a random weakly connected digraph: a random
+// spanning tree (guaranteeing weak connectivity) plus extra random directed
+// edges so that the expected number of additional edges is extra. The edge
+// directions of the tree edges are random, matching the paper's arbitrary
+// weakly connected initial states.
+func RandomConnected(nodes []ref.Ref, extra int, rng *rand.Rand) *Graph {
+	g := New()
+	for _, n := range nodes {
+		g.AddNode(n)
+	}
+	if len(nodes) < 2 {
+		return g
+	}
+	perm := rng.Perm(len(nodes))
+	for i := 1; i < len(perm); i++ {
+		a := nodes[perm[i]]
+		b := nodes[perm[rng.Intn(i)]]
+		if rng.Intn(2) == 0 {
+			g.AddEdge(a, b, Explicit)
+		} else {
+			g.AddEdge(b, a, Explicit)
+		}
+	}
+	for k := 0; k < extra; k++ {
+		i, j := rng.Intn(len(nodes)), rng.Intn(len(nodes))
+		if i != j && !g.HasEdge(nodes[i], nodes[j]) {
+			g.AddEdge(nodes[i], nodes[j], Explicit)
+		}
+	}
+	return g
+}
+
+// RandomTree builds a random spanning tree with random edge directions.
+func RandomTree(nodes []ref.Ref, rng *rand.Rand) *Graph {
+	return RandomConnected(nodes, 0, rng)
+}

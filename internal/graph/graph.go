@@ -1,0 +1,437 @@
+// Package graph implements the directed process (multi-)graph PG of the
+// paper and the connectivity machinery its proofs rely on.
+//
+// An edge (a,b) exists when process a stores a reference of b (an explicit
+// edge, drawn solid in the paper) or a's channel holds a message carrying a
+// reference of b (an implicit edge, drawn dashed). PG is a multigraph: the
+// same (a,b) pair may be present several times, e.g. once explicitly and
+// twice implicitly; Fusion removes one superfluous copy at a time.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fdp/internal/ref"
+)
+
+// EdgeKind distinguishes explicit from implicit edges.
+type EdgeKind uint8
+
+const (
+	// Explicit edges come from references stored in process variables.
+	Explicit EdgeKind = iota
+	// Implicit edges come from references travelling in channel messages.
+	Implicit
+)
+
+// String returns "explicit" or "implicit".
+func (k EdgeKind) String() string {
+	if k == Explicit {
+		return "explicit"
+	}
+	return "implicit"
+}
+
+// Edge is one directed edge of the process multigraph.
+type Edge struct {
+	From, To ref.Ref
+	Kind     EdgeKind
+}
+
+// String renders the edge as "a->b" or "a-->b" (dashed for implicit).
+func (e Edge) String() string {
+	arrow := "->"
+	if e.Kind == Implicit {
+		arrow = "-->"
+	}
+	return fmt.Sprintf("%v%s%v", e.From, arrow, e.To)
+}
+
+// Graph is a directed multigraph over process references. The zero value is
+// not usable; call New.
+type Graph struct {
+	nodes ref.Set
+	// out[a][b] counts parallel edges a->b per kind.
+	out map[ref.Ref]map[ref.Ref]*multiplicity
+	in  map[ref.Ref]ref.Set // reverse adjacency (existence only)
+}
+
+type multiplicity struct {
+	explicit int
+	implicit int
+}
+
+func (m *multiplicity) total() int { return m.explicit + m.implicit }
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		nodes: ref.NewSet(),
+		out:   make(map[ref.Ref]map[ref.Ref]*multiplicity),
+		in:    make(map[ref.Ref]ref.Set),
+	}
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := New()
+	for n := range g.nodes {
+		c.AddNode(n)
+	}
+	for a, row := range g.out {
+		for b, m := range row {
+			for i := 0; i < m.explicit; i++ {
+				c.AddEdge(a, b, Explicit)
+			}
+			for i := 0; i < m.implicit; i++ {
+				c.AddEdge(a, b, Implicit)
+			}
+		}
+	}
+	return c
+}
+
+// AddNode registers a process with no edges. Adding an existing node is a
+// no-op. Adding ⊥ is a no-op.
+func (g *Graph) AddNode(n ref.Ref) {
+	if n.IsNil() {
+		return
+	}
+	g.nodes.Add(n)
+}
+
+// HasNode reports whether n is a node of the graph.
+func (g *Graph) HasNode(n ref.Ref) bool { return g.nodes.Has(n) }
+
+// Nodes returns all nodes in deterministic order.
+func (g *Graph) Nodes() []ref.Ref { return g.nodes.Sorted() }
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return g.nodes.Len() }
+
+// AddEdge inserts one directed edge a->b of the given kind, implicitly
+// registering both endpoints. Self-loops and edges touching ⊥ are ignored:
+// the paper's primitives assume pairwise distinct processes and ⊥ is not a
+// process.
+func (g *Graph) AddEdge(a, b ref.Ref, kind EdgeKind) {
+	if a.IsNil() || b.IsNil() || a == b {
+		return
+	}
+	g.AddNode(a)
+	g.AddNode(b)
+	row := g.out[a]
+	if row == nil {
+		row = make(map[ref.Ref]*multiplicity)
+		g.out[a] = row
+	}
+	m := row[b]
+	if m == nil {
+		m = &multiplicity{}
+		row[b] = m
+	}
+	if kind == Explicit {
+		m.explicit++
+	} else {
+		m.implicit++
+	}
+	set := g.in[b]
+	if set == nil {
+		set = ref.NewSet()
+		g.in[b] = set
+	}
+	set.Add(a)
+}
+
+// RemoveEdge removes one copy of the edge a->b of the given kind. It reports
+// whether such an edge existed.
+func (g *Graph) RemoveEdge(a, b ref.Ref, kind EdgeKind) bool {
+	m := g.mult(a, b)
+	if m == nil {
+		return false
+	}
+	switch kind {
+	case Explicit:
+		if m.explicit == 0 {
+			return false
+		}
+		m.explicit--
+	case Implicit:
+		if m.implicit == 0 {
+			return false
+		}
+		m.implicit--
+	}
+	if m.total() == 0 {
+		delete(g.out[a], b)
+		if len(g.out[a]) == 0 {
+			delete(g.out, a)
+		}
+		g.in[b].Remove(a)
+	}
+	return true
+}
+
+// RemoveNode deletes n and all its incident edges, mirroring a process that
+// executed exit.
+func (g *Graph) RemoveNode(n ref.Ref) {
+	if !g.nodes.Has(n) {
+		return
+	}
+	for b := range g.out[n] {
+		g.in[b].Remove(n)
+	}
+	delete(g.out, n)
+	if preds, ok := g.in[n]; ok {
+		for a := range preds {
+			delete(g.out[a], n)
+			if len(g.out[a]) == 0 {
+				delete(g.out, a)
+			}
+		}
+		delete(g.in, n)
+	}
+	g.nodes.Remove(n)
+}
+
+func (g *Graph) mult(a, b ref.Ref) *multiplicity {
+	row := g.out[a]
+	if row == nil {
+		return nil
+	}
+	return row[b]
+}
+
+// HasEdge reports whether at least one a->b edge of any kind exists.
+func (g *Graph) HasEdge(a, b ref.Ref) bool {
+	m := g.mult(a, b)
+	return m != nil && m.total() > 0
+}
+
+// HasEdgeKind reports whether at least one a->b edge of the given kind
+// exists.
+func (g *Graph) HasEdgeKind(a, b ref.Ref, kind EdgeKind) bool {
+	m := g.mult(a, b)
+	if m == nil {
+		return false
+	}
+	if kind == Explicit {
+		return m.explicit > 0
+	}
+	return m.implicit > 0
+}
+
+// EdgeCount returns the multiplicity of a->b (all kinds).
+func (g *Graph) EdgeCount(a, b ref.Ref) int {
+	m := g.mult(a, b)
+	if m == nil {
+		return 0
+	}
+	return m.total()
+}
+
+// NumEdges returns the total number of edges counting multiplicity.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, row := range g.out {
+		for _, m := range row {
+			total += m.total()
+		}
+	}
+	return total
+}
+
+// Edges returns every edge (with multiplicity) in deterministic order.
+func (g *Graph) Edges() []Edge {
+	var edges []Edge
+	for _, a := range g.nodes.Sorted() {
+		row := g.out[a]
+		if row == nil {
+			continue
+		}
+		tos := make([]ref.Ref, 0, len(row))
+		for b := range row {
+			tos = append(tos, b)
+		}
+		ref.Sort(tos)
+		for _, b := range tos {
+			m := row[b]
+			for i := 0; i < m.explicit; i++ {
+				edges = append(edges, Edge{a, b, Explicit})
+			}
+			for i := 0; i < m.implicit; i++ {
+				edges = append(edges, Edge{a, b, Implicit})
+			}
+		}
+	}
+	return edges
+}
+
+// Succ returns the distinct successors of a in deterministic order.
+func (g *Graph) Succ(a ref.Ref) []ref.Ref {
+	row := g.out[a]
+	out := make([]ref.Ref, 0, len(row))
+	for b := range row {
+		if row[b].total() > 0 {
+			out = append(out, b)
+		}
+	}
+	ref.Sort(out)
+	return out
+}
+
+// Pred returns the distinct predecessors of a in deterministic order.
+func (g *Graph) Pred(a ref.Ref) []ref.Ref {
+	set := g.in[a]
+	if set == nil {
+		return nil
+	}
+	return set.Sorted()
+}
+
+// UndirectedNeighbors returns every node connected to a by an edge in either
+// direction — the notion SINGLE quantifies over ("u has edges with at most
+// one other relevant process").
+func (g *Graph) UndirectedNeighbors(a ref.Ref) []ref.Ref {
+	set := ref.NewSet()
+	for _, b := range g.Succ(a) {
+		set.Add(b)
+	}
+	for _, b := range g.Pred(a) {
+		set.Add(b)
+	}
+	return set.Sorted()
+}
+
+// Degree returns the number of distinct undirected neighbors of a.
+func (g *Graph) Degree(a ref.Ref) int { return len(g.UndirectedNeighbors(a)) }
+
+// InducedSubgraph returns the subgraph on the node set keep, dropping all
+// edges with an endpoint outside keep. This is PG restricted to relevant
+// processes.
+func (g *Graph) InducedSubgraph(keep ref.Set) *Graph {
+	s := New()
+	for n := range g.nodes {
+		if keep.Has(n) {
+			s.AddNode(n)
+		}
+	}
+	for a, row := range g.out {
+		if !keep.Has(a) {
+			continue
+		}
+		for b, m := range row {
+			if !keep.Has(b) {
+				continue
+			}
+			for i := 0; i < m.explicit; i++ {
+				s.AddEdge(a, b, Explicit)
+			}
+			for i := 0; i < m.implicit; i++ {
+				s.AddEdge(a, b, Implicit)
+			}
+		}
+	}
+	return s
+}
+
+// Equal reports whether g and h have the same nodes and the same edge
+// multiset (kind-sensitive).
+func (g *Graph) Equal(h *Graph) bool {
+	if !g.nodes.Equal(h.nodes) {
+		return false
+	}
+	for a := range g.nodes {
+		grow, hrow := g.out[a], h.out[a]
+		for b, m := range grow {
+			hm := hrow[b]
+			if m.total() == 0 {
+				if hm != nil && hm.total() != 0 {
+					return false
+				}
+				continue
+			}
+			if hm == nil || hm.explicit != m.explicit || hm.implicit != m.implicit {
+				return false
+			}
+		}
+		for b, hm := range hrow {
+			if hm.total() == 0 {
+				continue
+			}
+			if gm := grow[b]; gm == nil || gm.total() == 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SameSimpleDigraph reports whether g and h have the same nodes and the same
+// set of directed edges ignoring multiplicity and kind. This is the notion
+// of "reaching topology G′" used by Theorem 1: a protocol cannot control
+// whether an edge is momentarily implicit.
+func (g *Graph) SameSimpleDigraph(h *Graph) bool {
+	if !g.nodes.Equal(h.nodes) {
+		return false
+	}
+	for a := range g.nodes {
+		for b := range g.out[a] {
+			if g.out[a][b].total() > 0 && !h.HasEdge(a, b) {
+				return false
+			}
+		}
+		for b := range h.out[a] {
+			if h.out[a][b].total() > 0 && !g.HasEdge(a, b) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders a compact description, for debugging and test failures.
+func (g *Graph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph{n=%d", g.NumNodes())
+	for _, e := range g.Edges() {
+		b.WriteString(" ")
+		b.WriteString(e.String())
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// DOT renders the graph in Graphviz format. Explicit edges are solid,
+// implicit edges dashed, matching the paper's figures.
+func (g *Graph) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	for _, n := range g.Nodes() {
+		fmt.Fprintf(&b, "  %q;\n", n.String())
+	}
+	for _, e := range g.Edges() {
+		style := "solid"
+		if e.Kind == Implicit {
+			style = "dashed"
+		}
+		fmt.Fprintf(&b, "  %q -> %q [style=%s];\n", e.From.String(), e.To.String(), style)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// sortedNodes is a helper for deterministic traversals.
+func (g *Graph) sortedNodes() []ref.Ref { return g.nodes.Sorted() }
+
+// degreeSequence returns the sorted undirected degree sequence, used by
+// tests comparing generated topologies.
+func (g *Graph) degreeSequence() []int {
+	seq := make([]int, 0, g.NumNodes())
+	for n := range g.nodes {
+		seq = append(seq, g.Degree(n))
+	}
+	sort.Ints(seq)
+	return seq
+}

@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleStats(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{4, 2, 8, 6} {
+		s.Add(v)
+	}
+	if s.N() != 4 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 8 {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if s.Median() != 4 {
+		t.Fatalf("Median = %v", s.Median())
+	}
+	if s.Percentile(100) != 8 || s.Percentile(0) != 2 {
+		t.Fatal("extreme percentiles wrong")
+	}
+	if s.Stddev() <= 0 {
+		t.Fatal("stddev must be positive for spread data")
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Median() != 0 || s.Stddev() != 0 {
+		t.Fatal("empty sample must return zeros")
+	}
+}
+
+func TestSampleAddInt(t *testing.T) {
+	var s Sample
+	s.AddInt(3)
+	if s.Mean() != 3 {
+		t.Fatal("AddInt broken")
+	}
+}
+
+func TestQuickPercentileWithinRange(t *testing.T) {
+	f := func(vals []float64, p uint8) bool {
+		var s Sample
+		for _, v := range vals {
+			s.Add(v)
+		}
+		if len(vals) == 0 {
+			return s.Percentile(float64(p%101)) == 0
+		}
+		got := s.Percentile(float64(p % 101))
+		return got >= s.Min() && got <= s.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("T1: demo", "n", "steps", "msgs")
+	tb.AddRow(8, 120, 456.789)
+	tb.AddRow(16, 240, 1000.0)
+	out := tb.String()
+	if !strings.Contains(out, "T1: demo") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "456.8") {
+		t.Fatalf("float formatting wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "1000") {
+		t.Fatal("integral float must drop decimals")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("line count %d:\n%s", len(lines), out)
+	}
+	if tb.NumRows() != 2 {
+		t.Fatal("NumRows wrong")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("x,y", `quote"inside`)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"x,y"`) || !strings.Contains(csv, `"quote""inside"`) {
+		t.Fatalf("CSV quoting wrong: %s", csv)
+	}
+	if !strings.HasPrefix(csv, "a,b\n") {
+		t.Fatal("CSV header wrong")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := Series{Name: "phi"}
+	s.Append(0, 10)
+	s.Append(1, 5)
+	s.Append(2, 5)
+	if !s.NonIncreasing() {
+		t.Fatal("series is non-increasing")
+	}
+	s.Append(3, 6)
+	if s.NonIncreasing() {
+		t.Fatal("increase not detected")
+	}
+	csv := s.CSV()
+	if !strings.HasPrefix(csv, "x,phi\n") || !strings.Contains(csv, "1,5") {
+		t.Fatalf("series CSV wrong: %s", csv)
+	}
+}
+
+func TestASCIIPlot(t *testing.T) {
+	s := Series{Name: "decay"}
+	for i := 0; i < 20; i++ {
+		s.Append(float64(i), float64(20-i))
+	}
+	plot := s.ASCIIPlot(40, 10)
+	if !strings.Contains(plot, "*") {
+		t.Fatal("plot has no points")
+	}
+	if !strings.Contains(plot, "decay") {
+		t.Fatal("plot has no name")
+	}
+	empty := (&Series{}).ASCIIPlot(10, 5)
+	if !strings.Contains(empty, "empty") {
+		t.Fatal("empty plot not handled")
+	}
+	flat := Series{Name: "flat"}
+	flat.Append(1, 2)
+	if out := flat.ASCIIPlot(10, 5); !strings.Contains(out, "*") {
+		t.Fatal("single-point plot broken")
+	}
+}

@@ -1,0 +1,215 @@
+package oracle
+
+import (
+	"testing"
+
+	"fdp/internal/ref"
+	"fdp/internal/sim"
+)
+
+// holder is a protocol fixture that just stores references.
+type holder struct{ refs ref.Set }
+
+func newHolder(rs ...ref.Ref) *holder { return &holder{refs: ref.NewSet(rs...)} }
+
+func (h *holder) Timeout(sim.Context)              {}
+func (h *holder) Deliver(sim.Context, sim.Message) {}
+func (h *holder) Refs() []ref.Ref                  { return h.refs.Sorted() }
+
+// lineWorld builds a bidirected line of n staying processes.
+func lineWorld(n int) (*sim.World, []ref.Ref) {
+	space := ref.NewSpace()
+	nodes := space.NewN(n)
+	w := sim.NewWorld(nil)
+	for i, r := range nodes {
+		h := newHolder()
+		if i > 0 {
+			h.refs.Add(nodes[i-1])
+		}
+		if i+1 < n {
+			h.refs.Add(nodes[i+1])
+		}
+		w.AddProcess(r, sim.Staying, h)
+	}
+	w.SealInitialState()
+	return w, nodes
+}
+
+func TestSingleOnLine(t *testing.T) {
+	w, nodes := lineWorld(4)
+	o := Single{}
+	if !o.Evaluate(w, nodes[0]) {
+		t.Fatal("endpoint has one neighbor: SINGLE must be true")
+	}
+	if o.Evaluate(w, nodes[1]) {
+		t.Fatal("middle node has two neighbors: SINGLE must be false")
+	}
+}
+
+func TestSingleCountsBothDirectionsAndImplicit(t *testing.T) {
+	space := ref.NewSpace()
+	a, b, c := space.New(), space.New(), space.New()
+	w := sim.NewWorld(nil)
+	w.AddProcess(a, sim.Leaving, newHolder(b))
+	w.AddProcess(b, sim.Staying, newHolder())
+	w.AddProcess(c, sim.Staying, newHolder())
+	w.SealInitialState()
+	o := Single{}
+	if !o.Evaluate(w, a) {
+		t.Fatal("one explicit neighbor: SINGLE true")
+	}
+	// An in-flight message in a's channel carrying c's reference creates an
+	// implicit edge (a,c): SINGLE must now be false.
+	w.Enqueue(a, sim.NewMessage("m", sim.RefInfo{Ref: c, Mode: sim.Staying}))
+	if o.Evaluate(w, a) {
+		t.Fatal("implicit edge must count against SINGLE")
+	}
+	// A message in c's channel carrying a's reference is an edge (c,a):
+	// also counts (either direction).
+	w2, nodes2 := lineWorld(2)
+	w2.Enqueue(nodes2[1], sim.NewMessage("m", sim.RefInfo{Ref: nodes2[0], Mode: sim.Staying}))
+	if !o.Evaluate(w2, nodes2[0]) {
+		t.Fatal("still only one distinct neighbor")
+	}
+}
+
+func TestSingleIgnoresIrrelevantProcesses(t *testing.T) {
+	// A hibernating neighbor must not count.
+	space := ref.NewSpace()
+	a, b := space.New(), space.New()
+	w := sim.NewWorld(nil)
+	w.AddProcess(a, sim.Leaving, newHolder(b))
+	sleeper := &sleepOnTimeout{}
+	w.AddProcess(b, sim.Leaving, sleeper)
+	w.SealInitialState()
+	// b sleeps; but a (awake) holds a ref to b, so b has an awake
+	// predecessor and is NOT hibernating: SINGLE(a) sees 1 neighbor.
+	w.Execute(sim.Action{Proc: b, IsTimeout: true})
+	if !(Single{}).Evaluate(w, a) {
+		t.Fatal("one relevant neighbor: true")
+	}
+}
+
+type sleepOnTimeout struct{}
+
+func (s *sleepOnTimeout) Timeout(ctx sim.Context)          { ctx.Sleep() }
+func (s *sleepOnTimeout) Deliver(sim.Context, sim.Message) {}
+func (s *sleepOnTimeout) Refs() []ref.Ref                  { return nil }
+
+func TestNIDEC(t *testing.T) {
+	space := ref.NewSpace()
+	a, b := space.New(), space.New()
+	w := sim.NewWorld(nil)
+	w.AddProcess(a, sim.Leaving, newHolder(b)) // a -> b
+	w.AddProcess(b, sim.Staying, newHolder())
+	w.SealInitialState()
+	o := NIDEC{}
+	if !o.Evaluate(w, a) {
+		t.Fatal("a has no incoming edges and empty channel: NIDEC true")
+	}
+	if o.Evaluate(w, b) {
+		t.Fatal("b has an incoming edge: NIDEC false")
+	}
+	w.Enqueue(a, sim.NewMessage("m"))
+	if o.Evaluate(w, a) {
+		t.Fatal("nonempty channel: NIDEC false")
+	}
+}
+
+func TestExitSafe(t *testing.T) {
+	w, nodes := lineWorld(4)
+	o := ExitSafe{}
+	if !o.Evaluate(w, nodes[0]) || !o.Evaluate(w, nodes[3]) {
+		t.Fatal("line endpoints are safe to remove")
+	}
+	if o.Evaluate(w, nodes[1]) || o.Evaluate(w, nodes[2]) {
+		t.Fatal("line middles are cut vertices: unsafe")
+	}
+}
+
+func TestExitSafeIsolatedNode(t *testing.T) {
+	space := ref.NewSpace()
+	a := space.New()
+	w := sim.NewWorld(nil)
+	w.AddProcess(a, sim.Leaving, newHolder())
+	w.SealInitialState()
+	if !(ExitSafe{}).Evaluate(w, a) {
+		t.Fatal("isolated node is always safe to remove")
+	}
+}
+
+func TestSingleImpliesExitSafe(t *testing.T) {
+	// On a variety of topologies, wherever SINGLE holds, ExitSafe holds.
+	for n := 2; n <= 7; n++ {
+		w, nodes := lineWorld(n)
+		for _, u := range nodes {
+			if (Single{}).Evaluate(w, u) && !(ExitSafe{}).Evaluate(w, u) {
+				t.Fatalf("n=%d: SINGLE true but exit unsafe for %v", n, u)
+			}
+		}
+	}
+}
+
+func TestAlways(t *testing.T) {
+	w, nodes := lineWorld(2)
+	if !(Always(true)).Evaluate(w, nodes[0]) || (Always(false)).Evaluate(w, nodes[0]) {
+		t.Fatal("constant oracles broken")
+	}
+	if Always(true).Name() != "TRUE" || Always(false).Name() != "FALSE" {
+		t.Fatal("names wrong")
+	}
+}
+
+func TestTimeoutSingleGoesStale(t *testing.T) {
+	w, nodes := lineWorld(3)
+	o := NewTimeoutSingle(4)
+	u := nodes[0]
+	// First call computes fresh: endpoint -> true.
+	if !o.Evaluate(w, u) {
+		t.Fatal("fresh answer must be true for endpoint")
+	}
+	// Topology changes: u gains a second neighbor via an implicit edge.
+	w.Enqueue(u, sim.NewMessage("m", sim.RefInfo{Ref: nodes[2], Mode: sim.Staying}))
+	if !(Single{}).Evaluate(w, u) == false {
+		t.Fatal("exact oracle must now say false")
+	}
+	// Stale answers persist until the refresh period elapses.
+	if !o.Evaluate(w, u) {
+		t.Fatal("stale answer expected to remain true")
+	}
+	o.Evaluate(w, u)
+	o.Evaluate(w, u)
+	if o.Evaluate(w, u) { // 5th call refreshes
+		t.Fatal("refreshed answer must be false")
+	}
+}
+
+func TestOracleNames(t *testing.T) {
+	if (Single{}).Name() != "SINGLE" || (NIDEC{}).Name() != "NIDEC" ||
+		(ExitSafe{}).Name() != "EXITSAFE" || NewTimeoutSingle(0).Name() != "SINGLE~timeout" {
+		t.Fatal("oracle names wrong")
+	}
+}
+
+func TestECOracle(t *testing.T) {
+	w, nodes := lineWorld(3)
+	if !(EC{}).Evaluate(w, nodes[1]) {
+		t.Fatal("empty channel: EC true")
+	}
+	w.Enqueue(nodes[1], sim.NewMessage("m"))
+	if (EC{}).Evaluate(w, nodes[1]) {
+		t.Fatal("nonempty channel: EC false")
+	}
+	if (EC{}).Name() != "EC" {
+		t.Fatal("name wrong")
+	}
+	// EC ignores incoming edges entirely — the middle of a line satisfies
+	// it even though its removal disconnects the endpoints. That is the
+	// taxonomy's point: channel emptiness alone is not a safe exit guard.
+	if !(EC{}).Evaluate(w, nodes[0]) {
+		t.Fatal("EC must be true for any empty-channel process")
+	}
+	if (ExitSafe{}).Evaluate(w, nodes[1]) {
+		t.Fatal("the middle of a line is not exit-safe")
+	}
+}

@@ -1,0 +1,84 @@
+package overlay
+
+import (
+	"fdp/internal/ref"
+)
+
+// LabelIntro is the single message label of the clique protocol.
+const LabelIntro = "ointro"
+
+// CliqueTC stabilizes to the complete graph by transitive closure (in the
+// spirit of Berns et al. [7]): every process periodically introduces all of
+// its neighbors to each other and itself to all of them. Only Introduction
+// and Fusion are used, so the protocol trivially belongs to 𝒫.
+type CliqueTC struct {
+	n ref.Set
+}
+
+var _ Protocol = (*CliqueTC)(nil)
+var _ TargetChecker = (*CliqueTC)(nil)
+
+// NewCliqueTC returns a clique-formation process.
+func NewCliqueTC() *CliqueTC { return &CliqueTC{n: ref.NewSet()} }
+
+// Name implements Protocol.
+func (c *CliqueTC) Name() string { return "clique" }
+
+// AddNeighbor seeds the initial neighborhood — scenario construction only.
+func (c *CliqueTC) AddNeighbor(v ref.Ref) { c.n.Add(v) }
+
+// Refs implements Protocol.
+func (c *CliqueTC) Refs() []ref.Ref { return c.n.Sorted() }
+
+// Timeout implements Protocol: all-pairs introduction plus
+// self-introduction.
+func (c *CliqueTC) Timeout(ctx Context) {
+	u := ctx.Self()
+	members := c.n.Sorted()
+	for _, v := range members {
+		ctx.Send(v, LabelIntro, []ref.Ref{u}, nil) // ♦ self-introduction
+		for _, w := range members {
+			if w != v {
+				ctx.Send(v, LabelIntro, []ref.Ref{w}, nil) // ♦
+			}
+		}
+	}
+}
+
+// Deliver implements Protocol.
+func (c *CliqueTC) Deliver(ctx Context, label string, refs []ref.Ref, payload any) {
+	if label != LabelIntro || len(refs) != 1 {
+		return
+	}
+	if refs[0] != ctx.Self() {
+		c.n.Add(refs[0]) // ♠ fusion by set semantics
+	}
+}
+
+// Reintegrate implements Protocol.
+func (c *CliqueTC) Reintegrate(ctx Context, r ref.Ref) {
+	if r != ctx.Self() {
+		c.n.Add(r)
+	}
+}
+
+// InTarget implements TargetChecker: every member stores exactly all other
+// members.
+func (c *CliqueTC) InTarget(members []ref.Ref, lookup func(ref.Ref) Protocol) bool {
+	all := ref.NewSet(members...)
+	for _, m := range members {
+		p, ok := lookup(m).(*CliqueTC)
+		if !ok {
+			return false
+		}
+		want := all.Clone()
+		want.Remove(m)
+		if !p.n.Equal(want) {
+			return false
+		}
+	}
+	return true
+}
+
+// Exclude implements Protocol: remove every stored occurrence of r.
+func (c *CliqueTC) Exclude(r ref.Ref) { c.n.Remove(r) }

@@ -1,0 +1,104 @@
+package overlay
+
+import (
+	"math/rand"
+	"testing"
+
+	"fdp/internal/graph"
+	"fdp/internal/ref"
+	"fdp/internal/sim"
+)
+
+func TestSkipListConvergesFromLine(t *testing.T) {
+	nodes := ref.NewSpace().NewN(9)
+	keys := mkKeys(nodes)
+	g := graph.Line(nodes)
+	w, members := buildWorld(g, func(ref.Ref) Protocol { return NewSkipList(keys) })
+	runToTarget(t, w, members, sim.NewRandomScheduler(1, 256), 600000)
+	// Inspect a level-1 edge explicitly: node 0 and node 2 are even
+	// neighbors at level 1.
+	p0 := w.ProtocolOf(members[0]).(*Standalone).P.(*SkipList)
+	if !p0.Level1().Has(members[2]) {
+		t.Fatal("level-1 edge 0-2 missing")
+	}
+}
+
+func TestSkipListConvergesFromRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 4; trial++ {
+		n := 5 + rng.Intn(7)
+		nodes := ref.NewSpace().NewN(n)
+		keys := mkKeys(nodes)
+		g := graph.RandomConnected(nodes, rng.Intn(n), rng)
+		w, members := buildWorld(g, func(ref.Ref) Protocol { return NewSkipList(keys) })
+		runToTarget(t, w, members, sim.NewRandomScheduler(int64(trial), 256), 600000)
+	}
+}
+
+func TestSkipListDrainsGarbageLevel1(t *testing.T) {
+	// Odd nodes with level-1 garbage and even nodes holding odd-key level-1
+	// refs must both clean up without losing references.
+	nodes := ref.NewSpace().NewN(6)
+	keys := mkKeys(nodes)
+	g := graph.Line(nodes)
+	w, members := buildWorld(g, func(ref.Ref) Protocol { return NewSkipList(keys) })
+	p1 := w.ProtocolOf(members[1]).(*Standalone).P.(*SkipList) // odd
+	p2 := w.ProtocolOf(members[2]).(*Standalone).P.(*SkipList) // even
+	p1.AddLevel1(members[4])
+	p2.AddLevel1(members[3]) // odd-key ref at level 1: garbage
+	runToTarget(t, w, members, sim.NewRandomScheduler(2, 256), 600000)
+	if p1.Level1().Len() != 0 {
+		t.Fatal("odd node kept level-1 state")
+	}
+	for r := range p2.Level1() {
+		if keys[r]%2 != 0 {
+			t.Fatal("even node kept odd-key level-1 ref")
+		}
+	}
+}
+
+func TestSkipListSingleEven(t *testing.T) {
+	// Two nodes: one even, one odd — the even one's level 1 stays empty.
+	nodes := ref.NewSpace().NewN(2)
+	keys := mkKeys(nodes)
+	g := graph.Line(nodes)
+	w, members := buildWorld(g, func(ref.Ref) Protocol { return NewSkipList(keys) })
+	runToTarget(t, w, members, sim.NewRoundScheduler(), 200000)
+	_ = members
+}
+
+func TestSkipListProbeForwarding(t *testing.T) {
+	nodes := ref.NewSpace().NewN(5)
+	keys := mkKeys(nodes)
+	s := NewSkipList(keys) // node 1 (odd)
+	s.AddNeighbor(nodes[0])
+	s.AddNeighbor(nodes[2])
+	ctx := &recCtx{self: nodes[1]}
+	s.Deliver(ctx, LabelProbe, []ref.Ref{nodes[0]}, nil)
+	if len(ctx.sent) != 1 || ctx.sent[0].to != nodes[2] || ctx.sent[0].label != LabelProbe {
+		t.Fatalf("odd node must forward the probe rightwards: %+v", ctx.sent)
+	}
+	// Even node adopts and answers.
+	s2 := NewSkipList(keys) // pretend self = nodes[2] (even)
+	ctx2 := &recCtx{self: nodes[2]}
+	s2.Deliver(ctx2, LabelProbe, []ref.Ref{nodes[0]}, nil)
+	if !s2.Level1().Has(nodes[0]) {
+		t.Fatal("even node must adopt the prober")
+	}
+	if len(ctx2.sent) != 1 || ctx2.sent[0].to != nodes[0] || ctx2.sent[0].label != LabelLvl1 {
+		t.Fatal("even node must answer with its own reference")
+	}
+}
+
+func TestSkipListExclude(t *testing.T) {
+	nodes := ref.NewSpace().NewN(4)
+	keys := mkKeys(nodes)
+	s := NewSkipList(keys)
+	s.AddNeighbor(nodes[1])
+	s.AddLevel1(nodes[2])
+	s.Exclude(nodes[2])
+	s.Exclude(nodes[1])
+	if len(s.Refs()) != 0 {
+		t.Fatal("exclude must clear both levels")
+	}
+}

@@ -1,0 +1,394 @@
+// Package parallel is the concurrent runtime: one goroutine per process,
+// real mailboxes, true parallel execution on all cores. It runs the same
+// Protocol implementations as the sequential simulator (they only ever see
+// the sim.Context interface) and is used to cross-validate the simulator's
+// outcomes and to measure event throughput (experiment E11).
+//
+// Concurrency design ("share memory by communicating" where possible, a
+// coarse snapshot lock where the model demands a consistent global view):
+//
+//   - Each process's protocol state is owned by its goroutine; nobody else
+//     touches it.
+//   - Mailboxes are mutex+cond queues with unbounded capacity, matching the
+//     model's channels (no loss, no bound). FIFO order per mailbox is one
+//     legal schedule of the non-FIFO model.
+//   - Every action executes under the read side of a global RWMutex; global
+//     snapshots (oracle evaluation, legitimacy detection, exit validation)
+//     take the write side. This gives honest parallelism between snapshot
+//     points.
+//   - exit is validated under the write lock: a process's cached oracle
+//     answer may be stale, so the coordinator re-evaluates SINGLE on a
+//     consistent snapshot before committing the exit — exactly the "check
+//     then act atomically" the sequential model provides for free.
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fdp/internal/graph"
+	"fdp/internal/ref"
+	"fdp/internal/sim"
+)
+
+// mailbox is an unbounded FIFO queue with blocking receive.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []sim.Message
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) push(msg sim.Message) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false
+	}
+	m.queue = append(m.queue, msg)
+	m.cond.Signal()
+	return true
+}
+
+// tryPop returns immediately.
+func (m *mailbox) tryPop() (sim.Message, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.queue) == 0 {
+		return sim.Message{}, false
+	}
+	msg := m.queue[0]
+	m.queue = m.queue[1:]
+	return msg, true
+}
+
+// waitPop blocks until a message arrives or the mailbox closes; the second
+// result is false when closed and drained.
+func (m *mailbox) waitPop() (sim.Message, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.queue) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.queue) == 0 {
+		return sim.Message{}, false
+	}
+	msg := m.queue[0]
+	m.queue = m.queue[1:]
+	return msg, true
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.queue = nil
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+func (m *mailbox) len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.queue)
+}
+
+func (m *mailbox) snapshot() []sim.Message {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]sim.Message, len(m.queue))
+	copy(out, m.queue)
+	return out
+}
+
+// proc is one concurrent process.
+type proc struct {
+	id    ref.Ref
+	mode  sim.Mode
+	proto sim.Protocol
+	mb    *mailbox
+
+	// life is read concurrently (sends, snapshots) and written by the
+	// owner goroutine / coordinator: 0 awake, 1 asleep, 2 gone.
+	life atomic.Int32
+
+	wantExit  bool
+	wantSleep bool
+
+	// oracleOK caches the coordinator's last oracle evaluation for this
+	// process. Reads are cheap and may be stale; exits are re-validated
+	// under the snapshot lock.
+	oracleOK atomic.Bool
+
+	rt *Runtime
+}
+
+// Runtime drives a set of processes concurrently.
+type Runtime struct {
+	procs  map[ref.Ref]*proc
+	order  []ref.Ref
+	oracle sim.Oracle // evaluated on frozen snapshots via the World shim
+
+	snap sync.RWMutex // actions: RLock; snapshots: Lock
+
+	events atomic.Uint64 // executed actions (timeouts + deliveries)
+	sent   atomic.Uint64
+	exits  atomic.Int32
+
+	stop      atomic.Bool
+	wg        sync.WaitGroup
+	initially [][]ref.Ref
+}
+
+// Oracle is re-exported so callers pass the same oracles as the simulator.
+type Oracle = sim.Oracle
+
+// NewRuntime returns an empty runtime with the given oracle (may be nil).
+func NewRuntime(oracle Oracle) *Runtime {
+	return &Runtime{procs: make(map[ref.Ref]*proc), oracle: oracle}
+}
+
+// AddProcess registers a process before Start.
+func (rt *Runtime) AddProcess(r ref.Ref, mode sim.Mode, proto sim.Protocol) {
+	if _, dup := rt.procs[r]; dup {
+		panic("parallel: duplicate process")
+	}
+	p := &proc{id: r, mode: mode, proto: proto, mb: newMailbox(), rt: rt}
+	rt.procs[r] = p
+	rt.order = append(rt.order, r)
+	ref.Sort(rt.order)
+}
+
+// Enqueue injects an initial in-flight message before Start.
+func (rt *Runtime) Enqueue(to ref.Ref, msg sim.Message) {
+	rt.procs[to].mb.push(msg)
+}
+
+// Events returns the number of executed actions so far.
+func (rt *Runtime) Events() uint64 { return rt.events.Load() }
+
+// Sent returns the number of sent messages so far.
+func (rt *Runtime) Sent() uint64 { return rt.sent.Load() }
+
+// Gone returns the number of exited processes.
+func (rt *Runtime) Gone() int { return int(rt.exits.Load()) }
+
+// ctx implements sim.Context for a process action.
+type pctx struct{ p *proc }
+
+func (c *pctx) Self() ref.Ref  { return c.p.id }
+func (c *pctx) Mode() sim.Mode { return c.p.mode }
+
+func (c *pctx) Send(to ref.Ref, msg sim.Message) {
+	if to.IsNil() {
+		return
+	}
+	target := c.p.rt.procs[to]
+	if target == nil || target.life.Load() == 2 {
+		return
+	}
+	c.p.rt.sent.Add(1)
+	target.mb.push(msg)
+}
+
+func (c *pctx) Exit()  { c.p.wantExit = true }
+func (c *pctx) Sleep() { c.p.wantSleep = true }
+
+// OracleSays gives the process's cached view, refreshed periodically by the
+// coordinator; the authoritative re-check happens in validateExit under the
+// snapshot lock. (Taking the snapshot lock here would deadlock: the calling
+// action already holds its read side.)
+func (c *pctx) OracleSays() bool {
+	if c.p.rt.oracle == nil {
+		return false
+	}
+	return c.p.oracleOK.Load()
+}
+
+// run is the per-process goroutine body.
+func (p *proc) run() {
+	defer p.rt.wg.Done()
+	for !p.rt.stop.Load() {
+		if p.life.Load() == 2 {
+			return
+		}
+		var msg sim.Message
+		var haveMsg bool
+		if p.life.Load() == 1 { // asleep: block until a message arrives
+			msg, haveMsg = p.mb.waitPop()
+			if !haveMsg {
+				if p.rt.stop.Load() || p.life.Load() == 2 {
+					return
+				}
+				continue
+			}
+			p.life.Store(0) // processing a message wakes the process
+		} else {
+			msg, haveMsg = p.mb.tryPop()
+		}
+
+		ctx := &pctx{p: p}
+		p.wantExit, p.wantSleep = false, false
+
+		p.rt.snap.RLock()
+		if haveMsg {
+			p.proto.Deliver(ctx, msg)
+		} else {
+			p.proto.Timeout(ctx)
+		}
+		p.rt.snap.RUnlock()
+		p.rt.events.Add(1)
+
+		if p.wantExit {
+			if p.rt.validateExit(p) {
+				return
+			}
+		} else if p.wantSleep {
+			p.life.Store(1)
+		}
+		if !haveMsg {
+			// Idle timeout loop: yield so other goroutines (and the
+			// coordinator) get the CPU.
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+}
+
+// validateExit re-evaluates the oracle under the snapshot (write) lock and
+// commits the exit only if it still holds — the concurrent-world equivalent
+// of the model's atomic guard evaluation.
+func (rt *Runtime) validateExit(p *proc) bool {
+	rt.snap.Lock()
+	defer rt.snap.Unlock()
+	if rt.oracle != nil && !rt.oracle.Evaluate(rt.freezeUnderLock(), p.id) {
+		return false
+	}
+	p.life.Store(2)
+	p.mb.close()
+	rt.exits.Add(1)
+	return true
+}
+
+// Start launches all process goroutines plus the oracle coordinator.
+func (rt *Runtime) Start() {
+	rt.initially = rt.freezeLocked().PG().WeaklyConnectedComponents()
+	for _, r := range rt.order {
+		rt.wg.Add(1)
+		go rt.procs[r].run()
+	}
+	if rt.oracle != nil {
+		rt.wg.Add(1)
+		go rt.coordinate()
+	}
+}
+
+// coordinate periodically refreshes every live leaving process's cached
+// oracle answer on a consistent snapshot.
+func (rt *Runtime) coordinate() {
+	defer rt.wg.Done()
+	for !rt.stop.Load() {
+		w := rt.freezeLocked()
+		for _, r := range rt.order {
+			p := rt.procs[r]
+			if p.mode == sim.Leaving && p.life.Load() != 2 {
+				p.oracleOK.Store(rt.oracle.Evaluate(w, r))
+			}
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+}
+
+// Stop signals all goroutines to finish and waits for them. Mailboxes are
+// closed so that processes blocked in waitPop (asleep, FSP) wake up and
+// observe the stop flag.
+func (rt *Runtime) Stop() {
+	rt.stop.Store(true)
+	for _, p := range rt.procs {
+		p.mb.close()
+	}
+	rt.wg.Wait()
+}
+
+// RunUntil drives the system until predicate(frozen world) is true or the
+// timeout elapses; it returns whether the predicate held. The predicate is
+// evaluated on consistent snapshots every pollEvery.
+func (rt *Runtime) RunUntil(pred func(*sim.World) bool, pollEvery, timeout time.Duration) bool {
+	rt.Start()
+	defer rt.Stop()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		w := rt.freezeLocked()
+		if pred(w) {
+			return true
+		}
+		time.Sleep(pollEvery)
+	}
+	return pred(rt.freezeLocked())
+}
+
+// freezeLocked takes the snapshot lock and builds a sequential sim.World
+// mirroring the current global state, so every predicate and oracle written
+// for the simulator works unchanged on the concurrent runtime.
+func (rt *Runtime) freezeLocked() *sim.World {
+	rt.snap.Lock()
+	defer rt.snap.Unlock()
+	return rt.freezeUnderLock()
+}
+
+func (rt *Runtime) freezeUnderLock() *sim.World {
+	w := sim.NewWorld(rt.oracle)
+	for _, r := range rt.order {
+		p := rt.procs[r]
+		if p.life.Load() == 2 {
+			continue
+		}
+		fp := &frozenProto{refs: p.proto.Refs()}
+		if bh, ok := p.proto.(interface{ Beliefs() []sim.RefInfo }); ok {
+			fp.beliefs = bh.Beliefs() // copied under the snapshot lock
+		}
+		w.AddProcess(r, p.mode, fp)
+	}
+	for _, r := range rt.order {
+		p := rt.procs[r]
+		if p.life.Load() == 2 {
+			continue
+		}
+		if p.life.Load() == 1 {
+			w.ForceAsleep(r)
+		}
+		for _, m := range p.mb.snapshot() {
+			w.Enqueue(r, m)
+		}
+	}
+	if rt.initially != nil {
+		w.SealInitialState()
+	}
+	return w
+}
+
+// frozenProto is an immutable stand-in exposing the stored references and
+// mode beliefs captured at snapshot time, so predicates (including the
+// potential function Φ) evaluate on a consistent, race-free copy.
+type frozenProto struct {
+	refs    []ref.Ref
+	beliefs []sim.RefInfo
+}
+
+func (f *frozenProto) Timeout(sim.Context)              {}
+func (f *frozenProto) Deliver(sim.Context, sim.Message) {}
+func (f *frozenProto) Refs() []ref.Ref                  { return f.refs }
+
+// Beliefs returns the mode knowledge captured at snapshot time.
+func (f *frozenProto) Beliefs() []sim.RefInfo { return f.beliefs }
+
+// InitialComponents returns the weakly-connected components at Start time.
+func (rt *Runtime) InitialComponents() [][]ref.Ref { return rt.initially }
+
+// PGSnapshot returns a consistent process graph of the current state.
+func (rt *Runtime) PGSnapshot() *graph.Graph { return rt.freezeLocked().PG() }

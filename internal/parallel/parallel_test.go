@@ -1,0 +1,197 @@
+package parallel
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"fdp/internal/core"
+	"fdp/internal/graph"
+	"fdp/internal/oracle"
+	"fdp/internal/ref"
+	"fdp/internal/sim"
+)
+
+// buildRuntime mirrors churn.Build for the concurrent runtime: a random
+// connected topology of core.Proc processes with the given leavers.
+func buildRuntime(n int, leaveFrac float64, seed int64, variant core.Variant, o Oracle) (*Runtime, []ref.Ref, ref.Set) {
+	rng := rand.New(rand.NewSource(seed))
+	space := ref.NewSpace()
+	nodes := space.NewN(n)
+	g := graph.RandomConnected(nodes, n/2, rng)
+	k := int(leaveFrac * float64(n))
+	if k > n-1 {
+		k = n - 1
+	}
+	leaving := ref.NewSet()
+	for _, i := range rng.Perm(n)[:k] {
+		leaving.Add(nodes[i])
+	}
+	rt := NewRuntime(o)
+	procs := make(map[ref.Ref]*core.Proc, n)
+	for _, r := range nodes {
+		p := core.New(variant)
+		procs[r] = p
+		mode := sim.Staying
+		if leaving.Has(r) {
+			mode = sim.Leaving
+		}
+		rt.AddProcess(r, mode, p)
+	}
+	for _, e := range g.Edges() {
+		mode := sim.Staying
+		if leaving.Has(e.To) {
+			mode = sim.Leaving
+		}
+		procs[e.From].SetNeighbor(e.To, mode)
+	}
+	return rt, nodes, leaving
+}
+
+func TestMailboxBasics(t *testing.T) {
+	mb := newMailbox()
+	if _, ok := mb.tryPop(); ok {
+		t.Fatal("empty mailbox must not pop")
+	}
+	mb.push(sim.NewMessage("a"))
+	mb.push(sim.NewMessage("b"))
+	if mb.len() != 2 {
+		t.Fatal("len wrong")
+	}
+	m, ok := mb.tryPop()
+	if !ok || m.Label != "a" {
+		t.Fatal("FIFO broken")
+	}
+	snap := mb.snapshot()
+	if len(snap) != 1 || snap[0].Label != "b" {
+		t.Fatal("snapshot wrong")
+	}
+	mb.close()
+	if mb.push(sim.NewMessage("c")) {
+		t.Fatal("closed mailbox must reject pushes")
+	}
+	if _, ok := mb.waitPop(); ok {
+		t.Fatal("closed+drained mailbox must return false")
+	}
+}
+
+func TestMailboxWaitPopWakes(t *testing.T) {
+	mb := newMailbox()
+	done := make(chan sim.Message, 1)
+	go func() {
+		m, _ := mb.waitPop()
+		done <- m
+	}()
+	time.Sleep(5 * time.Millisecond)
+	mb.push(sim.NewMessage("wake"))
+	select {
+	case m := <-done:
+		if m.Label != "wake" {
+			t.Fatal("wrong message")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waitPop never woke")
+	}
+}
+
+// The concurrent runtime must reach the same legitimate states as the
+// sequential simulator: all leavers gone, staying processes connected.
+func TestParallelFDPConvergence(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		rt, _, leaving := buildRuntime(16, 0.5, seed, core.VariantFDP, oracle.Single{})
+		ok := rt.RunUntil(func(w *sim.World) bool {
+			return w.Legitimate(sim.FDP)
+		}, 2*time.Millisecond, 30*time.Second)
+		if !ok {
+			t.Fatalf("seed %d: no convergence (gone=%d of %d)", seed, rt.Gone(), leaving.Len())
+		}
+		if rt.Gone() != leaving.Len() {
+			t.Fatalf("seed %d: gone=%d want %d", seed, rt.Gone(), leaving.Len())
+		}
+		// Safety on the final snapshot.
+		final := rt.freezeLocked()
+		if !final.RelevantComponentsIntact() {
+			t.Fatalf("seed %d: staying processes disconnected", seed)
+		}
+	}
+}
+
+func TestParallelFSPConvergence(t *testing.T) {
+	rt, nodes, leaving := buildRuntime(12, 0.5, 7, core.VariantFSP, nil)
+	ok := rt.RunUntil(func(w *sim.World) bool {
+		return w.Legitimate(sim.FSP)
+	}, 2*time.Millisecond, 30*time.Second)
+	if !ok {
+		t.Fatal("FSP did not converge concurrently")
+	}
+	if rt.Gone() != 0 {
+		t.Fatal("FSP must not produce gone processes")
+	}
+	final := rt.freezeLocked()
+	hib := final.Hibernating()
+	for _, r := range nodes {
+		if leaving.Has(r) && !hib.Has(r) {
+			t.Fatalf("leaver %v not hibernating in final snapshot", r)
+		}
+	}
+}
+
+// Exits must be validated: with the unsafe Always(true) oracle the
+// validated-exit path still lets processes exit (no deadlock), while with
+// Always(false) nobody ever exits.
+func TestParallelExitValidation(t *testing.T) {
+	rt, _, _ := buildRuntime(8, 0.4, 3, core.VariantFDP, oracle.Always(false))
+	ok := rt.RunUntil(func(w *sim.World) bool {
+		return w.Legitimate(sim.FDP)
+	}, 2*time.Millisecond, 300*time.Millisecond)
+	if ok || rt.Gone() != 0 {
+		t.Fatal("Always(false) oracle must prevent all exits")
+	}
+}
+
+func TestParallelSnapshotConsistency(t *testing.T) {
+	rt, nodes, _ := buildRuntime(10, 0.3, 11, core.VariantFDP, oracle.Single{})
+	rt.Start()
+	defer rt.Stop()
+	// Snapshots taken while the system runs must be internally consistent:
+	// every edge endpoint resolves, and the world evaluates predicates
+	// without panicking.
+	deadline := time.Now().Add(500 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		w := rt.freezeLocked()
+		pg := w.PG()
+		for _, e := range pg.Edges() {
+			if !pg.HasNode(e.From) || !pg.HasNode(e.To) {
+				t.Fatal("dangling edge in snapshot")
+			}
+		}
+		_ = w.RelevantComponentsIntact()
+		_ = core.Phi(w)
+	}
+	_ = nodes
+}
+
+func TestParallelEventThroughputCounters(t *testing.T) {
+	rt, _, _ := buildRuntime(8, 0.25, 5, core.VariantFDP, oracle.Single{})
+	rt.Start()
+	time.Sleep(50 * time.Millisecond)
+	rt.Stop()
+	if rt.Events() == 0 {
+		t.Fatal("no events executed")
+	}
+	if rt.Sent() == 0 {
+		t.Fatal("no messages sent")
+	}
+}
+
+func TestParallelDuplicatePanics(t *testing.T) {
+	rt := NewRuntime(nil)
+	r := ref.NewSpace().New()
+	rt.AddProcess(r, sim.Staying, core.New(core.VariantFDP))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate AddProcess must panic")
+		}
+	}()
+	rt.AddProcess(r, sim.Staying, core.New(core.VariantFDP))
+}

@@ -1,0 +1,213 @@
+package primitives
+
+import (
+	"fmt"
+	"strings"
+
+	"fdp/internal/graph"
+	"fdp/internal/ref"
+)
+
+// This file makes Theorem 2 ("Introduction, Delegation, Fusion and Reversal
+// are necessary for universality") executable: for each primitive it
+// provides a small start/target pair such that the target is reachable with
+// all four primitives but provably unreachable when that primitive is
+// removed. Unreachability is established by exhaustive breadth-first search
+// over the full (multiplicity-capped) state space of the small instance;
+// the accompanying tests additionally check the paper's invariant argument
+// (e.g. without Introduction the edge count never grows) on random
+// instances, which justifies the cap.
+
+// SearchResult reports a reachability search outcome.
+type SearchResult struct {
+	Reachable      bool
+	Ops            []Op // a witness sequence when reachable
+	StatesExplored int
+}
+
+// multiplicityCap bounds parallel edges during the search; the witness
+// instances need at most two parallel edges, so a cap of three is ample.
+const multiplicityCap = 3
+
+// Reachable performs an exhaustive BFS from start over all states reachable
+// with the allowed primitive kinds (nil = all four), deciding whether some
+// state equals target as a simple digraph with all references absorbed.
+// maxStates bounds the exploration (0 = 1<<20).
+func Reachable(start, target *graph.Graph, allowed map[Kind]bool, maxStates int) SearchResult {
+	if maxStates <= 0 {
+		maxStates = 1 << 20
+	}
+	canonTarget := canonicalKey(normalized(target))
+	type node struct {
+		g    *graph.Graph
+		ops  []Op
+		key  string
+		prev *node
+	}
+	startG := normalized(start)
+	startKey := canonicalKey(startG)
+	res := SearchResult{}
+	if startKey == canonTarget {
+		res.Reachable = true
+		return res
+	}
+	seen := map[string]bool{startKey: true}
+	queue := []node{{g: startG, key: startKey}}
+	for len(queue) > 0 && res.StatesExplored < maxStates {
+		cur := queue[0]
+		queue = queue[1:]
+		res.StatesExplored++
+		for _, op := range EnabledOps(cur.g, allowed) {
+			if op.Kind == AbsorbStep {
+				continue // states are kept fully absorbed
+			}
+			next := cur.g.Clone()
+			if err := Apply(next, op); err != nil {
+				continue
+			}
+			nextN := normalized(next)
+			if exceedsCap(nextN) {
+				continue
+			}
+			key := canonicalKey(nextN)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			ops := append(append([]Op{}, cur.ops...), op)
+			if key == canonTarget {
+				res.Reachable = true
+				res.Ops = ops
+				return res
+			}
+			queue = append(queue, node{g: nextN, ops: ops, key: key})
+		}
+	}
+	return res
+}
+
+// normalized returns a copy with every implicit edge absorbed — search
+// states are "all messages processed" states, which is sufficient because
+// absorbing never disables a primitive.
+func normalized(g *graph.Graph) *graph.Graph {
+	c := g.Clone()
+	AbsorbAll(c)
+	return c
+}
+
+func exceedsCap(g *graph.Graph) bool {
+	for _, u := range g.Nodes() {
+		for _, v := range g.Succ(u) {
+			if g.EdgeCount(u, v) > multiplicityCap {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func canonicalKey(g *graph.Graph) string {
+	var b strings.Builder
+	for _, u := range g.Nodes() {
+		fmt.Fprintf(&b, "%v;", u)
+	}
+	b.WriteString("|")
+	for _, u := range g.Nodes() {
+		for _, v := range g.Succ(u) {
+			fmt.Fprintf(&b, "%v>%v*%d;", u, v, g.EdgeCount(u, v))
+		}
+	}
+	return b.String()
+}
+
+// NecessityWitness is one instance of the Theorem 2 proof: Target is
+// reachable from Start with all four primitives but not without Missing.
+type NecessityWitness struct {
+	Missing     Kind
+	Description string
+	Nodes       int
+	Start       func(nodes []ref.Ref) *graph.Graph
+	Target      func(nodes []ref.Ref) *graph.Graph
+}
+
+// Witnesses returns the four witness instances used in the Theorem 2 proof.
+func Witnesses() []NecessityWitness {
+	return []NecessityWitness{
+		{
+			Missing:     Introduction,
+			Description: "only Introduction creates new edges: |E'| > |E| is unreachable without it",
+			Nodes:       2,
+			Start: func(n []ref.Ref) *graph.Graph {
+				g := graph.New()
+				g.AddEdge(n[0], n[1], graph.Explicit)
+				return g
+			},
+			Target: func(n []ref.Ref) *graph.Graph {
+				g := graph.New()
+				g.AddEdge(n[0], n[1], graph.Explicit)
+				g.AddEdge(n[1], n[0], graph.Explicit)
+				return g
+			},
+		},
+		{
+			Missing:     Fusion,
+			Description: "only Fusion reduces the number of edges: |E'| < |E| is unreachable without it",
+			Nodes:       2,
+			Start: func(n []ref.Ref) *graph.Graph {
+				g := graph.New()
+				g.AddEdge(n[0], n[1], graph.Explicit)
+				g.AddEdge(n[1], n[0], graph.Explicit)
+				return g
+			},
+			Target: func(n []ref.Ref) *graph.Graph {
+				g := graph.New()
+				g.AddEdge(n[0], n[1], graph.Explicit)
+				return g
+			},
+		},
+		{
+			Missing:     Delegation,
+			Description: "without Delegation two adjacent processes can never be locally disconnected",
+			Nodes:       3,
+			Start: func(n []ref.Ref) *graph.Graph {
+				g := graph.New()
+				g.AddEdge(n[0], n[1], graph.Explicit)
+				g.AddEdge(n[1], n[2], graph.Explicit)
+				return g
+			},
+			Target: func(n []ref.Ref) *graph.Graph {
+				g := graph.New()
+				g.AddEdge(n[0], n[2], graph.Explicit)
+				g.AddEdge(n[2], n[1], graph.Explicit)
+				return g
+			},
+		},
+		{
+			Missing:     Reversal,
+			Description: "G = {(u,v)} to G' = {(v,u)} needs Reversal",
+			Nodes:       2,
+			Start: func(n []ref.Ref) *graph.Graph {
+				g := graph.New()
+				g.AddEdge(n[0], n[1], graph.Explicit)
+				return g
+			},
+			Target: func(n []ref.Ref) *graph.Graph {
+				g := graph.New()
+				g.AddEdge(n[1], n[0], graph.Explicit)
+				return g
+			},
+		},
+	}
+}
+
+// AllKinds returns the full primitive set for search configuration.
+func AllKinds() map[Kind]bool {
+	return map[Kind]bool{Introduction: true, Delegation: true, Fusion: true, Reversal: true}
+}
+
+// Without returns the full set minus k.
+func Without(k Kind) map[Kind]bool {
+	m := AllKinds()
+	m[k] = false
+	return m
+}

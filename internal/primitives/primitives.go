@@ -1,0 +1,240 @@
+// Package primitives implements the four safe edge-manipulation primitives
+// of Section 2 — Introduction, Delegation, Fusion, Reversal — together with
+// the constructive universality transformation of Theorem 1 and executable
+// necessity witnesses for Theorem 2.
+//
+// The primitives are modelled as checked operations on the process graph.
+// Introduction, Delegation and Reversal place the transported reference into
+// the target's channel, i.e. they create an *implicit* edge; the companion
+// operation Absorb models the receiver processing that message and storing
+// the reference (implicit -> explicit). Absorb is not a primitive — it is
+// part of the model and trivially preserves connectivity.
+package primitives
+
+import (
+	"errors"
+	"fmt"
+
+	"fdp/internal/graph"
+	"fdp/internal/ref"
+)
+
+// ErrPrecondition is wrapped by all precondition failures.
+var ErrPrecondition = errors.New("primitive precondition violated")
+
+func precondErr(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrPrecondition, fmt.Sprintf(format, args...))
+}
+
+// Kind enumerates the four primitives (plus the model's Absorb step).
+type Kind uint8
+
+// Primitive kinds. The paper annotates its pseudocode with suit symbols;
+// the same convention is used here: ♦ Introduction, ♥ Delegation, ♠ Fusion,
+// ♣ Reversal.
+const (
+	Introduction Kind = iota
+	Delegation
+	Fusion
+	Reversal
+	AbsorbStep
+)
+
+// String names the primitive (with the paper's suit symbol).
+func (k Kind) String() string {
+	switch k {
+	case Introduction:
+		return "introduction♦"
+	case Delegation:
+		return "delegation♥"
+	case Fusion:
+		return "fusion♠"
+	case Reversal:
+		return "reversal♣"
+	default:
+		return "absorb"
+	}
+}
+
+// Op records one applied operation, for traces and ablation counting.
+type Op struct {
+	Kind    Kind
+	U, V, W ref.Ref // roles as in the paper's definitions (W unused where n/a)
+}
+
+// String renders the op.
+func (o Op) String() string {
+	if o.W.IsNil() {
+		return fmt.Sprintf("%v(%v,%v)", o.Kind, o.U, o.V)
+	}
+	return fmt.Sprintf("%v(%v,%v,%v)", o.Kind, o.U, o.V, o.W)
+}
+
+// Introduce applies the Introduction primitive: process u, holding
+// references to v and w, sends a message with w's reference to v while
+// keeping its own reference to w. Self-introduction (w == u) is the allowed
+// special case; otherwise u, v, w must be pairwise distinct.
+func Introduce(g *graph.Graph, u, v, w ref.Ref) error {
+	if err := checkHolds(g, u, v); err != nil {
+		return err
+	}
+	if w != u { // self-introduction needs no (u,u) edge
+		if err := checkHolds(g, u, w); err != nil {
+			return err
+		}
+		if v == w {
+			return precondErr("introduction requires v != w (got %v)", v)
+		}
+	}
+	if u == v {
+		return precondErr("introduction requires u != v")
+	}
+	if v != w {
+		g.AddEdge(v, w, graph.Implicit)
+	}
+	return nil
+}
+
+// SelfIntroduce applies the self-introduction special case: u sends its own
+// reference to v, keeping (u,v).
+func SelfIntroduce(g *graph.Graph, u, v ref.Ref) error {
+	return Introduce(g, u, v, u)
+}
+
+// Delegate applies the Delegation primitive: u, holding references to v and
+// w, sends w's reference to v and deletes its own reference to w. The
+// deleted reference must be explicit (a stored variable); u, v, w must be
+// pairwise distinct.
+func Delegate(g *graph.Graph, u, v, w ref.Ref) error {
+	if u == v || u == w || v == w {
+		return precondErr("delegation requires pairwise distinct u,v,w")
+	}
+	if err := checkHolds(g, u, v); err != nil {
+		return err
+	}
+	if !g.HasEdgeKind(u, w, graph.Explicit) {
+		return precondErr("delegation: %v holds no explicit reference of %v", u, w)
+	}
+	g.RemoveEdge(u, w, graph.Explicit)
+	g.AddEdge(v, w, graph.Implicit)
+	return nil
+}
+
+// Fuse applies the Fusion primitive: u holds two references v and w with
+// v = w and keeps only one of them. In graph terms the multiplicity of
+// (u,v) must be at least two; one explicit copy is removed (if none is
+// explicit, an implicit copy is removed, modelling u discarding a duplicate
+// as it processes the carrying message).
+func Fuse(g *graph.Graph, u, v ref.Ref) error {
+	if g.EdgeCount(u, v) < 2 {
+		return precondErr("fusion: %v holds fewer than two references of %v", u, v)
+	}
+	if g.HasEdgeKind(u, v, graph.Explicit) {
+		g.RemoveEdge(u, v, graph.Explicit)
+	} else {
+		g.RemoveEdge(u, v, graph.Implicit)
+	}
+	return nil
+}
+
+// Reverse applies the Reversal primitive: u, holding a reference of v, sends
+// its own reference to v and deletes its reference of v.
+func Reverse(g *graph.Graph, u, v ref.Ref) error {
+	if u == v {
+		return precondErr("reversal requires u != v")
+	}
+	if !g.HasEdgeKind(u, v, graph.Explicit) {
+		return precondErr("reversal: %v holds no explicit reference of %v", u, v)
+	}
+	g.RemoveEdge(u, v, graph.Explicit)
+	g.AddEdge(v, u, graph.Implicit)
+	return nil
+}
+
+// Absorb models the receiver storing a reference it received: one implicit
+// edge (u,v) becomes explicit. Not a primitive; preserves the edge set.
+func Absorb(g *graph.Graph, u, v ref.Ref) error {
+	if !g.HasEdgeKind(u, v, graph.Implicit) {
+		return precondErr("absorb: no message carrying %v in %v's channel", v, u)
+	}
+	g.RemoveEdge(u, v, graph.Implicit)
+	g.AddEdge(u, v, graph.Explicit)
+	return nil
+}
+
+// AbsorbAll converts every implicit edge to an explicit one.
+func AbsorbAll(g *graph.Graph) {
+	for _, e := range g.Edges() {
+		if e.Kind == graph.Implicit {
+			_ = Absorb(g, e.From, e.To)
+		}
+	}
+}
+
+func checkHolds(g *graph.Graph, u, v ref.Ref) error {
+	if !g.HasEdge(u, v) {
+		return precondErr("%v holds no reference of %v", u, v)
+	}
+	return nil
+}
+
+// Apply dispatches an Op onto g, returning any precondition error.
+func Apply(g *graph.Graph, op Op) error {
+	switch op.Kind {
+	case Introduction:
+		return Introduce(g, op.U, op.V, op.W)
+	case Delegation:
+		return Delegate(g, op.U, op.V, op.W)
+	case Fusion:
+		return Fuse(g, op.U, op.V)
+	case Reversal:
+		return Reverse(g, op.U, op.V)
+	case AbsorbStep:
+		return Absorb(g, op.U, op.V)
+	default:
+		return precondErr("unknown primitive %d", op.Kind)
+	}
+}
+
+// EnabledOps enumerates every applicable primitive instance in the current
+// graph (used by the necessity search and by randomized safety testing).
+// Absorb steps are included so searches can move references into local
+// memory. The enumeration is deterministic.
+func EnabledOps(g *graph.Graph, allowed map[Kind]bool) []Op {
+	var ops []Op
+	nodes := g.Nodes()
+	allow := func(k Kind) bool { return allowed == nil || allowed[k] }
+	for _, u := range nodes {
+		succ := g.Succ(u)
+		for _, v := range succ {
+			if allow(Introduction) {
+				// self-introduction
+				ops = append(ops, Op{Kind: Introduction, U: u, V: v, W: u})
+				for _, w := range succ {
+					if w != v && w != u {
+						ops = append(ops, Op{Kind: Introduction, U: u, V: v, W: w})
+					}
+				}
+			}
+			if allow(Delegation) && g.HasEdgeKind(u, v, graph.Explicit) {
+				// v is the deleted reference here: delegate w:=v to some
+				// other neighbor t.
+				for _, t := range succ {
+					if t != v && t != u {
+						ops = append(ops, Op{Kind: Delegation, U: u, V: t, W: v})
+					}
+				}
+			}
+			if allow(Fusion) && g.EdgeCount(u, v) >= 2 {
+				ops = append(ops, Op{Kind: Fusion, U: u, V: v})
+			}
+			if allow(Reversal) && g.HasEdgeKind(u, v, graph.Explicit) {
+				ops = append(ops, Op{Kind: Reversal, U: u, V: v})
+			}
+			if g.HasEdgeKind(u, v, graph.Implicit) {
+				ops = append(ops, Op{Kind: AbsorbStep, U: u, V: v})
+			}
+		}
+	}
+	return ops
+}

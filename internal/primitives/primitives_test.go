@@ -1,0 +1,222 @@
+package primitives
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"fdp/internal/graph"
+	"fdp/internal/ref"
+)
+
+func mkNodes(n int) []ref.Ref {
+	return ref.NewSpace().NewN(n)
+}
+
+func TestIntroduceBasics(t *testing.T) {
+	n := mkNodes(3)
+	g := graph.New()
+	g.AddEdge(n[0], n[1], graph.Explicit)
+	g.AddEdge(n[0], n[2], graph.Explicit)
+	if err := Introduce(g, n[0], n[1], n[2]); err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdgeKind(n[1], n[2], graph.Implicit) {
+		t.Fatal("introduction must create an implicit edge (v,w)")
+	}
+	if !g.HasEdge(n[0], n[2]) {
+		t.Fatal("introduction must keep (u,w)")
+	}
+}
+
+func TestIntroducePreconditions(t *testing.T) {
+	n := mkNodes(3)
+	g := graph.New()
+	g.AddEdge(n[0], n[1], graph.Explicit)
+	if err := Introduce(g, n[0], n[1], n[2]); !errors.Is(err, ErrPrecondition) {
+		t.Fatal("introducing an unknown reference must fail")
+	}
+	if err := Introduce(g, n[0], n[2], n[1]); !errors.Is(err, ErrPrecondition) {
+		t.Fatal("introducing to an unknown process must fail")
+	}
+}
+
+func TestSelfIntroduce(t *testing.T) {
+	n := mkNodes(2)
+	g := graph.New()
+	g.AddEdge(n[0], n[1], graph.Explicit)
+	if err := SelfIntroduce(g, n[0], n[1]); err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdgeKind(n[1], n[0], graph.Implicit) {
+		t.Fatal("self-introduction must create (v,u)")
+	}
+	if !g.HasEdge(n[0], n[1]) {
+		t.Fatal("self-introduction must keep (u,v)")
+	}
+}
+
+func TestDelegateBasics(t *testing.T) {
+	n := mkNodes(3)
+	g := graph.New()
+	g.AddEdge(n[0], n[1], graph.Explicit)
+	g.AddEdge(n[0], n[2], graph.Explicit)
+	if err := Delegate(g, n[0], n[1], n[2]); err != nil {
+		t.Fatal(err)
+	}
+	if g.HasEdge(n[0], n[2]) {
+		t.Fatal("delegation must delete (u,w)")
+	}
+	if !g.HasEdgeKind(n[1], n[2], graph.Implicit) {
+		t.Fatal("delegation must create implicit (v,w)")
+	}
+}
+
+func TestDelegateRequiresDistinct(t *testing.T) {
+	n := mkNodes(2)
+	g := graph.New()
+	g.AddEdge(n[0], n[1], graph.Explicit)
+	if err := Delegate(g, n[0], n[1], n[1]); !errors.Is(err, ErrPrecondition) {
+		t.Fatal("delegation with v == w must fail")
+	}
+}
+
+func TestFuseBasics(t *testing.T) {
+	n := mkNodes(2)
+	g := graph.New()
+	g.AddEdge(n[0], n[1], graph.Explicit)
+	if err := Fuse(g, n[0], n[1]); !errors.Is(err, ErrPrecondition) {
+		t.Fatal("fusing a single reference must fail")
+	}
+	g.AddEdge(n[0], n[1], graph.Implicit)
+	if err := Fuse(g, n[0], n[1]); err != nil {
+		t.Fatal(err)
+	}
+	if g.EdgeCount(n[0], n[1]) != 1 {
+		t.Fatal("fusion must remove exactly one copy")
+	}
+}
+
+func TestReverseBasics(t *testing.T) {
+	n := mkNodes(2)
+	g := graph.New()
+	g.AddEdge(n[0], n[1], graph.Explicit)
+	if err := Reverse(g, n[0], n[1]); err != nil {
+		t.Fatal(err)
+	}
+	if g.HasEdge(n[0], n[1]) {
+		t.Fatal("reversal must delete (u,v)")
+	}
+	if !g.HasEdgeKind(n[1], n[0], graph.Implicit) {
+		t.Fatal("reversal must create implicit (v,u)")
+	}
+}
+
+func TestAbsorb(t *testing.T) {
+	n := mkNodes(2)
+	g := graph.New()
+	g.AddEdge(n[0], n[1], graph.Implicit)
+	if err := Absorb(g, n[0], n[1]); err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdgeKind(n[0], n[1], graph.Explicit) || g.HasEdgeKind(n[0], n[1], graph.Implicit) {
+		t.Fatal("absorb must convert implicit to explicit")
+	}
+	if err := Absorb(g, n[0], n[1]); !errors.Is(err, ErrPrecondition) {
+		t.Fatal("absorbing without implicit edge must fail")
+	}
+}
+
+// Lemma 1: the four primitives preserve weak connectivity. Randomized
+// check: from random weakly connected graphs, apply long random sequences
+// of enabled primitives and verify connectivity after every step.
+func TestLemma1PrimitivesPreserveWeakConnectivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2015))
+	for trial := 0; trial < 25; trial++ {
+		nodes := mkNodes(3 + rng.Intn(10))
+		g := graph.RandomConnected(nodes, rng.Intn(len(nodes)*2), rng)
+		for step := 0; step < 400; step++ {
+			ops := EnabledOps(g, nil)
+			if len(ops) == 0 {
+				break
+			}
+			op := ops[rng.Intn(len(ops))]
+			if err := Apply(g, op); err != nil {
+				t.Fatalf("trial %d step %d: enabled op %v failed: %v", trial, step, op, err)
+			}
+			if !g.WeaklyConnected() {
+				t.Fatalf("trial %d step %d: %v disconnected the graph", trial, step, op)
+			}
+		}
+	}
+}
+
+// Section 2 remark: Introduction, Delegation and Fusion even preserve
+// directed reachability (strong-connectivity-style). Reversal does not.
+func TestFirstThreePreserveDirectedReachability(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	allowed := Without(Reversal)
+	for trial := 0; trial < 20; trial++ {
+		nodes := mkNodes(3 + rng.Intn(8))
+		g := graph.RandomConnected(nodes, rng.Intn(len(nodes)*2), rng)
+		// Record all reachable ordered pairs.
+		type pair struct{ a, b ref.Ref }
+		reach := map[pair]bool{}
+		for _, a := range nodes {
+			for _, b := range nodes {
+				if a != b && g.Reachable(a, b) {
+					reach[pair{a, b}] = true
+				}
+			}
+		}
+		for step := 0; step < 300; step++ {
+			ops := EnabledOps(g, allowed)
+			if len(ops) == 0 {
+				break
+			}
+			if err := Apply(g, ops[rng.Intn(len(ops))]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for p := range reach {
+			if !g.Reachable(p.a, p.b) {
+				t.Fatalf("trial %d: directed reachability %v->%v lost without Reversal", trial, p.a, p.b)
+			}
+		}
+	}
+}
+
+func TestEnabledOpsAllApplicable(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	nodes := mkNodes(6)
+	g := graph.RandomConnected(nodes, 6, rng)
+	g.AddEdge(nodes[0], nodes[1], graph.Implicit) // ensure absorb/fuse candidates
+	for _, op := range EnabledOps(g, nil) {
+		h := g.Clone()
+		if err := Apply(h, op); err != nil {
+			t.Fatalf("enabled op %v not applicable: %v", op, err)
+		}
+	}
+}
+
+func TestApplyUnknownKind(t *testing.T) {
+	g := graph.New()
+	if err := Apply(g, Op{Kind: Kind(99)}); !errors.Is(err, ErrPrecondition) {
+		t.Fatal("unknown op must fail")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	names := map[Kind]string{
+		Introduction: "introduction♦",
+		Delegation:   "delegation♥",
+		Fusion:       "fusion♠",
+		Reversal:     "reversal♣",
+		AbsorbStep:   "absorb",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

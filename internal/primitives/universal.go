@@ -1,0 +1,293 @@
+package primitives
+
+import (
+	"errors"
+	"fmt"
+
+	"fdp/internal/graph"
+	"fdp/internal/ref"
+)
+
+// TransformStats counts the work done by the Theorem 1 transformation.
+type TransformStats struct {
+	CliqueRounds  int // introduction rounds until PG was a clique
+	Introductions int
+	Delegations   int
+	Fusions       int
+	Reversals     int
+	Absorbs       int
+}
+
+// TotalPrimitives returns the number of primitive applications (Absorb is
+// not a primitive and is excluded).
+func (s TransformStats) TotalPrimitives() int {
+	return s.Introductions + s.Delegations + s.Fusions + s.Reversals
+}
+
+// TransformOptions configures Transform.
+type TransformOptions struct {
+	// Verify re-checks weak connectivity after every single operation and
+	// aborts with an error on violation. Expensive; used by tests of
+	// Lemma 1.
+	Verify bool
+	// Trace, if non-nil, receives every applied operation.
+	Trace func(Op)
+}
+
+// ErrDisconnected reports a (would-be) connectivity violation during a
+// verified transformation. Lemma 1 guarantees it never occurs.
+var ErrDisconnected = errors.New("primitives: weak connectivity lost")
+
+// transformer carries shared state across the three phases.
+type transformer struct {
+	g     *graph.Graph
+	stats TransformStats
+	opts  TransformOptions
+}
+
+func (t *transformer) apply(op Op) error {
+	if err := Apply(t.g, op); err != nil {
+		return err
+	}
+	switch op.Kind {
+	case Introduction:
+		t.stats.Introductions++
+	case Delegation:
+		t.stats.Delegations++
+	case Fusion:
+		t.stats.Fusions++
+	case Reversal:
+		t.stats.Reversals++
+	case AbsorbStep:
+		t.stats.Absorbs++
+	}
+	if t.opts.Trace != nil {
+		t.opts.Trace(op)
+	}
+	if t.opts.Verify && !t.g.WeaklyConnected() {
+		return fmt.Errorf("%w after %v", ErrDisconnected, op)
+	}
+	return nil
+}
+
+// Transform executes the constructive proof of Theorem 1: it transforms the
+// weakly connected graph g in place into the target graph (same node set,
+// also weakly connected), using only the four primitives (plus Absorb
+// steps). On success, g equals target as a simple digraph.
+func Transform(g *graph.Graph, target *graph.Graph, opts TransformOptions) (TransformStats, error) {
+	t := &transformer{g: g, opts: opts}
+	if !sameNodeSet(g, target) {
+		return t.stats, errors.New("primitives: transform requires identical node sets")
+	}
+	if !g.WeaklyConnected() || !target.WeaklyConnected() {
+		return t.stats, errors.New("primitives: both graphs must be weakly connected")
+	}
+	if g.NumNodes() < 2 {
+		return t.stats, nil
+	}
+	if err := t.normalize(); err != nil {
+		return t.stats, err
+	}
+	if g.SameSimpleDigraph(target) {
+		return t.stats, nil
+	}
+	if err := t.cliquify(); err != nil {
+		return t.stats, err
+	}
+	bidir := target.BidirectedExtension()
+	if err := t.reduceTo(bidir); err != nil {
+		return t.stats, err
+	}
+	if err := t.reverseTo(target, bidir); err != nil {
+		return t.stats, err
+	}
+	if !g.SameSimpleDigraph(target) {
+		return t.stats, errors.New("primitives: transformation did not reach target (internal bug)")
+	}
+	return t.stats, nil
+}
+
+// normalize absorbs all implicit edges and fuses duplicates so every
+// ordered pair has multiplicity at most one.
+func (t *transformer) normalize() error {
+	AbsorbAll(t.g)
+	for _, u := range t.g.Nodes() {
+		for _, v := range t.g.Succ(u) {
+			for t.g.EdgeCount(u, v) > 1 {
+				if err := t.apply(Op{Kind: Fusion, U: u, V: v}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// cliquify runs rounds in which every process introduces all its neighbors
+// to each other, including self-introduction; the proof observes that
+// distances halve each round, so O(log n) rounds suffice.
+func (t *transformer) cliquify() error {
+	n := t.g.NumNodes()
+	wantEdges := n * (n - 1)
+	for t.g.NumEdges() < wantEdges {
+		t.stats.CliqueRounds++
+		// Snapshot the explicit neighborhoods at round start.
+		snapshot := make(map[ref.Ref][]ref.Ref, n)
+		for _, u := range t.g.Nodes() {
+			snapshot[u] = t.g.Succ(u)
+		}
+		for _, u := range t.g.Nodes() {
+			succ := snapshot[u]
+			for _, v := range succ {
+				// Self-introduction: v learns about u.
+				if !t.g.HasEdge(v, u) {
+					if err := t.apply(Op{Kind: Introduction, U: u, V: v, W: u}); err != nil {
+						return err
+					}
+				}
+				for _, w := range succ {
+					if w != v && w != u && !t.g.HasEdge(v, w) {
+						if err := t.apply(Op{Kind: Introduction, U: u, V: v, W: w}); err != nil {
+							return err
+						}
+					}
+				}
+			}
+		}
+		AbsorbAll(t.g)
+		if t.stats.CliqueRounds > 2*n+4 {
+			return errors.New("primitives: cliquify failed to converge (internal bug)")
+		}
+	}
+	return nil
+}
+
+// reduceTo removes every edge not in the bidirected extension G” by
+// delegating it along a shortest path of G” and fusing at the last hop,
+// exactly as in the Theorem 1 proof.
+func (t *transformer) reduceTo(bidir *graph.Graph) error {
+	for {
+		// Pick an edge (u,w) of g that is not in G''.
+		var eu, ew ref.Ref
+		found := false
+		for _, u := range t.g.Nodes() {
+			for _, w := range t.g.Succ(u) {
+				if !bidir.HasEdge(u, w) {
+					eu, ew, found = u, w, true
+					break
+				}
+			}
+			if found {
+				break
+			}
+		}
+		if !found {
+			// Fuse any residual duplicates of G'' edges.
+			return t.normalizeWithin(bidir)
+		}
+		// Route the reference of ew along the shortest u->w path in G''.
+		path := bidir.ShortestPath(eu, ew)
+		if path == nil {
+			return fmt.Errorf("primitives: no path %v->%v in bidirected target (internal bug)", eu, ew)
+		}
+		cur := eu
+		for i := 1; i < len(path); i++ {
+			next := path[i]
+			if next == ew {
+				// cur is a G''-neighbor of w: fuse cur's extra reference
+				// with the kept edge (cur,w) in G''.
+				for t.g.EdgeCount(cur, ew) > 1 {
+					if err := t.apply(Op{Kind: Fusion, U: cur, V: ew}); err != nil {
+						return err
+					}
+				}
+				break
+			}
+			if err := t.apply(Op{Kind: Delegation, U: cur, V: next, W: ew}); err != nil {
+				return err
+			}
+			if err := t.apply(Op{Kind: AbsorbStep, U: next, V: ew}); err != nil {
+				return err
+			}
+			// next now holds the reference; if it duplicates an existing
+			// edge and (next,w) is in G'', stop here by fusing.
+			if bidir.HasEdge(next, ew) {
+				for t.g.EdgeCount(next, ew) > 1 {
+					if err := t.apply(Op{Kind: Fusion, U: next, V: ew}); err != nil {
+						return err
+					}
+				}
+				break
+			}
+			cur = next
+		}
+	}
+}
+
+func (t *transformer) normalizeWithin(bidir *graph.Graph) error {
+	for _, u := range t.g.Nodes() {
+		for _, v := range t.g.Succ(u) {
+			for t.g.EdgeCount(u, v) > 1 {
+				if err := t.apply(Op{Kind: Fusion, U: u, V: v}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// reverseTo turns G” into G': every edge in E”\E' is reversed by its
+// holder and the resulting duplicate is fused with the kept opposite edge.
+func (t *transformer) reverseTo(target, bidir *graph.Graph) error {
+	for _, u := range t.g.Nodes() {
+		for _, v := range t.g.Succ(u) {
+			if target.HasEdge(u, v) {
+				continue
+			}
+			// (u,v) ∈ E''\E'; by construction (v,u) ∈ E'.
+			if err := t.apply(Op{Kind: Reversal, U: u, V: v}); err != nil {
+				return err
+			}
+			if err := t.apply(Op{Kind: AbsorbStep, U: v, V: u}); err != nil {
+				return err
+			}
+			for t.g.EdgeCount(v, u) > 1 {
+				if err := t.apply(Op{Kind: Fusion, U: v, V: u}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Cliquify runs only the first phase of the transformation on g (in place)
+// and returns the number of introduction rounds it took — the O(log n)
+// bound experiment E2 plots.
+func Cliquify(g *graph.Graph) (rounds int, err error) {
+	t := &transformer{g: g}
+	if err := t.normalize(); err != nil {
+		return 0, err
+	}
+	if g.NumNodes() < 2 {
+		return 0, nil
+	}
+	if err := t.cliquify(); err != nil {
+		return t.stats.CliqueRounds, err
+	}
+	return t.stats.CliqueRounds, nil
+}
+
+func sameNodeSet(a, b *graph.Graph) bool {
+	an, bn := a.Nodes(), b.Nodes()
+	if len(an) != len(bn) {
+		return false
+	}
+	for i := range an {
+		if an[i] != bn[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,151 @@
+// Package ref provides opaque process references.
+//
+// The paper restricts attention to copy-store-send protocols: the only
+// operations a protocol may perform on a reference are copying it, storing
+// it, sending it in a message, and testing two references for equality
+// (v = w). In particular no arithmetic, hashing or ordering on references is
+// available to a protocol. This package encodes that discipline in the type
+// system: Ref is opaque, supports == via Go equality, and exposes nothing
+// else to protocol code. Ordering and integer identities exist only for the
+// simulator's bookkeeping (package-internal indexes, deterministic
+// iteration) and for protocols that *explicitly* require a total order, such
+// as overlay linearization, which obtain it through a Key assigned by the
+// scenario, never through the reference itself.
+package ref
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Ref is an opaque reference to a process, analogous to knowing a node's IP
+// address. The zero value is Nil, the "no reference" sentinel (⊥ in the
+// paper). Two Refs are equal iff they reference the same process.
+type Ref struct {
+	id int32
+}
+
+// Nil is the absent reference, written ⊥ in the paper.
+var Nil = Ref{}
+
+// IsNil reports whether r is the absent reference ⊥.
+func (r Ref) IsNil() bool { return r.id == 0 }
+
+// String renders the reference for traces and tests. Protocol code must not
+// parse this.
+func (r Ref) String() string {
+	if r.IsNil() {
+		return "⊥"
+	}
+	return fmt.Sprintf("p%d", r.id)
+}
+
+// Space allocates references. It is the simulator's authority on which
+// references exist; copy-store-send protocols cannot mint references, they
+// can only receive them (Section 1.1).
+type Space struct {
+	next int32
+}
+
+// NewSpace returns an empty reference space.
+func NewSpace() *Space { return &Space{next: 1} }
+
+// New mints a fresh reference distinct from all previously minted ones.
+func (s *Space) New() Ref {
+	r := Ref{id: s.next}
+	s.next++
+	return r
+}
+
+// NewN mints n fresh references.
+func (s *Space) NewN(n int) []Ref {
+	out := make([]Ref, n)
+	for i := range out {
+		out[i] = s.New()
+	}
+	return out
+}
+
+// Count returns how many references have been minted.
+func (s *Space) Count() int { return int(s.next - 1) }
+
+// Index returns a dense 0-based index for r, valid for references minted by
+// a Space. It is simulator bookkeeping, not available to protocols.
+func Index(r Ref) int { return int(r.id) - 1 }
+
+// ByIndex reconstructs the reference with dense index i (inverse of Index).
+func ByIndex(i int) Ref { return Ref{id: int32(i) + 1} }
+
+// Less imposes the simulator's deterministic iteration order. Protocols in
+// the paper's model must not call this; overlay protocols that need a total
+// order use scenario-assigned keys instead.
+func Less(a, b Ref) bool { return a.id < b.id }
+
+// Sort sorts refs in the simulator's deterministic order.
+func Sort(refs []Ref) {
+	sort.Slice(refs, func(i, j int) bool { return Less(refs[i], refs[j]) })
+}
+
+// Set is a set of references with deterministic iteration support.
+type Set map[Ref]struct{}
+
+// NewSet builds a set from the given references.
+func NewSet(refs ...Ref) Set {
+	s := make(Set, len(refs))
+	for _, r := range refs {
+		s.Add(r)
+	}
+	return s
+}
+
+// Add inserts r. Adding Nil is a no-op: ⊥ is not a process.
+func (s Set) Add(r Ref) {
+	if r.IsNil() {
+		return
+	}
+	s[r] = struct{}{}
+}
+
+// Remove deletes r if present.
+func (s Set) Remove(r Ref) { delete(s, r) }
+
+// Has reports membership.
+func (s Set) Has(r Ref) bool {
+	_, ok := s[r]
+	return ok
+}
+
+// Len returns the cardinality.
+func (s Set) Len() int { return len(s) }
+
+// Sorted returns the members in deterministic order.
+func (s Set) Sorted() []Ref {
+	out := make([]Ref, 0, len(s))
+	for r := range s {
+		out = append(out, r)
+	}
+	Sort(out)
+	return out
+}
+
+// Clone returns a copy of the set.
+func (s Set) Clone() Set {
+	out := make(Set, len(s))
+	for r := range s {
+		out[r] = struct{}{}
+	}
+	return out
+}
+
+// Equal reports whether two sets contain the same references.
+func (s Set) Equal(t Set) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for r := range s {
+		if !t.Has(r) {
+			return false
+		}
+	}
+	return true
+}

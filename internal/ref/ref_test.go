@@ -1,0 +1,168 @@
+package ref
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNil(t *testing.T) {
+	if !Nil.IsNil() {
+		t.Fatal("Nil must report IsNil")
+	}
+	if Nil.String() != "⊥" {
+		t.Fatalf("Nil.String() = %q", Nil.String())
+	}
+	s := NewSpace()
+	if s.New().IsNil() {
+		t.Fatal("minted reference must not be nil")
+	}
+}
+
+func TestSpaceMintsDistinct(t *testing.T) {
+	s := NewSpace()
+	seen := NewSet()
+	for i := 0; i < 1000; i++ {
+		r := s.New()
+		if seen.Has(r) {
+			t.Fatalf("duplicate reference %v at mint %d", r, i)
+		}
+		seen.Add(r)
+	}
+	if s.Count() != 1000 {
+		t.Fatalf("Count = %d, want 1000", s.Count())
+	}
+}
+
+func TestNewN(t *testing.T) {
+	s := NewSpace()
+	refs := s.NewN(5)
+	if len(refs) != 5 {
+		t.Fatalf("NewN(5) returned %d refs", len(refs))
+	}
+	for i, a := range refs {
+		for j, b := range refs {
+			if i != j && a == b {
+				t.Fatalf("refs %d and %d equal", i, j)
+			}
+		}
+	}
+}
+
+func TestIndexRoundTrip(t *testing.T) {
+	s := NewSpace()
+	for i := 0; i < 100; i++ {
+		r := s.New()
+		if Index(r) != i {
+			t.Fatalf("Index(%v) = %d, want %d", r, Index(r), i)
+		}
+		if ByIndex(i) != r {
+			t.Fatalf("ByIndex(%d) = %v, want %v", i, ByIndex(i), r)
+		}
+	}
+}
+
+func TestLessIsStrictTotalOrder(t *testing.T) {
+	s := NewSpace()
+	refs := s.NewN(50)
+	for i := range refs {
+		for j := range refs {
+			switch {
+			case i < j && !Less(refs[i], refs[j]):
+				t.Fatalf("expected %v < %v", refs[i], refs[j])
+			case i == j && Less(refs[i], refs[j]):
+				t.Fatalf("ref not irreflexive: %v", refs[i])
+			case i > j && Less(refs[i], refs[j]):
+				t.Fatalf("order inverted for %v,%v", refs[i], refs[j])
+			}
+		}
+	}
+}
+
+func TestSortDeterministic(t *testing.T) {
+	s := NewSpace()
+	refs := s.NewN(20)
+	shuffled := []Ref{refs[7], refs[3], refs[19], refs[0], refs[11]}
+	Sort(shuffled)
+	want := []Ref{refs[0], refs[3], refs[7], refs[11], refs[19]}
+	for i := range want {
+		if shuffled[i] != want[i] {
+			t.Fatalf("Sort order wrong at %d: got %v want %v", i, shuffled[i], want[i])
+		}
+	}
+}
+
+func TestSetBasics(t *testing.T) {
+	s := NewSpace()
+	a, b, c := s.New(), s.New(), s.New()
+	set := NewSet(a, b)
+	if !set.Has(a) || !set.Has(b) || set.Has(c) {
+		t.Fatal("membership wrong")
+	}
+	set.Add(c)
+	set.Remove(a)
+	if set.Has(a) || !set.Has(c) || set.Len() != 2 {
+		t.Fatal("add/remove wrong")
+	}
+}
+
+func TestSetIgnoresNil(t *testing.T) {
+	set := NewSet()
+	set.Add(Nil)
+	if set.Len() != 0 {
+		t.Fatal("⊥ must not be storable in a Set")
+	}
+}
+
+func TestSetCloneIndependent(t *testing.T) {
+	s := NewSpace()
+	a, b := s.New(), s.New()
+	set := NewSet(a)
+	cl := set.Clone()
+	cl.Add(b)
+	if set.Has(b) {
+		t.Fatal("Clone must be independent")
+	}
+	if !cl.Has(a) {
+		t.Fatal("Clone must contain original members")
+	}
+}
+
+func TestSetEqual(t *testing.T) {
+	s := NewSpace()
+	a, b, c := s.New(), s.New(), s.New()
+	if !NewSet(a, b).Equal(NewSet(b, a)) {
+		t.Fatal("order must not matter")
+	}
+	if NewSet(a, b).Equal(NewSet(a, c)) {
+		t.Fatal("different sets reported equal")
+	}
+	if NewSet(a, b).Equal(NewSet(a)) {
+		t.Fatal("different sizes reported equal")
+	}
+}
+
+func TestSetSortedMatchesMembership(t *testing.T) {
+	s := NewSpace()
+	refs := s.NewN(30)
+	set := NewSet(refs[3], refs[9], refs[1])
+	got := set.Sorted()
+	want := []Ref{refs[1], refs[3], refs[9]}
+	if len(got) != len(want) {
+		t.Fatalf("Sorted length %d want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sorted[%d] = %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestQuickIndexInverse(t *testing.T) {
+	f := func(n uint16) bool {
+		i := int(n)
+		return Index(ByIndex(i)) == i
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

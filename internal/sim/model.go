@@ -1,0 +1,167 @@
+// Package sim implements the distributed-system model of Section 1.1 of the
+// paper: a fixed set of processes with unique references, a system-based
+// channel variable per process holding a multiset of messages (unbounded
+// capacity, no loss, no FIFO order), two kinds of actions (remotely callable
+// procedures triggered by messages, and guard-based actions of which only
+// the timeout action — guard "true" — is used), the special commands exit
+// and sleep, and the awake/asleep/gone process state graph of Figure 1.
+//
+// Computations are infinite fair sequences of atomic action executions.
+// Fairness is weakly fair action execution plus fair message receipt; the
+// schedulers in this package guarantee both mechanically (see scheduler.go),
+// while still exercising fully asynchronous, non-FIFO behaviour.
+package sim
+
+import (
+	"fmt"
+
+	"fdp/internal/ref"
+)
+
+// Mode is the read-only mode(u) variable: staying or leaving.
+type Mode uint8
+
+const (
+	// Staying processes want to remain in the overlay.
+	Staying Mode = iota
+	// Leaving processes request to be excluded from the overlay.
+	Leaving
+	// Unknown is used only inside the Section 4 framework's message list
+	// for not-yet-verified references; mode(u) itself is never Unknown.
+	Unknown
+	// Absent marks a reference whose process is gone (discovered through
+	// an undeliverable message); mode(u) itself is never Absent.
+	Absent
+)
+
+// String returns the lowercase mode name.
+func (m Mode) String() string {
+	switch m {
+	case Staying:
+		return "staying"
+	case Leaving:
+		return "leaving"
+	case Absent:
+		return "absent"
+	default:
+		return "unknown"
+	}
+}
+
+// Life is the lifecycle state of Figure 1: awake, asleep, or gone.
+type Life uint8
+
+const (
+	// Awake processes execute enabled actions.
+	Awake Life = iota
+	// Asleep processes only wake up when processing an incoming message.
+	Asleep
+	// Gone processes executed exit and never act again.
+	Gone
+)
+
+// String returns the lowercase lifecycle name.
+func (l Life) String() string {
+	switch l {
+	case Awake:
+		return "awake"
+	case Asleep:
+		return "asleep"
+	default:
+		return "gone"
+	}
+}
+
+// RefInfo is a process reference as it travels inside a message, together
+// with the sender's knowledge of that process's mode (a.mode(b) in the
+// paper). The claim may be wrong — that is exactly the invalid information
+// the self-stabilizing protocol must eliminate.
+type RefInfo struct {
+	Ref  ref.Ref
+	Mode Mode
+}
+
+// String renders "p3:leaving".
+func (ri RefInfo) String() string { return fmt.Sprintf("%v:%v", ri.Ref, ri.Mode) }
+
+// Message is a request to call the action named Label on the receiving
+// process. Refs carries all process references in the parameter list (each
+// with a mode claim); Payload carries any reference-free extra parameters.
+// All references a message transports MUST be listed in Refs — the implicit
+// edges of PG are computed from it.
+type Message struct {
+	Label   string
+	Refs    []RefInfo
+	Payload any
+
+	from ref.Ref // sender, for tracing only; the model has no implicit sender
+	seq  uint64  // arrival sequence number, for aging-based fair receipt
+}
+
+// From returns the sender for tracing and debugging. Protocol code must not
+// use it: the paper's messages carry no implicit sender.
+func (m Message) From() ref.Ref { return m.from }
+
+// Seq returns the global arrival sequence number of the message.
+func (m Message) Seq() uint64 { return m.seq }
+
+// NewMessage builds a message carrying the given references.
+func NewMessage(label string, refs ...RefInfo) Message {
+	return Message{Label: label, Refs: refs}
+}
+
+// Protocol is the per-process protocol instance: its variables and actions.
+// Implementations must be deterministic (iterate reference sets in ref.Sort
+// order) so that seeded runs are reproducible.
+type Protocol interface {
+	// Timeout executes the process's timeout action (guard true). It is
+	// invoked only while the process is awake.
+	Timeout(ctx Context)
+	// Deliver executes the action requested by msg. Unknown labels must be
+	// ignored (the model discards messages that name no action).
+	Deliver(ctx Context, msg Message)
+	// Refs enumerates every process reference currently stored in the
+	// process's local variables (including special variables such as the
+	// anchor). These are the explicit edges of PG.
+	Refs() []ref.Ref
+}
+
+// Context is the protocol's interface to the system during one atomic action
+// execution.
+type Context interface {
+	// Self returns the executing process's own reference.
+	Self() ref.Ref
+	// Mode returns the read-only mode(u) of the executing process.
+	Mode() Mode
+	// Send executes v <- label(parameters): it asks the process referenced
+	// by to for a remote action call. Sends to gone processes vanish.
+	Send(to ref.Ref, msg Message)
+	// Exit puts the process into the gone state (FDP only).
+	Exit()
+	// Sleep puts the process into the asleep state (FSP only). It takes
+	// effect when the current action completes.
+	Sleep()
+	// OracleSays consults the world's configured oracle for the executing
+	// process. With no oracle configured it returns false, so a protocol
+	// guarded by an oracle never exits.
+	OracleSays() bool
+}
+
+// Sleeper is implemented by protocols that support the FSP variant; the
+// world uses it only in tests to distinguish variants.
+type Sleeper interface {
+	UsesSleep() bool
+}
+
+// UndeliverableHandler is implemented by protocols that want to be told,
+// within the same atomic action, that a message they sent could not be
+// delivered because its target is gone. This models the transport-level
+// failure detection (e.g. a broken TCP connection) that Section 4's
+// postprocess action presupposes: "postprocess is able to handle messages
+// that cannot be delivered". The Section 3 protocol does not need it — the
+// SINGLE oracle already prevents any send to a gone process from losing a
+// reference — but the framework P′ uses it to unwedge pending verifications
+// addressed to processes that exited with one remaining partner.
+type UndeliverableHandler interface {
+	Undeliverable(ctx Context, to ref.Ref, msg Message)
+}

@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"fdp/internal/ref"
+)
+
+// MSC renders recorded events as a textual message sequence chart — one
+// column per process, one row per event — for inspecting protocol
+// interactions (who introduced whom to whom, which bounce triggered which
+// delegation).
+//
+//	step        p1           p2           p3
+//	----        --           --           --
+//	   1     timeout          .            .
+//	   2        ●---present-->            .
+//	   3        .          deliver        .
+func MSC(events []Event, procs []ref.Ref) string {
+	const colWidth = 14
+	ref.Sort(procs)
+	col := make(map[ref.Ref]int, len(procs))
+	for i, p := range procs {
+		col[p] = i
+	}
+	var b strings.Builder
+	// Header.
+	fmt.Fprintf(&b, "%6s", "step")
+	for _, p := range procs {
+		fmt.Fprintf(&b, "%*s", colWidth, p.String())
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%6s", "----")
+	for range procs {
+		fmt.Fprintf(&b, "%*s", colWidth, "--")
+	}
+	b.WriteString("\n")
+
+	cell := func(cells []string, idx int, s string) {
+		if idx >= 0 && idx < len(cells) {
+			cells[idx] = s
+		}
+	}
+	for _, e := range events {
+		cells := make([]string, len(procs))
+		for i := range cells {
+			cells[i] = "."
+		}
+		from, okFrom := col[e.Proc]
+		to, okTo := col[e.Peer]
+		switch e.Kind {
+		case EvSend:
+			if okFrom {
+				cell(cells, from, "send:"+e.Label)
+			}
+			if okTo {
+				cell(cells, to, "<--"+e.Label)
+			}
+		case EvDeliver:
+			if okFrom {
+				cell(cells, from, "recv:"+e.Label)
+			}
+		case EvDrop:
+			if okFrom {
+				cell(cells, from, "drop:"+e.Label)
+			}
+		default:
+			if okFrom {
+				cell(cells, from, e.Kind.String())
+			}
+		}
+		fmt.Fprintf(&b, "%6d", e.Step)
+		for _, c := range cells {
+			if len(c) > colWidth-1 {
+				c = c[:colWidth-1]
+			}
+			fmt.Fprintf(&b, "%*s", colWidth, c)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,49 @@
+package sim
+
+// ReplayScheduler replays a recorded schedule action by action — the
+// companion of the model checker: a violation's schedule can be replayed on
+// a fresh world to reproduce and inspect the failure deterministically.
+//
+// Message actions are re-resolved by sequence number, so the schedule must
+// come from a world with the same construction order (clones and identical
+// rebuilds qualify). When the recorded schedule is exhausted (or an action
+// no longer validates), Next falls back to the wrapped scheduler, or stops
+// if none is configured.
+type ReplayScheduler struct {
+	schedule []Action
+	pos      int
+	fallback Scheduler
+	stalled  bool
+}
+
+// NewReplayScheduler replays schedule, then hands over to fallback (nil =
+// stop when the schedule ends).
+func NewReplayScheduler(schedule []Action, fallback Scheduler) *ReplayScheduler {
+	return &ReplayScheduler{schedule: schedule, fallback: fallback}
+}
+
+// Name identifies the scheduler in reports.
+func (s *ReplayScheduler) Name() string { return "replay" }
+
+// Remaining returns how many recorded actions are left to replay.
+func (s *ReplayScheduler) Remaining() int { return len(s.schedule) - s.pos }
+
+// Stalled reports whether a recorded action failed to validate against the
+// world (divergence between the recording and this run).
+func (s *ReplayScheduler) Stalled() bool { return s.stalled }
+
+// Next implements Scheduler.
+func (s *ReplayScheduler) Next(w *World) (Action, bool) {
+	for s.pos < len(s.schedule) {
+		a := s.schedule[s.pos]
+		s.pos++
+		if w.ValidateAction(&a) {
+			return a, true
+		}
+		s.stalled = true
+	}
+	if s.fallback != nil {
+		return s.fallback.Next(w)
+	}
+	return Action{}, false
+}

@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// RunOptions configures a run driver.
+type RunOptions struct {
+	// Variant selects the legitimacy predicate (FDP or FSP).
+	Variant Variant
+	// MaxSteps bounds the run; exceeding it is a convergence failure.
+	MaxSteps int
+	// CheckEvery controls how often legitimacy is evaluated (every k
+	// steps); 0 selects a default proportional to the system size.
+	CheckEvery int
+	// CheckSafety verifies the Lemma 2 invariant (relevant processes stay
+	// weakly connected per initial component) at every legitimacy check,
+	// aborting the run on violation.
+	CheckSafety bool
+	// SafetyEveryStep verifies the Lemma 2 invariant after *every* step.
+	// Expensive; for tests on small systems.
+	SafetyEveryStep bool
+	// Potential, if set, is sampled at every legitimacy check; the series
+	// is returned in the result. Used for the Φ experiments.
+	Potential func(*World) int
+	// OnStep, if set, runs after every executed action.
+	OnStep func(*World)
+}
+
+// RunResult reports the outcome of a run.
+type RunResult struct {
+	Converged bool // reached a legitimate state within MaxSteps
+	Steps     int
+	Rounds    int // meaningful when the scheduler is a *RoundScheduler
+	Stats     Stats
+	// PotentialSeries holds (step, Φ) samples when RunOptions.Potential is
+	// set.
+	PotentialSteps  []int
+	PotentialValues []int
+	// SafetyViolation is non-nil if a safety check failed; the run stops
+	// immediately in that case.
+	SafetyViolation error
+}
+
+// ErrSafety is wrapped by any safety-violation error.
+var ErrSafety = errors.New("safety violated: relevant processes disconnected")
+
+// Run drives the world under the given scheduler until a legitimate state is
+// reached, MaxSteps is exceeded, safety is violated, or no action is enabled.
+// SealInitialState must have been called on the world.
+func Run(w *World, sched Scheduler, opts RunOptions) RunResult {
+	if w.InitialComponents() == nil {
+		w.SealInitialState()
+	}
+	if opts.MaxSteps <= 0 {
+		opts.MaxSteps = 1 << 20
+	}
+	checkEvery := opts.CheckEvery
+	if checkEvery <= 0 {
+		checkEvery = len(w.Refs())
+		if checkEvery < 1 {
+			checkEvery = 1
+		}
+	}
+	res := RunResult{}
+	sample := func() bool {
+		if opts.Potential != nil {
+			res.PotentialSteps = append(res.PotentialSteps, w.Steps())
+			res.PotentialValues = append(res.PotentialValues, opts.Potential(w))
+		}
+		if opts.CheckSafety && !w.RelevantComponentsIntact() {
+			res.SafetyViolation = fmt.Errorf("%w (step %d)", ErrSafety, w.Steps())
+			return false
+		}
+		return !w.Legitimate(opts.Variant)
+	}
+	if !sample() {
+		res.Converged = res.SafetyViolation == nil
+		res.Steps = w.Steps()
+		res.Stats = w.Stats()
+		res.Rounds = roundsOf(sched)
+		return res
+	}
+	for w.Steps() < opts.MaxSteps {
+		a, ok := sched.Next(w)
+		if !ok {
+			// Quiescent but not legitimate: only possible in FSP-like
+			// states; evaluate once more and stop.
+			res.Converged = w.Legitimate(opts.Variant)
+			break
+		}
+		w.Execute(a)
+		if opts.OnStep != nil {
+			opts.OnStep(w)
+		}
+		if opts.SafetyEveryStep && !w.RelevantComponentsIntact() {
+			res.SafetyViolation = fmt.Errorf("%w (step %d)", ErrSafety, w.Steps())
+			break
+		}
+		if w.Steps()%checkEvery == 0 {
+			if !sample() {
+				res.Converged = res.SafetyViolation == nil
+				break
+			}
+		}
+	}
+	if !res.Converged && res.SafetyViolation == nil {
+		// Final check in case MaxSteps landed between samples.
+		res.Converged = w.Legitimate(opts.Variant)
+	}
+	res.Steps = w.Steps()
+	res.Stats = w.Stats()
+	res.Rounds = roundsOf(sched)
+	return res
+}
+
+func roundsOf(s Scheduler) int {
+	if rs, ok := s.(*RoundScheduler); ok {
+		return rs.Rounds()
+	}
+	return 0
+}

@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"fdp/internal/ref"
+)
+
+// exitWhenToldProto exits on its k-th timeout; staying fixtures idle.
+type exitAfterProto struct {
+	fixtureProto
+	after int
+}
+
+func (e *exitAfterProto) Timeout(ctx Context) {
+	e.after--
+	if e.after <= 0 {
+		ctx.Exit()
+	}
+}
+
+// buildRunWorld: one staying idle process and one leaving process that
+// exits after k timeouts.
+func buildRunWorld(k int) (*World, ref.Ref, ref.Ref) {
+	space := ref.NewSpace()
+	stay, leave := space.New(), space.New()
+	w := NewWorld(nil)
+	w.AddProcess(stay, Staying, newFixture())
+	w.AddProcess(leave, Leaving, &exitAfterProto{after: k})
+	w.SealInitialState()
+	return w, stay, leave
+}
+
+func TestRunConvergesToLegitimacy(t *testing.T) {
+	w, _, _ := buildRunWorld(3)
+	res := Run(w, NewRoundScheduler(), RunOptions{Variant: FDP, MaxSteps: 1000})
+	if !res.Converged {
+		t.Fatalf("run did not converge: %+v", res)
+	}
+	if res.Stats.Exits != 1 {
+		t.Fatal("exit not recorded")
+	}
+	if res.Rounds == 0 {
+		t.Fatal("rounds not reported for the round scheduler")
+	}
+}
+
+func TestRunRespectsMaxSteps(t *testing.T) {
+	w, _, _ := buildRunWorld(1 << 30) // never exits
+	res := Run(w, NewRandomScheduler(1, 64), RunOptions{Variant: FDP, MaxSteps: 500})
+	if res.Converged {
+		t.Fatal("must not converge")
+	}
+	if res.Steps != 500 {
+		t.Fatalf("steps = %d, want exactly 500", res.Steps)
+	}
+}
+
+func TestRunImmediateLegitimacy(t *testing.T) {
+	// No leavers: state is legitimate before any step.
+	space := ref.NewSpace()
+	a := space.New()
+	w := NewWorld(nil)
+	w.AddProcess(a, Staying, newFixture())
+	w.SealInitialState()
+	res := Run(w, NewRandomScheduler(1, 64), RunOptions{Variant: FDP, MaxSteps: 100})
+	if !res.Converged || res.Steps != 0 {
+		t.Fatalf("immediate legitimacy not detected: %+v", res)
+	}
+}
+
+func TestRunSealsAutomatically(t *testing.T) {
+	space := ref.NewSpace()
+	a := space.New()
+	w := NewWorld(nil)
+	w.AddProcess(a, Staying, newFixture())
+	// No SealInitialState call: Run must do it.
+	res := Run(w, NewRandomScheduler(1, 64), RunOptions{Variant: FDP, MaxSteps: 10})
+	if !res.Converged {
+		t.Fatal("auto-seal failed")
+	}
+	if w.InitialComponents() == nil {
+		t.Fatal("initial components not sealed")
+	}
+}
+
+func TestRunPotentialSeries(t *testing.T) {
+	w, _, _ := buildRunWorld(5)
+	countdown := 10
+	res := Run(w, NewRoundScheduler(), RunOptions{
+		Variant: FDP, MaxSteps: 1000, CheckEvery: 1,
+		Potential: func(*World) int { countdown--; return countdown },
+	})
+	if len(res.PotentialSteps) == 0 || len(res.PotentialValues) != len(res.PotentialSteps) {
+		t.Fatalf("potential series missing: %+v", res)
+	}
+}
+
+// disconnectingProto deletes its only reference outright — a protocol
+// outside the four primitives, used to check the safety detector.
+type disconnectingProto struct {
+	refs ref.Set
+	drop bool
+}
+
+func (d *disconnectingProto) Timeout(ctx Context) {
+	if d.drop {
+		d.refs = ref.NewSet()
+	}
+}
+func (d *disconnectingProto) Deliver(Context, Message) {}
+func (d *disconnectingProto) Refs() []ref.Ref          { return d.refs.Sorted() }
+
+func TestRunDetectsSafetyViolation(t *testing.T) {
+	space := ref.NewSpace()
+	a, b := space.New(), space.New()
+	w := NewWorld(nil)
+	pa := &disconnectingProto{refs: ref.NewSet(b), drop: true}
+	w.AddProcess(a, Staying, pa)
+	// b is leaving (and never exits), so the initial state is not
+	// legitimate and the run actually executes steps.
+	w.AddProcess(b, Leaving, &disconnectingProto{refs: ref.NewSet()})
+	w.SealInitialState()
+	res := Run(w, NewRoundScheduler(), RunOptions{
+		Variant: FDP, MaxSteps: 100, SafetyEveryStep: true,
+	})
+	if res.SafetyViolation == nil {
+		t.Fatal("reference deletion must be flagged as a safety violation")
+	}
+	if !errors.Is(res.SafetyViolation, ErrSafety) {
+		t.Fatal("violation must wrap ErrSafety")
+	}
+	if res.Converged {
+		t.Fatal("violated runs must not report convergence")
+	}
+}
+
+func TestPickEnabledMatchesEnumeration(t *testing.T) {
+	space := ref.NewSpace()
+	a, b := space.New(), space.New()
+	w := NewWorld(nil)
+	fa := newFixture()
+	w.AddProcess(a, Staying, fa)
+	w.AddProcess(b, Staying, newFixture())
+	w.Enqueue(a, NewMessage("m1"))
+	w.Enqueue(b, NewMessage("m2"))
+	w.Enqueue(b, NewMessage("m3"))
+	actions := w.EnabledActions()
+	if w.EnabledCount() != len(actions) {
+		t.Fatalf("EnabledCount=%d, enumeration=%d", w.EnabledCount(), len(actions))
+	}
+	for k, want := range actions {
+		got := w.PickEnabled(k)
+		if got.Proc != want.Proc || got.IsTimeout != want.IsTimeout || got.MsgSeq != want.MsgSeq {
+			t.Fatalf("PickEnabled(%d) = %+v, want %+v", k, got, want)
+		}
+	}
+}
+
+func TestValidateActionStaleness(t *testing.T) {
+	space := ref.NewSpace()
+	a := space.New()
+	w := NewWorld(nil)
+	fa := newFixture()
+	w.AddProcess(a, Staying, fa)
+	w.Enqueue(a, NewMessage("x"))
+	act := w.EnabledActions()[1] // the delivery
+	if !w.ValidateAction(&act) {
+		t.Fatal("live action must validate")
+	}
+	w.Execute(act) // consume it
+	if w.ValidateAction(&act) {
+		t.Fatal("consumed message must not validate")
+	}
+	timeout := Action{Proc: a, IsTimeout: true}
+	if !w.ValidateAction(&timeout) {
+		t.Fatal("timeout of awake process must validate")
+	}
+	fa.onTimeout = func(ctx Context, f *fixtureProto) { ctx.Exit() }
+	w.Execute(timeout)
+	if w.ValidateAction(&timeout) {
+		t.Fatal("gone process's timeout must not validate")
+	}
+}

@@ -1,0 +1,272 @@
+package sim
+
+import (
+	"math/rand"
+)
+
+// Scheduler picks the next enabled action. All schedulers in this package
+// are fair: every continuously enabled timeout runs infinitely often and
+// every message is eventually delivered, as the model's computations
+// require. Beyond fairness they differ in how adversarially they reorder
+// messages and starve timeouts, which is how we probe self-stabilization
+// from many schedules.
+type Scheduler interface {
+	Name() string
+	// Next picks an enabled action; ok is false iff no action is enabled.
+	Next(w *World) (a Action, ok bool)
+}
+
+// --- Random scheduler ---------------------------------------------------
+
+// RandomScheduler picks uniformly among all enabled actions, with an aging
+// bound that mechanically guarantees fairness: periodic sweeps collect any
+// message older than AgingBound steps and any awake process whose timeout
+// has not run for AgingBound steps into a backlog that is served first.
+// Picks cost O(#processes); sweeps cost O(#messages) but run only every
+// AgingBound/2 steps, keeping the amortized per-step cost low.
+type RandomScheduler struct {
+	rng        *rand.Rand
+	AgingBound int
+
+	lastSweep int
+	backlog   []Action
+}
+
+// NewRandomScheduler returns a seeded random scheduler with the given aging
+// bound (<= 0 selects a default of 512).
+func NewRandomScheduler(seed int64, agingBound int) *RandomScheduler {
+	if agingBound <= 0 {
+		agingBound = 512
+	}
+	return &RandomScheduler{rng: rand.New(rand.NewSource(seed)), AgingBound: agingBound}
+}
+
+// Name identifies the scheduler in reports.
+func (s *RandomScheduler) Name() string { return "random" }
+
+// Next implements Scheduler.
+func (s *RandomScheduler) Next(w *World) (Action, bool) {
+	// Serve overdue work first to guarantee fairness deterministically.
+	for len(s.backlog) > 0 {
+		a := s.backlog[0]
+		s.backlog = s.backlog[1:]
+		if w.ValidateAction(&a) {
+			return a, true
+		}
+	}
+	if w.Steps()-s.lastSweep >= s.AgingBound/2 {
+		s.sweep(w)
+		s.lastSweep = w.Steps()
+		if len(s.backlog) > 0 {
+			return s.Next(w)
+		}
+	}
+	total := w.EnabledCount()
+	if total == 0 {
+		return Action{}, false
+	}
+	return w.PickEnabled(s.rng.Intn(total)), true
+}
+
+// sweep collects every action that exceeded the aging bound.
+func (s *RandomScheduler) sweep(w *World) {
+	step := uint64(w.Steps())
+	bound := uint64(s.AgingBound)
+	for _, a := range w.EnabledActions() {
+		if a.IsTimeout {
+			p := w.mustProc(a.Proc)
+			if step-uint64(p.lastTimeout) > bound {
+				s.backlog = append(s.backlog, a)
+			}
+		} else if step > a.MsgSeq && step-a.MsgSeq > bound {
+			s.backlog = append(s.backlog, a)
+		}
+	}
+}
+
+// --- Round scheduler ----------------------------------------------------
+
+// RoundScheduler executes canonical asynchronous rounds: in each round,
+// every process (in deterministic order) first processes all messages that
+// were in its channel at the start of the round, then executes its timeout
+// if awake. This is trivially fair and provides the "rounds to convergence"
+// metric used by the experiments.
+type RoundScheduler struct {
+	plan   []Action
+	rounds int
+}
+
+// NewRoundScheduler returns a fresh round scheduler.
+func NewRoundScheduler() *RoundScheduler { return &RoundScheduler{} }
+
+// Name identifies the scheduler in reports.
+func (s *RoundScheduler) Name() string { return "rounds" }
+
+// Rounds returns the number of completed rounds.
+func (s *RoundScheduler) Rounds() int { return s.rounds }
+
+// Next implements Scheduler. The per-round plan snapshots message sequence
+// numbers at round start; messages arriving during the round wait for the
+// next round, which models arbitrary (but fair) delivery delay.
+func (s *RoundScheduler) Next(w *World) (Action, bool) {
+	for {
+		for len(s.plan) > 0 {
+			a := s.plan[0]
+			s.plan = s.plan[1:]
+			if !s.stillEnabled(w, &a) {
+				continue
+			}
+			return a, true
+		}
+		if w.Quiescent() {
+			return Action{}, false
+		}
+		s.buildRound(w)
+		s.rounds++
+	}
+}
+
+func (s *RoundScheduler) buildRound(w *World) {
+	s.plan = s.plan[:0]
+	for _, r := range w.Refs() {
+		if w.LifeOf(r) == Gone {
+			continue
+		}
+		for _, m := range w.ChannelSnapshot(r) {
+			s.plan = append(s.plan, Action{Proc: r, MsgSeq: m.Seq()})
+		}
+		s.plan = append(s.plan, Action{Proc: r, IsTimeout: true})
+	}
+}
+
+// stillEnabled revalidates a planned action against the live state and, for
+// message deliveries, resolves the current index of the message by its
+// sequence number.
+func (s *RoundScheduler) stillEnabled(w *World, a *Action) bool {
+	p := w.byRef[a.Proc]
+	if p == nil || p.life == Gone {
+		return false
+	}
+	if a.IsTimeout {
+		return p.life == Awake
+	}
+	for i, m := range p.ch {
+		if m.seq == a.MsgSeq {
+			a.MsgIndex = i
+			return true
+		}
+	}
+	return false
+}
+
+// --- Adversarial scheduler ----------------------------------------------
+
+// AdversarialScheduler tries to break stabilization within the fairness
+// constraints: it delivers the newest messages first (LIFO, maximal
+// reordering), starves timeouts for as long as the fairness bound allows,
+// and sometimes targets a single process's backlog to create hot spots.
+type AdversarialScheduler struct {
+	rng   *rand.Rand
+	Bound int // fairness bound, in steps
+}
+
+// NewAdversarialScheduler returns a seeded adversarial scheduler with the
+// given fairness bound (<= 0 selects 256).
+func NewAdversarialScheduler(seed int64, bound int) *AdversarialScheduler {
+	if bound <= 0 {
+		bound = 256
+	}
+	return &AdversarialScheduler{rng: rand.New(rand.NewSource(seed)), Bound: bound}
+}
+
+// Name identifies the scheduler in reports.
+func (s *AdversarialScheduler) Name() string { return "adversarial" }
+
+// Next implements Scheduler.
+func (s *AdversarialScheduler) Next(w *World) (Action, bool) {
+	actions := w.EnabledActions()
+	if len(actions) == 0 {
+		return Action{}, false
+	}
+	step := uint64(w.Steps())
+	// Obey fairness first: overdue timeouts and messages must run.
+	for _, a := range actions {
+		if a.IsTimeout {
+			p := w.mustProc(a.Proc)
+			if step-uint64(p.lastTimeout) > uint64(s.Bound) {
+				return a, true
+			}
+		} else if step > a.MsgSeq && step-a.MsgSeq > uint64(s.Bound) {
+			return a, true
+		}
+	}
+	// Prefer the newest message (max seq) — worst-case reordering.
+	var best Action
+	bestSeq := uint64(0)
+	haveMsg := false
+	for _, a := range actions {
+		if !a.IsTimeout && a.MsgSeq >= bestSeq {
+			best, bestSeq, haveMsg = a, a.MsgSeq, true
+		}
+	}
+	if haveMsg && s.rng.Intn(8) != 0 {
+		return best, true
+	}
+	// Occasionally run a random timeout so guards stay live.
+	var timeouts []Action
+	for _, a := range actions {
+		if a.IsTimeout {
+			timeouts = append(timeouts, a)
+		}
+	}
+	if len(timeouts) > 0 {
+		return timeouts[s.rng.Intn(len(timeouts))], true
+	}
+	return actions[s.rng.Intn(len(actions))], true
+}
+
+// --- FIFO scheduler -------------------------------------------------------
+
+// FIFOScheduler delivers the globally oldest message first and interleaves
+// one timeout per process between deliveries. Although the model allows
+// non-FIFO channels, FIFO order is a legal schedule and a useful baseline.
+type FIFOScheduler struct {
+	rr int
+}
+
+// NewFIFOScheduler returns a FIFO scheduler.
+func NewFIFOScheduler() *FIFOScheduler { return &FIFOScheduler{} }
+
+// Name identifies the scheduler in reports.
+func (s *FIFOScheduler) Name() string { return "fifo" }
+
+// Next implements Scheduler.
+func (s *FIFOScheduler) Next(w *World) (Action, bool) {
+	actions := w.EnabledActions()
+	if len(actions) == 0 {
+		return Action{}, false
+	}
+	var timeouts []Action
+	var best Action
+	bestSeq := ^uint64(0)
+	haveMsg := false
+	for _, a := range actions {
+		if a.IsTimeout {
+			timeouts = append(timeouts, a)
+			continue
+		}
+		if a.MsgSeq < bestSeq {
+			best, bestSeq, haveMsg = a, a.MsgSeq, true
+		}
+	}
+	s.rr++
+	// Alternate: every third pick runs a timeout (round-robin) so guards
+	// stay live even under a constant message stream.
+	if len(timeouts) > 0 && (!haveMsg || s.rr%3 == 0) {
+		return timeouts[s.rr/3%len(timeouts)], true
+	}
+	if haveMsg {
+		return best, true
+	}
+	return timeouts[s.rr%len(timeouts)], true
+}

@@ -1,0 +1,245 @@
+package sim
+
+import (
+	"testing"
+
+	"fdp/internal/ref"
+)
+
+// chatterProto sends one message to a fixed peer on every timeout and
+// records what it receives — a stress fixture that keeps channels busy.
+type chatterProto struct {
+	peer     ref.Ref
+	received int
+	sends    int
+	maxSends int
+}
+
+func (c *chatterProto) Timeout(ctx Context) {
+	if c.sends < c.maxSends {
+		c.sends++
+		ctx.Send(c.peer, NewMessage("chat", RefInfo{Ref: ctx.Self(), Mode: Staying}))
+	}
+}
+
+func (c *chatterProto) Deliver(ctx Context, m Message) { c.received++ }
+
+func (c *chatterProto) Refs() []ref.Ref { return []ref.Ref{c.peer} }
+
+func buildChatterWorld(n, sends int) (*World, []*chatterProto) {
+	space := ref.NewSpace()
+	nodes := space.NewN(n)
+	w := NewWorld(nil)
+	protos := make([]*chatterProto, n)
+	for i, r := range nodes {
+		protos[i] = &chatterProto{peer: nodes[(i+1)%n], maxSends: sends}
+		w.AddProcess(r, Staying, protos[i])
+	}
+	w.SealInitialState()
+	return w, protos
+}
+
+// runScheduler drives the world for exactly maxSteps steps or until
+// quiescent, whichever comes first.
+func runScheduler(w *World, s Scheduler, maxSteps int) {
+	for w.Steps() < maxSteps {
+		a, ok := s.Next(w)
+		if !ok {
+			return
+		}
+		w.Execute(a)
+	}
+}
+
+func TestSchedulersDeliverEverything(t *testing.T) {
+	schedulers := []func() Scheduler{
+		func() Scheduler { return NewRandomScheduler(1, 64) },
+		func() Scheduler { return NewRoundScheduler() },
+		func() Scheduler { return NewAdversarialScheduler(1, 64) },
+		func() Scheduler { return NewFIFOScheduler() },
+	}
+	for _, mk := range schedulers {
+		s := mk()
+		w, protos := buildChatterWorld(5, 10)
+		runScheduler(w, s, 100000)
+		total := 0
+		for _, p := range protos {
+			total += p.received
+		}
+		if total != 5*10 {
+			t.Errorf("%s: delivered %d of %d messages", s.Name(), total, 50)
+		}
+		if w.Stats().TotalInQueue != 0 {
+			t.Errorf("%s: %d messages stuck in queues", s.Name(), w.Stats().TotalInQueue)
+		}
+	}
+}
+
+func TestRandomSchedulerDeterministicWithSeed(t *testing.T) {
+	run := func(seed int64) []int {
+		w, protos := buildChatterWorld(4, 5)
+		runScheduler(w, NewRandomScheduler(seed, 64), 2000)
+		out := make([]int, len(protos))
+		for i, p := range protos {
+			out[i] = p.received
+		}
+		return out
+	}
+	a1, a2 := run(7), run(7)
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("same seed must give identical runs")
+		}
+	}
+}
+
+func TestRandomSchedulerAgingDeliversOldMessages(t *testing.T) {
+	// One process floods itself; a second process has one old message. The
+	// aging bound must force its delivery within bound steps.
+	space := ref.NewSpace()
+	a, b := space.New(), space.New()
+	w := NewWorld(nil)
+	flood := &chatterProto{peer: a, maxSends: 1 << 30}
+	quiet := &chatterProto{peer: b, maxSends: 0}
+	w.AddProcess(a, Staying, flood)
+	w.AddProcess(b, Staying, quiet)
+	w.Enqueue(b, NewMessage("old"))
+	s := NewRandomScheduler(3, 50)
+	for i := 0; i < 500 && quiet.received == 0; i++ {
+		act, ok := s.Next(w)
+		if !ok {
+			break
+		}
+		w.Execute(act)
+	}
+	if quiet.received == 0 {
+		t.Fatal("aging bound failed to force delivery of an old message")
+	}
+}
+
+func TestRoundSchedulerCountsRounds(t *testing.T) {
+	w, _ := buildChatterWorld(3, 4)
+	s := NewRoundScheduler()
+	runScheduler(w, s, 100000)
+	if s.Rounds() == 0 {
+		t.Fatal("rounds not counted")
+	}
+	// Each round runs each process's timeout once: 3 timeouts per round.
+	// Sends stop after 4 per process, so the system quiesces... except
+	// timeouts are always enabled for awake processes; the driver stops
+	// when all messages are consumed and maxSends reached only via step
+	// bound. Just sanity-check rounds grew with steps.
+	if s.Rounds() > w.Steps() {
+		t.Fatal("more rounds than steps is impossible")
+	}
+}
+
+func TestRoundSchedulerDefersIntraRoundMessages(t *testing.T) {
+	// A message sent during a round must not be delivered in that round.
+	space := ref.NewSpace()
+	a, b := space.New(), space.New()
+	w := NewWorld(nil)
+	pa := &chatterProto{peer: b, maxSends: 1}
+	pb := &chatterProto{peer: a, maxSends: 0}
+	w.AddProcess(a, Staying, pa)
+	w.AddProcess(b, Staying, pb)
+	w.SealInitialState()
+	s := NewRoundScheduler()
+	// Round 1: a's timeout sends to b; b's timeout does nothing. The
+	// delivery happens in round 2.
+	for i := 0; i < 2; i++ { // two timeout actions of round 1
+		act, _ := s.Next(w)
+		if !act.IsTimeout {
+			t.Fatalf("round 1 action %d should be a timeout (nothing queued at round start)", i)
+		}
+		w.Execute(act)
+	}
+	if pb.received != 0 {
+		t.Fatal("message delivered in its sending round")
+	}
+	// Round 2 starts: the delivery must come before b's timeout.
+	for pb.received == 0 {
+		act, ok := s.Next(w)
+		if !ok {
+			t.Fatal("scheduler gave up")
+		}
+		w.Execute(act)
+	}
+	if s.Rounds() != 2 {
+		t.Fatalf("delivery should happen in round 2, got round %d", s.Rounds())
+	}
+}
+
+func TestAdversarialSchedulerIsFair(t *testing.T) {
+	// Even the adversarial scheduler must eventually deliver the oldest
+	// message under a constant flood.
+	space := ref.NewSpace()
+	a, b := space.New(), space.New()
+	w := NewWorld(nil)
+	flood := &chatterProto{peer: b, maxSends: 1 << 30}
+	sink := &chatterProto{peer: a, maxSends: 0}
+	w.AddProcess(a, Staying, flood)
+	w.AddProcess(b, Staying, sink)
+	w.Enqueue(b, NewMessage("victim"))
+	firstSeq := w.ChannelSnapshot(b)[0].Seq()
+	s := NewAdversarialScheduler(11, 40)
+	victimDelivered := false
+	for i := 0; i < 2000 && !victimDelivered; i++ {
+		act, ok := s.Next(w)
+		if !ok {
+			break
+		}
+		if !act.IsTimeout && act.MsgSeq == firstSeq {
+			victimDelivered = true
+		}
+		w.Execute(act)
+	}
+	if !victimDelivered {
+		t.Fatal("adversarial scheduler starved a message past its fairness bound")
+	}
+}
+
+func TestFIFOSchedulerDeliversInOrder(t *testing.T) {
+	space := ref.NewSpace()
+	a := space.New()
+	w := NewWorld(nil)
+	p := &chatterProto{peer: a, maxSends: 0}
+	w.AddProcess(a, Staying, p)
+	w.Enqueue(a, NewMessage("first"))
+	w.Enqueue(a, NewMessage("second"))
+	s := NewFIFOScheduler()
+	var order []uint64
+	for len(order) < 2 {
+		act, ok := s.Next(w)
+		if !ok {
+			t.Fatal("no action")
+		}
+		if !act.IsTimeout {
+			order = append(order, act.MsgSeq)
+		}
+		w.Execute(act)
+	}
+	if order[0] >= order[1] {
+		t.Fatalf("FIFO violated: %v", order)
+	}
+}
+
+func TestSchedulersTimeoutFairness(t *testing.T) {
+	// Every awake process's timeout must run repeatedly under every
+	// scheduler, even with message pressure.
+	for _, mk := range []func() Scheduler{
+		func() Scheduler { return NewRandomScheduler(5, 32) },
+		func() Scheduler { return NewAdversarialScheduler(5, 32) },
+		func() Scheduler { return NewFIFOScheduler() },
+		func() Scheduler { return NewRoundScheduler() },
+	} {
+		s := mk()
+		w, protos := buildChatterWorld(4, 1<<30) // endless chatter
+		runScheduler(w, s, 5000)
+		for i, p := range protos {
+			if p.sends < 2 {
+				t.Errorf("%s: process %d timeout ran %d times in 5000 steps", s.Name(), i, p.sends)
+			}
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package sim
+
+import (
+	"fdp/internal/graph"
+	"fdp/internal/ref"
+)
+
+// PG builds the current process graph: one node per non-gone process, an
+// explicit edge (a,b) for every reference of b stored in a's variables, and
+// an implicit edge (a,b) for every reference of b carried by a message in
+// a.Ch. Gone processes are removed from PG together with their incident
+// edges, so edges to gone processes are omitted.
+func (w *World) PG() *graph.Graph {
+	g := graph.New()
+	for _, p := range w.procs {
+		if p == nil || p.life == Gone {
+			continue
+		}
+		g.AddNode(p.id)
+	}
+	for _, p := range w.procs {
+		if p == nil || p.life == Gone {
+			continue
+		}
+		for _, r := range p.proto.Refs() {
+			if w.isLiveTarget(r) {
+				g.AddEdge(p.id, r, graph.Explicit)
+			}
+		}
+		for _, m := range p.ch {
+			for _, ri := range m.Refs {
+				if w.isLiveTarget(ri.Ref) {
+					g.AddEdge(p.id, ri.Ref, graph.Implicit)
+				}
+			}
+		}
+	}
+	return g
+}
+
+func (w *World) isLiveTarget(r ref.Ref) bool {
+	if r.IsNil() {
+		return false
+	}
+	p := w.byRef[r]
+	return p != nil && p.life != Gone
+}
+
+// Hibernating returns the set of hibernating processes: p is hibernating if
+// p is asleep, p.Ch is empty, and all processes q with a directed path to p
+// in PG are also asleep with empty channels. By the claim of Foreback et
+// al. quoted in Section 1.1, a hibernating process is permanently asleep
+// under any copy-store-send protocol.
+func (w *World) Hibernating() ref.Set {
+	pg := w.PG()
+	// S: the "active" processes — awake, or asleep with a nonempty channel.
+	var active []ref.Ref
+	for _, p := range w.procs {
+		if p == nil || p.life == Gone {
+			continue
+		}
+		if p.life == Awake || len(p.ch) > 0 {
+			active = append(active, p.id)
+		}
+	}
+	tainted := pg.ForwardReachAll(active)
+	out := ref.NewSet()
+	for _, p := range w.procs {
+		if p == nil || p.life != Asleep || len(p.ch) > 0 {
+			continue
+		}
+		if !tainted.Has(p.id) {
+			out.Add(p.id)
+		}
+	}
+	return out
+}
+
+// Relevant returns the set of relevant processes: neither gone nor
+// hibernating (Section 1.2).
+func (w *World) Relevant() ref.Set {
+	hib := w.Hibernating()
+	out := ref.NewSet()
+	for _, p := range w.procs {
+		if p == nil || p.life == Gone {
+			continue
+		}
+		if !hib.Has(p.id) {
+			out.Add(p.id)
+		}
+	}
+	return out
+}
+
+// RelevantPG returns PG restricted to relevant processes — the graph oracles
+// are defined over.
+func (w *World) RelevantPG() *graph.Graph {
+	return w.PG().InducedSubgraph(w.Relevant())
+}
+
+// Variant selects the problem being solved: FDP (exit available) or FSP
+// (sleep available).
+type Variant uint8
+
+const (
+	// FDP is the Finite Departure Problem: leaving processes must end gone.
+	FDP Variant = iota
+	// FSP is the Finite Sleep Problem: leaving processes must end
+	// hibernating.
+	FSP
+)
+
+// String names the variant.
+func (v Variant) String() string {
+	if v == FDP {
+		return "FDP"
+	}
+	return "FSP"
+}
+
+// Legitimate reports whether the current state is legitimate per Section
+// 1.2: (i) every staying process is awake, (ii) every leaving process is
+// gone (FDP) or hibernating (FSP), and (iii) for each weakly connected
+// component of the initial process graph, the staying processes of that
+// component still form a weakly connected component. SealInitialState must
+// have been called.
+func (w *World) Legitimate(v Variant) bool {
+	var hib ref.Set
+	for _, p := range w.procs {
+		if p == nil {
+			continue
+		}
+		switch p.mode {
+		case Staying:
+			if p.life != Awake {
+				return false
+			}
+		case Leaving:
+			switch v {
+			case FDP:
+				if p.life != Gone {
+					return false
+				}
+			case FSP:
+				if p.life == Gone {
+					return false
+				}
+				if hib == nil {
+					hib = w.Hibernating()
+				}
+				if !hib.Has(p.id) {
+					return false
+				}
+			}
+		}
+	}
+	return w.StayingComponentsPreserved()
+}
+
+// StayingComponentsPreserved checks legitimacy condition (iii): per initial
+// component, the staying processes are still weakly connected in the current
+// PG (paths may only use staying processes, since in a legitimate state all
+// other processes are excluded from the overlay).
+func (w *World) StayingComponentsPreserved() bool {
+	staying := ref.NewSet()
+	for _, p := range w.procs {
+		if p != nil && p.mode == Staying {
+			staying.Add(p.id)
+		}
+	}
+	pg := w.PG().InducedSubgraph(staying)
+	for _, comp := range w.initialComponents {
+		var members []ref.Ref
+		for _, r := range comp {
+			if staying.Has(r) {
+				members = append(members, r)
+			}
+		}
+		for i := 1; i < len(members); i++ {
+			if !pg.SameWeakComponent(members[0], members[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// RelevantComponentsIntact checks the Lemma 2 safety invariant during a run:
+// relevant processes that started in the same initial component are still
+// weakly connected in the subgraph of PG induced by relevant processes. This
+// is strictly stronger than condition (iii) and must hold in *every* state
+// of a computation of a safe protocol.
+func (w *World) RelevantComponentsIntact() bool {
+	relevant := w.Relevant()
+	pg := w.PG().InducedSubgraph(relevant)
+	for _, comp := range w.initialComponents {
+		var members []ref.Ref
+		for _, r := range comp {
+			if relevant.Has(r) {
+				members = append(members, r)
+			}
+		}
+		for i := 1; i < len(members); i++ {
+			if !pg.SameWeakComponent(members[0], members[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// AwakeCount returns the number of awake processes.
+func (w *World) AwakeCount() int {
+	n := 0
+	for _, p := range w.procs {
+		if p != nil && p.life == Awake {
+			n++
+		}
+	}
+	return n
+}
+
+// GoneCount returns the number of gone processes.
+func (w *World) GoneCount() int {
+	n := 0
+	for _, p := range w.procs {
+		if p != nil && p.life == Gone {
+			n++
+		}
+	}
+	return n
+}
+
+// LeavingRemaining returns the number of leaving processes not yet gone.
+func (w *World) LeavingRemaining() int {
+	n := 0
+	for _, p := range w.procs {
+		if p != nil && p.mode == Leaving && p.life != Gone {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Recorder is a bounded ring buffer of trace events, attachable to a world
+// via SetEventHook. It keeps the most recent Cap events, which is the right
+// tool for post-mortem inspection of non-converging runs.
+type Recorder struct {
+	cap    int
+	events []Event
+	start  int
+	total  uint64
+	filter map[EventKind]bool // nil = record everything
+}
+
+// NewRecorder returns a recorder keeping the most recent cap events
+// (cap <= 0 selects 4096).
+func NewRecorder(cap int) *Recorder {
+	if cap <= 0 {
+		cap = 4096
+	}
+	return &Recorder{cap: cap}
+}
+
+// Only restricts recording to the given event kinds.
+func (r *Recorder) Only(kinds ...EventKind) *Recorder {
+	r.filter = make(map[EventKind]bool, len(kinds))
+	for _, k := range kinds {
+		r.filter[k] = true
+	}
+	return r
+}
+
+// Attach installs the recorder on w (replacing any existing hook).
+func (r *Recorder) Attach(w *World) { w.SetEventHook(r.Record) }
+
+// Record stores one event; usable directly as an event hook.
+func (r *Recorder) Record(e Event) {
+	if r.filter != nil && !r.filter[e.Kind] {
+		return
+	}
+	r.total++
+	if len(r.events) < r.cap {
+		r.events = append(r.events, e)
+		return
+	}
+	r.events[r.start] = e
+	r.start = (r.start + 1) % r.cap
+}
+
+// Total returns how many events were recorded (including evicted ones).
+func (r *Recorder) Total() uint64 { return r.total }
+
+// Events returns the retained events, oldest first.
+func (r *Recorder) Events() []Event {
+	out := make([]Event, 0, len(r.events))
+	out = append(out, r.events[r.start:]...)
+	out = append(out, r.events[:r.start]...)
+	return out
+}
+
+// Dump renders the retained events, one per line.
+func (r *Recorder) Dump() string {
+	var b strings.Builder
+	for _, e := range r.Events() {
+		fmt.Fprintf(&b, "%7d %-8s %v", e.Step, e.Kind, e.Proc)
+		if !e.Peer.IsNil() {
+			fmt.Fprintf(&b, " peer=%v", e.Peer)
+		}
+		if e.Label != "" {
+			fmt.Fprintf(&b, " label=%s", e.Label)
+		}
+		if e.Message != "" {
+			fmt.Fprintf(&b, " %s", e.Message)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// CountByKind tallies retained events per kind.
+func (r *Recorder) CountByKind() map[EventKind]int {
+	out := make(map[EventKind]int)
+	for _, e := range r.Events() {
+		out[e.Kind]++
+	}
+	return out
+}

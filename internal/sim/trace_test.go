@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"fdp/internal/ref"
+)
+
+func TestRecorderRingBuffer(t *testing.T) {
+	r := NewRecorder(3)
+	space := ref.NewSpace()
+	p := space.New()
+	for i := 0; i < 5; i++ {
+		r.Record(Event{Step: i, Kind: EvSend, Proc: p})
+	}
+	if r.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", r.Total())
+	}
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d, want 3", len(evs))
+	}
+	if evs[0].Step != 2 || evs[2].Step != 4 {
+		t.Fatalf("ring order wrong: %v", evs)
+	}
+}
+
+func TestRecorderFilter(t *testing.T) {
+	r := NewRecorder(10).Only(EvExit)
+	p := ref.NewSpace().New()
+	r.Record(Event{Kind: EvSend, Proc: p})
+	r.Record(Event{Kind: EvExit, Proc: p})
+	if r.Total() != 1 || len(r.Events()) != 1 || r.Events()[0].Kind != EvExit {
+		t.Fatal("filter broken")
+	}
+}
+
+func TestRecorderAttachAndDump(t *testing.T) {
+	space := ref.NewSpace()
+	a, b := space.New(), space.New()
+	w := NewWorld(nil)
+	fa, fb := newFixture(), newFixture()
+	w.AddProcess(a, Staying, fa)
+	w.AddProcess(b, Staying, fb)
+	rec := NewRecorder(100)
+	rec.Attach(w)
+	fa.onTimeout = func(ctx Context, f *fixtureProto) { ctx.Send(b, NewMessage("hello")) }
+	w.Execute(Action{Proc: a, IsTimeout: true})
+	w.Execute(Action{Proc: b, MsgIndex: 0})
+	dump := rec.Dump()
+	if !strings.Contains(dump, "timeout") || !strings.Contains(dump, "label=hello") {
+		t.Fatalf("dump incomplete:\n%s", dump)
+	}
+	counts := rec.CountByKind()
+	if counts[EvTimeout] != 1 || counts[EvSend] != 1 || counts[EvDeliver] != 1 {
+		t.Fatalf("counts wrong: %v", counts)
+	}
+}
+
+func TestForceAsleep(t *testing.T) {
+	space := ref.NewSpace()
+	a := space.New()
+	w := NewWorld(nil)
+	w.AddProcess(a, Leaving, newFixture())
+	w.ForceAsleep(a)
+	if w.LifeOf(a) != Asleep {
+		t.Fatal("ForceAsleep must set the asleep state")
+	}
+	for _, act := range w.EnabledActions() {
+		if act.Proc == a && act.IsTimeout {
+			t.Fatal("forced-asleep process must have no enabled timeout")
+		}
+	}
+}
+
+// undeliverableProto records bounce notifications.
+type undeliverableProto struct {
+	fixtureProto
+	bounced []Message
+}
+
+func (u *undeliverableProto) Undeliverable(ctx Context, to ref.Ref, msg Message) {
+	u.bounced = append(u.bounced, msg)
+}
+
+func TestUndeliverableHook(t *testing.T) {
+	space := ref.NewSpace()
+	a, b := space.New(), space.New()
+	w := NewWorld(nil)
+	ua := &undeliverableProto{}
+	ua.fixtureProto = *newFixture()
+	fb := newFixture()
+	fb.onTimeout = func(ctx Context, f *fixtureProto) { ctx.Exit() }
+	w.AddProcess(a, Staying, ua)
+	w.AddProcess(b, Leaving, fb)
+	w.Execute(Action{Proc: b, IsTimeout: true}) // b exits
+	ua.onTimeout = func(ctx Context, f *fixtureProto) { ctx.Send(b, NewMessage("lost")) }
+	w.Execute(Action{Proc: a, IsTimeout: true})
+	if len(ua.bounced) != 1 || ua.bounced[0].Label != "lost" {
+		t.Fatalf("undeliverable hook not invoked: %v", ua.bounced)
+	}
+	if w.Stats().Dropped != 1 {
+		t.Fatal("drop not counted")
+	}
+}
+
+func TestUndeliverableNotCalledForDeliverable(t *testing.T) {
+	space := ref.NewSpace()
+	a, b := space.New(), space.New()
+	w := NewWorld(nil)
+	ua := &undeliverableProto{}
+	ua.fixtureProto = *newFixture()
+	w.AddProcess(a, Staying, ua)
+	w.AddProcess(b, Staying, newFixture())
+	ua.onTimeout = func(ctx Context, f *fixtureProto) { ctx.Send(b, NewMessage("fine")) }
+	w.Execute(Action{Proc: a, IsTimeout: true})
+	if len(ua.bounced) != 0 {
+		t.Fatal("bounce on successful delivery")
+	}
+}
+
+func TestMSCRendering(t *testing.T) {
+	space := ref.NewSpace()
+	a, b := space.New(), space.New()
+	w := NewWorld(nil)
+	fa, fb := newFixture(), newFixture()
+	w.AddProcess(a, Staying, fa)
+	w.AddProcess(b, Staying, fb)
+	rec := NewRecorder(100)
+	rec.Attach(w)
+	fa.onTimeout = func(ctx Context, f *fixtureProto) { ctx.Send(b, NewMessage("hello")) }
+	w.Execute(Action{Proc: a, IsTimeout: true})
+	w.Execute(Action{Proc: b, MsgIndex: 0})
+	msc := MSC(rec.Events(), []ref.Ref{a, b})
+	if !strings.Contains(msc, "send:hello") {
+		t.Fatalf("send missing:\n%s", msc)
+	}
+	if !strings.Contains(msc, "recv:hello") {
+		t.Fatalf("recv missing:\n%s", msc)
+	}
+	if !strings.Contains(msc, "timeout") {
+		t.Fatalf("timeout missing:\n%s", msc)
+	}
+	// Header has one column per process.
+	first := strings.SplitN(msc, "\n", 2)[0]
+	if !strings.Contains(first, a.String()) || !strings.Contains(first, b.String()) {
+		t.Fatalf("header wrong: %q", first)
+	}
+}

@@ -1,0 +1,454 @@
+package sim
+
+import (
+	"fmt"
+
+	"fdp/internal/ref"
+)
+
+// Oracle is a predicate O: PG × P -> {true,false} over the current process
+// graph of relevant processes and the calling process (Section 1.3).
+type Oracle interface {
+	Name() string
+	// Evaluate is called with the world (providing the relevant process
+	// graph) and the calling process.
+	Evaluate(w *World, u ref.Ref) bool
+}
+
+// Event is a trace event emitted by the world.
+type Event struct {
+	Step    int
+	Kind    EventKind
+	Proc    ref.Ref
+	Peer    ref.Ref // message target / source where applicable
+	Label   string  // message label where applicable
+	Message string  // free-form detail
+}
+
+// EventKind enumerates trace event types.
+type EventKind uint8
+
+// Trace event kinds.
+const (
+	EvTimeout EventKind = iota
+	EvDeliver
+	EvSend
+	EvDrop
+	EvExit
+	EvSleep
+	EvWake
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvTimeout:
+		return "timeout"
+	case EvDeliver:
+		return "deliver"
+	case EvSend:
+		return "send"
+	case EvDrop:
+		return "drop"
+	case EvExit:
+		return "exit"
+	case EvSleep:
+		return "sleep"
+	default:
+		return "wake"
+	}
+}
+
+// Stats aggregates counters over a run.
+type Stats struct {
+	Steps        int
+	Timeouts     uint64
+	Deliveries   uint64
+	Sent         uint64
+	Dropped      uint64 // sends to gone processes
+	Exits        int
+	Sleeps       uint64
+	Wakes        uint64
+	SentByLabel  map[string]uint64
+	MaxChannel   int // high-water mark of any single channel
+	TotalInQueue int // current in-flight messages (maintained incrementally)
+}
+
+func newStats() Stats { return Stats{SentByLabel: make(map[string]uint64)} }
+
+type process struct {
+	id    ref.Ref
+	mode  Mode
+	life  Life
+	ch    []Message
+	proto Protocol
+
+	lastTimeout int // step index of last timeout execution, for fairness aging
+}
+
+// World holds the full system state: every process, its channel, and the
+// configured oracle. It executes atomic actions one at a time.
+type World struct {
+	procs  []*process // dense, indexed by ref.Index
+	byRef  map[ref.Ref]*process
+	oracle Oracle
+	stats  Stats
+	seq    uint64
+
+	// initialComponents is the weakly-connected-component partition of the
+	// initial PG, captured by SealInitialState; legitimacy condition (iii)
+	// is judged against it.
+	initialComponents [][]ref.Ref
+
+	onEvent func(Event) // optional trace hook
+
+	// awake counts processes in the Awake state, for O(1) EnabledCount.
+	awake int
+
+	// sleepRequested defers the sleep transition to the end of the current
+	// atomic action, as the model requires action execution to be atomic.
+	current        *process
+	sleepRequested bool
+	exitRequested  bool
+}
+
+// NewWorld returns an empty world using the given oracle (nil = no oracle;
+// OracleSays always false).
+func NewWorld(oracle Oracle) *World {
+	return &World{
+		byRef:  make(map[ref.Ref]*process),
+		oracle: oracle,
+		stats:  newStats(),
+	}
+}
+
+// SetEventHook installs a trace callback (nil disables tracing).
+func (w *World) SetEventHook(fn func(Event)) { w.onEvent = fn }
+
+func (w *World) emit(e Event) {
+	if w.onEvent != nil {
+		e.Step = w.stats.Steps
+		w.onEvent(e)
+	}
+}
+
+// AddProcess registers a process with the given mode and protocol instance.
+// It panics on duplicate registration — scenario construction bugs should
+// fail loudly.
+func (w *World) AddProcess(r ref.Ref, mode Mode, proto Protocol) {
+	if r.IsNil() {
+		panic("sim: cannot add process with nil reference")
+	}
+	if _, dup := w.byRef[r]; dup {
+		panic(fmt.Sprintf("sim: duplicate process %v", r))
+	}
+	p := &process{id: r, mode: mode, life: Awake, proto: proto}
+	w.byRef[r] = p
+	w.awake++
+	idx := ref.Index(r)
+	for len(w.procs) <= idx {
+		w.procs = append(w.procs, nil)
+	}
+	w.procs[idx] = p
+}
+
+// Enqueue places a message directly into to's channel, used to set up
+// arbitrary initial states (in-flight messages) and by the parallel runtime.
+// Messages to unknown or gone processes are dropped.
+func (w *World) Enqueue(to ref.Ref, msg Message) {
+	p := w.byRef[to]
+	if p == nil || p.life == Gone {
+		w.stats.Dropped++
+		return
+	}
+	w.seq++
+	msg.seq = w.seq
+	p.ch = append(p.ch, msg)
+	w.stats.TotalInQueue++
+	if len(p.ch) > w.stats.MaxChannel {
+		w.stats.MaxChannel = len(p.ch)
+	}
+}
+
+// SealInitialState captures the weakly-connected-component partition of the
+// current PG. Call it after scenario construction, before the first step.
+func (w *World) SealInitialState() {
+	w.initialComponents = w.PG().WeaklyConnectedComponents()
+}
+
+// InitialComponents returns the sealed initial component partition.
+func (w *World) InitialComponents() [][]ref.Ref { return w.initialComponents }
+
+// Refs returns the references of all registered processes, gone or not.
+func (w *World) Refs() []ref.Ref {
+	out := make([]ref.Ref, 0, len(w.byRef))
+	for r := range w.byRef {
+		out = append(out, r)
+	}
+	ref.Sort(out)
+	return out
+}
+
+// Has reports whether r names a registered process of this world. Snapshot
+// worlds built by the parallel runtime omit gone processes entirely, so
+// predicates should check Has before ModeOf/LifeOf when handling stored
+// references of unknown provenance.
+func (w *World) Has(r ref.Ref) bool {
+	_, ok := w.byRef[r]
+	return ok
+}
+
+// ModeOf returns the true mode of r. Panics on unknown references.
+func (w *World) ModeOf(r ref.Ref) Mode { return w.mustProc(r).mode }
+
+// LifeOf returns the lifecycle state of r.
+func (w *World) LifeOf(r ref.Ref) Life { return w.mustProc(r).life }
+
+// ChannelLen returns the number of messages in r's channel.
+func (w *World) ChannelLen(r ref.Ref) int { return len(w.mustProc(r).ch) }
+
+// ChannelSnapshot returns a copy of r's channel contents.
+func (w *World) ChannelSnapshot(r ref.Ref) []Message {
+	p := w.mustProc(r)
+	out := make([]Message, len(p.ch))
+	copy(out, p.ch)
+	return out
+}
+
+// ProtocolOf returns the protocol instance of r, for inspection by
+// experiment code and the potential function.
+func (w *World) ProtocolOf(r ref.Ref) Protocol { return w.mustProc(r).proto }
+
+// ForceAsleep puts a process directly into the asleep state. It exists for
+// snapshot reconstruction (the parallel runtime mirrors its live state into
+// a World) and for tests that need to start from arbitrary lifecycle
+// states; the protocol-driven way to sleep is Context.Sleep.
+func (w *World) ForceAsleep(r ref.Ref) {
+	p := w.mustProc(r)
+	if p.life == Awake {
+		w.awake--
+	}
+	p.life = Asleep
+}
+
+// Stats returns a copy of the run counters.
+func (w *World) Stats() Stats {
+	s := w.stats
+	s.SentByLabel = make(map[string]uint64, len(w.stats.SentByLabel))
+	for k, v := range w.stats.SentByLabel {
+		s.SentByLabel[k] = v
+	}
+	return s
+}
+
+// Steps returns the number of atomic actions executed so far.
+func (w *World) Steps() int { return w.stats.Steps }
+
+func (w *World) mustProc(r ref.Ref) *process {
+	p := w.byRef[r]
+	if p == nil {
+		panic(fmt.Sprintf("sim: unknown process %v", r))
+	}
+	return p
+}
+
+// --- Action enumeration and execution ---------------------------------
+
+// Action identifies one enabled action: a timeout of an awake process or the
+// delivery of one channel message to an awake or asleep process.
+type Action struct {
+	Proc      ref.Ref
+	IsTimeout bool
+	MsgIndex  int    // valid when !IsTimeout
+	MsgSeq    uint64 // stable identity of the message (for debugging)
+}
+
+// EnabledCount returns the number of enabled actions without materializing
+// them: one timeout per awake process plus every queued message of non-gone
+// processes.
+func (w *World) EnabledCount() int {
+	return w.awake + w.stats.TotalInQueue
+}
+
+// PickEnabled returns the k-th enabled action in the canonical order used
+// by EnabledActions, without allocating the full list. k must be in
+// [0, EnabledCount()).
+func (w *World) PickEnabled(k int) Action {
+	for _, p := range w.procs {
+		if p == nil || p.life == Gone {
+			continue
+		}
+		if p.life == Awake {
+			if k == 0 {
+				return Action{Proc: p.id, IsTimeout: true}
+			}
+			k--
+		}
+		if k < len(p.ch) {
+			return Action{Proc: p.id, MsgIndex: k, MsgSeq: p.ch[k].seq}
+		}
+		k -= len(p.ch)
+	}
+	panic("sim: PickEnabled index out of range")
+}
+
+// ValidateAction re-checks that a previously enumerated action is still
+// enabled, re-resolving a message's index by its sequence number. It
+// returns false for actions that became stale (process gone or asleep,
+// message already delivered).
+func (w *World) ValidateAction(a *Action) bool {
+	p := w.byRef[a.Proc]
+	if p == nil || p.life == Gone {
+		return false
+	}
+	if a.IsTimeout {
+		return p.life == Awake
+	}
+	for i, m := range p.ch {
+		if m.seq == a.MsgSeq {
+			a.MsgIndex = i
+			return true
+		}
+	}
+	return false
+}
+
+// EnabledActions lists every action enabled in the current state, in
+// deterministic order.
+func (w *World) EnabledActions() []Action {
+	var out []Action
+	for _, p := range w.procs {
+		if p == nil || p.life == Gone {
+			continue
+		}
+		if p.life == Awake {
+			out = append(out, Action{Proc: p.id, IsTimeout: true})
+		}
+		for i, m := range p.ch {
+			out = append(out, Action{Proc: p.id, MsgIndex: i, MsgSeq: m.seq})
+		}
+	}
+	return out
+}
+
+// Quiescent reports whether no action is enabled: every process is gone or
+// asleep and all channels of non-gone processes are empty.
+func (w *World) Quiescent() bool {
+	for _, p := range w.procs {
+		if p == nil || p.life == Gone {
+			continue
+		}
+		if p.life == Awake || len(p.ch) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Execute runs one enabled action atomically. It panics if the action is not
+// enabled (scheduler bug).
+func (w *World) Execute(a Action) {
+	p := w.mustProc(a.Proc)
+	if p.life == Gone {
+		panic(fmt.Sprintf("sim: action on gone process %v", a.Proc))
+	}
+	w.stats.Steps++
+	w.current = p
+	w.sleepRequested = false
+	w.exitRequested = false
+	ctx := &procCtx{w: w, p: p}
+
+	if a.IsTimeout {
+		if p.life != Awake {
+			panic(fmt.Sprintf("sim: timeout on non-awake process %v", a.Proc))
+		}
+		w.stats.Timeouts++
+		p.lastTimeout = w.stats.Steps
+		w.emit(Event{Kind: EvTimeout, Proc: p.id})
+		p.proto.Timeout(ctx)
+	} else {
+		if a.MsgIndex < 0 || a.MsgIndex >= len(p.ch) {
+			panic(fmt.Sprintf("sim: bad message index %d for %v", a.MsgIndex, a.Proc))
+		}
+		msg := p.ch[a.MsgIndex]
+		// Remove the message from the channel (processed exactly once).
+		p.ch = append(p.ch[:a.MsgIndex], p.ch[a.MsgIndex+1:]...)
+		w.stats.TotalInQueue--
+		if p.life == Asleep {
+			p.life = Awake
+			w.awake++
+			w.stats.Wakes++
+			w.emit(Event{Kind: EvWake, Proc: p.id})
+		}
+		w.stats.Deliveries++
+		w.emit(Event{Kind: EvDeliver, Proc: p.id, Peer: msg.from, Label: msg.Label})
+		p.proto.Deliver(ctx, msg)
+	}
+
+	// Apply deferred lifecycle transitions after the atomic action.
+	if w.exitRequested {
+		if p.life == Awake {
+			w.awake--
+		}
+		p.life = Gone
+		w.stats.Exits++
+		// A gone process's channel contents can never be processed and are
+		// no longer part of PG (the process is removed with its edges).
+		w.stats.TotalInQueue -= len(p.ch)
+		p.ch = nil
+		w.emit(Event{Kind: EvExit, Proc: p.id})
+	} else if w.sleepRequested {
+		if p.life == Awake {
+			w.awake--
+		}
+		p.life = Asleep
+		w.stats.Sleeps++
+		w.emit(Event{Kind: EvSleep, Proc: p.id})
+	}
+	w.current = nil
+}
+
+type procCtx struct {
+	w *World
+	p *process
+}
+
+func (c *procCtx) Self() ref.Ref { return c.p.id }
+func (c *procCtx) Mode() Mode    { return c.p.mode }
+
+func (c *procCtx) Send(to ref.Ref, msg Message) {
+	if to.IsNil() {
+		return
+	}
+	msg.from = c.p.id
+	target := c.w.byRef[to]
+	c.w.stats.Sent++
+	c.w.stats.SentByLabel[msg.Label]++
+	if target == nil || target.life == Gone {
+		c.w.stats.Dropped++
+		c.w.emit(Event{Kind: EvDrop, Proc: c.p.id, Peer: to, Label: msg.Label})
+		if h, ok := c.p.proto.(UndeliverableHandler); ok {
+			h.Undeliverable(c, to, msg)
+		}
+		return
+	}
+	c.w.seq++
+	msg.seq = c.w.seq
+	target.ch = append(target.ch, msg)
+	c.w.stats.TotalInQueue++
+	if len(target.ch) > c.w.stats.MaxChannel {
+		c.w.stats.MaxChannel = len(target.ch)
+	}
+	c.w.emit(Event{Kind: EvSend, Proc: c.p.id, Peer: to, Label: msg.Label})
+}
+
+func (c *procCtx) Exit() { c.w.exitRequested = true }
+
+func (c *procCtx) Sleep() { c.w.sleepRequested = true }
+
+func (c *procCtx) OracleSays() bool {
+	if c.w.oracle == nil {
+		return false
+	}
+	return c.w.oracle.Evaluate(c.w, c.p.id)
+}
