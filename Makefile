@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: all vet build test race bench
+
+all: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The simulator and the concurrent runtime are the packages with real
+# concurrency (goroutine-per-process runtime, snapshot locking); run them
+# under the race detector.
+race:
+	$(GO) test -race ./internal/sim/... ./internal/parallel/...
+
+bench:
+	$(GO) test -bench . -benchmem -run XXX .

@@ -191,8 +191,9 @@ func BenchmarkSimStep(b *testing.B) {
 	}
 }
 
-// BenchmarkPG measures process-graph construction, the cost of every
-// global predicate and oracle evaluation.
+// BenchmarkPG measures from-scratch process-graph construction — what every
+// global predicate and oracle evaluation used to pay per call before the
+// graph became incrementally maintained (PG() itself is now O(1) amortized).
 func BenchmarkPG(b *testing.B) {
 	s := churn.Build(churn.Config{
 		N: 64, Topology: churn.TopoRandom, LeaveFraction: 0.5,
@@ -201,7 +202,7 @@ func BenchmarkPG(b *testing.B) {
 	})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if s.World.PG().NumNodes() == 0 {
+		if s.World.RebuildPG().NumNodes() == 0 {
 			b.Fatal("empty PG")
 		}
 	}
@@ -220,17 +221,73 @@ func BenchmarkPhi(b *testing.B) {
 	}
 }
 
-// BenchmarkOracleSingle measures one SINGLE evaluation.
+// BenchmarkOracleSingle measures one SINGLE evaluation on the incrementally
+// maintained process graph, per system size.
 func BenchmarkOracleSingle(b *testing.B) {
-	s := churn.Build(churn.Config{
-		N: 64, Topology: churn.TopoRandom, LeaveFraction: 0.5,
-		Pattern: churn.LeaveRandom, Oracle: oracle.Single{}, Seed: 4,
-	})
-	u := s.LeavingNodes()[0]
-	o := oracle.Single{}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		o.Evaluate(s.World, u)
+	for _, n := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := churn.Build(churn.Config{
+				N: n, Topology: churn.TopoRandom, LeaveFraction: 0.5,
+				Pattern: churn.LeaveRandom, Oracle: oracle.Single{}, Seed: 4,
+			})
+			u := s.LeavingNodes()[0]
+			o := oracle.Single{}
+			s.World.PG() // seed the incremental graph outside the timed loop
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				o.Evaluate(s.World, u)
+			}
+		})
+	}
+}
+
+// BenchmarkOracleSingleRebuild is the from-scratch baseline for
+// BenchmarkOracleSingle: it reconstructs the process graph on every
+// evaluation, the way the oracle worked before incremental maintenance.
+func BenchmarkOracleSingleRebuild(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := churn.Build(churn.Config{
+				N: n, Topology: churn.TopoRandom, LeaveFraction: 0.5,
+				Pattern: churn.LeaveRandom, Oracle: oracle.Single{}, Seed: 4,
+			})
+			u := s.LeavingNodes()[0]
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pg := s.World.RebuildPG()
+				if !pg.HasNode(u) {
+					b.Fatal("leaver missing from PG")
+				}
+				_ = pg.Degree(u)
+			}
+		})
+	}
+}
+
+// BenchmarkWorldStep measures full scheduler-pick + Execute throughput per
+// system size, with the incremental graph live (as during an oracle-driven
+// run): every step pays its O(Δ) maintenance cost.
+func BenchmarkWorldStep(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := churn.Build(churn.Config{
+				N: n, Topology: churn.TopoRandom, LeaveFraction: 0.5,
+				Pattern: churn.LeaveRandom, Oracle: oracle.Single{}, Seed: 7,
+			})
+			sched := sim.NewRandomScheduler(7, 512)
+			s.World.PG() // seed the incremental graph outside the timed loop
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a, ok := sched.Next(s.World)
+				if !ok {
+					b.Fatal("quiescent")
+				}
+				s.World.Execute(a)
+			}
+		})
 	}
 }
 

@@ -94,6 +94,9 @@ func (i *Injector) Strike(w *sim.World) Report {
 		w.Enqueue(to, sim.NewMessage(label, sim.RefInfo{Ref: carried, Mode: randomMode(i.rng)}))
 		rep.MessagesInjected++
 	}
+	// The strike mutated protocol variables outside any atomic action, so the
+	// incrementally maintained process graph must be rebuilt.
+	w.InvalidatePG()
 	// The post-fault state is the new reference point for condition (iii).
 	w.SealInitialState()
 	return rep

@@ -56,6 +56,9 @@ type Graph struct {
 	// out[a][b] counts parallel edges a->b per kind.
 	out map[ref.Ref]map[ref.Ref]*multiplicity
 	in  map[ref.Ref]ref.Set // reverse adjacency (existence only)
+	// deg counts the distinct undirected neighbors per node, maintained on
+	// every edge mutation so Degree is O(1). Nodes with degree 0 are absent.
+	deg map[ref.Ref]int
 }
 
 type multiplicity struct {
@@ -71,6 +74,7 @@ func New() *Graph {
 		nodes: ref.NewSet(),
 		out:   make(map[ref.Ref]map[ref.Ref]*multiplicity),
 		in:    make(map[ref.Ref]ref.Set),
+		deg:   make(map[ref.Ref]int),
 	}
 }
 
@@ -121,6 +125,10 @@ func (g *Graph) AddEdge(a, b ref.Ref, kind EdgeKind) {
 	}
 	g.AddNode(a)
 	g.AddNode(b)
+	if !g.adjacent(a, b) {
+		g.deg[a]++
+		g.deg[b]++
+	}
 	row := g.out[a]
 	if row == nil {
 		row = make(map[ref.Ref]*multiplicity)
@@ -169,8 +177,28 @@ func (g *Graph) RemoveEdge(a, b ref.Ref, kind EdgeKind) bool {
 			delete(g.out, a)
 		}
 		g.in[b].Remove(a)
+		if !g.adjacent(a, b) {
+			g.decDeg(a)
+			g.decDeg(b)
+		}
 	}
 	return true
+}
+
+// adjacent reports whether a and b share at least one edge in either
+// direction — the undirected adjacency Degree counts.
+func (g *Graph) adjacent(a, b ref.Ref) bool {
+	if m := g.mult(a, b); m != nil && m.total() > 0 {
+		return true
+	}
+	m := g.mult(b, a)
+	return m != nil && m.total() > 0
+}
+
+func (g *Graph) decDeg(n ref.Ref) {
+	if g.deg[n]--; g.deg[n] == 0 {
+		delete(g.deg, n)
+	}
 }
 
 // RemoveNode deletes n and all its incident edges, mirroring a process that
@@ -179,6 +207,18 @@ func (g *Graph) RemoveNode(n ref.Ref) {
 	if !g.nodes.Has(n) {
 		return
 	}
+	// Every distinct undirected neighbor loses exactly one neighbor: n.
+	for b := range g.out[n] {
+		g.decDeg(b)
+	}
+	if preds, ok := g.in[n]; ok {
+		for a := range preds {
+			if m := g.mult(n, a); m == nil || m.total() == 0 {
+				g.decDeg(a) // not already counted via out[n]
+			}
+		}
+	}
+	delete(g.deg, n)
 	for b := range g.out[n] {
 		g.in[b].Remove(n)
 	}
@@ -304,8 +344,47 @@ func (g *Graph) UndirectedNeighbors(a ref.Ref) []ref.Ref {
 	return set.Sorted()
 }
 
-// Degree returns the number of distinct undirected neighbors of a.
-func (g *Graph) Degree(a ref.Ref) int { return len(g.UndirectedNeighbors(a)) }
+// Degree returns the number of distinct undirected neighbors of a. It is
+// O(1): the count is maintained incrementally on every edge mutation.
+func (g *Graph) Degree(a ref.Ref) int { return g.deg[a] }
+
+// UndirectedDegreeIn returns the number of distinct undirected neighbors of
+// a that lie in keep — the degree a would have in InducedSubgraph(keep) —
+// without materializing the subgraph or any neighbor slice. O(deg(a)).
+func (g *Graph) UndirectedDegreeIn(a ref.Ref, keep ref.Set) int {
+	n := 0
+	row := g.out[a]
+	for b, m := range row {
+		if m.total() > 0 && keep.Has(b) {
+			n++
+		}
+	}
+	if preds, ok := g.in[a]; ok {
+		for p := range preds {
+			if !keep.Has(p) {
+				continue
+			}
+			if m := row[p]; m != nil && m.total() > 0 {
+				continue // already counted as a successor
+			}
+			n++
+		}
+	}
+	return n
+}
+
+// HasPredIn reports whether a has at least one predecessor in keep, without
+// materializing the predecessor slice.
+func (g *Graph) HasPredIn(a ref.Ref, keep ref.Set) bool {
+	if preds, ok := g.in[a]; ok {
+		for p := range preds {
+			if keep.Has(p) {
+				return true
+			}
+		}
+	}
+	return false
+}
 
 // InducedSubgraph returns the subgraph on the node set keep, dropping all
 // edges with an endpoint outside keep. This is PG restricted to relevant

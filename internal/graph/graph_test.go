@@ -269,3 +269,82 @@ func TestDegreeSequenceHelpers(t *testing.T) {
 		}
 	}
 }
+
+// TestDegreeCounterMatchesNeighbors drives the O(1) degree counter through
+// random add/remove/remove-node sequences and checks it against the
+// reference definition (the number of distinct undirected neighbors) for
+// every node after every mutation.
+func TestDegreeCounterMatchesNeighbors(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		nodes, _ := mkNodes(6)
+		g := New()
+		for _, n := range nodes {
+			g.AddNode(n)
+		}
+		for step := 0; step < 200; step++ {
+			a, b := nodes[rng.Intn(len(nodes))], nodes[rng.Intn(len(nodes))]
+			kind := Explicit
+			if rng.Intn(2) == 0 {
+				kind = Implicit
+			}
+			switch rng.Intn(5) {
+			case 0, 1, 2:
+				g.AddEdge(a, b, kind)
+			case 3:
+				g.RemoveEdge(a, b, kind)
+			case 4:
+				if rng.Intn(4) == 0 { // node removal is rarer, like exits
+					g.RemoveNode(a)
+					g.AddNode(a) // keep the node set stable for the check
+				} else {
+					g.RemoveEdge(a, b, kind)
+				}
+			}
+			for _, n := range nodes {
+				if got, want := g.Degree(n), len(g.UndirectedNeighbors(n)); got != want {
+					t.Fatalf("trial %d step %d: Degree(%v) = %d, want %d (graph %v)",
+						trial, step, n, got, want, g)
+				}
+			}
+		}
+	}
+}
+
+// TestSubgraphDegreeAndPredQueries checks the allocation-free induced-
+// subgraph queries against the materialized InducedSubgraph.
+func TestSubgraphDegreeAndPredQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		nodes, _ := mkNodes(7)
+		g := New()
+		for _, n := range nodes {
+			g.AddNode(n)
+		}
+		for e := 0; e < 2+rng.Intn(20); e++ {
+			kind := Explicit
+			if rng.Intn(2) == 0 {
+				kind = Implicit
+			}
+			g.AddEdge(nodes[rng.Intn(len(nodes))], nodes[rng.Intn(len(nodes))], kind)
+		}
+		keep := ref.NewSet()
+		for _, n := range nodes {
+			if rng.Intn(3) != 0 {
+				keep.Add(n)
+			}
+		}
+		sub := g.InducedSubgraph(keep)
+		for _, n := range nodes {
+			if !keep.Has(n) {
+				continue
+			}
+			if got, want := g.UndirectedDegreeIn(n, keep), sub.Degree(n); got != want {
+				t.Fatalf("trial %d: UndirectedDegreeIn(%v) = %d, want %d", trial, n, got, want)
+			}
+			if got, want := g.HasPredIn(n, keep), len(sub.Pred(n)) > 0; got != want {
+				t.Fatalf("trial %d: HasPredIn(%v) = %v, want %v", trial, n, got, want)
+			}
+		}
+	}
+}

@@ -24,15 +24,17 @@ type Single struct{}
 // Name returns "SINGLE".
 func (Single) Name() string { return "SINGLE" }
 
-// Evaluate implements sim.Oracle.
+// Evaluate implements sim.Oracle. It uses the world's incremental degree
+// query — O(1) when nothing hibernates — instead of materializing the
+// relevant process graph.
 func (Single) Evaluate(w *sim.World, u ref.Ref) bool {
-	pg := w.RelevantPG()
-	if !pg.HasNode(u) {
+	deg, relevant := w.RelevantDegree(u)
+	if !relevant {
 		// u itself is not relevant (cannot happen for a calling process,
 		// which is awake); be conservative.
 		return false
 	}
-	return pg.Degree(u) <= 1
+	return deg <= 1
 }
 
 // NIDEC is the oracle of Foreback et al. [15]: true for u iff No process
@@ -45,16 +47,18 @@ type NIDEC struct{}
 // Name returns "NIDEC".
 func (NIDEC) Name() string { return "NIDEC" }
 
-// Evaluate implements sim.Oracle.
+// Evaluate implements sim.Oracle. Like Single it avoids materializing the
+// relevant process graph: it checks for a relevant predecessor directly on
+// the incrementally maintained PG.
 func (NIDEC) Evaluate(w *sim.World, u ref.Ref) bool {
 	if w.ChannelLen(u) != 0 {
 		return false
 	}
-	pg := w.RelevantPG()
-	if !pg.HasNode(u) {
+	rel := w.Relevant()
+	if !rel.Has(u) {
 		return false
 	}
-	return len(pg.Pred(u)) == 0
+	return !w.PG().HasPredIn(u, rel)
 }
 
 // ExitSafe is the ideal "ground truth" oracle used to *verify* exits in

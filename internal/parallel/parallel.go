@@ -369,6 +369,10 @@ func (rt *Runtime) freezeUnderLock() *sim.World {
 	if rt.initially != nil {
 		w.SealInitialState()
 	}
+	// Seed the incremental process graph while we still hold the snapshot
+	// lock: the frozen world is immutable afterwards, so the coordinator and
+	// predicates hit warm per-generation caches on every query.
+	w.PG()
 	return w
 }
 

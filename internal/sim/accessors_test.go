@@ -100,8 +100,11 @@ func TestRelevantPGAndGraphString(t *testing.T) {
 	if !w.RelevantPG().HasNode(b) {
 		t.Fatal("reachable sleeper is relevant")
 	}
-	// After a drops the ref, b hibernates and leaves the relevant PG.
+	// After a drops the ref, b hibernates and leaves the relevant PG. The
+	// removal happens outside an atomic action, so the incremental graph
+	// must be invalidated explicitly.
 	fa.refs.Remove(b)
+	w.InvalidatePG()
 	if w.RelevantPG().HasNode(b) {
 		t.Fatal("hibernating process must not be in the relevant PG")
 	}

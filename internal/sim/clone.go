@@ -50,8 +50,12 @@ func (w *World) Clone() *World {
 		c.procs[idx] = np
 		if np.life == Awake {
 			c.awake++
+		} else if np.life == Asleep {
+			c.asleep++
 		}
 	}
+	// The incremental PG is not copied; the clone reseeds it lazily on its
+	// first graph query.
 	return c
 }
 

@@ -94,8 +94,9 @@ type Message struct {
 	Refs    []RefInfo
 	Payload any
 
-	from ref.Ref // sender, for tracing only; the model has no implicit sender
-	seq  uint64  // arrival sequence number, for aging-based fair receipt
+	from    ref.Ref // sender, for tracing only; the model has no implicit sender
+	seq     uint64  // arrival sequence number, a stable identity
+	enqStep int     // step at which the message entered the channel, for aging
 }
 
 // From returns the sender for tracing and debugging. Protocol code must not
@@ -104,6 +105,13 @@ func (m Message) From() ref.Ref { return m.from }
 
 // Seq returns the global arrival sequence number of the message.
 func (m Message) Seq() uint64 { return m.seq }
+
+// EnqueuedAt returns the step at which the message entered its channel. The
+// schedulers age messages on it: seq advances once per send while steps
+// advance once per action, so comparing seq against the step counter (as an
+// earlier revision did) misjudges staleness whenever the send rate differs
+// from one per step.
+func (m Message) EnqueuedAt() int { return m.enqStep }
 
 // NewMessage builds a message carrying the given references.
 func NewMessage(label string, refs ...RefInfo) Message {

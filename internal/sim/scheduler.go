@@ -68,18 +68,24 @@ func (s *RandomScheduler) Next(w *World) (Action, bool) {
 	return w.PickEnabled(s.rng.Intn(total)), true
 }
 
-// sweep collects every action that exceeded the aging bound.
+// sweep collects every action that exceeded the aging bound: timeouts by
+// the step they last ran, messages by the step they were enqueued. It scans
+// process state directly rather than materializing EnabledActions.
 func (s *RandomScheduler) sweep(w *World) {
-	step := uint64(w.Steps())
-	bound := uint64(s.AgingBound)
-	for _, a := range w.EnabledActions() {
-		if a.IsTimeout {
-			p := w.mustProc(a.Proc)
-			if step-uint64(p.lastTimeout) > bound {
-				s.backlog = append(s.backlog, a)
+	step := w.Steps()
+	for _, p := range w.procs {
+		if p == nil || p.life == Gone {
+			continue
+		}
+		if p.life == Awake && step-p.lastTimeout > s.AgingBound {
+			s.backlog = append(s.backlog, Action{Proc: p.id, IsTimeout: true})
+		}
+		for i := range p.ch {
+			if step-p.ch[i].enqStep > s.AgingBound {
+				s.backlog = append(s.backlog, Action{
+					Proc: p.id, MsgIndex: i, MsgSeq: p.ch[i].seq, MsgStep: p.ch[i].enqStep,
+				})
 			}
-		} else if step > a.MsgSeq && step-a.MsgSeq > bound {
-			s.backlog = append(s.backlog, a)
 		}
 	}
 }
@@ -92,7 +98,8 @@ func (s *RandomScheduler) sweep(w *World) {
 // if awake. This is trivially fair and provides the "rounds to convergence"
 // metric used by the experiments.
 type RoundScheduler struct {
-	plan   []Action
+	plan   []Action // reused round plan buffer
+	pos    int      // cursor into plan, so the buffer keeps its capacity
 	rounds int
 }
 
@@ -110,9 +117,9 @@ func (s *RoundScheduler) Rounds() int { return s.rounds }
 // next round, which models arbitrary (but fair) delivery delay.
 func (s *RoundScheduler) Next(w *World) (Action, bool) {
 	for {
-		for len(s.plan) > 0 {
-			a := s.plan[0]
-			s.plan = s.plan[1:]
+		for s.pos < len(s.plan) {
+			a := s.plan[s.pos]
+			s.pos++
 			if !s.stillEnabled(w, &a) {
 				continue
 			}
@@ -122,20 +129,24 @@ func (s *RoundScheduler) Next(w *World) (Action, bool) {
 			return Action{}, false
 		}
 		s.buildRound(w)
+		s.pos = 0
 		s.rounds++
 	}
 }
 
+// buildRound snapshots the message seqs present at round start. It iterates
+// the dense process slice in place (already in deterministic ref order) and
+// reads channels directly — no per-round ref sort or channel copy.
 func (s *RoundScheduler) buildRound(w *World) {
 	s.plan = s.plan[:0]
-	for _, r := range w.Refs() {
-		if w.LifeOf(r) == Gone {
+	for _, p := range w.procs {
+		if p == nil || p.life == Gone {
 			continue
 		}
-		for _, m := range w.ChannelSnapshot(r) {
-			s.plan = append(s.plan, Action{Proc: r, MsgSeq: m.Seq()})
+		for i := range p.ch {
+			s.plan = append(s.plan, Action{Proc: p.id, MsgSeq: p.ch[i].seq, MsgStep: p.ch[i].enqStep})
 		}
-		s.plan = append(s.plan, Action{Proc: r, IsTimeout: true})
+		s.plan = append(s.plan, Action{Proc: p.id, IsTimeout: true})
 	}
 }
 
@@ -168,6 +179,8 @@ func (s *RoundScheduler) stillEnabled(w *World, a *Action) bool {
 type AdversarialScheduler struct {
 	rng   *rand.Rand
 	Bound int // fairness bound, in steps
+
+	timeouts []Action // scratch buffer reused across picks
 }
 
 // NewAdversarialScheduler returns a seeded adversarial scheduler with the
@@ -182,47 +195,48 @@ func NewAdversarialScheduler(seed int64, bound int) *AdversarialScheduler {
 // Name identifies the scheduler in reports.
 func (s *AdversarialScheduler) Name() string { return "adversarial" }
 
-// Next implements Scheduler.
+// Next implements Scheduler. It scans process state directly in one pass —
+// no per-pick EnabledActions materialization.
 func (s *AdversarialScheduler) Next(w *World) (Action, bool) {
-	actions := w.EnabledActions()
-	if len(actions) == 0 {
-		return Action{}, false
-	}
-	step := uint64(w.Steps())
-	// Obey fairness first: overdue timeouts and messages must run.
-	for _, a := range actions {
-		if a.IsTimeout {
-			p := w.mustProc(a.Proc)
-			if step-uint64(p.lastTimeout) > uint64(s.Bound) {
-				return a, true
-			}
-		} else if step > a.MsgSeq && step-a.MsgSeq > uint64(s.Bound) {
-			return a, true
-		}
-	}
-	// Prefer the newest message (max seq) — worst-case reordering.
-	var best Action
+	step := w.Steps()
+	var best Action // newest message (max seq) — worst-case reordering
 	bestSeq := uint64(0)
 	haveMsg := false
-	for _, a := range actions {
-		if !a.IsTimeout && a.MsgSeq >= bestSeq {
-			best, bestSeq, haveMsg = a, a.MsgSeq, true
+	s.timeouts = s.timeouts[:0]
+	for _, p := range w.procs {
+		if p == nil || p.life == Gone {
+			continue
 		}
+		if p.life == Awake {
+			// Obey fairness first: overdue timeouts must run.
+			if step-p.lastTimeout > s.Bound {
+				return Action{Proc: p.id, IsTimeout: true}, true
+			}
+			s.timeouts = append(s.timeouts, Action{Proc: p.id, IsTimeout: true})
+		}
+		for i := range p.ch {
+			m := &p.ch[i]
+			// Overdue messages must run, aged by their enqueue step.
+			if step-m.enqStep > s.Bound {
+				return Action{Proc: p.id, MsgIndex: i, MsgSeq: m.seq, MsgStep: m.enqStep}, true
+			}
+			if m.seq >= bestSeq {
+				best = Action{Proc: p.id, MsgIndex: i, MsgSeq: m.seq, MsgStep: m.enqStep}
+				bestSeq, haveMsg = m.seq, true
+			}
+		}
+	}
+	if !haveMsg && len(s.timeouts) == 0 {
+		return Action{}, false
 	}
 	if haveMsg && s.rng.Intn(8) != 0 {
 		return best, true
 	}
 	// Occasionally run a random timeout so guards stay live.
-	var timeouts []Action
-	for _, a := range actions {
-		if a.IsTimeout {
-			timeouts = append(timeouts, a)
-		}
+	if len(s.timeouts) > 0 {
+		return s.timeouts[s.rng.Intn(len(s.timeouts))], true
 	}
-	if len(timeouts) > 0 {
-		return timeouts[s.rng.Intn(len(timeouts))], true
-	}
-	return actions[s.rng.Intn(len(actions))], true
+	return best, true
 }
 
 // --- FIFO scheduler -------------------------------------------------------
@@ -232,6 +246,8 @@ func (s *AdversarialScheduler) Next(w *World) (Action, bool) {
 // non-FIFO channels, FIFO order is a legal schedule and a useful baseline.
 type FIFOScheduler struct {
 	rr int
+
+	timeouts []Action // scratch buffer reused across picks
 }
 
 // NewFIFOScheduler returns a FIFO scheduler.
@@ -240,24 +256,31 @@ func NewFIFOScheduler() *FIFOScheduler { return &FIFOScheduler{} }
 // Name identifies the scheduler in reports.
 func (s *FIFOScheduler) Name() string { return "fifo" }
 
-// Next implements Scheduler.
+// Next implements Scheduler. It scans process state directly in one pass —
+// no per-pick EnabledActions materialization.
 func (s *FIFOScheduler) Next(w *World) (Action, bool) {
-	actions := w.EnabledActions()
-	if len(actions) == 0 {
-		return Action{}, false
-	}
-	var timeouts []Action
 	var best Action
 	bestSeq := ^uint64(0)
 	haveMsg := false
-	for _, a := range actions {
-		if a.IsTimeout {
-			timeouts = append(timeouts, a)
+	s.timeouts = s.timeouts[:0]
+	for _, p := range w.procs {
+		if p == nil || p.life == Gone {
 			continue
 		}
-		if a.MsgSeq < bestSeq {
-			best, bestSeq, haveMsg = a, a.MsgSeq, true
+		if p.life == Awake {
+			s.timeouts = append(s.timeouts, Action{Proc: p.id, IsTimeout: true})
 		}
+		for i := range p.ch {
+			m := &p.ch[i]
+			if m.seq < bestSeq {
+				best = Action{Proc: p.id, MsgIndex: i, MsgSeq: m.seq, MsgStep: m.enqStep}
+				bestSeq, haveMsg = m.seq, true
+			}
+		}
+	}
+	timeouts := s.timeouts
+	if !haveMsg && len(timeouts) == 0 {
+		return Action{}, false
 	}
 	s.rr++
 	// Alternate: every third pick runs a timeout (round-robin) so guards

@@ -243,3 +243,126 @@ func TestSchedulersTimeoutFairness(t *testing.T) {
 		}
 	}
 }
+
+// floodProto sends fanout messages to peer on every timeout, driving the
+// global sequence counter several times faster than the step counter — the
+// regime in which aging messages by seq instead of enqueue step starves them.
+type floodProto struct {
+	peer   ref.Ref
+	fanout int
+}
+
+func (f *floodProto) Timeout(ctx Context) {
+	for i := 0; i < f.fanout; i++ {
+		ctx.Send(f.peer, NewMessage("flood"))
+	}
+}
+
+func (f *floodProto) Deliver(Context, Message) {}
+
+func (f *floodProto) Refs() []ref.Ref { return []ref.Ref{f.peer} }
+
+func TestSweepAgesMessagesByEnqueueStep(t *testing.T) {
+	space := ref.NewSpace()
+	a, b := space.New(), space.New()
+	w := NewWorld(nil)
+	w.AddProcess(a, Staying, &floodProto{peer: a, fanout: 4})
+	w.AddProcess(b, Staying, &chatterProto{peer: a, maxSends: 0})
+	// Race the sequence counter ahead of the step counter: 4 sends per step.
+	for i := 0; i < 200; i++ {
+		w.Execute(Action{Proc: a, IsTimeout: true})
+	}
+	w.Enqueue(b, NewMessage("victim"))
+	victimSeq := w.ChannelSnapshot(b)[0].Seq()
+	enq := w.Steps()
+	s := NewRandomScheduler(1, 50)
+	for i := 0; i < s.AgingBound+10; i++ {
+		w.Execute(Action{Proc: a, IsTimeout: true})
+	}
+	// The victim is now older than the bound in steps, but its sequence
+	// number is far beyond the step counter, so a seq-based comparison would
+	// never consider it overdue.
+	if victimSeq <= uint64(w.Steps()) {
+		t.Fatalf("fixture broken: seq %d not ahead of steps %d", victimSeq, w.Steps())
+	}
+	s.sweep(w)
+	for _, act := range s.backlog {
+		if !act.IsTimeout && act.MsgSeq == victimSeq {
+			return
+		}
+	}
+	t.Fatalf("sweep missed a message enqueued %d steps ago (bound %d)", w.Steps()-enq, s.AgingBound)
+}
+
+func TestAdversarialAgingUnderFastSequenceGrowth(t *testing.T) {
+	// The test enqueues three fresh messages per scheduler step, so seq runs
+	// at ~3x the step counter. A seq-aged adversarial scheduler never sees
+	// the victim as overdue (its seq stays ahead of the step counter forever)
+	// and LIFO preference starves it; enqueue-step aging must deliver it
+	// within the fairness bound.
+	space := ref.NewSpace()
+	v, c := space.New(), space.New() // v first: its overdue work is scanned first
+	w := NewWorld(nil)
+	w.AddProcess(v, Staying, &chatterProto{peer: c, maxSends: 0})
+	w.AddProcess(c, Staying, &chatterProto{peer: v, maxSends: 0})
+	s := NewAdversarialScheduler(3, 40)
+	feed := func() {
+		for i := 0; i < 3; i++ {
+			w.Enqueue(c, NewMessage("noise"))
+		}
+	}
+	for i := 0; i < 600; i++ {
+		feed()
+		act, ok := s.Next(w)
+		if !ok {
+			t.Fatal("no enabled action under constant feed")
+		}
+		w.Execute(act)
+	}
+	w.Enqueue(v, NewMessage("victim"))
+	victimSeq := w.ChannelSnapshot(v)[0].Seq()
+	if victimSeq <= uint64(w.Steps()) {
+		t.Fatalf("fixture broken: seq %d not ahead of steps %d", victimSeq, w.Steps())
+	}
+	start := w.Steps()
+	for i := 0; i < 5*s.Bound; i++ {
+		feed()
+		act, ok := s.Next(w)
+		if !ok {
+			t.Fatal("no enabled action under constant feed")
+		}
+		if !act.IsTimeout && act.MsgSeq == victimSeq {
+			if age := w.Steps() - start; age > 3*s.Bound {
+				t.Fatalf("victim delivered only after %d steps (bound %d)", age, s.Bound)
+			}
+			return
+		}
+		w.Execute(act)
+	}
+	t.Fatalf("adversarial scheduler starved a message for %d steps (bound %d)", w.Steps()-start, s.Bound)
+}
+
+func TestSchedulerNextDoesNotAllocate(t *testing.T) {
+	for _, mk := range []func() Scheduler{
+		func() Scheduler { return NewAdversarialScheduler(5, 64) },
+		func() Scheduler { return NewFIFOScheduler() },
+	} {
+		s := mk()
+		w, _ := buildChatterWorld(8, 1<<30)
+		for i := 0; i < 50; i++ { // warm up channels and scratch buffers
+			act, ok := s.Next(w)
+			if !ok {
+				t.Fatal("no action")
+			}
+			w.Execute(act)
+		}
+		avg := testing.AllocsPerRun(100, func() {
+			if _, ok := s.Next(w); !ok {
+				t.Fatal("no action")
+			}
+		})
+		if avg >= 1 {
+			t.Errorf("%s: Next allocates %.1f times per pick", s.Name(), avg)
+		}
+	}
+}

@@ -5,12 +5,25 @@ import (
 	"fdp/internal/ref"
 )
 
-// PG builds the current process graph: one node per non-gone process, an
+// PG returns the current process graph: one node per non-gone process, an
 // explicit edge (a,b) for every reference of b stored in a's variables, and
 // an implicit edge (a,b) for every reference of b carried by a message in
 // a.Ch. Gone processes are removed from PG together with their incident
 // edges, so edges to gone processes are omitted.
+//
+// The graph is maintained incrementally (see pg.go), so this is O(1) after
+// the first call. The returned graph is a live read-only view: callers must
+// not mutate it and must Clone it to retain a snapshot across world
+// mutations.
 func (w *World) PG() *graph.Graph {
+	return w.pgView()
+}
+
+// RebuildPG constructs the process graph from scratch, ignoring the
+// incrementally maintained one. It is the reference implementation the
+// differential tests compare against, and what callers should use when they
+// intend to mutate the result.
+func (w *World) RebuildPG() *graph.Graph {
 	g := graph.New()
 	for _, p := range w.procs {
 		if p == nil || p.life == Gone {
@@ -52,33 +65,47 @@ func (w *World) isLiveTarget(r ref.Ref) bool {
 // al. quoted in Section 1.1, a hibernating process is permanently asleep
 // under any copy-store-send protocol.
 func (w *World) Hibernating() ref.Set {
-	pg := w.PG()
-	// S: the "active" processes — awake, or asleep with a nonempty channel.
-	var active []ref.Ref
-	for _, p := range w.procs {
-		if p == nil || p.life == Gone {
-			continue
-		}
-		if p.life == Awake || len(p.ch) > 0 {
-			active = append(active, p.id)
-		}
+	pg := w.pgView()
+	if w.hibCache != nil && w.hibGen == w.gen {
+		return w.hibCache
 	}
-	tainted := pg.ForwardReachAll(active)
 	out := ref.NewSet()
-	for _, p := range w.procs {
-		if p == nil || p.life != Asleep || len(p.ch) > 0 {
-			continue
+	// Only asleep processes can hibernate: with none, skip the sweep. This
+	// is the steady state of every FDP run, where sleep is never used.
+	if w.asleep > 0 {
+		// S: the "active" processes — awake, or asleep with a nonempty
+		// channel.
+		var active []ref.Ref
+		for _, p := range w.procs {
+			if p == nil || p.life == Gone {
+				continue
+			}
+			if p.life == Awake || len(p.ch) > 0 {
+				active = append(active, p.id)
+			}
 		}
-		if !tainted.Has(p.id) {
-			out.Add(p.id)
+		tainted := pg.ForwardReachAll(active)
+		for _, p := range w.procs {
+			if p == nil || p.life != Asleep || len(p.ch) > 0 {
+				continue
+			}
+			if !tainted.Has(p.id) {
+				out.Add(p.id)
+			}
 		}
 	}
+	w.hibCache, w.hibGen = out, w.gen
 	return out
 }
 
 // Relevant returns the set of relevant processes: neither gone nor
-// hibernating (Section 1.2).
+// hibernating (Section 1.2). Cached per generation; the returned set is a
+// read-only view.
 func (w *World) Relevant() ref.Set {
+	w.pgView()
+	if w.relCache != nil && w.relGen == w.gen {
+		return w.relCache
+	}
 	hib := w.Hibernating()
 	out := ref.NewSet()
 	for _, p := range w.procs {
@@ -89,13 +116,47 @@ func (w *World) Relevant() ref.Set {
 			out.Add(p.id)
 		}
 	}
+	w.relCache, w.relGen = out, w.gen
 	return out
 }
 
 // RelevantPG returns PG restricted to relevant processes — the graph oracles
-// are defined over.
+// are defined over. Cached per generation; when nothing hibernates (every
+// FDP state) it is PG itself. Like PG, the result is a read-only view.
 func (w *World) RelevantPG() *graph.Graph {
-	return w.PG().InducedSubgraph(w.Relevant())
+	pg := w.pgView()
+	if w.relPGCache != nil && w.relPGGen == w.gen {
+		return w.relPGCache
+	}
+	var out *graph.Graph
+	if w.Hibernating().Len() == 0 {
+		// Every non-gone process is relevant and PG has exactly the
+		// non-gone processes as nodes: the induced subgraph is PG.
+		out = pg
+	} else {
+		out = pg.InducedSubgraph(w.Relevant())
+	}
+	w.relPGCache, w.relPGGen = out, w.gen
+	return out
+}
+
+// RelevantDegree returns the number of relevant processes u has edges with
+// (in either direction, any kind) in the relevant process graph, plus
+// whether u itself is relevant — the quantity the SINGLE oracle decides on.
+// O(1) when nothing hibernates, O(deg(u)) otherwise, with no allocation.
+func (w *World) RelevantDegree(u ref.Ref) (int, bool) {
+	pg := w.pgView()
+	hib := w.Hibernating()
+	if hib.Len() == 0 {
+		if !pg.HasNode(u) {
+			return 0, false
+		}
+		return pg.Degree(u), true
+	}
+	if !pg.HasNode(u) || hib.Has(u) {
+		return 0, false
+	}
+	return pg.UndirectedDegreeIn(u, w.Relevant()), true
 }
 
 // Variant selects the problem being solved: FDP (exit available) or FSP
@@ -192,7 +253,7 @@ func (w *World) StayingComponentsPreserved() bool {
 // of a computation of a safe protocol.
 func (w *World) RelevantComponentsIntact() bool {
 	relevant := w.Relevant()
-	pg := w.PG().InducedSubgraph(relevant)
+	pg := w.RelevantPG()
 	for _, comp := range w.initialComponents {
 		var members []ref.Ref
 		for _, r := range comp {
@@ -209,16 +270,9 @@ func (w *World) RelevantComponentsIntact() bool {
 	return true
 }
 
-// AwakeCount returns the number of awake processes.
-func (w *World) AwakeCount() int {
-	n := 0
-	for _, p := range w.procs {
-		if p != nil && p.life == Awake {
-			n++
-		}
-	}
-	return n
-}
+// AwakeCount returns the number of awake processes. O(1): the counter is
+// maintained on every lifecycle transition.
+func (w *World) AwakeCount() int { return w.awake }
 
 // GoneCount returns the number of gone processes.
 func (w *World) GoneCount() int {

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"fdp/internal/graph"
 	"fdp/internal/ref"
 )
 
@@ -84,6 +85,10 @@ type process struct {
 	proto Protocol
 
 	lastTimeout int // step index of last timeout execution, for fairness aging
+
+	// pgRefs is the copy of proto.Refs() the incremental process graph was
+	// last synced against (see pg.go). nil until the graph is seeded.
+	pgRefs []ref.Ref
 }
 
 // World holds the full system state: every process, its channel, and the
@@ -104,12 +109,29 @@ type World struct {
 
 	// awake counts processes in the Awake state, for O(1) EnabledCount.
 	awake int
+	// asleep counts processes in the Asleep state; when it is zero no
+	// process can be hibernating, which lets Hibernating skip the
+	// reachability sweep entirely (the common case in FDP runs).
+	asleep int
 
 	// sleepRequested defers the sleep transition to the end of the current
 	// atomic action, as the model requires action execution to be atomic.
 	current        *process
 	sleepRequested bool
 	exitRequested  bool
+
+	// Incrementally maintained process graph and generation-stamped caches
+	// of the derived views; see pg.go. pg is nil until first seeded by a
+	// graph query — worlds that never ask for PG pay nothing.
+	pg         *graph.Graph
+	gen        uint64 // bumped on every mutation that can change a view
+	hibGen     uint64
+	hibCache   ref.Set
+	relGen     uint64
+	relCache   ref.Set
+	relPGGen   uint64
+	relPGCache *graph.Graph
+	refScratch map[ref.Ref]int // reusable diff buffer for pgSyncRefs
 }
 
 // NewWorld returns an empty world using the given oracle (nil = no oracle;
@@ -150,6 +172,15 @@ func (w *World) AddProcess(r ref.Ref, mode Mode, proto Protocol) {
 		w.procs = append(w.procs, nil)
 	}
 	w.procs[idx] = p
+	// A new node can legitimize edges other processes already hold toward
+	// it; rather than scanning everyone, drop the incremental graph and let
+	// the next query reseed it (process addition is a construction-time or
+	// rare join-time event, not a hot-path one).
+	if w.pg != nil {
+		w.InvalidatePG()
+	} else {
+		w.gen++
+	}
 }
 
 // Enqueue places a message directly into to's channel, used to set up
@@ -163,11 +194,13 @@ func (w *World) Enqueue(to ref.Ref, msg Message) {
 	}
 	w.seq++
 	msg.seq = w.seq
+	msg.enqStep = w.stats.Steps
 	p.ch = append(p.ch, msg)
 	w.stats.TotalInQueue++
 	if len(p.ch) > w.stats.MaxChannel {
 		w.stats.MaxChannel = len(p.ch)
 	}
+	w.pgEnqueue(p.id, &msg)
 }
 
 // SealInitialState captures the weakly-connected-component partition of the
@@ -225,10 +258,15 @@ func (w *World) ProtocolOf(r ref.Ref) Protocol { return w.mustProc(r).proto }
 // states; the protocol-driven way to sleep is Context.Sleep.
 func (w *World) ForceAsleep(r ref.Ref) {
 	p := w.mustProc(r)
+	if p.life == Gone {
+		panic(fmt.Sprintf("sim: ForceAsleep on gone process %v", r))
+	}
 	if p.life == Awake {
 		w.awake--
+		w.asleep++
 	}
 	p.life = Asleep
+	w.gen++
 }
 
 // Stats returns a copy of the run counters.
@@ -261,6 +299,7 @@ type Action struct {
 	IsTimeout bool
 	MsgIndex  int    // valid when !IsTimeout
 	MsgSeq    uint64 // stable identity of the message (for debugging)
+	MsgStep   int    // step at which the message was enqueued, for aging
 }
 
 // EnabledCount returns the number of enabled actions without materializing
@@ -285,7 +324,7 @@ func (w *World) PickEnabled(k int) Action {
 			k--
 		}
 		if k < len(p.ch) {
-			return Action{Proc: p.id, MsgIndex: k, MsgSeq: p.ch[k].seq}
+			return Action{Proc: p.id, MsgIndex: k, MsgSeq: p.ch[k].seq, MsgStep: p.ch[k].enqStep}
 		}
 		k -= len(p.ch)
 	}
@@ -325,7 +364,7 @@ func (w *World) EnabledActions() []Action {
 			out = append(out, Action{Proc: p.id, IsTimeout: true})
 		}
 		for i, m := range p.ch {
-			out = append(out, Action{Proc: p.id, MsgIndex: i, MsgSeq: m.seq})
+			out = append(out, Action{Proc: p.id, MsgIndex: i, MsgSeq: m.seq, MsgStep: m.enqStep})
 		}
 	}
 	return out
@@ -374,9 +413,11 @@ func (w *World) Execute(a Action) {
 		// Remove the message from the channel (processed exactly once).
 		p.ch = append(p.ch[:a.MsgIndex], p.ch[a.MsgIndex+1:]...)
 		w.stats.TotalInQueue--
+		w.pgDequeue(p.id, &msg)
 		if p.life == Asleep {
 			p.life = Awake
 			w.awake++
+			w.asleep--
 			w.stats.Wakes++
 			w.emit(Event{Kind: EvWake, Proc: p.id})
 		}
@@ -389,6 +430,8 @@ func (w *World) Execute(a Action) {
 	if w.exitRequested {
 		if p.life == Awake {
 			w.awake--
+		} else if p.life == Asleep {
+			w.asleep--
 		}
 		p.life = Gone
 		w.stats.Exits++
@@ -396,14 +439,22 @@ func (w *World) Execute(a Action) {
 		// no longer part of PG (the process is removed with its edges).
 		w.stats.TotalInQueue -= len(p.ch)
 		p.ch = nil
+		w.pgExit(p)
 		w.emit(Event{Kind: EvExit, Proc: p.id})
-	} else if w.sleepRequested {
-		if p.life == Awake {
-			w.awake--
+	} else {
+		// Only the acting process's stored refs can change during an atomic
+		// action: fold its explicit-edge delta into the incremental PG.
+		w.pgSyncRefs(p)
+		if w.sleepRequested {
+			if p.life == Awake {
+				w.awake--
+				w.asleep++
+			}
+			p.life = Asleep
+			w.stats.Sleeps++
+			w.gen++
+			w.emit(Event{Kind: EvSleep, Proc: p.id})
 		}
-		p.life = Asleep
-		w.stats.Sleeps++
-		w.emit(Event{Kind: EvSleep, Proc: p.id})
 	}
 	w.current = nil
 }
@@ -434,11 +485,13 @@ func (c *procCtx) Send(to ref.Ref, msg Message) {
 	}
 	c.w.seq++
 	msg.seq = c.w.seq
+	msg.enqStep = c.w.stats.Steps
 	target.ch = append(target.ch, msg)
 	c.w.stats.TotalInQueue++
 	if len(target.ch) > c.w.stats.MaxChannel {
 		c.w.stats.MaxChannel = len(target.ch)
 	}
+	c.w.pgEnqueue(target.id, &msg)
 	c.w.emit(Event{Kind: EvSend, Proc: c.p.id, Peer: to, Label: msg.Label})
 }
 

@@ -298,8 +298,9 @@ func TestLegitimacyFDP(t *testing.T) {
 	if w.RelevantComponentsIntact() {
 		t.Fatal("safety invariant must detect the disconnection")
 	}
-	// Reconnect a -> c: now legitimate.
+	// Reconnect a -> c (outside an atomic action): now legitimate.
 	fa.refs.Add(c)
+	w.InvalidatePG()
 	if !w.Legitimate(FDP) {
 		t.Fatal("state should be legitimate now")
 	}
@@ -320,7 +321,8 @@ func TestLegitimacyFSP(t *testing.T) {
 	if w.Legitimate(FSP) {
 		t.Fatal("b is reachable from awake a: not hibernating")
 	}
-	fa.refs.Remove(b)
+	fa.refs.Remove(b) // outside an atomic action
+	w.InvalidatePG()
 	if !w.Legitimate(FSP) {
 		t.Fatal("b asleep, unreachable, channel empty: legitimate FSP state")
 	}
