@@ -1,8 +1,11 @@
 GO ?= go
 
-.PHONY: all vet build test race bench
+.PHONY: all ci vet build test race bench
 
 all: vet build test race
+
+# ci is the exact sequence .github/workflows/ci.yml runs.
+ci: vet build test race
 
 vet:
 	$(GO) vet ./...
@@ -13,11 +16,11 @@ build:
 test:
 	$(GO) test ./...
 
-# The simulator and the concurrent runtime are the packages with real
-# concurrency (goroutine-per-process runtime, snapshot locking); run them
-# under the race detector.
+# The packages with real concurrency (goroutine-per-process runtime,
+# snapshot locking, the differential harness driving both engines) and the
+# model core they exercise run under the race detector.
 race:
-	$(GO) test -race ./internal/sim/... ./internal/parallel/...
+	$(GO) test -race ./internal/sim/... ./internal/parallel/... ./internal/core/... ./internal/diffval/... ./internal/faults/...
 
 bench:
 	$(GO) test -bench . -benchmem -run XXX .

@@ -128,6 +128,13 @@ func BenchmarkE15SkipHops(b *testing.B) {
 	}
 }
 
+func BenchmarkE16Differential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		requirePass(b, experiments.E16Differential(
+			experiments.Scale{Sizes: []int{10}, Trials: 2, MaxSteps: 1_000_000}))
+	}
+}
+
 // --- Scaling benches: full convergence runs per system size -------------
 
 func BenchmarkConvergenceByN(b *testing.B) {

@@ -1,4 +1,4 @@
-// Command fdpbench runs the reproduction suite E1–E15 and prints every
+// Command fdpbench runs the reproduction suite E1–E16 and prints every
 // table and figure recorded in EXPERIMENTS.md.
 //
 // Example:
@@ -6,6 +6,7 @@
 //	fdpbench -quick          # CI scale (seconds)
 //	fdpbench                 # full scale (minutes)
 //	fdpbench -only E5,E6     # a subset
+//	fdpbench -only E16       # differential simulator-vs-runtime validation
 //	fdpbench -quick -json    # machine-readable summary for CI
 package main
 

@@ -170,8 +170,8 @@ func TestExperimentsQuickSmoke(t *testing.T) {
 		t.Skip("full suite")
 	}
 	reports := Experiments(true)
-	if len(reports) != 15 {
-		t.Fatalf("suite has %d experiments, want 15", len(reports))
+	if len(reports) != 16 {
+		t.Fatalf("suite has %d experiments, want 16", len(reports))
 	}
 	for _, r := range reports {
 		if !r.Pass {

@@ -97,6 +97,19 @@ func (p *Proc) SetAnchor(v ref.Ref, belief sim.Mode) {
 	p.anchorMode = belief
 }
 
+// RepointAnchor replaces the anchor with v (and the given belief) and
+// returns the displaced reference together with its stored belief. Callers
+// that must preserve the reference multiset — the fault injector, whose
+// contract forbids burning the last copy of a reference — re-inject the
+// returned reference as an in-flight message. The returned Ref is ref.Nil
+// when no anchor was stored.
+func (p *Proc) RepointAnchor(v ref.Ref, belief sim.Mode) sim.RefInfo {
+	old := sim.RefInfo{Ref: p.anchor, Mode: p.anchorMode}
+	p.anchor = v
+	p.anchorMode = belief
+	return old
+}
+
 // Anchor returns the anchor reference (⊥ = ref.Nil).
 func (p *Proc) Anchor() ref.Ref { return p.anchor }
 

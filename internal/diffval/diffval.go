@@ -1,0 +1,286 @@
+// Package diffval is the differential cross-validation harness: it runs the
+// SAME scenario (topology, churn, corruption, optional mid-run fault
+// strike) on both execution engines — the sequential simulator (sim.World,
+// one legal schedule at a time) and the concurrent runtime
+// (parallel.Runtime, true parallelism with real mailboxes) — and compares
+// their safety and liveness VERDICTS.
+//
+// The two engines cannot be compared step-by-step: the concurrent runtime
+// explores schedules the sequential driver never draws, and vice versa. But
+// the paper's guarantees are schedule-independent — Lemma 2 (relevant
+// processes stay weakly connected per initial component) and Lemma 3 (every
+// leaving process eventually departs) hold for EVERY admissible schedule —
+// so the engines must agree on the outcome classification: converged or
+// not, safety intact or violated, leavers settled or not, staying
+// components preserved or not. Any disagreement is a bug in one of the
+// engines (historically: in the concurrent one; this harness flushed out
+// the frozen-snapshot re-seal bug, the mailbox close that discarded
+// in-flight references, and the missing drop accounting in parallel sends).
+package diffval
+
+import (
+	"time"
+
+	"fdp/internal/churn"
+	"fdp/internal/core"
+	"fdp/internal/faults"
+	"fdp/internal/parallel"
+	"fdp/internal/ref"
+	"fdp/internal/sim"
+)
+
+// Config describes one differential scenario. The same Scenario config is
+// built independently for each engine; churn.Build is deterministic per
+// seed and ref.Space hands out identical references, so both sides start
+// from bit-identical states.
+type Config struct {
+	// Scenario is the churn configuration; its Seed field is overwritten by
+	// the per-run seed.
+	Scenario churn.Config
+	// MaxSteps bounds the sequential run (0 = a generous default).
+	MaxSteps int
+	// Timeout bounds the concurrent run (0 = 20s).
+	Timeout time.Duration
+	// Poll is the concurrent legitimacy-polling interval (0 = 1ms).
+	Poll time.Duration
+	// Strike, if non-nil, injects a mid-run transient fault on both sides.
+	Strike *faults.Config
+	// StrikeAfter is the strike point: sequential steps on the simulator,
+	// executed events on the runtime. Only meaningful with Strike.
+	StrikeAfter int
+}
+
+// Outcome classifies one engine's terminal state.
+type Outcome struct {
+	// Converged reports a legitimate state within the budget with safety
+	// intact.
+	Converged bool
+	// SafetyViolated reports a Lemma 2 violation: some relevant process
+	// became disconnected from its initial component. Reference loss is
+	// irreversible (references spread only by copy-store-send along existing
+	// PG edges), so a terminal-state check is equivalent to a continuous one.
+	SafetyViolated bool
+	// Gone counts departed processes (FDP exits; always 0 for FSP).
+	Gone int
+	// LeaversSettled reports the Lemma 3 goal: every initial leaver is gone
+	// (FDP) or hibernating (FSP).
+	LeaversSettled bool
+	// StayingPreserved reports that the staying processes of each initial
+	// component still form one weakly connected cluster.
+	StayingPreserved bool
+	// Steps is the executed sequential steps / concurrent events
+	// (informational; never compared).
+	Steps uint64
+}
+
+// Verdict pairs the two engines' outcomes for one seed.
+type Verdict struct {
+	Seed       int64
+	Sequential Outcome
+	Concurrent Outcome
+}
+
+// Agree reports whether the engines reached the same classification. Steps
+// is excluded: schedule lengths legitimately differ.
+func (v Verdict) Agree() bool {
+	a, b := v.Sequential, v.Concurrent
+	return a.Converged == b.Converged &&
+		a.SafetyViolated == b.SafetyViolated &&
+		a.Gone == b.Gone &&
+		a.LeaversSettled == b.LeaversSettled &&
+		a.StayingPreserved == b.StayingPreserved
+}
+
+// MirrorWorld builds a concurrent runtime from a sequential world: the
+// world is cloned (protocol states, modes, sleep states, channel contents)
+// and the clones are transplanted, so the runtime starts from exactly the
+// state w is in while w itself stays usable. Gone processes are omitted —
+// the runtime, like the model, has no notion of a struct for a departed
+// process.
+func MirrorWorld(w *sim.World, orc parallel.Oracle) *parallel.Runtime {
+	src := w.Clone()
+	rt := parallel.NewRuntime(orc)
+	for _, r := range src.Refs() {
+		if src.LifeOf(r) == sim.Gone {
+			continue
+		}
+		rt.AddProcess(r, src.ModeOf(r), src.ProtocolOf(r))
+	}
+	for _, r := range src.Refs() {
+		if src.LifeOf(r) == sim.Gone {
+			continue
+		}
+		if src.LifeOf(r) == sim.Asleep {
+			rt.ForceAsleep(r)
+		}
+		for _, m := range src.ChannelSnapshot(r) {
+			rt.Enqueue(r, m)
+		}
+	}
+	return rt
+}
+
+// Run executes the scenario on both engines and returns the paired verdict.
+func Run(cfg Config, seed int64) Verdict {
+	scn := cfg.Scenario
+	scn.Seed = seed
+	maxSteps := cfg.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 400000
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 20 * time.Second
+	}
+	poll := cfg.Poll
+	if poll <= 0 {
+		poll = time.Millisecond
+	}
+	variant := sim.FDP
+	if scn.Variant == core.VariantFSP {
+		variant = sim.FSP
+	}
+	return Verdict{
+		Seed:       seed,
+		Sequential: runSequential(cfg, scn, variant, maxSteps, seed),
+		Concurrent: runConcurrent(cfg, scn, variant, timeout, poll, seed),
+	}
+}
+
+// RunSeeds runs seeds 0..n-1 and returns the verdicts.
+func RunSeeds(cfg Config, n int) []Verdict {
+	out := make([]Verdict, 0, n)
+	for seed := int64(0); seed < int64(n); seed++ {
+		out = append(out, Run(cfg, seed))
+	}
+	return out
+}
+
+// Disagreements filters the verdicts where the engines diverged.
+func Disagreements(vs []Verdict) []Verdict {
+	var out []Verdict
+	for _, v := range vs {
+		if !v.Agree() {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func runSequential(cfg Config, scn churn.Config, variant sim.Variant, maxSteps int, seed int64) Outcome {
+	s := churn.Build(scn)
+	leavers := s.LeavingNodes()
+	sched := sim.NewRandomScheduler(seed, 256)
+	opts := sim.RunOptions{Variant: variant, CheckSafety: true}
+
+	var res sim.RunResult
+	if cfg.Strike != nil {
+		opts.MaxSteps = cfg.StrikeAfter
+		res = sim.Run(s.World, sched, opts)
+		if res.SafetyViolation == nil {
+			faults.New(*cfg.Strike, seed).Strike(s.World)
+			// After the strike the leavers set is unchanged (strikes corrupt
+			// values, never modes), so Lemma 3 is still judged on `leavers`.
+		}
+	}
+	if res.SafetyViolation == nil {
+		opts.MaxSteps = s.World.Steps() + maxSteps
+		res = sim.Run(s.World, sched, opts)
+	}
+
+	return Outcome{
+		Converged:        res.Converged && res.SafetyViolation == nil,
+		SafetyViolated:   res.SafetyViolation != nil,
+		Gone:             goneCount(s.World, s.Nodes),
+		LeaversSettled:   leaversSettledWorld(s.World, leavers, variant),
+		StayingPreserved: res.SafetyViolation == nil && s.World.StayingComponentsPreserved(),
+		Steps:            uint64(s.World.Steps()),
+	}
+}
+
+func runConcurrent(cfg Config, scn churn.Config, variant sim.Variant, timeout, poll time.Duration, seed int64) Outcome {
+	s := churn.Build(scn)
+	leavers := s.LeavingNodes()
+	rt := MirrorWorld(s.World, scn.Oracle)
+	rt.Start()
+
+	deadline := time.Now().Add(timeout)
+	if cfg.Strike != nil {
+		// The concurrent strike point: the same event budget the sequential
+		// side used as a step budget.
+		for rt.Events() < uint64(cfg.StrikeAfter) && time.Now().Before(deadline) {
+			time.Sleep(poll)
+		}
+		faults.New(*cfg.Strike, seed).StrikeRuntime(rt)
+	}
+
+	converged := false
+	for time.Now().Before(deadline) {
+		if rt.Freeze().Legitimate(variant) {
+			converged = true
+			break
+		}
+		time.Sleep(poll)
+	}
+	rt.Stop()
+	final := rt.Freeze()
+
+	violated := !final.RelevantComponentsIntact()
+	return Outcome{
+		Converged:        converged && !violated,
+		SafetyViolated:   violated,
+		Gone:             rt.Gone(),
+		LeaversSettled:   leaversSettledRuntime(final, leavers, variant),
+		StayingPreserved: !violated && final.StayingComponentsPreserved(),
+		Steps:            rt.Events(),
+	}
+}
+
+func goneCount(w *sim.World, nodes []ref.Ref) int {
+	n := 0
+	for _, r := range nodes {
+		if w.LifeOf(r) == sim.Gone {
+			n++
+		}
+	}
+	return n
+}
+
+// leaversSettledWorld checks Lemma 3 on the simulator's terminal state.
+func leaversSettledWorld(w *sim.World, leavers []ref.Ref, variant sim.Variant) bool {
+	if variant == sim.FDP {
+		for _, r := range leavers {
+			if w.LifeOf(r) != sim.Gone {
+				return false
+			}
+		}
+		return true
+	}
+	hib := w.Hibernating()
+	for _, r := range leavers {
+		if !hib.Has(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// leaversSettledRuntime checks Lemma 3 on a frozen runtime snapshot, where
+// gone processes are simply absent.
+func leaversSettledRuntime(final *sim.World, leavers []ref.Ref, variant sim.Variant) bool {
+	if variant == sim.FDP {
+		for _, r := range leavers {
+			if final.Has(r) {
+				return false
+			}
+		}
+		return true
+	}
+	hib := final.Hibernating()
+	for _, r := range leavers {
+		if !hib.Has(r) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,136 @@
+package diffval
+
+import (
+	"testing"
+
+	"fdp/internal/churn"
+	"fdp/internal/core"
+	"fdp/internal/faults"
+	"fdp/internal/oracle"
+	"fdp/internal/parallel"
+	"fdp/internal/sim"
+)
+
+func fdpConfig() Config {
+	return Config{
+		Scenario: churn.Config{
+			N: 10, Topology: churn.TopoRandom, LeaveFraction: 0.4,
+			Pattern: churn.LeaveRandom,
+			Corrupt: churn.Corruption{FlipBeliefs: 0.3, RandomAnchors: 0.3, JunkMessages: 4},
+			Variant: core.VariantFDP, Oracle: oracle.Single{},
+		},
+	}
+}
+
+func fspConfig() Config {
+	return Config{
+		Scenario: churn.Config{
+			N: 8, Topology: churn.TopoRandom, LeaveFraction: 0.5,
+			Pattern: churn.LeaveRandom,
+			Corrupt: churn.Corruption{FlipBeliefs: 0.25, JunkMessages: 3},
+			Variant: core.VariantFSP,
+		},
+	}
+}
+
+func assertAgreement(t *testing.T, name string, vs []Verdict, wantConverged bool) {
+	t.Helper()
+	for _, v := range vs {
+		if !v.Agree() {
+			t.Errorf("%s seed %d: engines disagree:\n  sequential %+v\n  concurrent %+v",
+				name, v.Seed, v.Sequential, v.Concurrent)
+			continue
+		}
+		if v.Sequential.SafetyViolated {
+			t.Errorf("%s seed %d: safety violated: %+v", name, v.Seed, v.Sequential)
+		}
+		if wantConverged && !v.Sequential.Converged {
+			t.Errorf("%s seed %d: no convergence: seq %+v conc %+v",
+				name, v.Seed, v.Sequential, v.Concurrent)
+		}
+		if wantConverged && !v.Sequential.LeaversSettled {
+			t.Errorf("%s seed %d: leavers not settled: %+v", name, v.Seed, v.Sequential)
+		}
+	}
+}
+
+// The tentpole check: 30 FDP seeds with corrupted initial states must
+// produce identical verdicts on both engines — converged, safe, all leavers
+// gone, staying components preserved.
+func TestDifferentialFDP(t *testing.T) {
+	vs := RunSeeds(fdpConfig(), 30)
+	assertAgreement(t, "fdp", vs, true)
+	for _, v := range vs {
+		want := goneWanted(fdpConfig(), v.Seed)
+		if v.Concurrent.Gone != want {
+			t.Errorf("fdp seed %d: concurrent gone=%d, want %d leavers departed", v.Seed, v.Concurrent.Gone, want)
+		}
+	}
+}
+
+// 20 FSP seeds: no exits on either side, every leaver hibernating.
+func TestDifferentialFSP(t *testing.T) {
+	vs := RunSeeds(fspConfig(), 20)
+	assertAgreement(t, "fsp", vs, true)
+	for _, v := range vs {
+		if v.Sequential.Gone != 0 || v.Concurrent.Gone != 0 {
+			t.Errorf("fsp seed %d: FSP must not produce gone processes: %+v / %+v",
+				v.Seed, v.Sequential, v.Concurrent)
+		}
+	}
+}
+
+// A mid-run transient fault must not break the agreement: both engines are
+// struck with the same fault class and both must re-converge safely.
+func TestDifferentialWithStrike(t *testing.T) {
+	cfg := fdpConfig()
+	cfg.Strike = &faults.Config{FlipBeliefs: 0.5, ScrambleAnchors: 0.5, JunkMessages: 5}
+	cfg.StrikeAfter = 60
+	vs := RunSeeds(cfg, 8)
+	assertAgreement(t, "strike", vs, true)
+}
+
+// goneWanted recomputes the scenario's leaver count for a seed.
+func goneWanted(cfg Config, seed int64) int {
+	scn := cfg.Scenario
+	scn.Seed = seed
+	return churn.Build(scn).Leaving.Len()
+}
+
+// MirrorWorld must transplant the full state: modes, protocol clones (not
+// aliases), sleep states, and channel contents.
+func TestMirrorWorldTransplantsState(t *testing.T) {
+	scn := fspConfig().Scenario
+	scn.Seed = 3
+	scn.Corrupt.AsleepLeavers = 1.0
+	s := churn.Build(scn)
+	rt := MirrorWorld(s.World, nil)
+
+	w := rt.Freeze()
+	if len(w.Refs()) != len(s.World.Refs()) {
+		t.Fatalf("process count differs: %d vs %d", len(w.Refs()), len(s.World.Refs()))
+	}
+	for _, r := range s.World.Refs() {
+		if w.ModeOf(r) != s.World.ModeOf(r) {
+			t.Fatalf("mode of %v differs", r)
+		}
+		if w.LifeOf(r) != s.World.LifeOf(r) {
+			t.Fatalf("life of %v differs: %v vs %v", r, w.LifeOf(r), s.World.LifeOf(r))
+		}
+		if got, want := w.ChannelLen(r), s.World.ChannelLen(r); got != want {
+			t.Fatalf("channel of %v differs: %d vs %d", r, got, want)
+		}
+	}
+	// The transplant must be a clone: corrupting the runtime's copy must not
+	// leak back into the source world's protocol state.
+	r0 := s.Nodes[0]
+	extra := s.Space.New()
+	rt.Mutate(func(v *parallel.MutableView) {
+		v.ProtocolOf(r0).(*core.Proc).SetNeighbor(extra, sim.Staying)
+	})
+	for _, held := range s.Procs[r0].Refs() {
+		if held == extra {
+			t.Fatal("MirrorWorld aliased protocol state instead of cloning it")
+		}
+	}
+}

@@ -1,4 +1,4 @@
-// Package experiments implements the reproduction suite E1–E15 described in
+// Package experiments implements the reproduction suite E1–E16 described in
 // DESIGN.md: one experiment per formal claim of the paper, each regenerating
 // a table (and, where a trend is claimed, a data series standing in for a
 // figure). The paper is a brief announcement without an evaluation section,
@@ -73,6 +73,7 @@ func All(s Scale) []Result {
 		E13Faults(s),
 		E14ModelCheck(),
 		E15SkipHops(s),
+		E16Differential(s),
 	}
 }
 

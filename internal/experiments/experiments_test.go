@@ -50,6 +50,13 @@ func TestE11(t *testing.T) {
 	checkResult(t, E11Parallel(Scale{Sizes: []int{8}, Trials: 1, MaxSteps: 1_000_000}))
 }
 
+func TestE16(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parallel runtime experiment")
+	}
+	checkResult(t, E16Differential(Scale{Sizes: []int{8}, Trials: 1, MaxSteps: 1_000_000}))
+}
+
 func TestE6SeriesNonIncreasing(t *testing.T) {
 	r := E6Potential(tiny())
 	if len(r.Series) == 0 {

@@ -10,15 +10,24 @@
 // last copy of a reference provably makes reconnection impossible for any
 // copy-store-send protocol, so no protocol could pass such a test); it
 // corrupts values while preserving the reference multiset, plus may ADD
-// junk. After a strike the world's initial components are re-sealed: the
+// junk. After a strike the system's initial components are re-sealed: the
 // post-fault state is the new "arbitrary initial state" convergence is
 // measured from.
+//
+// The same Injector strikes both execution engines: Strike pauses nothing
+// (the sequential world is between actions by construction), while
+// StrikeRuntime pauses the concurrent runtime under its snapshot write lock
+// via parallel.Runtime.Mutate, so the corruption is atomic with respect to
+// every process goroutine — identical strike semantics on both sides, which
+// is what lets the differential harness (internal/diffval) compare their
+// verdicts.
 package faults
 
 import (
 	"math/rand"
 
 	"fdp/internal/core"
+	"fdp/internal/parallel"
 	"fdp/internal/ref"
 	"fdp/internal/sim"
 )
@@ -29,7 +38,8 @@ type Config struct {
 	FlipBeliefs float64
 	// ScrambleAnchors is the probability per process of corrupting the
 	// anchor belief (and, for leaving processes, re-pointing the anchor to
-	// a random live process — which adds an edge, never removes one).
+	// a random live process — which adds an edge, never removes one: the
+	// displaced anchor reference is kept in flight).
 	ScrambleAnchors float64
 	// JunkMessages is the number of spurious present/forward messages
 	// injected with random live references and random claims.
@@ -54,31 +64,85 @@ func New(cfg Config, seed int64) *Injector {
 	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
 }
 
+// system abstracts the two execution engines a strike can hit. Both views
+// guarantee exclusive access for the duration of the strike and must
+// enumerate Live in a deterministic order, so a given (Config, seed) draws
+// the same corruption on either engine.
+type system interface {
+	Live() []ref.Ref
+	Alive(r ref.Ref) bool
+	ModeOf(r ref.Ref) sim.Mode
+	ProtocolOf(r ref.Ref) sim.Protocol
+	Enqueue(to ref.Ref, msg sim.Message) bool
+}
+
 // Strike corrupts the current state of every (non-gone) process running the
 // departure protocol, then re-seals the world's initial components so
 // legitimacy is judged from the post-fault state.
 func (i *Injector) Strike(w *sim.World) Report {
+	rep := i.strike(worldSystem{w})
+	// The strike mutated protocol variables outside any atomic action, so the
+	// incrementally maintained process graph must be rebuilt.
+	w.InvalidatePG()
+	// The post-fault state is the new reference point for condition (iii).
+	w.SealInitialState()
+	return rep
+}
+
+// StrikeRuntime applies the same corruption to a RUNNING concurrent
+// runtime: the world is paused under the snapshot write lock for the
+// duration of the strike (no action executes concurrently), and the
+// runtime's initial components are re-sealed from the post-fault state
+// before the goroutines resume.
+func (i *Injector) StrikeRuntime(rt *parallel.Runtime) Report {
+	var rep Report
+	rt.Mutate(func(v *parallel.MutableView) {
+		rep = i.strike(v)
+		v.Reseal()
+	})
+	return rep
+}
+
+// strike is the engine-agnostic corruption pass.
+func (i *Injector) strike(sys system) Report {
 	rep := Report{}
-	live := i.liveRefs(w)
+	live := sys.Live()
 	if len(live) == 0 {
 		return rep
 	}
 	for _, r := range live {
-		p, ok := w.ProtocolOf(r).(*core.Proc)
+		p, ok := sys.ProtocolOf(r).(*core.Proc)
 		if !ok {
 			continue
 		}
-		for v, belief := range p.Neighbors() {
+		// Deterministic iteration order: ranging over the Neighbors() map
+		// here used to consume rng draws in map order, so the same seed
+		// corrupted different beliefs from run to run.
+		beliefs := p.Neighbors()
+		for _, v := range p.NeighborRefs() {
 			if i.rng.Float64() < i.cfg.FlipBeliefs {
-				p.SetNeighbor(v, flip(belief))
+				p.SetNeighbor(v, flip(beliefs[v]))
 				rep.BeliefsFlipped++
 			}
 		}
-		if !p.Anchor().IsNil() || w.ModeOf(r) == sim.Leaving {
+		if !p.Anchor().IsNil() || sys.ModeOf(r) == sim.Leaving {
 			if i.rng.Float64() < i.cfg.ScrambleAnchors {
+				// Resample until the target differs from the struck process
+				// itself. The old code skipped the scramble entirely when the
+				// first draw hit r, silently biasing the configured rate
+				// downward (by 1/len(live) per eligible process).
 				target := live[i.rng.Intn(len(live))]
+				for target == r && len(live) > 1 {
+					target = live[i.rng.Intn(len(live))]
+				}
 				if target != r {
-					p.SetAnchor(target, randomMode(i.rng))
+					// Keep the displaced anchor reference in flight:
+					// overwriting it outright could burn the last copy of a
+					// reference, which the package contract forbids.
+					old := p.RepointAnchor(target, randomMode(i.rng))
+					if !old.Ref.IsNil() && old.Ref != target {
+						sys.Enqueue(r, sim.NewMessage(core.LabelPresent, old))
+					}
 					rep.AnchorsScrambled++
 				}
 			}
@@ -91,26 +155,41 @@ func (i *Injector) Strike(w *sim.World) Report {
 		if i.rng.Intn(2) == 0 {
 			label = core.LabelForward
 		}
-		w.Enqueue(to, sim.NewMessage(label, sim.RefInfo{Ref: carried, Mode: randomMode(i.rng)}))
+		sys.Enqueue(to, sim.NewMessage(label, sim.RefInfo{Ref: carried, Mode: randomMode(i.rng)}))
 		rep.MessagesInjected++
 	}
-	// The strike mutated protocol variables outside any atomic action, so the
-	// incrementally maintained process graph must be rebuilt.
-	w.InvalidatePG()
-	// The post-fault state is the new reference point for condition (iii).
-	w.SealInitialState()
 	return rep
 }
 
-func (i *Injector) liveRefs(w *sim.World) []ref.Ref {
+// worldSystem adapts the sequential simulator to the strike interface.
+type worldSystem struct{ w *sim.World }
+
+func (s worldSystem) Live() []ref.Ref {
 	var out []ref.Ref
-	for _, r := range w.Refs() {
-		if w.LifeOf(r) != sim.Gone {
+	for _, r := range s.w.Refs() {
+		if s.w.LifeOf(r) != sim.Gone {
 			out = append(out, r)
 		}
 	}
 	return out
 }
+
+func (s worldSystem) Alive(r ref.Ref) bool {
+	return s.w.Has(r) && s.w.LifeOf(r) != sim.Gone
+}
+
+func (s worldSystem) ModeOf(r ref.Ref) sim.Mode         { return s.w.ModeOf(r) }
+func (s worldSystem) ProtocolOf(r ref.Ref) sim.Protocol { return s.w.ProtocolOf(r) }
+func (s worldSystem) Enqueue(to ref.Ref, m sim.Message) bool {
+	if !s.Alive(to) {
+		return false
+	}
+	s.w.Enqueue(to, m)
+	return true
+}
+
+// *parallel.MutableView satisfies system directly.
+var _ system = (*parallel.MutableView)(nil)
 
 func flip(m sim.Mode) sim.Mode {
 	if m == sim.Staying {

@@ -2,10 +2,13 @@ package faults
 
 import (
 	"testing"
+	"time"
 
 	"fdp/internal/churn"
 	"fdp/internal/core"
 	"fdp/internal/oracle"
+	"fdp/internal/parallel"
+	"fdp/internal/ref"
 	"fdp/internal/sim"
 )
 
@@ -82,6 +85,138 @@ func TestStrikeReSealsComponents(t *testing.T) {
 		t.Fatal("components not re-sealed")
 	}
 	_ = before
+}
+
+// Regression: Strike used to draw the scramble target BEFORE checking it
+// against the struck process and skipped the whole scramble when the draw
+// hit the process itself — so ScrambleAnchors=1.0 did not mean "every
+// eligible anchor is scrambled". The fix resamples the target instead of
+// consuming the roll.
+func TestScrambleRateNotBiasedBySelfDraws(t *testing.T) {
+	for seed := int64(0); seed <= 10; seed++ {
+		space := ref.NewSpace()
+		a, b, c := space.New(), space.New(), space.New()
+		w := sim.NewWorld(nil)
+		pa, pb, pc := core.New(core.VariantFDP), core.New(core.VariantFDP), core.New(core.VariantFDP)
+		pa.SetNeighbor(b, sim.Leaving)
+		pb.SetNeighbor(a, sim.Leaving)
+		pc.SetNeighbor(a, sim.Leaving)
+		w.AddProcess(a, sim.Leaving, pa)
+		w.AddProcess(b, sim.Leaving, pb)
+		w.AddProcess(c, sim.Staying, pc)
+		w.SealInitialState()
+
+		inj := New(Config{ScrambleAnchors: 1.0}, seed)
+		rep := inj.Strike(w)
+		// Exactly a and b are eligible (leaving); with probability 1.0 both
+		// MUST be scrambled regardless of which targets the rng draws.
+		if rep.AnchorsScrambled != 2 {
+			t.Fatalf("seed %d: AnchorsScrambled=%d, want 2", seed, rep.AnchorsScrambled)
+		}
+	}
+}
+
+// Same (Config, seed) on identical worlds must produce identical corruption.
+// The old implementation ranged over the Neighbors() map, consuming rng
+// draws in nondeterministic map order.
+func TestStrikeDeterministicPerSeed(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		s := buildScenario(20 + seed)
+		w2 := s.World.Clone()
+		cfg := Config{FlipBeliefs: 0.5, ScrambleAnchors: 0.5, JunkMessages: 7}
+		rep1 := New(cfg, seed).Strike(s.World)
+		rep2 := New(cfg, seed).Strike(w2)
+		if rep1 != rep2 {
+			t.Fatalf("seed %d: reports diverged: %+v vs %+v", seed, rep1, rep2)
+		}
+		if f1, f2 := s.World.Fingerprint(), w2.Fingerprint(); f1 != f2 {
+			t.Fatalf("seed %d: same seed produced different post-strike states", seed)
+		}
+	}
+}
+
+// Regression: re-pointing an anchor used to overwrite the displaced
+// reference outright. When the anchor slot held the LAST copy of a
+// reference, the strike burned it — exactly the fault class the package
+// contract rules out. The displaced reference must stay in flight.
+func TestScramblePreservesDisplacedAnchorRef(t *testing.T) {
+	for seed := int64(0); seed <= 20; seed++ {
+		space := ref.NewSpace()
+		a, b, c := space.New(), space.New(), space.New()
+		w := sim.NewWorld(nil)
+		pa, pb, pc := core.New(core.VariantFDP), core.New(core.VariantFDP), core.New(core.VariantFDP)
+		// a's anchor is the ONLY copy of b's reference anywhere.
+		pa.SetAnchor(b, sim.Staying)
+		pc.SetNeighbor(a, sim.Leaving)
+		w.AddProcess(a, sim.Leaving, pa)
+		w.AddProcess(b, sim.Staying, pb)
+		w.AddProcess(c, sim.Staying, pc)
+		w.SealInitialState()
+
+		inj := New(Config{ScrambleAnchors: 1.0}, seed)
+		inj.Strike(w)
+		// Whatever target the scramble picked, b must still be reachable:
+		// either the anchor still points at b, or the displaced reference
+		// rides in a's channel as a present(b) message (an implicit edge).
+		if comps := w.PG().WeaklyConnectedComponents(); len(comps) != 1 {
+			t.Fatalf("seed %d: strike burned the last copy of a reference (%d components)", seed, len(comps))
+		}
+	}
+}
+
+// StrikeRuntime must corrupt a RUNNING concurrent runtime under its pause
+// lock and the protocol must then re-converge — the concurrent counterpart
+// of TestRecoveryAfterRepeatedStrikes.
+func TestStrikeRuntimeRecovery(t *testing.T) {
+	space := ref.NewSpace()
+	nodes := space.NewN(8)
+	rt := parallel.NewRuntime(oracle.Single{})
+	procs := make([]*core.Proc, len(nodes))
+	for idx, r := range nodes {
+		procs[idx] = core.New(core.VariantFDP)
+		mode := sim.Staying
+		if idx%3 == 0 {
+			mode = sim.Leaving
+		}
+		rt.AddProcess(r, mode, procs[idx])
+	}
+	for idx := range nodes { // ring topology, correct initial beliefs
+		next := (idx + 1) % len(nodes)
+		mode := sim.Staying
+		if next%3 == 0 {
+			mode = sim.Leaving
+		}
+		procs[idx].SetNeighbor(nodes[next], mode)
+	}
+
+	rt.Start()
+	defer rt.Stop()
+	time.Sleep(2 * time.Millisecond) // let the protocol make some progress
+
+	inj := New(Config{FlipBeliefs: 1.0, ScrambleAnchors: 1.0, JunkMessages: 8}, 11)
+	rep := inj.StrikeRuntime(rt)
+	if rep.BeliefsFlipped == 0 && rep.MessagesInjected == 0 {
+		t.Fatalf("runtime strike did nothing: %+v", rep)
+	}
+	if len(rt.InitialComponents()) == 0 {
+		t.Fatal("runtime strike must reseal the initial components")
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	converged := false
+	for time.Now().Before(deadline) {
+		if rt.Freeze().Legitimate(sim.FDP) {
+			converged = true
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !converged {
+		t.Fatal("runtime did not re-converge after the strike")
+	}
+	if !rt.Freeze().RelevantComponentsIntact() {
+		t.Fatal("post-recovery state violates Lemma 2 relative to the post-strike seal")
+	}
 }
 
 func TestStrikeOnAllGoneWorld(t *testing.T) {

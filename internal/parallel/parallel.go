@@ -2,24 +2,37 @@
 // real mailboxes, true parallel execution on all cores. It runs the same
 // Protocol implementations as the sequential simulator (they only ever see
 // the sim.Context interface) and is used to cross-validate the simulator's
-// outcomes and to measure event throughput (experiment E11).
+// outcomes (experiment E16, internal/diffval) and to measure event
+// throughput (experiment E11).
 //
 // Concurrency design ("share memory by communicating" where possible, a
 // coarse snapshot lock where the model demands a consistent global view):
 //
 //   - Each process's protocol state is owned by its goroutine; nobody else
-//     touches it.
+//     touches it while actions run.
 //   - Mailboxes are mutex+cond queues with unbounded capacity, matching the
 //     model's channels (no loss, no bound). FIFO order per mailbox is one
-//     legal schedule of the non-FIFO model.
+//     legal schedule of the non-FIFO model. A closed mailbox stops
+//     accepting and delivering messages but RETAINS its queue, so terminal
+//     snapshots still see every in-flight reference (implicit edges).
 //   - Every action executes under the read side of a global RWMutex; global
-//     snapshots (oracle evaluation, legitimacy detection, exit validation)
-//     take the write side. This gives honest parallelism between snapshot
-//     points.
+//     snapshots (oracle evaluation, legitimacy detection, exit validation,
+//     fault injection via Mutate) take the write side. This gives honest
+//     parallelism between snapshot points.
 //   - exit is validated under the write lock: a process's cached oracle
-//     answer may be stale, so the coordinator re-evaluates SINGLE on a
+//     answer may be stale, so validateExit re-evaluates the oracle on a
 //     consistent snapshot before committing the exit — exactly the "check
 //     then act atomically" the sequential model provides for free.
+//   - Idle processes are event-driven: a timeout that finds no work waits
+//     on the mailbox's notify channel with an exponentially growing backoff
+//     (idleMin..idleMax) instead of busy-sleeping a fixed interval. A
+//     message arrival wakes the process immediately; the backoff cap bounds
+//     the latency of purely timeout-driven progress.
+//
+// Oracles used with this runtime must be stateless values (like
+// oracle.Single); evaluations run concurrently from the coordinator and
+// from validateExit and are serialized only by oracleMu, not by the
+// snapshot lock.
 package parallel
 
 import (
@@ -32,36 +45,56 @@ import (
 	"fdp/internal/sim"
 )
 
+// Idle backoff bounds for the per-process event loop and the coordinator's
+// refresh cadence. Small enough that timeout-driven protocol progress stays
+// fast, large enough that a converged system does not spin.
+const (
+	idleMin  = 5 * time.Microsecond
+	idleMax  = time.Millisecond
+	coordMin = 200 * time.Microsecond
+	coordMax = 4 * time.Millisecond
+)
+
 // mailbox is an unbounded FIFO queue with blocking receive.
 type mailbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	queue  []sim.Message
 	closed bool
+	// notify is a capacity-1 wakeup signal for the owner's idle wait; push
+	// raises it so an idling process reacts to new work immediately instead
+	// of sleeping out its backoff interval.
+	notify chan struct{}
 }
 
 func newMailbox() *mailbox {
-	m := &mailbox{}
+	m := &mailbox{notify: make(chan struct{}, 1)}
 	m.cond = sync.NewCond(&m.mu)
 	return m
 }
 
 func (m *mailbox) push(msg sim.Message) bool {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if m.closed {
+		m.mu.Unlock()
 		return false
 	}
 	m.queue = append(m.queue, msg)
 	m.cond.Signal()
+	m.mu.Unlock()
+	select {
+	case m.notify <- struct{}{}:
+	default:
+	}
 	return true
 }
 
-// tryPop returns immediately.
+// tryPop returns immediately; a closed mailbox delivers nothing (its
+// remaining queue is retained for terminal snapshots).
 func (m *mailbox) tryPop() (sim.Message, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if len(m.queue) == 0 {
+	if m.closed || len(m.queue) == 0 {
 		return sim.Message{}, false
 	}
 	msg := m.queue[0]
@@ -70,14 +103,14 @@ func (m *mailbox) tryPop() (sim.Message, bool) {
 }
 
 // waitPop blocks until a message arrives or the mailbox closes; the second
-// result is false when closed and drained.
+// result is false when the mailbox is closed.
 func (m *mailbox) waitPop() (sim.Message, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for len(m.queue) == 0 && !m.closed {
 		m.cond.Wait()
 	}
-	if len(m.queue) == 0 {
+	if m.closed || len(m.queue) == 0 {
 		return sim.Message{}, false
 	}
 	msg := m.queue[0]
@@ -85,9 +118,12 @@ func (m *mailbox) waitPop() (sim.Message, bool) {
 	return msg, true
 }
 
+// close stops deliveries and further pushes but RETAINS the queued
+// messages: they are in-flight state the terminal freeze must still count
+// (an earlier revision nilled the queue here, silently dropping every
+// reference carried by undelivered messages from post-Stop snapshots).
 func (m *mailbox) close() {
 	m.mu.Lock()
-	m.queue = nil
 	m.closed = true
 	m.cond.Broadcast()
 	m.mu.Unlock()
@@ -135,14 +171,28 @@ type Runtime struct {
 	order  []ref.Ref
 	oracle sim.Oracle // evaluated on frozen snapshots via the World shim
 
-	snap sync.RWMutex // actions: RLock; snapshots: Lock
+	snap sync.RWMutex // actions: RLock; snapshots and Mutate: Lock
 
-	events atomic.Uint64 // executed actions (timeouts + deliveries)
-	sent   atomic.Uint64
-	exits  atomic.Int32
+	// oracleMu serializes oracle evaluations that run outside the snapshot
+	// lock (the coordinator evaluates on a private frozen world after
+	// releasing it) against validateExit's evaluation under the lock, so
+	// stateful oracles do not race with themselves.
+	oracleMu sync.Mutex
 
-	stop      atomic.Bool
-	wg        sync.WaitGroup
+	events     atomic.Uint64 // executed actions (timeouts + deliveries)
+	sent       atomic.Uint64
+	dropped    atomic.Uint64 // sends to gone/closed targets (vanish, like the model)
+	exits      atomic.Int32
+	exitDenied atomic.Uint64 // exit requests rejected by revalidation
+
+	stop     atomic.Bool
+	stopCh   chan struct{} // closed by Stop; unblocks idle waits promptly
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	// initially is the weakly-connected-component partition captured at
+	// Start (and re-captured by MutableView.Reseal after a fault strike).
+	// Written only before the goroutines exist or under the snapshot lock.
 	initially [][]ref.Ref
 }
 
@@ -151,7 +201,11 @@ type Oracle = sim.Oracle
 
 // NewRuntime returns an empty runtime with the given oracle (may be nil).
 func NewRuntime(oracle Oracle) *Runtime {
-	return &Runtime{procs: make(map[ref.Ref]*proc), oracle: oracle}
+	return &Runtime{
+		procs:  make(map[ref.Ref]*proc),
+		oracle: oracle,
+		stopCh: make(chan struct{}),
+	}
 }
 
 // AddProcess registers a process before Start.
@@ -170,14 +224,31 @@ func (rt *Runtime) Enqueue(to ref.Ref, msg sim.Message) {
 	rt.procs[to].mb.push(msg)
 }
 
+// ForceAsleep starts a process in the asleep state. It mirrors
+// sim.World.ForceAsleep for scenario transplantation (FSP worlds whose
+// initial state contains asleep processes) and must be called before Start.
+func (rt *Runtime) ForceAsleep(r ref.Ref) {
+	rt.procs[r].life.Store(1)
+}
+
 // Events returns the number of executed actions so far.
 func (rt *Runtime) Events() uint64 { return rt.events.Load() }
 
-// Sent returns the number of sent messages so far.
+// Sent returns the number of sent messages so far (including drops, like
+// the simulator's Stats.Sent).
 func (rt *Runtime) Sent() uint64 { return rt.sent.Load() }
+
+// Dropped returns the number of sends that vanished because the target was
+// gone (or exiting concurrently).
+func (rt *Runtime) Dropped() uint64 { return rt.dropped.Load() }
 
 // Gone returns the number of exited processes.
 func (rt *Runtime) Gone() int { return int(rt.exits.Load()) }
+
+// ExitDenied returns how many exit requests the revalidation under the
+// snapshot lock rejected because the stale cached oracle answer no longer
+// held. Observability for the validateExit contention tests.
+func (rt *Runtime) ExitDenied() uint64 { return rt.exitDenied.Load() }
 
 // ctx implements sim.Context for a process action.
 type pctx struct{ p *proc }
@@ -189,12 +260,22 @@ func (c *pctx) Send(to ref.Ref, msg sim.Message) {
 	if to.IsNil() {
 		return
 	}
-	target := c.p.rt.procs[to]
-	if target == nil || target.life.Load() == 2 {
-		return
+	rt := c.p.rt
+	rt.sent.Add(1)
+	target := rt.procs[to]
+	// The life check is advisory (the target may exit between it and the
+	// push); push itself refuses on a closed mailbox, so the pair behaves
+	// like the model's "sends to gone processes vanish".
+	if target == nil || target.life.Load() == 2 || !target.mb.push(msg) {
+		rt.dropped.Add(1)
+		// Transport-level failure detection, same contract as the
+		// sequential Context: the sender learns within its own atomic
+		// action that the message was undeliverable. Safe here: the
+		// handler runs on the owner goroutine under the action RLock.
+		if h, ok := c.p.proto.(sim.UndeliverableHandler); ok {
+			h.Undeliverable(c, to, msg)
+		}
 	}
-	c.p.rt.sent.Add(1)
-	target.mb.push(msg)
 }
 
 func (c *pctx) Exit()  { c.p.wantExit = true }
@@ -214,6 +295,13 @@ func (c *pctx) OracleSays() bool {
 // run is the per-process goroutine body.
 func (p *proc) run() {
 	defer p.rt.wg.Done()
+	backoff := idleMin
+	idleTimer := time.NewTimer(time.Hour)
+	if !idleTimer.Stop() {
+		<-idleTimer.C
+	}
+	defer idleTimer.Stop()
+
 	for !p.rt.stop.Load() {
 		if p.life.Load() == 2 {
 			return
@@ -252,22 +340,53 @@ func (p *proc) run() {
 		} else if p.wantSleep {
 			p.life.Store(1)
 		}
-		if !haveMsg {
-			// Idle timeout loop: yield so other goroutines (and the
-			// coordinator) get the CPU.
-			time.Sleep(50 * time.Microsecond)
+
+		if haveMsg {
+			backoff = idleMin
+			continue
+		}
+		// Idle timeout loop: wait for new work (mailbox notify) or the next
+		// timeout slot, whichever comes first. The backoff doubles while the
+		// process stays idle and resets on the next delivery, so a busy
+		// system runs flat out and a converged one barely wakes.
+		idleTimer.Reset(backoff)
+		select {
+		case <-p.mb.notify:
+			if !idleTimer.Stop() {
+				<-idleTimer.C
+			}
+		case <-p.rt.stopCh:
+			if !idleTimer.Stop() {
+				<-idleTimer.C
+			}
+		case <-idleTimer.C:
+		}
+		if backoff < idleMax {
+			backoff *= 2
+			if backoff > idleMax {
+				backoff = idleMax
+			}
 		}
 	}
 }
 
 // validateExit re-evaluates the oracle under the snapshot (write) lock and
 // commits the exit only if it still holds — the concurrent-world equivalent
-// of the model's atomic guard evaluation.
+// of the model's atomic guard evaluation. A stale oracleOK cache can
+// therefore request an exit but never commit one.
 func (rt *Runtime) validateExit(p *proc) bool {
 	rt.snap.Lock()
 	defer rt.snap.Unlock()
-	if rt.oracle != nil && !rt.oracle.Evaluate(rt.freezeUnderLock(), p.id) {
-		return false
+	if rt.oracle != nil {
+		w := rt.freezeUnderLock()
+		rt.oracleMu.Lock()
+		ok := rt.oracle.Evaluate(w, p.id)
+		rt.oracleMu.Unlock()
+		if !ok {
+			p.oracleOK.Store(false) // the cache was stale; stop re-requesting
+			rt.exitDenied.Add(1)
+			return false
+		}
 	}
 	p.life.Store(2)
 	p.mb.close()
@@ -289,26 +408,61 @@ func (rt *Runtime) Start() {
 }
 
 // coordinate periodically refreshes every live leaving process's cached
-// oracle answer on a consistent snapshot.
+// oracle answer on a consistent snapshot. The cadence adapts: while actions
+// execute it refreshes every coordMin, and while the system is quiet the
+// interval doubles up to coordMax, so a converged (or FSP-hibernated)
+// system is not frozen 2000 times a second for nothing.
 func (rt *Runtime) coordinate() {
 	defer rt.wg.Done()
+	interval := coordMin
+	var lastEvents uint64
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+
 	for !rt.stop.Load() {
 		w := rt.freezeLocked()
+		rt.oracleMu.Lock()
 		for _, r := range rt.order {
 			p := rt.procs[r]
 			if p.mode == sim.Leaving && p.life.Load() != 2 {
 				p.oracleOK.Store(rt.oracle.Evaluate(w, r))
 			}
 		}
-		time.Sleep(500 * time.Microsecond)
+		rt.oracleMu.Unlock()
+
+		if ev := rt.events.Load(); ev == lastEvents {
+			if interval < coordMax {
+				interval *= 2
+				if interval > coordMax {
+					interval = coordMax
+				}
+			}
+		} else {
+			lastEvents = ev
+			interval = coordMin
+		}
+		timer.Reset(interval)
+		select {
+		case <-timer.C:
+		case <-rt.stopCh:
+			if !timer.Stop() {
+				<-timer.C
+			}
+		}
 	}
 }
 
-// Stop signals all goroutines to finish and waits for them. Mailboxes are
-// closed so that processes blocked in waitPop (asleep, FSP) wake up and
-// observe the stop flag.
+// Stop signals all goroutines to finish and waits for them, then leaves the
+// mailboxes closed-but-intact: undelivered messages stay queued so a
+// post-Stop Freeze still counts every in-flight reference. Closing wakes
+// processes blocked in waitPop (asleep, FSP); the stop channel wakes idle
+// backoff waits.
 func (rt *Runtime) Stop() {
 	rt.stop.Store(true)
+	rt.stopOnce.Do(func() { close(rt.stopCh) })
 	for _, p := range rt.procs {
 		p.mb.close()
 	}
@@ -332,9 +486,14 @@ func (rt *Runtime) RunUntil(pred func(*sim.World) bool, pollEvery, timeout time.
 	return pred(rt.freezeLocked())
 }
 
-// freezeLocked takes the snapshot lock and builds a sequential sim.World
-// mirroring the current global state, so every predicate and oracle written
-// for the simulator works unchanged on the concurrent runtime.
+// Freeze returns a consistent sequential snapshot of the current global
+// state as a sim.World, so every predicate and oracle written for the
+// simulator works unchanged on the concurrent runtime. Safe to call before
+// Start, while running, and after Stop (where it sees the terminal state
+// including undelivered messages).
+func (rt *Runtime) Freeze() *sim.World { return rt.freezeLocked() }
+
+// freezeLocked takes the snapshot lock and builds the frozen world.
 func (rt *Runtime) freezeLocked() *sim.World {
 	rt.snap.Lock()
 	defer rt.snap.Unlock()
@@ -366,8 +525,14 @@ func (rt *Runtime) freezeUnderLock() *sim.World {
 			w.Enqueue(r, m)
 		}
 	}
+	// Judge safety and legitimacy condition (iii) against the components
+	// captured at Start time. Re-sealing the snapshot's own PG here (as an
+	// earlier revision did) adopts any disconnection that already happened
+	// as the new reference partition, making every safety check on frozen
+	// worlds vacuously pass — the differential harness caught unsafe-oracle
+	// runs "converging legitimately" that way.
 	if rt.initially != nil {
-		w.SealInitialState()
+		w.SetInitialComponents(rt.initially)
 	}
 	// Seed the incremental process graph while we still hold the snapshot
 	// lock: the frozen world is immutable afterwards, so the coordinator and
@@ -391,8 +556,70 @@ func (f *frozenProto) Refs() []ref.Ref                  { return f.refs }
 // Beliefs returns the mode knowledge captured at snapshot time.
 func (f *frozenProto) Beliefs() []sim.RefInfo { return f.beliefs }
 
-// InitialComponents returns the weakly-connected components at Start time.
+// InitialComponents returns the weakly-connected components at Start time
+// (or at the last Reseal).
 func (rt *Runtime) InitialComponents() [][]ref.Ref { return rt.initially }
 
 // PGSnapshot returns a consistent process graph of the current state.
 func (rt *Runtime) PGSnapshot() *graph.Graph { return rt.freezeLocked().PG() }
+
+// --- Pause-the-world mutation (fault injection) ------------------------
+
+// MutableView is the exclusive access Mutate hands its callback: every
+// process goroutine is paused (the callback runs under the snapshot write
+// lock), so protocol state may be read and corrupted freely. The view must
+// not escape the callback.
+type MutableView struct{ rt *Runtime }
+
+// Mutate pauses the world under the snapshot (write) lock and runs fn with
+// exclusive access to the live protocol states and mailboxes. It is how the
+// fault injector strikes a RUNNING runtime: no action executes concurrently
+// with fn, matching the simulator's between-actions strike semantics.
+func (rt *Runtime) Mutate(fn func(v *MutableView)) {
+	rt.snap.Lock()
+	defer rt.snap.Unlock()
+	fn(&MutableView{rt: rt})
+}
+
+// Live returns the references of all non-gone processes in deterministic
+// order.
+func (v *MutableView) Live() []ref.Ref {
+	out := make([]ref.Ref, 0, len(v.rt.order))
+	for _, r := range v.rt.order {
+		if v.rt.procs[r].life.Load() != 2 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Alive reports whether r names a registered, non-gone process.
+func (v *MutableView) Alive(r ref.Ref) bool {
+	p := v.rt.procs[r]
+	return p != nil && p.life.Load() != 2
+}
+
+// ModeOf returns the true mode of r.
+func (v *MutableView) ModeOf(r ref.Ref) sim.Mode { return v.rt.procs[r].mode }
+
+// ProtocolOf returns the live protocol instance of r for in-place
+// corruption. Exclusive access: the owner goroutine is paused.
+func (v *MutableView) ProtocolOf(r ref.Ref) sim.Protocol { return v.rt.procs[r].proto }
+
+// Enqueue injects a message into r's mailbox (spurious junk, or a displaced
+// reference kept in flight). Messages to gone processes vanish, like sends.
+func (v *MutableView) Enqueue(to ref.Ref, msg sim.Message) bool {
+	p := v.rt.procs[to]
+	if p == nil || p.life.Load() == 2 {
+		return false
+	}
+	return p.mb.push(msg)
+}
+
+// Reseal re-captures the weakly-connected-component partition of the
+// current state as the new reference point for safety and legitimacy — the
+// post-fault state is the new "arbitrary initial state" convergence is
+// measured from, exactly like faults.Strike's re-seal on the simulator.
+func (v *MutableView) Reseal() {
+	v.rt.initially = v.rt.freezeUnderLock().PG().WeaklyConnectedComponents()
+}

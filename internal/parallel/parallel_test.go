@@ -71,7 +71,27 @@ func TestMailboxBasics(t *testing.T) {
 		t.Fatal("closed mailbox must reject pushes")
 	}
 	if _, ok := mb.waitPop(); ok {
-		t.Fatal("closed+drained mailbox must return false")
+		t.Fatal("closed mailbox must not deliver")
+	}
+}
+
+// Regression: close() used to nil the queue, so any message still queued at
+// close time vanished from terminal snapshots — in-flight references
+// (implicit PG edges) silently dropped.
+func TestMailboxCloseRetainsQueue(t *testing.T) {
+	mb := newMailbox()
+	mb.push(sim.NewMessage("a"))
+	mb.push(sim.NewMessage("b"))
+	mb.close()
+	if got := mb.len(); got != 2 {
+		t.Fatalf("closed mailbox retained %d messages, want 2", got)
+	}
+	snap := mb.snapshot()
+	if len(snap) != 2 || snap[0].Label != "a" || snap[1].Label != "b" {
+		t.Fatalf("snapshot after close wrong: %v", snap)
+	}
+	if _, ok := mb.tryPop(); ok {
+		t.Fatal("closed mailbox must not deliver via tryPop")
 	}
 }
 
@@ -181,6 +201,187 @@ func TestParallelEventThroughputCounters(t *testing.T) {
 	}
 	if rt.Sent() == 0 {
 		t.Fatal("no messages sent")
+	}
+}
+
+// fixedRefsProto stores an externally mutable reference slice and does
+// nothing on its own. Mutation happens only via Runtime.Mutate (under the
+// snapshot write lock), so tests stay race-free.
+type fixedRefsProto struct{ refs []ref.Ref }
+
+func (s *fixedRefsProto) Timeout(sim.Context)              {}
+func (s *fixedRefsProto) Deliver(sim.Context, sim.Message) {}
+func (s *fixedRefsProto) Refs() []ref.Ref                  { return s.refs }
+
+// Regression for the freeze re-seal bug the differential harness flushed
+// out: freezeUnderLock used to call SealInitialState on the snapshot itself,
+// adopting any disconnection that had already happened as the reference
+// partition — so RelevantComponentsIntact/StayingComponentsPreserved on
+// frozen worlds were vacuously true and unsafe-oracle runs "converged
+// legitimately". The frozen world must judge against the Start partition.
+func TestFreezeJudgesAgainstStartComponents(t *testing.T) {
+	space := ref.NewSpace()
+	a, b := space.New(), space.New()
+	pa := &fixedRefsProto{refs: []ref.Ref{b}}
+	pb := &fixedRefsProto{refs: []ref.Ref{a}}
+	rt := NewRuntime(nil)
+	rt.AddProcess(a, sim.Staying, pa)
+	rt.AddProcess(b, sim.Staying, pb)
+	rt.Start()
+	defer rt.Stop()
+
+	// Corrupt the state without resealing: both stayers drop every
+	// reference, splitting the single initial component in two.
+	rt.Mutate(func(*MutableView) {
+		pa.refs, pb.refs = nil, nil
+	})
+
+	w := rt.Freeze()
+	if w.RelevantComponentsIntact() {
+		t.Fatal("frozen world must judge Lemma 2 against the Start components, not its own re-seal")
+	}
+	if w.StayingComponentsPreserved() {
+		t.Fatal("frozen world must see the staying-component split")
+	}
+}
+
+// Mutate + Reseal is the fault-injection contract: after an explicit reseal
+// the post-fault state becomes the new reference partition, so the same
+// disconnection is no longer a violation.
+func TestMutateResealAdoptsNewPartition(t *testing.T) {
+	space := ref.NewSpace()
+	a, b := space.New(), space.New()
+	pa := &fixedRefsProto{refs: []ref.Ref{b}}
+	pb := &fixedRefsProto{refs: []ref.Ref{a}}
+	rt := NewRuntime(nil)
+	rt.AddProcess(a, sim.Staying, pa)
+	rt.AddProcess(b, sim.Staying, pb)
+	rt.Start()
+	defer rt.Stop()
+
+	rt.Mutate(func(v *MutableView) {
+		pa.refs, pb.refs = nil, nil
+		v.Reseal()
+	})
+
+	if got := len(rt.InitialComponents()); got != 2 {
+		t.Fatalf("reseal captured %d components, want 2", got)
+	}
+	if w := rt.Freeze(); !w.RelevantComponentsIntact() {
+		t.Fatal("after reseal the split state is the new reference partition")
+	}
+}
+
+// Regression for Stop() discarding in-flight state: messages still queued
+// when the runtime stops must appear in post-Stop snapshots — they carry
+// references (implicit PG edges) the terminal safety verdict depends on.
+func TestStopRetainsInFlightMessages(t *testing.T) {
+	space := ref.NewSpace()
+	a, b := space.New(), space.New()
+	rt := NewRuntime(nil)
+	rt.AddProcess(a, sim.Staying, &fixedRefsProto{refs: []ref.Ref{b}})
+	rt.AddProcess(b, sim.Staying, &fixedRefsProto{refs: []ref.Ref{a}})
+	for i := 0; i < 3; i++ {
+		rt.Enqueue(b, sim.NewMessage("pending"))
+	}
+	// Never started: all three messages are still in flight at Stop time.
+	rt.Stop()
+	w := rt.Freeze()
+	if got := w.ChannelLen(b); got != 3 {
+		t.Fatalf("post-Stop snapshot sees %d queued messages, want 3", got)
+	}
+	if got := w.Stats().TotalInQueue; got != 3 {
+		t.Fatalf("post-Stop stats count %d in-flight messages, want 3", got)
+	}
+}
+
+// undeliverableRecorder records transport-failure callbacks. It is only
+// exercised single-threadedly in tests, so plain fields are fine.
+type undeliverableRecorder struct {
+	fixedRefsProto
+	failed []ref.Ref
+}
+
+func (u *undeliverableRecorder) Undeliverable(_ sim.Context, to ref.Ref, _ sim.Message) {
+	u.failed = append(u.failed, to)
+}
+
+// Sends to gone or unknown targets must count as sent AND dropped (simulator
+// parity) and must invoke the sender's UndeliverableHandler within the same
+// action, exactly like sim.procCtx.Send.
+func TestSendToGoneCountsDropAndNotifies(t *testing.T) {
+	space := ref.NewSpace()
+	a, b := space.New(), space.New()
+	rec := &undeliverableRecorder{}
+	rt := NewRuntime(nil)
+	rt.AddProcess(a, sim.Staying, rec)
+	rt.AddProcess(b, sim.Staying, &fixedRefsProto{})
+	rt.procs[b].life.Store(2) // b is gone
+
+	ctx := &pctx{p: rt.procs[a]}
+	ctx.Send(b, sim.NewMessage("x"))
+	ctx.Send(space.New(), sim.NewMessage("y")) // unknown target
+	ctx.Send(a, sim.NewMessage("z"))           // deliverable (self)
+
+	if got := rt.Sent(); got != 3 {
+		t.Fatalf("Sent=%d, want 3 (drops still count as sent)", got)
+	}
+	if got := rt.Dropped(); got != 2 {
+		t.Fatalf("Dropped=%d, want 2", got)
+	}
+	if len(rec.failed) != 2 || rec.failed[0] != b {
+		t.Fatalf("UndeliverableHandler saw %v, want [b, unknown]", rec.failed)
+	}
+	if got := rt.procs[a].mb.len(); got != 1 {
+		t.Fatalf("self-send not delivered: mailbox len %d", got)
+	}
+}
+
+// The validateExit contention stress from the issue: leaving processes with
+// deliberately stale oracleOK=true caches race to exit while the SINGLE
+// oracle actually forbids it (several stayers hold each leaver's reference).
+// The revalidation under the snapshot write lock must deny every attempt: a
+// stale cache can REQUEST an exit but never COMMIT one.
+func TestValidateExitStaleCacheNeverCommits(t *testing.T) {
+	space := ref.NewSpace()
+	leavers := space.NewN(4)
+	stayers := space.NewN(3)
+	rt := NewRuntime(oracle.Single{})
+	for _, l := range leavers {
+		// Empty neighborhood: a core leaver with no refs asks the oracle on
+		// every timeout and requests exit whenever the cache says yes.
+		rt.AddProcess(l, sim.Leaving, core.New(core.VariantFDP))
+	}
+	for _, s := range stayers {
+		// Each stayer pins every leaver: SINGLE's relevant degree is 3 >= 2,
+		// so the honest oracle answer is always false.
+		rt.AddProcess(s, sim.Staying, &fixedRefsProto{refs: append([]ref.Ref(nil), leavers...)})
+	}
+	rt.Start()
+
+	// Adversarially re-prime the stale caches faster than the coordinator
+	// can correct them, for a sustained burst of doomed exit attempts.
+	deadline := time.Now().Add(100 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		for _, l := range leavers {
+			rt.procs[l].oracleOK.Store(true)
+		}
+		time.Sleep(20 * time.Microsecond)
+	}
+	rt.Stop()
+
+	if got := rt.Gone(); got != 0 {
+		t.Fatalf("%d unsafe exits committed despite failing oracle", got)
+	}
+	if rt.ExitDenied() == 0 {
+		t.Fatal("no exit attempt was ever denied — the stale caches never reached validateExit")
+	}
+	// Deterministic direct check on the terminal state, independent of the
+	// race timing above.
+	p := rt.procs[leavers[0]]
+	p.oracleOK.Store(true)
+	if rt.validateExit(p) {
+		t.Fatal("validateExit committed an exit the oracle forbids")
 	}
 }
 

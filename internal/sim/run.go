@@ -85,9 +85,15 @@ func Run(w *World, sched Scheduler, opts RunOptions) RunResult {
 	for w.Steps() < opts.MaxSteps {
 		a, ok := sched.Next(w)
 		if !ok {
-			// Quiescent but not legitimate: only possible in FSP-like
-			// states; evaluate once more and stop.
-			res.Converged = w.Legitimate(opts.Variant)
+			// No action chosen: the world is quiescent (FSP-like states) or
+			// the scheduler gave up early. Run the same sample as a periodic
+			// check — skipping CheckSafety here would let a run that stalls
+			// in a disconnected state report "not converged" with no
+			// SafetyViolation, indistinguishable from a liveness failure.
+			cont := sample()
+			if res.SafetyViolation == nil {
+				res.Converged = !cont
+			}
 			break
 		}
 		w.Execute(a)

@@ -136,6 +136,84 @@ func TestRunDetectsSafetyViolation(t *testing.T) {
 	}
 }
 
+// dropRefsProto stores a fixed reference list until its first timeout, which
+// discards every stored reference — the smallest action that can disconnect
+// the process graph.
+type dropRefsProto struct{ refs []ref.Ref }
+
+func (d *dropRefsProto) Timeout(Context)          { d.refs = nil }
+func (d *dropRefsProto) Deliver(Context, Message) {}
+func (d *dropRefsProto) Refs() []ref.Ref          { return d.refs }
+
+// giveUpScheduler executes a fixed plan and then reports no enabled action.
+// The Scheduler contract only promises "ok is false iff no action is
+// chosen"; a budgeted or adversarial scheduler may stop before true
+// quiescence, so the run driver must not equate !ok with safety.
+type giveUpScheduler struct {
+	plan []Action
+	pos  int
+}
+
+func (s *giveUpScheduler) Name() string { return "give-up" }
+
+func (s *giveUpScheduler) Next(w *World) (Action, bool) {
+	if s.pos >= len(s.plan) {
+		return Action{}, false
+	}
+	a := s.plan[s.pos]
+	s.pos++
+	return a, true
+}
+
+// A run that stops with the relevant processes disconnected must report the
+// Lemma 2 violation even when the stop comes from the scheduler's !ok path
+// rather than a periodic check. Before the fix, that branch of Run evaluated
+// legitimacy once more but skipped CheckSafety entirely, so the caller could
+// not distinguish "did not converge" from "safety broken".
+func TestRunQuiescentPathChecksSafety(t *testing.T) {
+	space := ref.NewSpace()
+	a, b, c := space.New(), space.New(), space.New()
+	w := NewWorld(nil)
+	w.AddProcess(a, Staying, &dropRefsProto{})
+	w.AddProcess(b, Staying, &dropRefsProto{refs: []ref.Ref{a, c}})
+	// c is leaving and never exits, so the initial state is not legitimate
+	// and the run proceeds past the entry sample.
+	w.AddProcess(c, Leaving, &dropRefsProto{})
+	w.SealInitialState() // one component: b -> a, b -> c
+
+	// b's timeout drops both references, isolating all three awake
+	// processes; the scheduler then gives up before the periodic check
+	// (checkEvery defaults to 3 = the process count) can fire.
+	sched := &giveUpScheduler{plan: []Action{{Proc: b, IsTimeout: true}}}
+	res := Run(w, sched, RunOptions{Variant: FDP, CheckSafety: true})
+
+	if res.Converged {
+		t.Fatal("disconnected state must not count as converged")
+	}
+	if res.SafetyViolation == nil {
+		t.Fatal("quiescent stop in a disconnected state must report the safety violation")
+	}
+	if !errors.Is(res.SafetyViolation, ErrSafety) {
+		t.Fatalf("violation must wrap ErrSafety, got %v", res.SafetyViolation)
+	}
+}
+
+// The quiescent path must not invent violations or eat convergence: a world
+// that becomes legitimate on the very step after which the scheduler stops
+// still reports success.
+func TestRunQuiescentPathStillConverges(t *testing.T) {
+	w, _, _ := buildRunWorld(1) // leaver exits on its first timeout
+	_, leave := func() (ref.Ref, ref.Ref) {
+		refs := w.Refs()
+		return refs[0], refs[1]
+	}()
+	sched := &giveUpScheduler{plan: []Action{{Proc: leave, IsTimeout: true}}}
+	res := Run(w, sched, RunOptions{Variant: FDP, CheckSafety: true})
+	if !res.Converged || res.SafetyViolation != nil {
+		t.Fatalf("legitimate quiescent state misreported: %+v", res)
+	}
+}
+
 func TestPickEnabledMatchesEnumeration(t *testing.T) {
 	space := ref.NewSpace()
 	a, b := space.New(), space.New()

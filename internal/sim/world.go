@@ -212,6 +212,17 @@ func (w *World) SealInitialState() {
 // InitialComponents returns the sealed initial component partition.
 func (w *World) InitialComponents() [][]ref.Ref { return w.initialComponents }
 
+// SetInitialComponents installs an externally captured initial-component
+// partition instead of sealing the current PG. The parallel runtime uses it
+// so that frozen snapshots judge safety (Lemma 2) and legitimacy condition
+// (iii) against the components captured at Start time — re-sealing a
+// snapshot's own PG would silently adopt any disconnection that already
+// happened as the new reference point, hiding exactly the violations the
+// check exists to find. Components may mention references unknown to this
+// world (e.g. processes that exited before the snapshot); consumers filter
+// membership before use. The caller must not mutate comps afterwards.
+func (w *World) SetInitialComponents(comps [][]ref.Ref) { w.initialComponents = comps }
+
 // Refs returns the references of all registered processes, gone or not.
 func (w *World) Refs() []ref.Ref {
 	out := make([]ref.Ref, 0, len(w.byRef))

@@ -86,7 +86,7 @@ type ExperimentReport struct {
 	Notes  []string
 }
 
-// Experiments runs the reproduction suite E1–E11 (quick=true uses the
+// Experiments runs the reproduction suite E1–E16 (quick=true uses the
 // CI-scale configuration) and returns the rendered tables and ASCII plots
 // that EXPERIMENTS.md records.
 func Experiments(quick bool) []ExperimentReport {
