@@ -1,14 +1,27 @@
 GO ?= go
 
-.PHONY: all ci vet build test race bench
+FDPLINT := bin/fdplint
 
-all: vet build test race
+.PHONY: all ci vet lint build test race bench
+
+all: vet lint build test race
 
 # ci is the exact sequence .github/workflows/ci.yml runs.
-ci: vet build test race
+ci: vet lint build test race
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the model-discipline analyzers (refopacity, detiter,
+# guardpurity, lockorder — see DESIGN.md §9) through the standard vet
+# driver, so diagnostics carry package/position context and caching.
+lint: $(FDPLINT)
+	$(GO) vet -vettool=$(FDPLINT) ./...
+
+$(FDPLINT): FORCE
+	$(GO) build -o $(FDPLINT) ./cmd/fdplint
+
+FORCE:
 
 build:
 	$(GO) build ./...

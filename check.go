@@ -76,6 +76,7 @@ func CheckSchedules(cfg CheckConfig) (CheckReport, error) {
 			orc = oracle.Single{}
 		}
 	}
+	//fdplint:ignore refopacity scenario construction — Check mints the initial topology's refs before the protocol runs
 	space := ref.NewSpace()
 	nodes := space.NewN(cfg.N)
 	var g *graph.Graph

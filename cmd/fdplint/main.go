@@ -1,0 +1,27 @@
+// Command fdplint is the repository's custom static analysis tool. It
+// bundles the four model-discipline analyzers — refopacity, detiter,
+// guardpurity and lockorder — behind the `go vet -vettool` protocol:
+//
+//	go build -o bin/fdplint ./cmd/fdplint
+//	go vet -vettool=bin/fdplint ./...
+//
+// See DESIGN.md §9 for the invariants each analyzer enforces and the
+// //fdplint:ignore escape hatch.
+package main
+
+import (
+	"fdp/internal/analysis/detiter"
+	"fdp/internal/analysis/guardpurity"
+	"fdp/internal/analysis/lockorder"
+	"fdp/internal/analysis/refopacity"
+	"fdp/internal/analysis/unit"
+)
+
+func main() {
+	unit.Main(
+		refopacity.Analyzer,
+		detiter.Analyzer,
+		guardpurity.Analyzer,
+		lockorder.Analyzer,
+	)
+}

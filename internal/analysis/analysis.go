@@ -1,0 +1,204 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects one
+// typechecked package through a Pass and reports position-tagged
+// Diagnostics. The module cannot vendor x/tools (the build environment is
+// offline), so the subset the fdplint analyzers need — no facts, no
+// Requires graph, no SSA — is implemented here directly on go/ast and
+// go/types. The API mirrors x/tools deliberately: if the dependency ever
+// becomes available, each analyzer ports by changing one import line.
+//
+// The drivers live alongside:
+//
+//   - internal/analysis/unit implements the `go vet -vettool=` protocol so
+//     cmd/fdplint runs under the standard build machinery (make lint).
+//   - internal/analysis/analysistest loads golden-fixture packages from an
+//     analyzer's testdata/src tree and checks reported diagnostics against
+//     `// want "regexp"` comments.
+//
+// Suppression: a comment of the form
+//
+//	//fdplint:ignore <analyzer> <reason>
+//
+// suppresses that analyzer's diagnostics on the comment's line and on the
+// line below it (so the directive can trail the offending line or sit on
+// its own line above it). The reason is mandatory; a bare directive is
+// itself reported. Filtering happens in RunPackage, so every driver and
+// every analyzer gets the facility for free.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name is the short identifier used in diagnostics and in
+	// //fdplint:ignore directives.
+	Name string
+	// Doc is a one-paragraph description of the enforced invariant.
+	Doc string
+	// Run inspects the package presented by pass and reports findings via
+	// pass.Report/Reportf. The result value is unused (kept for x/tools API
+	// parity).
+	Run func(pass *Pass) (any, error)
+}
+
+// Pass presents one typechecked package to an Analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding. Analyzer is filled in by the driver.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// IgnoreDirective is the comment prefix of the suppression facility.
+const IgnoreDirective = "//fdplint:ignore"
+
+// ignoreSet records, per analyzer name, the file lines on which
+// diagnostics are suppressed.
+type ignoreSet map[string]map[string]map[int]bool // analyzer -> filename -> line
+
+func (s ignoreSet) add(name, file string, line int) {
+	byFile := s[name]
+	if byFile == nil {
+		byFile = make(map[string]map[int]bool)
+		s[name] = byFile
+	}
+	lines := byFile[file]
+	if lines == nil {
+		lines = make(map[int]bool)
+		byFile[file] = lines
+	}
+	lines[line] = true
+}
+
+func (s ignoreSet) suppressed(name, file string, line int) bool {
+	return s[name][file][line]
+}
+
+// collectIgnores scans every comment of every file for //fdplint:ignore
+// directives. Malformed directives (no analyzer name, or no reason) are
+// reported as diagnostics of the pseudo-analyzer "fdplint" so that a typo
+// never silently disables a check.
+func collectIgnores(fset *token.FileSet, files []*ast.File) (ignoreSet, []Diagnostic) {
+	ignores := make(ignoreSet)
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, IgnoreDirective) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, IgnoreDirective)
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Pos:      c.Pos(),
+						Message:  "fdplint:ignore needs an analyzer name and a reason: //fdplint:ignore <analyzer> <reason>",
+						Analyzer: "fdplint",
+					})
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				// Suppress the directive's own line and the next one, so the
+				// directive works both trailing the offending statement and on
+				// a line of its own above it.
+				ignores.add(fields[0], pos.Filename, pos.Line)
+				ignores.add(fields[0], pos.Filename, pos.Line+1)
+			}
+		}
+	}
+	return ignores, bad
+}
+
+// RunPackage runs the analyzers over one typechecked package, applies the
+// //fdplint:ignore suppressions, and returns the surviving diagnostics in
+// file/position order. It is the shared core of both drivers.
+func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	ignores, diags := collectIgnores(fset, files)
+	for _, a := range analyzers {
+		var collected []Diagnostic
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report: func(d Diagnostic) {
+				d.Analyzer = a.Name
+				collected = append(collected, d)
+			},
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+		for _, d := range collected {
+			pos := fset.Position(d.Pos)
+			if ignores.suppressed(a.Name, pos.Filename, pos.Line) {
+				continue
+			}
+			diags = append(diags, d)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	return diags, nil
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// IsTestFile reports whether the file's name ends in _test.go. The fdplint
+// disciplines bind protocol and simulator code; tests do scenario
+// construction and bookkeeping that legitimately use simulator-only
+// helpers, wall-clock deadlines and seeded randomness.
+func IsTestFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// PkgPath normalizes a package path as reported by the build system:
+// "fdp/internal/sim [fdp/internal/sim.test]" (a test variant) has the
+// bracket part stripped so scope checks match the plain import path.
+func PkgPath(pkg *types.Package) string {
+	path := pkg.Path()
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+	return path
+}

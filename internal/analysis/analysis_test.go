@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// typecheck parses and checks one synthetic file so RunPackage has a real
+// *types.Package to hand the analyzer.
+func typecheck(t *testing.T, src string) (*token.FileSet, []*ast.File, *types.Package, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := NewInfo()
+	pkg, err := (&types.Config{}).Check("fixture", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return fset, []*ast.File{f}, pkg, info
+}
+
+// lineReporter flags every line containing the marker comment "BAD".
+func lineReporter(name string) *Analyzer {
+	return &Analyzer{
+		Name: name,
+		Doc:  "test analyzer",
+		Run: func(pass *Pass) (any, error) {
+			for _, f := range pass.Files {
+				for _, cg := range f.Comments {
+					for _, c := range cg.List {
+						if strings.Contains(c.Text, "BAD") {
+							pass.Reportf(c.Pos(), "flagged")
+						}
+					}
+				}
+			}
+			return nil, nil
+		},
+	}
+}
+
+func TestIgnoreSuppressesOwnAndNextLine(t *testing.T) {
+	src := `package fixture
+
+//fdplint:ignore probe reason one
+var a = 1 // BAD suppressed by the directive above
+
+var b = 2 // BAD not suppressed
+`
+	fset, files, pkg, info := typecheck(t, src)
+	diags, err := RunPackage(fset, files, pkg, info, []*Analyzer{lineReporter("probe")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	if line := fset.Position(diags[0].Pos).Line; line != 6 {
+		t.Fatalf("surviving diagnostic on line %d, want 6", line)
+	}
+}
+
+func TestIgnoreForOtherAnalyzerDoesNotSuppress(t *testing.T) {
+	src := `package fixture
+
+//fdplint:ignore somethingelse reason
+var a = 1 // BAD
+`
+	fset, files, pkg, info := typecheck(t, src)
+	diags, err := RunPackage(fset, files, pkg, info, []*Analyzer{lineReporter("probe")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || diags[0].Analyzer != "probe" {
+		t.Fatalf("got %v, want one probe diagnostic", diags)
+	}
+}
+
+func TestMalformedIgnoreIsReported(t *testing.T) {
+	src := `package fixture
+
+//fdplint:ignore probe
+var a = 1 // BAD
+`
+	fset, files, pkg, info := typecheck(t, src)
+	diags, err := RunPackage(fset, files, pkg, info, []*Analyzer{lineReporter("probe")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reasonless directive is itself a finding, and it suppresses
+	// nothing, so the BAD line still fires too.
+	var gotFdplint, gotProbe bool
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "fdplint":
+			gotFdplint = true
+		case "probe":
+			gotProbe = true
+		}
+	}
+	if !gotFdplint || !gotProbe {
+		t.Fatalf("got %v, want both a fdplint and a probe diagnostic", diags)
+	}
+}
+
+func TestPkgPathStripsTestVariant(t *testing.T) {
+	pkg := types.NewPackage("fdp/internal/sim [fdp/internal/sim.test]", "sim")
+	if got := PkgPath(pkg); got != "fdp/internal/sim" {
+		t.Fatalf("PkgPath = %q", got)
+	}
+	plain := types.NewPackage("fdp/internal/sim", "sim")
+	if got := PkgPath(plain); got != "fdp/internal/sim" {
+		t.Fatalf("PkgPath = %q", got)
+	}
+}
+
+func TestDiagnosticsSortedByPosition(t *testing.T) {
+	src := `package fixture
+
+var b = 2 // BAD second
+var a = 1 // BAD first
+`
+	fset, files, pkg, info := typecheck(t, src)
+	diags, err := RunPackage(fset, files, pkg, info, []*Analyzer{lineReporter("probe")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2", len(diags))
+	}
+	if fset.Position(diags[0].Pos).Line > fset.Position(diags[1].Pos).Line {
+		t.Fatal("diagnostics not sorted by line")
+	}
+}

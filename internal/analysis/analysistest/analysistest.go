@@ -1,0 +1,230 @@
+// Package analysistest runs an analyzer over golden fixture packages and
+// checks the reported diagnostics against expectations written in the
+// fixtures themselves, x/tools style:
+//
+//	bad()    // want "regexp matching the message"
+//
+// Fixtures live in <analyzer>/testdata/src/<import/path>/*.go. The loader
+// is hermetic: imports resolve inside the testdata/src tree only, so
+// fixtures stub the packages their checks key on (fdp/internal/ref,
+// fdp/internal/sim, sync, time, …) with just enough API to typecheck.
+// Stubbing the real import paths is what lets the analyzers' package-path
+// scoping and denylists match exactly as they do on the real module, with
+// no dependency on the module's own source from inside a test.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"fdp/internal/analysis"
+)
+
+// Run loads each named fixture package from dir/src and checks a's
+// diagnostics against the `// want` expectations in the package's files.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	l := &loader{
+		root: filepath.Join(dir, "src"),
+		fset: token.NewFileSet(),
+		pkgs: make(map[string]*loadedPkg),
+		info: analysis.NewInfo(),
+	}
+	for _, path := range pkgPaths {
+		lp, err := l.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture package %s: %v", path, err)
+		}
+		diags, err := analysis.RunPackage(l.fset, lp.files, lp.pkg, l.info, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		checkWants(t, l.fset, lp.files, diags)
+	}
+}
+
+type loadedPkg struct {
+	pkg   *types.Package
+	files []*ast.File
+}
+
+// loader typechecks fixture packages, resolving imports inside root only.
+// All packages share one FileSet and one types.Info so analyzer passes see
+// selections and uses across the stub packages.
+type loader struct {
+	root string
+	fset *token.FileSet
+	pkgs map[string]*loadedPkg
+	info *types.Info
+}
+
+func (l *loader) load(path string) (*loadedPkg, error) {
+	if lp, ok := l.pkgs[path]; ok {
+		if lp == nil {
+			return nil, fmt.Errorf("import cycle through %s", path)
+		}
+		return lp, nil
+	}
+	l.pkgs[path] = nil // cycle marker
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	tc := &types.Config{Importer: importerFunc(l.importPkg)}
+	pkg, err := tc.Check(path, l.fset, files, l.info)
+	if err != nil {
+		return nil, err
+	}
+	lp := &loadedPkg{pkg: pkg, files: files}
+	l.pkgs[path] = lp
+	return lp, nil
+}
+
+func (l *loader) importPkg(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	lp, err := l.load(path)
+	if err != nil {
+		return nil, fmt.Errorf("fixture import %q: %w (stub it under testdata/src)", path, err)
+	}
+	return lp.pkg, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// expectation is one `// want "re"` entry.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	text string
+	met  bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// parseWants extracts expectations from the fixture files. Each comment
+// may carry several quoted or backquoted regexps:
+//
+//	x() // want "first" `second`
+func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, lit := range splitQuoted(t, pos, m[1]) {
+					re, err := regexp.Compile(lit)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, lit, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, text: lit})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted parses a sequence of Go string literals.
+func splitQuoted(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var lit, rest string
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				t.Fatalf("%s: unterminated backquote in want comment", pos)
+			}
+			lit, rest = s[1:1+end], s[2+end:]
+		case '"':
+			// Walk to the closing quote, honoring escapes.
+			i := 1
+			for i < len(s) && (s[i] != '"' || s[i-1] == '\\') {
+				i++
+			}
+			if i == len(s) {
+				t.Fatalf("%s: unterminated quote in want comment", pos)
+			}
+			var err error
+			lit, err = strconv.Unquote(s[:i+1])
+			if err != nil {
+				t.Fatalf("%s: bad want literal %s: %v", pos, s[:i+1], err)
+			}
+			rest = s[i+1:]
+		default:
+			t.Fatalf("%s: want expects quoted regexps, got %q", pos, s)
+		}
+		out = append(out, lit)
+		s = strings.TrimSpace(rest)
+	}
+	return out
+}
+
+// checkWants matches diagnostics against expectations one-to-one by file
+// and line.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := parseWants(t, fset, files)
+	sort.SliceStable(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.met && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s (%s)", pos, d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.text)
+		}
+	}
+}

@@ -1,0 +1,14 @@
+package detiter
+
+import (
+	"testing"
+
+	"fdp/internal/analysis/analysistest"
+)
+
+func TestDetIter(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer,
+		"fdp/internal/sim",     // deterministic package: violations flagged
+		"fdp/internal/harness", // out of scope: everything allowed
+	)
+}

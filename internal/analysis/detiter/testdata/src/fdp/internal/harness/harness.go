@@ -1,0 +1,17 @@
+// Fixture: a package outside the deterministic set may range maps, draw
+// global randomness and read the clock freely.
+package harness
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Free(m map[int]int) int {
+	total := rand.Intn(10)
+	for _, v := range m {
+		total += v
+	}
+	_ = time.Now()
+	return total
+}

@@ -1,0 +1,10 @@
+// Stub of fdp/internal/ref for the detiter fixtures.
+package ref
+
+type Ref struct{ id int32 }
+
+func Sort(refs []Ref) {}
+
+type Set map[Ref]struct{}
+
+func (s Set) Sorted() []Ref { return nil }

@@ -1,0 +1,17 @@
+// Stub of math/rand: package-level draws hit the process-global generator
+// (what detiter flags); a seeded *Rand is the sanctioned alternative.
+package rand
+
+type Source interface{ Int63() int64 }
+
+type Rand struct{}
+
+func New(src Source) *Rand        { return &Rand{} }
+func NewSource(seed int64) Source { return nil }
+
+func (r *Rand) Intn(n int) int   { return 0 }
+func (r *Rand) Float64() float64 { return 0 }
+
+func Intn(n int) int   { return 0 }
+func Float64() float64 { return 0 }
+func Perm(n int) []int { return nil }

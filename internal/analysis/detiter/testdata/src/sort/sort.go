@@ -1,0 +1,5 @@
+// Stub of sort for the detiter fixtures.
+package sort
+
+func Slice(x interface{}, less func(i, j int) bool) {}
+func Ints(x []int)                                  {}

@@ -1,0 +1,11 @@
+// Stub of time for the detiter fixtures.
+package time
+
+type Time struct{}
+
+type Duration int64
+
+func Now() Time              { return Time{} }
+func Since(t Time) Duration  { return 0 }
+func Until(t Time) Duration  { return 0 }
+func Sleep(d Duration)       {}

@@ -1,0 +1,235 @@
+// Package guardpurity enforces that guard functions are side-effect-free.
+// In the paper's model a guard is a predicate over the process's local
+// state that decides whether an action is enabled; evaluating it must not
+// change the system (Section 1.1). The reproduction's guards are the
+// oracles (sim.Oracle.Evaluate — the exit guard of Section 1.3) and the
+// world predicates passed to the run drivers (func(*sim.World) bool);
+// both are evaluated speculatively, repeatedly, and — in the parallel
+// runtime — on frozen snapshots, so a guard that sends a message or
+// mutates world state corrupts the run in schedule-dependent ways no seed
+// can reproduce.
+//
+// For every guard body (including nested function literals) the pass
+// flags:
+//
+//   - calls to the known mutating methods of the model surface:
+//     sim.Context.{Send,Exit,Sleep}, (*sim.World) mutators (Execute,
+//     Enqueue, AddProcess, ForceAsleep, SealInitialState,
+//     SetInitialComponents, SetEventHook), the parallel runtime's
+//     mutators (Start, Stop, Mutate, Enqueue, AddProcess, ForceAsleep)
+//     and MutableView.{Enqueue,Reseal};
+//   - assignments (and ++/--) through a guard parameter: `w.x = y` on the
+//     *sim.World parameter mutates the very state the guard is supposed
+//     to only observe. Rebinding the parameter itself (`w = nil`) is
+//     harmless and not flagged.
+//
+// Mutation of the oracle's own receiver is permitted: stateful oracles
+// (e.g. the unsound timeout ablation) are simulator-internal and their
+// statefulness is part of what the experiments measure.
+package guardpurity
+
+import (
+	"go/ast"
+	"go/types"
+
+	"fdp/internal/analysis"
+)
+
+// mutators is the denylist of methods a guard must not call, keyed by
+// types.Func.FullName.
+var mutators = map[string]bool{
+	"(fdp/internal/sim.Context).Send":               true,
+	"(fdp/internal/sim.Context).Exit":               true,
+	"(fdp/internal/sim.Context).Sleep":              true,
+	"(*fdp/internal/sim.World).Execute":             true,
+	"(*fdp/internal/sim.World).Enqueue":             true,
+	"(*fdp/internal/sim.World).AddProcess":          true,
+	"(*fdp/internal/sim.World).ForceAsleep":         true,
+	"(*fdp/internal/sim.World).SealInitialState":    true,
+	"(*fdp/internal/sim.World).SetInitialComponents": true,
+	"(*fdp/internal/sim.World).SetEventHook":        true,
+	"(*fdp/internal/parallel.Runtime).Start":        true,
+	"(*fdp/internal/parallel.Runtime).Stop":         true,
+	"(*fdp/internal/parallel.Runtime).Mutate":       true,
+	"(*fdp/internal/parallel.Runtime).Enqueue":      true,
+	"(*fdp/internal/parallel.Runtime).AddProcess":   true,
+	"(*fdp/internal/parallel.Runtime).ForceAsleep":  true,
+	"(*fdp/internal/parallel.MutableView).Enqueue":  true,
+	"(*fdp/internal/parallel.MutableView).Reseal":   true,
+}
+
+// Analyzer is the guardpurity pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "guardpurity",
+	Doc:  "guard functions (oracle Evaluate methods, world predicates) must not send messages or mutate world state",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil && isOracleEvaluate(pass, n) {
+					checkGuardBody(pass, n.Body, paramObjs(pass, n.Type))
+				}
+			case *ast.FuncLit:
+				if isPredicateArg(pass, f, n) {
+					checkGuardBody(pass, n.Body, paramObjs(pass, n.Type))
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isOracleEvaluate reports whether decl is a method implementing
+// sim.Oracle's Evaluate(w *sim.World, u ref.Ref) bool.
+func isOracleEvaluate(pass *analysis.Pass, decl *ast.FuncDecl) bool {
+	if decl.Name.Name != "Evaluate" || decl.Recv == nil {
+		return false
+	}
+	obj, ok := pass.TypesInfo.Defs[decl.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := obj.Type().(*types.Signature)
+	if sig.Params().Len() != 2 || sig.Results().Len() != 1 {
+		return false
+	}
+	return isNamed(sig.Params().At(0).Type(), "fdp/internal/sim", "World", true) &&
+		isNamed(sig.Params().At(1).Type(), "fdp/internal/ref", "Ref", false) &&
+		types.Identical(sig.Results().At(0).Type(), types.Typ[types.Bool])
+}
+
+// isPredicateArg reports whether lit appears as a call argument in a
+// position whose parameter type is func(*sim.World) bool — the run
+// drivers' world-predicate shape.
+func isPredicateArg(pass *analysis.Pass, f *ast.File, lit *ast.FuncLit) bool {
+	sig, ok := pass.TypesInfo.Types[lit].Type.(*types.Signature)
+	if !ok {
+		return false
+	}
+	if sig.Params().Len() != 1 || sig.Results().Len() != 1 {
+		return false
+	}
+	if !isNamed(sig.Params().At(0).Type(), "fdp/internal/sim", "World", true) ||
+		!types.Identical(sig.Results().At(0).Type(), types.Typ[types.Bool]) {
+		return false
+	}
+	// Only literals passed directly to a call count as guards; a stored
+	// predicate used for, say, a one-shot assertion is the caller's
+	// business.
+	used := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, arg := range call.Args {
+			if arg == ast.Expr(lit) {
+				used = true
+			}
+		}
+		return !used
+	})
+	return used
+}
+
+func isNamed(t types.Type, pkgPath, name string, wantPtr bool) bool {
+	if wantPtr {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			return false
+		}
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// paramObjs collects the parameter objects of the guard, for the
+// parameter-mutation check.
+func paramObjs(pass *analysis.Pass, ft *ast.FuncType) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	if ft.Params == nil {
+		return out
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			if obj := pass.TypesInfo.Defs[name]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+func checkGuardBody(pass *analysis.Pass, body *ast.BlockStmt, params map[types.Object]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selection := pass.TypesInfo.Selections[sel]
+			if selection == nil {
+				return true
+			}
+			fn, ok := selection.Obj().(*types.Func)
+			if !ok {
+				return true
+			}
+			if mutators[fn.FullName()] {
+				pass.Reportf(n.Pos(), "guard calls %s; guards must be side-effect-free (paper §1.1: guards only observe state)", fn.FullName())
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if root := mutatedParamRoot(pass, lhs, params); root != "" {
+					pass.Reportf(lhs.Pos(), "guard mutates state reachable from its parameter %s; guards must be side-effect-free", root)
+				}
+			}
+		case *ast.IncDecStmt:
+			if root := mutatedParamRoot(pass, n.X, params); root != "" {
+				pass.Reportf(n.X.Pos(), "guard mutates state reachable from its parameter %s; guards must be side-effect-free", root)
+			}
+		}
+		return true
+	})
+}
+
+// mutatedParamRoot returns the parameter name when expr is a selector or
+// index chain rooted at a guard parameter (w.stats.Steps, w.byRef[r], …).
+// A bare parameter identifier (plain rebinding) returns "".
+func mutatedParamRoot(pass *analysis.Pass, expr ast.Expr, params map[types.Object]bool) string {
+	depth := 0
+	for {
+		switch e := expr.(type) {
+		case *ast.SelectorExpr:
+			expr = e.X
+			depth++
+		case *ast.IndexExpr:
+			expr = e.X
+			depth++
+		case *ast.StarExpr:
+			expr = e.X
+			depth++
+		case *ast.Ident:
+			if depth > 0 && params[pass.TypesInfo.Uses[e]] {
+				return e.Name
+			}
+			return ""
+		default:
+			return ""
+		}
+	}
+}

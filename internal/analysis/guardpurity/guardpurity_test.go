@@ -1,0 +1,11 @@
+package guardpurity
+
+import (
+	"testing"
+
+	"fdp/internal/analysis/analysistest"
+)
+
+func TestGuardPurity(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "fdp/internal/oracle")
+}

@@ -1,0 +1,64 @@
+// Fixture: oracle Evaluate methods and world-predicate literals are
+// guards; mutating the world (or messaging) from one is flagged, while
+// observing — and mutating the oracle's own receiver — is fine.
+package oracle
+
+import (
+	"fdp/internal/ref"
+	"fdp/internal/sim"
+)
+
+type Impure struct{ calls int }
+
+func (o *Impure) Name() string { return "impure" }
+
+func (o *Impure) Evaluate(w *sim.World, u ref.Ref) bool {
+	w.Execute()    // want "guard calls .*World.*Execute"
+	w.Enqueue(sim.Message{To: u}) // want "guard calls .*World.*Enqueue"
+	w.Steps = 0    // want "guard mutates state reachable from its parameter w"
+	w.Steps++      // want "guard mutates state reachable from its parameter w"
+	w.Counters()["probe"] = 1 // observation via getter is not a tracked write
+	o.calls++      // receiver state is the oracle's own business
+	return w.Awake(u)
+}
+
+type Pure struct{ evals int }
+
+func (o *Pure) Name() string { return "pure" }
+
+func (o *Pure) Evaluate(w *sim.World, u ref.Ref) bool {
+	o.evals++
+	return w.Awake(u) && !u.IsNil()
+}
+
+func runUntil(pred func(w *sim.World) bool) {}
+
+func drive(u ref.Ref) {
+	runUntil(func(w *sim.World) bool {
+		w.ForceAsleep(u) // want "guard calls .*World.*ForceAsleep"
+		w.Steps = 1      // want "guard mutates state reachable from its parameter w"
+		return w.Awake(u)
+	})
+	runUntil(func(w *sim.World) bool {
+		return w.Steps > 10
+	})
+}
+
+// A context helper that is not a guard may mutate freely.
+func helper(ctx sim.Context, u ref.Ref, w *sim.World) {
+	ctx.Send(u, sim.Message{To: u})
+	ctx.Exit()
+	w.Steps = 5
+	w.SealInitialState()
+}
+
+// Suppression works for guards too.
+type Instrumented struct{}
+
+func (o Instrumented) Name() string { return "instrumented" }
+
+func (o Instrumented) Evaluate(w *sim.World, u ref.Ref) bool {
+	//fdplint:ignore guardpurity fixture exercises suppression on a guard body
+	w.Steps++
+	return true
+}

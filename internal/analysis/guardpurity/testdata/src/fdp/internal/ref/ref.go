@@ -1,0 +1,6 @@
+// Stub of fdp/internal/ref for the guardpurity fixtures.
+package ref
+
+type Ref struct{ id int32 }
+
+func (r Ref) IsNil() bool { return r.id == 0 }

@@ -1,0 +1,312 @@
+// Package lockorder enforces the DESIGN.md §8 locking discipline of the
+// concurrent runtime (fdp/internal/parallel):
+//
+//  1. Lock order: the snapshot lock `snap` must never be acquired —
+//     directly, or through a function that (transitively) acquires it —
+//     while `oracleMu` is held. The runtime's order is snap → oracleMu
+//     (validateExit); the reverse order deadlocks against the coordinator.
+//  2. Pairing: every Lock/RLock must be released on all paths — either a
+//     matching (deferred or lexically later) Unlock/RUnlock of the same
+//     receiver, with no return statement inside the held region.
+//  3. Serialization: every sim.Oracle.Evaluate call site in the package
+//     must run under oracleMu, so stateful oracles never race with
+//     themselves between the coordinator and validateExit.
+//
+// The checks are lexical within each function body (events in source
+// order), plus one package-wide fixpoint computing which functions acquire
+// snap transitively. That is an approximation — Go lock usage is not
+// statically decidable — but it is exact for the straight-line and
+// branch-local-release patterns §8 prescribes, and anything cleverer
+// deserves the //fdplint:ignore lockorder <reason> it would need.
+package lockorder
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"fdp/internal/analysis"
+)
+
+// Analyzer is the lockorder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "internal/parallel locking discipline: snap never under oracleMu, all locks released on all paths, oracle evaluation serialized (DESIGN.md §8)",
+	Run:  run,
+}
+
+const targetPkg = "fdp/internal/parallel"
+
+func run(pass *analysis.Pass) (any, error) {
+	if analysis.PkgPath(pass.Pkg) != targetPkg {
+		return nil, nil
+	}
+	var decls []*ast.FuncDecl
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				decls = append(decls, fd)
+			}
+		}
+	}
+	acquirers := snapAcquirers(pass, decls)
+	for _, fd := range decls {
+		checkFunc(pass, fd, acquirers)
+	}
+	return nil, nil
+}
+
+// --- mutex-operation recognition ---------------------------------------
+
+type opKind int
+
+const (
+	opLock opKind = iota
+	opUnlock
+	opSnapCall // call to a function that transitively acquires snap
+	opEvaluate // sim.Oracle.Evaluate call
+	opReturn
+)
+
+type event struct {
+	pos      int // token.Pos as int, for sorting
+	kind     opKind
+	key      string // mutex receiver expression, e.g. "rt.oracleMu"
+	deferred bool
+	node     ast.Node
+}
+
+// mutexOp recognizes <recv>.Lock/RLock/Unlock/RUnlock() where recv is a
+// sync.Mutex or sync.RWMutex, returning the receiver key and whether the
+// op acquires.
+func mutexOp(pass *analysis.Pass, call *ast.CallExpr) (key string, acquire, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	var acq bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		acq = true
+	case "Unlock", "RUnlock":
+		acq = false
+	default:
+		return "", false, false
+	}
+	t := pass.TypesInfo.TypeOf(sel.X)
+	if t == nil {
+		return "", false, false
+	}
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return "", false, false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" ||
+		(obj.Name() != "Mutex" && obj.Name() != "RWMutex") {
+		return "", false, false
+	}
+	return types.ExprString(sel.X), acq, true
+}
+
+func isSnapKey(key string) bool     { return key == "snap" || strings.HasSuffix(key, ".snap") }
+func isOracleMuKey(key string) bool { return key == "oracleMu" || strings.HasSuffix(key, ".oracleMu") }
+
+// calleeFunc resolves a call to its *types.Func when it targets a function
+// or method of the package under analysis.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		if selection := pass.TypesInfo.Selections[fun]; selection != nil {
+			obj = selection.Obj()
+		} else {
+			obj = pass.TypesInfo.Uses[fun.Sel]
+		}
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != targetPkg {
+		return nil
+	}
+	return fn
+}
+
+// isOracleEvaluate reports whether the call is sim.Oracle.Evaluate.
+func isOracleEvaluate(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	selection := pass.TypesInfo.Selections[sel]
+	if selection == nil {
+		return false
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	if !ok {
+		return false
+	}
+	return fn.FullName() == "(fdp/internal/sim.Oracle).Evaluate"
+}
+
+// --- snap-acquirer fixpoint --------------------------------------------
+
+// snapAcquirers computes the set of package functions that acquire the
+// snapshot lock directly or through package-internal calls.
+func snapAcquirers(pass *analysis.Pass, decls []*ast.FuncDecl) map[*types.Func]bool {
+	direct := make(map[*types.Func]bool)
+	calls := make(map[*types.Func][]*types.Func)
+	declObj := func(fd *ast.FuncDecl) *types.Func {
+		fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+		return fn
+	}
+	for _, fd := range decls {
+		fn := declObj(fd)
+		if fn == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if key, acq, ok := mutexOp(pass, call); ok && acq && isSnapKey(key) {
+				direct[fn] = true
+			}
+			if callee := calleeFunc(pass, call); callee != nil {
+				calls[fn] = append(calls[fn], callee)
+			}
+			return true
+		})
+	}
+	// Propagate to a fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for fn, callees := range calls {
+			if direct[fn] {
+				continue
+			}
+			for _, c := range callees {
+				if direct[c] {
+					direct[fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return direct
+}
+
+// --- per-function lexical check ----------------------------------------
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, acquirers map[*types.Func]bool) {
+	var events []event
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // literals run later; their lock use is their own
+		case *ast.DeferStmt:
+			if key, acq, ok := mutexOp(pass, n.Call); ok && !acq {
+				events = append(events, event{pos: int(n.Pos()), kind: opUnlock, key: key, deferred: true, node: n})
+			}
+			return false // don't double-count the deferred call below
+		case *ast.CallExpr:
+			if key, acq, ok := mutexOp(pass, n); ok {
+				kind := opUnlock
+				if acq {
+					kind = opLock
+				}
+				events = append(events, event{pos: int(n.Pos()), kind: kind, key: key, node: n})
+				return true
+			}
+			if isOracleEvaluate(pass, n) {
+				events = append(events, event{pos: int(n.Pos()), kind: opEvaluate, node: n})
+			} else if callee := calleeFunc(pass, n); callee != nil && acquirers[callee] {
+				events = append(events, event{pos: int(n.Pos()), kind: opSnapCall, key: callee.Name(), node: n})
+			}
+		case *ast.ReturnStmt:
+			events = append(events, event{pos: int(n.Pos()), kind: opReturn, node: n})
+		}
+		return true
+	})
+	sort.SliceStable(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	held := make(map[string]int) // key -> lexically open Lock count
+	lastLock := make(map[string]ast.Node)
+	everLocked := make(map[string]bool)
+	deferredRelease := make(map[string]bool)
+	oracleMuHeld := func() bool {
+		for key, n := range held {
+			if n > 0 && isOracleMuKey(key) {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, ev := range events {
+		switch ev.kind {
+		case opLock:
+			if isSnapKey(ev.key) && oracleMuHeld() {
+				pass.Reportf(ev.node.Pos(), "acquiring %s while holding oracleMu inverts the §8 lock order (snap → oracleMu) and can deadlock against validateExit", ev.key)
+			}
+			held[ev.key]++
+			everLocked[ev.key] = true
+			lastLock[ev.key] = ev.node
+		case opUnlock:
+			if ev.deferred {
+				deferredRelease[ev.key] = true
+				continue
+			}
+			if held[ev.key] > 0 {
+				held[ev.key]--
+			} else if !everLocked[ev.key] && !deferredRelease[ev.key] {
+				// held==0 after an earlier Lock is the branch-local-release
+				// pattern (Lock; if c {Unlock; return}; …; Unlock) — only an
+				// Unlock with no Lock anywhere before it is a sure bug.
+				pass.Reportf(ev.node.Pos(), "%s released without a preceding acquisition in this function", ev.key)
+			}
+		case opSnapCall:
+			if oracleMuHeld() {
+				pass.Reportf(ev.node.Pos(), "calling %s (which acquires the snapshot lock) while holding oracleMu inverts the §8 lock order and can deadlock", ev.key)
+			}
+		case opEvaluate:
+			if !oracleMuHeld() && !deferredOracleMu(deferredRelease, held) {
+				pass.Reportf(ev.node.Pos(), "oracle.Evaluate outside an oracleMu critical section; §8 serializes all oracle evaluations so stateful oracles never race with themselves")
+			}
+		case opReturn:
+			for key, n := range held {
+				if n > 0 && !deferredRelease[key] {
+					pass.Reportf(ev.node.Pos(), "return while holding %s with no deferred release; every Lock needs an Unlock on all paths", key)
+				}
+			}
+		}
+	}
+	for key, n := range held {
+		if n > 0 && !deferredRelease[key] {
+			pass.Reportf(lastLock[key].Pos(), "%s is locked but never released in this function", key)
+		}
+	}
+}
+
+// deferredOracleMu reports whether an oracleMu key is lexically held via a
+// deferred unlock (Lock(); defer Unlock() keeps the region open to the end
+// of the function, so held[] alone under-approximates).
+func deferredOracleMu(deferredRelease map[string]bool, held map[string]int) bool {
+	for key := range deferredRelease {
+		if isOracleMuKey(key) {
+			return true
+		}
+	}
+	_ = held
+	return false
+}

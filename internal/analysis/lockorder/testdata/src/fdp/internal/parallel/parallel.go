@@ -1,0 +1,92 @@
+// Fixture: package path fdp/internal/parallel is the analyzer's scope.
+// The Runtime shape mirrors the real one: snap guards snapshots, oracleMu
+// serializes oracle evaluation, lock order is snap → oracleMu.
+package parallel
+
+import (
+	"sync"
+
+	"fdp/internal/ref"
+	"fdp/internal/sim"
+)
+
+type Runtime struct {
+	snap     sync.RWMutex
+	oracleMu sync.Mutex
+	oracle   sim.Oracle
+	world    *sim.World
+}
+
+// The §8-conforming shape: snap first, oracleMu inside, Evaluate under it.
+func (rt *Runtime) validate(u ref.Ref) bool {
+	rt.snap.Lock()
+	defer rt.snap.Unlock()
+	rt.oracleMu.Lock()
+	defer rt.oracleMu.Unlock()
+	return rt.oracle.Evaluate(rt.world, u)
+}
+
+// Lexical release is as good as a deferred one.
+func (rt *Runtime) coordinate(u ref.Ref) bool {
+	rt.oracleMu.Lock()
+	ok := rt.oracle.Evaluate(rt.world, u)
+	rt.oracleMu.Unlock()
+	return ok
+}
+
+func (rt *Runtime) inverted(u ref.Ref) {
+	rt.oracleMu.Lock()
+	rt.snap.Lock() // want "inverts the §8 lock order"
+	rt.snap.Unlock()
+	rt.oracleMu.Unlock()
+}
+
+func (rt *Runtime) freeze() {
+	rt.snap.Lock()
+	rt.snap.Unlock()
+}
+
+// freeze acquires snap, so calling it under oracleMu inverts the order
+// transitively.
+func (rt *Runtime) transitiveInversion() {
+	rt.oracleMu.Lock()
+	rt.freeze() // want "acquires the snapshot lock"
+	rt.oracleMu.Unlock()
+}
+
+func (rt *Runtime) unguarded(u ref.Ref) bool {
+	return rt.oracle.Evaluate(rt.world, u) // want "outside an oracleMu critical section"
+}
+
+func (rt *Runtime) leakOnReturn(cond bool) {
+	rt.snap.Lock()
+	if cond {
+		return // want "return while holding rt.snap"
+	}
+	rt.snap.Unlock()
+}
+
+func (rt *Runtime) neverReleased() {
+	rt.oracleMu.Lock() // want "locked but never released"
+}
+
+func (rt *Runtime) releaseWithoutAcquire() {
+	rt.snap.Unlock() // want "released without a preceding acquisition"
+}
+
+// The branch-local-release idiom is fine: every path unlocks.
+func (rt *Runtime) branchRelease(cond bool) bool {
+	rt.snap.RLock()
+	if cond {
+		rt.snap.RUnlock()
+		return false
+	}
+	rt.snap.RUnlock()
+	return true
+}
+
+// Suppression with a reason is honoured.
+func (rt *Runtime) audited(u ref.Ref) bool {
+	//fdplint:ignore lockorder fixture exercises suppression; caller holds oracleMu
+	return rt.oracle.Evaluate(rt.world, u)
+}

@@ -1,0 +1,4 @@
+// Stub of fdp/internal/ref for the lockorder fixtures.
+package ref
+
+type Ref struct{ id int32 }

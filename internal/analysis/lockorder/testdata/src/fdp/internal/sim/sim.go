@@ -1,0 +1,11 @@
+// Stub of fdp/internal/sim for the lockorder fixtures.
+package sim
+
+import "fdp/internal/ref"
+
+type World struct{ Steps int }
+
+type Oracle interface {
+	Name() string
+	Evaluate(w *World, u ref.Ref) bool
+}

@@ -1,0 +1,14 @@
+package refopacity
+
+import (
+	"testing"
+
+	"fdp/internal/analysis/analysistest"
+)
+
+func TestRefOpacity(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer,
+		"fdp",                // protocol package: violations flagged
+		"fdp/internal/other", // simulator-side package: full surface allowed
+	)
+}

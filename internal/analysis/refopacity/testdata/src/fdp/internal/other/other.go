@@ -1,0 +1,14 @@
+// Fixture: a non-protocol package may use the whole ref surface freely.
+package other
+
+import "fdp/internal/ref"
+
+func Build(n int) []ref.Ref {
+	space := ref.NewSpace()
+	nodes := space.NewN(n)
+	ref.Sort(nodes)
+	if ref.Less(nodes[0], nodes[1]) {
+		return nodes[:ref.Index(nodes[1])]
+	}
+	return nodes
+}

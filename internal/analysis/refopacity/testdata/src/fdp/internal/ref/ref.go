@@ -1,0 +1,31 @@
+// Stub of fdp/internal/ref with just enough surface for the fixtures to
+// typecheck; the analyzer keys on the import path and identifier names.
+package ref
+
+type Ref struct{ id int32 }
+
+func (r Ref) IsNil() bool    { return r.id == 0 }
+func (r Ref) String() string { return "p" }
+
+type Space struct{ next int32 }
+
+func NewSpace() *Space        { return &Space{next: 1} }
+func (s *Space) New() Ref     { s.next++; return Ref{id: s.next - 1} }
+func (s *Space) NewN(n int) []Ref {
+	out := make([]Ref, n)
+	for i := range out {
+		out[i] = s.New()
+	}
+	return out
+}
+
+func Index(r Ref) int    { return int(r.id) - 1 }
+func ByIndex(i int) Ref  { return Ref{id: int32(i) + 1} }
+func Less(a, b Ref) bool { return a.id < b.id }
+func Sort(refs []Ref)    {}
+
+type Set map[Ref]struct{}
+
+func NewSet(refs ...Ref) Set { return Set{} }
+func (s Set) Add(r Ref)      { s[r] = struct{}{} }
+func (s Set) Sorted() []Ref  { return nil }

@@ -1,0 +1,58 @@
+// Fixture: package path "fdp" is a protocol package, so the simulator-only
+// ref surface is off-limits.
+package fdp
+
+import "fdp/internal/ref"
+
+func ordering(a, b ref.Ref) bool {
+	return ref.Less(a, b) // want "ref.Less imposes an order on references"
+}
+
+func identity(r ref.Ref) int {
+	return ref.Index(r) // want "ref.Index exposes the reference's integer identity"
+}
+
+func minting() ref.Ref {
+	return ref.ByIndex(3) // want "ref.ByIndex mints a reference from an integer identity"
+}
+
+func space() []ref.Ref {
+	var s *ref.Space // want "ref.Space is the reference-minting authority"
+	s = ref.NewSpace() // want "ref.NewSpace mints fresh references"
+	return s.NewN(2)
+}
+
+func render(r ref.Ref) string {
+	return r.String() // want "protocol code must not render Ref.String"
+}
+
+// The sanctioned operations stay silent: copy, store, send-shaped pass,
+// ==-compare, and deterministic iteration via ref.Sort / Set.Sorted.
+func sanctioned(a, b ref.Ref, s ref.Set) bool {
+	c := a
+	stored := []ref.Ref{c, b}
+	ref.Sort(stored)
+	for _, r := range s.Sorted() {
+		if r == a {
+			return true
+		}
+	}
+	return stored[0] == b
+}
+
+// Suppression: scenario construction inside a protocol package may opt out
+// with a reasoned directive, trailing or on the line above.
+func suppressedTrailing() []ref.Ref {
+	return ref.NewSpace().NewN(1) //fdplint:ignore refopacity fixture exercises trailing suppression
+}
+
+func suppressedAbove() []ref.Ref {
+	//fdplint:ignore refopacity fixture exercises line-above suppression
+	return ref.NewSpace().NewN(1)
+}
+
+// A directive for a different analyzer does not suppress this one.
+func wrongAnalyzer() []ref.Ref {
+	//fdplint:ignore detiter suppressing the wrong analyzer must not help
+	return ref.NewSpace().NewN(1) // want "ref.NewSpace mints fresh references"
+}

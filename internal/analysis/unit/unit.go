@@ -1,0 +1,236 @@
+// Package unit implements the command-line protocol `go vet -vettool=`
+// expects from an analysis tool, against the internal/analysis framework.
+// It is a dependency-free sibling of x/tools' unitchecker: the build tool
+// invokes the binary as
+//
+//	fdplint -V=full          # describe the executable (for build caching)
+//	fdplint -flags           # describe accepted flags in JSON
+//	fdplint [flags] foo.cfg  # analyze one compilation unit
+//
+// where foo.cfg is a JSON description of a single package: its Go files,
+// the import-path resolution map, and the compiler export-data file of
+// every dependency. Typechecking therefore needs no source for imports —
+// go/importer's gc importer reads the export data the build already
+// produced.
+package unit
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"fdp/internal/analysis"
+)
+
+// config mirrors the JSON compilation-unit description written by cmd/go
+// (see x/tools unitchecker.Config; field names are the wire format).
+type config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// versionFlag implements the -V=full handshake: cmd/go runs the tool with
+// -V=full and derives a build-cache key from the output, which must look
+// like "<progname> version devel ... buildID=<hex>".
+type versionFlag struct{}
+
+func (versionFlag) IsBoolFlag() bool { return true }
+func (versionFlag) String() string   { return "" }
+func (versionFlag) Set(s string) error {
+	if s != "full" {
+		log.Fatalf("unsupported flag value: -V=%s (use -V=full)", s)
+	}
+	prog, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Printf("%s version devel buildID=%x\n", prog, h.Sum(nil))
+	os.Exit(0)
+	return nil
+}
+
+// Main is the entry point of a vettool built from the given analyzers.
+func Main(analyzers ...*analysis.Analyzer) {
+	log.SetFlags(0)
+	log.SetPrefix("fdplint: ")
+
+	flag.Var(versionFlag{}, "V", "print version and exit")
+	printFlags := flag.Bool("flags", false, "print analyzer flags in JSON")
+	// Accepted for go vet compatibility; fdplint has no JSON output mode
+	// beyond an empty findings object.
+	jsonOut := flag.Bool("json", false, "emit JSON output")
+	flag.Parse()
+
+	if *printFlags {
+		// Tell go vet which flags the tool accepts, so it can validate the
+		// command line before fanning out per-package invocations.
+		type jsonFlag struct {
+			Name  string
+			Bool  bool
+			Usage string
+		}
+		flags := []jsonFlag{{"V", true, "print version and exit"}, {"json", true, "emit JSON output"}}
+		data, err := json.MarshalIndent(flags, "", "\t")
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(data)
+		os.Exit(0)
+	}
+
+	args := flag.Args()
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		log.Fatalf(`invoking fdplint directly is unsupported; run it via "go vet -vettool="`)
+	}
+	run(args[0], analyzers, *jsonOut)
+}
+
+func run(cfgFile string, analyzers []*analysis.Analyzer, jsonOut bool) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := new(config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		log.Fatalf("cannot decode JSON config file %s: %v", cfgFile, err)
+	}
+
+	// fdplint exports no facts, so the vetx output (consumed by dependent
+	// packages' invocations and by the build cache) is always empty — but
+	// it must exist, or cmd/go fails the action.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+				log.Fatalf("failed to write vetx output: %v", err)
+			}
+		}
+	}
+
+	// Dependency packages are analyzed only for facts; with no fact types
+	// there is nothing to do, which keeps `go vet ./...` from typechecking
+	// the standard library once per run.
+	if cfg.VetxOnly {
+		writeVetx()
+		os.Exit(0)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				os.Exit(0) // the compiler will report it
+			}
+			log.Fatal(err)
+		}
+		files = append(files, f)
+	}
+
+	// Resolve imports through the export-data files the build produced.
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		return compilerImporter.Import(path)
+	})
+
+	tc := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := analysis.NewInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			os.Exit(0)
+		}
+		log.Fatal(err)
+	}
+
+	diags, err := analysis.RunPackage(fset, files, pkg, info, analyzers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	writeVetx()
+
+	if jsonOut {
+		printJSON(os.Stdout, fset, cfg.ID, diags)
+		os.Exit(0)
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// printJSON emits the x/tools JSON tree shape: {pkgID: {analyzer: [diag]}}.
+func printJSON(w io.Writer, fset *token.FileSet, id string, diags []analysis.Diagnostic) {
+	type jsonDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	byAnalyzer := make(map[string][]jsonDiag)
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], jsonDiag{
+			Posn:    fset.Position(d.Pos).String(),
+			Message: d.Message,
+		})
+	}
+	tree := map[string]map[string][]jsonDiag{id: byAnalyzer}
+	data, err := json.MarshalIndent(tree, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	w.Write(data)
+	fmt.Fprintln(w)
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -218,7 +218,7 @@ func Build(cfg Config) *Scenario {
 		}
 		subCfg := cfg
 		subCfg.N = len(part)
-		for r := range pickLeavers(sub, part, subCfg, rng) {
+		for _, r := range pickLeavers(sub, part, subCfg, rng).Sorted() {
 			leaving.Add(r)
 		}
 	}

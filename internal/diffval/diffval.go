@@ -204,24 +204,17 @@ func runConcurrent(cfg Config, scn churn.Config, variant sim.Variant, timeout, p
 	rt := MirrorWorld(s.World, scn.Oracle)
 	rt.Start()
 
-	deadline := time.Now().Add(timeout)
+	// One timer bounds both wait phases — the same total budget the
+	// deadline loop used, without wall-clock reads in loop conditions.
+	timeoutCh := time.After(timeout)
 	if cfg.Strike != nil {
 		// The concurrent strike point: the same event budget the sequential
 		// side used as a step budget.
-		for rt.Events() < uint64(cfg.StrikeAfter) && time.Now().Before(deadline) {
-			time.Sleep(poll)
-		}
+		waitFor(func() bool { return rt.Events() >= uint64(cfg.StrikeAfter) }, poll, timeoutCh)
 		faults.New(*cfg.Strike, seed).StrikeRuntime(rt)
 	}
 
-	converged := false
-	for time.Now().Before(deadline) {
-		if rt.Freeze().Legitimate(variant) {
-			converged = true
-			break
-		}
-		time.Sleep(poll)
-	}
+	converged := waitFor(func() bool { return rt.Freeze().Legitimate(variant) }, poll, timeoutCh)
 	rt.Stop()
 	final := rt.Freeze()
 
@@ -233,6 +226,29 @@ func runConcurrent(cfg Config, scn churn.Config, variant sim.Variant, timeout, p
 		LeaversSettled:   leaversSettledRuntime(final, leavers, variant),
 		StayingPreserved: !violated && final.StayingComponentsPreserved(),
 		Steps:            rt.Events(),
+	}
+}
+
+// waitFor re-evaluates cond every poll tick until it holds or timeoutCh
+// fires, returning the final verdict (cond is re-checked once at timeout).
+func waitFor(cond func() bool, poll time.Duration, timeoutCh <-chan time.Time) bool {
+	if cond() {
+		return true
+	}
+	if poll <= 0 {
+		poll = time.Millisecond
+	}
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-timeoutCh:
+			return cond()
+		case <-ticker.C:
+			if cond() {
+				return true
+			}
+		}
 	}
 }
 

@@ -202,15 +202,9 @@ func TestStrikeRuntimeRecovery(t *testing.T) {
 		t.Fatal("runtime strike must reseal the initial components")
 	}
 
-	deadline := time.Now().Add(30 * time.Second)
-	converged := false
-	for time.Now().Before(deadline) {
-		if rt.Freeze().Legitimate(sim.FDP) {
-			converged = true
-			break
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
+	converged := rt.WaitUntil(func(w *sim.World) bool {
+		return w.Legitimate(sim.FDP)
+	}, 2*time.Millisecond, 30*time.Second)
 	if !converged {
 		t.Fatal("runtime did not re-converge after the strike")
 	}

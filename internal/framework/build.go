@@ -77,6 +77,7 @@ func Build(cfg Config) *Scenario {
 		panic(fmt.Sprintf("framework: N = %d", cfg.N))
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	//fdplint:ignore refopacity scenario construction — Build mints the scenario's refs; the wrapper protocol only receives them
 	space := ref.NewSpace()
 	nodes := space.NewN(cfg.N)
 	keys := make(overlay.Keys, cfg.N)

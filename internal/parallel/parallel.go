@@ -475,15 +475,36 @@ func (rt *Runtime) Stop() {
 func (rt *Runtime) RunUntil(pred func(*sim.World) bool, pollEvery, timeout time.Duration) bool {
 	rt.Start()
 	defer rt.Stop()
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
-		w := rt.freezeLocked()
-		if pred(w) {
-			return true
-		}
-		time.Sleep(pollEvery)
+	return rt.WaitUntil(pred, pollEvery, timeout)
+}
+
+// WaitUntil blocks until pred holds on a consistent frozen snapshot,
+// re-evaluating every poll tick, or until timeout elapses, and returns the
+// final verdict (the predicate is re-checked once at the deadline). Unlike
+// a deadline busy-poll, the wait is a single timer plus a ticker, with no
+// wall-clock reads in the loop condition. The runtime must be started;
+// callers own Start/Stop.
+func (rt *Runtime) WaitUntil(pred func(*sim.World) bool, poll, timeout time.Duration) bool {
+	if pred(rt.freezeLocked()) {
+		return true
 	}
-	return pred(rt.freezeLocked())
+	if poll <= 0 {
+		poll = time.Millisecond
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-timer.C:
+			return pred(rt.freezeLocked())
+		case <-ticker.C:
+			if pred(rt.freezeLocked()) {
+				return true
+			}
+		}
+	}
 }
 
 // Freeze returns a consistent sequential snapshot of the current global

@@ -176,8 +176,13 @@ func TestParallelSnapshotConsistency(t *testing.T) {
 	// Snapshots taken while the system runs must be internally consistent:
 	// every edge endpoint resolves, and the world evaluates predicates
 	// without panicking.
-	deadline := time.Now().Add(500 * time.Millisecond)
-	for time.Now().Before(deadline) {
+	stop := time.After(500 * time.Millisecond)
+	for running := true; running; {
+		select {
+		case <-stop:
+			running = false
+		default:
+		}
 		w := rt.freezeLocked()
 		pg := w.PG()
 		for _, e := range pg.Edges() {
@@ -361,13 +366,19 @@ func TestValidateExitStaleCacheNeverCommits(t *testing.T) {
 
 	// Adversarially re-prime the stale caches faster than the coordinator
 	// can correct them, for a sustained burst of doomed exit attempts.
-	deadline := time.Now().Add(100 * time.Millisecond)
-	for time.Now().Before(deadline) {
-		for _, l := range leavers {
-			rt.procs[l].oracleOK.Store(true)
+	stop := time.After(100 * time.Millisecond)
+	reprime := time.NewTicker(20 * time.Microsecond)
+	for running := true; running; {
+		select {
+		case <-stop:
+			running = false
+		case <-reprime.C:
+			for _, l := range leavers {
+				rt.procs[l].oracleOK.Store(true)
+			}
 		}
-		time.Sleep(20 * time.Microsecond)
 	}
+	reprime.Stop()
 	rt.Stop()
 
 	if got := rt.Gone(); got != 0 {

@@ -1,0 +1,115 @@
+package ref
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestProtocolPackagesRespectOpacity is the compile-style counterpart of
+// the fdplint refopacity analyzer: it parses the protocol packages' real
+// sources and asserts none of them touches the simulator-only surface of
+// this package — ordering (Less), integer identities (Index, ByIndex),
+// reference minting (Space, NewSpace) or Ref literal construction. The
+// check is syntactic (`ref.<denied>` selectors on the package import), so
+// it holds even when the lint binary is not in the loop; fdplint adds the
+// type-resolved version plus Ref.String detection on top.
+func TestProtocolPackagesRespectOpacity(t *testing.T) {
+	protocolDirs := []string{
+		"../..",         // package fdp
+		"../framework",  // wrapper framework
+		"../primitives", // overlay primitives
+		"../overlay",    // overlay protocols
+	}
+	denied := map[string]bool{
+		"Index": true, "ByIndex": true, "Less": true,
+		"NewSpace": true, "Space": true, "Ref": false, // Ref selector is the type, allowed; composite lits checked separately
+	}
+
+	fset := token.NewFileSet()
+	for _, dir := range protocolDirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("reading %s: %v", dir, err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			path := filepath.Join(dir, name)
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				t.Fatalf("parsing %s: %v", path, err)
+			}
+			checkFileOpacity(t, fset, f, denied)
+		}
+	}
+}
+
+func checkFileOpacity(t *testing.T, fset *token.FileSet, f *ast.File, denied map[string]bool) {
+	t.Helper()
+	// Only files importing this package can name its surface.
+	refAlias := ""
+	for _, imp := range f.Imports {
+		if strings.Trim(imp.Path.Value, `"`) == "fdp/internal/ref" {
+			refAlias = "ref"
+			if imp.Name != nil {
+				refAlias = imp.Name.Name
+			}
+		}
+	}
+	if refAlias == "" {
+		return
+	}
+
+	// Honour the shared suppression facility the same way fdplint does:
+	// a reasoned //fdplint:ignore refopacity covers its own and the next line.
+	ignored := make(map[int]bool)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			fields := strings.Fields(strings.TrimPrefix(c.Text, "//fdplint:ignore"))
+			if !strings.HasPrefix(c.Text, "//fdplint:ignore") || len(fields) < 2 || fields[0] != "refopacity" {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			ignored[line] = true
+			ignored[line+1] = true
+		}
+	}
+
+	report := func(pos token.Pos, what string) {
+		p := fset.Position(pos)
+		if ignored[p.Line] {
+			return
+		}
+		t.Errorf("%s: protocol code uses %s; references are opaque (copy, store, send, ==-compare only)", p, what)
+	}
+
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			x, ok := n.X.(*ast.Ident)
+			if !ok || x.Name != refAlias {
+				return true
+			}
+			if denied[n.Sel.Name] {
+				report(n.Pos(), refAlias+"."+n.Sel.Name)
+			}
+		case *ast.CompositeLit:
+			// ref.Ref{…} mints a reference outside the Space authority.
+			sel, ok := n.Type.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if x, ok := sel.X.(*ast.Ident); ok && x.Name == refAlias && sel.Sel.Name == "Ref" {
+				report(n.Pos(), refAlias+".Ref{} literal construction")
+			}
+		}
+		return true
+	})
+}

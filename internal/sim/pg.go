@@ -160,6 +160,7 @@ func (w *World) pgSyncRefs(p *process) {
 	for _, r := range cur {
 		d[r]++
 	}
+	//fdplint:ignore detiter edge-count deltas commute — each key touches a disjoint (p.id,r) multiplicity, so the final graph is order-independent
 	for r, c := range d {
 		delete(d, r)
 		if c > 0 && w.isLiveTarget(r) {

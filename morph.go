@@ -40,6 +40,7 @@ func Morph(n int, from, to EdgeList) (MorphReport, error) {
 	if n < 1 {
 		return MorphReport{}, fmt.Errorf("%w: n = %d", ErrBadConfig, n)
 	}
+	//fdplint:ignore refopacity scenario construction — Morph mints the node universe before any protocol code runs
 	nodes := ref.NewSpace().NewN(n)
 	build := func(edges EdgeList, name string) (*graph.Graph, error) {
 		g := graph.New()
@@ -114,6 +115,7 @@ func Experiments(quick bool) []ExperimentReport {
 // runtime: a random connected topology with the given leave fraction.
 func buildParallelWorld(n int, leaveFraction float64, seed int64, variant core.Variant, orc parallel.Oracle) (*parallel.Runtime, int) {
 	rng := rand.New(rand.NewSource(seed))
+	//fdplint:ignore refopacity scenario construction — the harness mints the world's refs, not protocol logic
 	space := ref.NewSpace()
 	nodes := space.NewN(n)
 	g := graph.RandomConnected(nodes, n/2, rng)
