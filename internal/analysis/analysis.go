@@ -19,11 +19,14 @@
 //
 //	//fdplint:ignore <analyzer> <reason>
 //
-// suppresses that analyzer's diagnostics on the comment's line and on the
+// suppresses that analyzer's diagnostics on the comment's line, on the
 // line below it (so the directive can trail the offending line or sit on
-// its own line above it). The reason is mandatory; a bare directive is
-// itself reported. Filtering happens in RunPackage, so every driver and
-// every analyzer gets the facility for free.
+// its own line above it), and across the full line span of any statement
+// or declaration starting on either of those lines (so a directive covers
+// a wrapped call or range whose diagnostic anchors on a later line). The
+// reason is mandatory; a bare or malformed directive is itself reported.
+// Filtering happens in RunPackage, so every driver and every analyzer
+// gets the facility for free.
 package analysis
 
 import (
@@ -96,19 +99,32 @@ func (s ignoreSet) suppressed(name, file string, line int) bool {
 }
 
 // collectIgnores scans every comment of every file for //fdplint:ignore
-// directives. Malformed directives (no analyzer name, or no reason) are
-// reported as diagnostics of the pseudo-analyzer "fdplint" so that a typo
-// never silently disables a check.
+// directives. Malformed directives (run-on prefix, no analyzer name, or no
+// reason) are reported as diagnostics of the pseudo-analyzer "fdplint" so
+// that a typo never silently disables a check.
 func collectIgnores(fset *token.FileSet, files []*ast.File) (ignoreSet, []Diagnostic) {
 	ignores := make(ignoreSet)
 	var bad []Diagnostic
 	for _, f := range files {
+		// targets maps each directive-covered line to the analyzer names
+		// suppressed there, for the statement-span extension below.
+		targets := make(map[int][]string)
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				if !strings.HasPrefix(c.Text, IgnoreDirective) {
 					continue
 				}
 				rest := strings.TrimPrefix(c.Text, IgnoreDirective)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					// A run-on variant like //fdplint:ignoreX must not pass
+					// as a directive with analyzer name "X...".
+					bad = append(bad, Diagnostic{
+						Pos:      c.Pos(),
+						Message:  "malformed fdplint directive: want //fdplint:ignore <analyzer> <reason>",
+						Analyzer: "fdplint",
+					})
+					continue
+				}
 				fields := strings.Fields(rest)
 				if len(fields) < 2 {
 					bad = append(bad, Diagnostic{
@@ -124,8 +140,36 @@ func collectIgnores(fset *token.FileSet, files []*ast.File) (ignoreSet, []Diagno
 				// a line of its own above it.
 				ignores.add(fields[0], pos.Filename, pos.Line)
 				ignores.add(fields[0], pos.Filename, pos.Line+1)
+				targets[pos.Line] = append(targets[pos.Line], fields[0])
+				targets[pos.Line+1] = append(targets[pos.Line+1], fields[0])
 			}
 		}
+		if len(targets) == 0 {
+			continue
+		}
+		// A directive attaches to the statement or declaration starting on a
+		// covered line; diagnostics for a multi-line statement (a wrapped
+		// call, a range over a long composite) may anchor on any of its
+		// lines, so suppress its whole line span.
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n.(type) {
+			case ast.Stmt, ast.Decl:
+			default:
+				return true
+			}
+			start := fset.Position(n.Pos())
+			names := targets[start.Line]
+			if len(names) == 0 {
+				return true
+			}
+			end := fset.Position(n.End())
+			for _, name := range names {
+				for line := start.Line; line <= end.Line; line++ {
+					ignores.add(name, start.Filename, line)
+				}
+			}
+			return true
+		})
 	}
 	return ignores, bad
 }

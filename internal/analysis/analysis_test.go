@@ -110,6 +110,59 @@ var a = 1 // BAD
 	}
 }
 
+func TestIgnoreCoversMultiLineStatement(t *testing.T) {
+	src := `package fixture
+
+func add(xs ...int) int { return len(xs) }
+
+func f() int {
+	//fdplint:ignore probe wrapped call
+	x := add(
+		1, // BAD suppressed: later line of the annotated statement
+		2,
+	)
+	return x + add(1) // BAD not suppressed: outside the statement span
+}
+`
+	fset, files, pkg, info := typecheck(t, src)
+	diags, err := RunPackage(fset, files, pkg, info, []*Analyzer{lineReporter("probe")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	if line := fset.Position(diags[0].Pos).Line; line != 11 {
+		t.Fatalf("surviving diagnostic on line %d, want 11", line)
+	}
+}
+
+func TestRunOnDirectivePrefixIsReported(t *testing.T) {
+	src := `package fixture
+
+//fdplint:ignoreX probe reason
+var a = 1 // BAD
+`
+	fset, files, pkg, info := typecheck(t, src)
+	diags, err := RunPackage(fset, files, pkg, info, []*Analyzer{lineReporter("probe")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The run-on directive is itself a finding and suppresses nothing.
+	var gotFdplint, gotProbe bool
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "fdplint":
+			gotFdplint = true
+		case "probe":
+			gotProbe = true
+		}
+	}
+	if !gotFdplint || !gotProbe {
+		t.Fatalf("got %v, want both a fdplint and a probe diagnostic", diags)
+	}
+}
+
 func TestPkgPathStripsTestVariant(t *testing.T) {
 	pkg := types.NewPackage("fdp/internal/sim [fdp/internal/sim.test]", "sim")
 	if got := PkgPath(pkg); got != "fdp/internal/sim" {

@@ -3,11 +3,13 @@
 // state that decides whether an action is enabled; evaluating it must not
 // change the system (Section 1.1). The reproduction's guards are the
 // oracles (sim.Oracle.Evaluate — the exit guard of Section 1.3) and the
-// world predicates passed to the run drivers (func(*sim.World) bool);
-// both are evaluated speculatively, repeatedly, and — in the parallel
-// runtime — on frozen snapshots, so a guard that sends a message or
-// mutates world state corrupts the run in schedule-dependent ways no seed
-// can reproduce.
+// func(*sim.World) bool predicate literals passed to the run-driver entry
+// points (Runtime.RunUntil / Runtime.WaitUntil); both are evaluated
+// speculatively, repeatedly, and — in the parallel runtime — on frozen
+// snapshots, so a guard that sends a message or mutates world state
+// corrupts the run in schedule-dependent ways no seed can reproduce. A
+// predicate literal handed to anything else (say a one-shot assertion
+// helper) is not a guard and is the caller's business.
 //
 // For every guard body (including nested function literals) the pass
 // flags:
@@ -58,10 +60,17 @@ var mutators = map[string]bool{
 	"(*fdp/internal/parallel.MutableView).Reseal":   true,
 }
 
+// drivers is the allowlist of run-driver entry points whose predicate
+// arguments are guards, keyed by types.Func.FullName.
+var drivers = map[string]bool{
+	"(*fdp/internal/parallel.Runtime).RunUntil":  true,
+	"(*fdp/internal/parallel.Runtime).WaitUntil": true,
+}
+
 // Analyzer is the guardpurity pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "guardpurity",
-	Doc:  "guard functions (oracle Evaluate methods, world predicates) must not send messages or mutate world state",
+	Doc:  "guard functions (oracle Evaluate methods, run-driver world predicates) must not send messages or mutate world state",
 	Run:  run,
 }
 
@@ -76,9 +85,14 @@ func run(pass *analysis.Pass) (any, error) {
 				if n.Body != nil && isOracleEvaluate(pass, n) {
 					checkGuardBody(pass, n.Body, paramObjs(pass, n.Type))
 				}
-			case *ast.FuncLit:
-				if isPredicateArg(pass, f, n) {
-					checkGuardBody(pass, n.Body, paramObjs(pass, n.Type))
+			case *ast.CallExpr:
+				if !isDriverCall(pass, n) {
+					return true
+				}
+				for _, arg := range n.Args {
+					if lit, ok := arg.(*ast.FuncLit); ok && isWorldPredicate(pass, lit) {
+						checkGuardBody(pass, lit.Body, paramObjs(pass, lit.Type))
+					}
 				}
 			}
 			return true
@@ -106,10 +120,24 @@ func isOracleEvaluate(pass *analysis.Pass, decl *ast.FuncDecl) bool {
 		types.Identical(sig.Results().At(0).Type(), types.Typ[types.Bool])
 }
 
-// isPredicateArg reports whether lit appears as a call argument in a
-// position whose parameter type is func(*sim.World) bool — the run
-// drivers' world-predicate shape.
-func isPredicateArg(pass *analysis.Pass, f *ast.File, lit *ast.FuncLit) bool {
+// isDriverCall reports whether call invokes one of the known run-driver
+// entry points.
+func isDriverCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	selection := pass.TypesInfo.Selections[sel]
+	if selection == nil {
+		return false
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	return ok && drivers[fn.FullName()]
+}
+
+// isWorldPredicate reports whether lit has the drivers' world-predicate
+// shape, func(*sim.World) bool.
+func isWorldPredicate(pass *analysis.Pass, lit *ast.FuncLit) bool {
 	sig, ok := pass.TypesInfo.Types[lit].Type.(*types.Signature)
 	if !ok {
 		return false
@@ -117,27 +145,8 @@ func isPredicateArg(pass *analysis.Pass, f *ast.File, lit *ast.FuncLit) bool {
 	if sig.Params().Len() != 1 || sig.Results().Len() != 1 {
 		return false
 	}
-	if !isNamed(sig.Params().At(0).Type(), "fdp/internal/sim", "World", true) ||
-		!types.Identical(sig.Results().At(0).Type(), types.Typ[types.Bool]) {
-		return false
-	}
-	// Only literals passed directly to a call count as guards; a stored
-	// predicate used for, say, a one-shot assertion is the caller's
-	// business.
-	used := false
-	ast.Inspect(f, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		for _, arg := range call.Args {
-			if arg == ast.Expr(lit) {
-				used = true
-			}
-		}
-		return !used
-	})
-	return used
+	return isNamed(sig.Params().At(0).Type(), "fdp/internal/sim", "World", true) &&
+		types.Identical(sig.Results().At(0).Type(), types.Typ[types.Bool])
 }
 
 func isNamed(t types.Type, pkgPath, name string, wantPtr bool) bool {

@@ -1,9 +1,12 @@
-// Fixture: oracle Evaluate methods and world-predicate literals are
-// guards; mutating the world (or messaging) from one is flagged, while
-// observing — and mutating the oracle's own receiver — is fine.
+// Fixture: oracle Evaluate methods and world-predicate literals passed to
+// the run drivers are guards; mutating the world (or messaging) from one
+// is flagged, while observing — and mutating the oracle's own receiver —
+// is fine. A predicate literal handed to anything but a driver is not a
+// guard.
 package oracle
 
 import (
+	"fdp/internal/parallel"
 	"fdp/internal/ref"
 	"fdp/internal/sim"
 )
@@ -31,16 +34,30 @@ func (o *Pure) Evaluate(w *sim.World, u ref.Ref) bool {
 	return w.Awake(u) && !u.IsNil()
 }
 
-func runUntil(pred func(w *sim.World) bool) {}
-
-func drive(u ref.Ref) {
-	runUntil(func(w *sim.World) bool {
+func drive(rt *parallel.Runtime, u ref.Ref) {
+	rt.RunUntil(func(w *sim.World) bool {
 		w.ForceAsleep(u) // want "guard calls .*World.*ForceAsleep"
 		w.Steps = 1      // want "guard mutates state reachable from its parameter w"
 		return w.Awake(u)
-	})
-	runUntil(func(w *sim.World) bool {
+	}, 0, 0)
+	rt.WaitUntil(func(w *sim.World) bool {
+		w.Steps = 2 // want "guard mutates state reachable from its parameter w"
 		return w.Steps > 10
+	}, 0, 0)
+	rt.RunUntil(func(w *sim.World) bool {
+		return w.Steps > 10
+	}, 0, 0)
+}
+
+// An assertion-style helper that runs the predicate once synchronously is
+// not a run driver; its literal is not a guard and may mutate freely.
+func checkOnce(w *sim.World, pred func(*sim.World) bool) bool { return pred(w) }
+
+func assert(w *sim.World, u ref.Ref) bool {
+	return checkOnce(w, func(w *sim.World) bool {
+		w.ForceAsleep(u)
+		w.Steps = 1
+		return w.Awake(u)
 	})
 }
 

@@ -1,0 +1,10 @@
+// Stub of fdp/internal/parallel: just the run-driver entry points whose
+// predicate arguments guardpurity treats as guards.
+package parallel
+
+import "fdp/internal/sim"
+
+type Runtime struct{}
+
+func (rt *Runtime) RunUntil(pred func(*sim.World) bool, poll, timeout int) bool  { return false }
+func (rt *Runtime) WaitUntil(pred func(*sim.World) bool, poll, timeout int) bool { return false }

@@ -204,17 +204,22 @@ func runConcurrent(cfg Config, scn churn.Config, variant sim.Variant, timeout, p
 	rt := MirrorWorld(s.World, scn.Oracle)
 	rt.Start()
 
-	// One timer bounds both wait phases — the same total budget the
-	// deadline loop used, without wall-clock reads in loop conditions.
-	timeoutCh := time.After(timeout)
+	// One deadline bounds both wait phases — the same total budget the
+	// replaced wall-clock loop used. A closed channel, unlike a one-shot
+	// time.After value, stays observable: if the strike-budget wait burns
+	// the whole budget, the convergence wait below still sees the expiry
+	// instead of ticking forever.
+	deadline := make(chan struct{})
+	timer := time.AfterFunc(timeout, func() { close(deadline) })
+	defer timer.Stop()
 	if cfg.Strike != nil {
 		// The concurrent strike point: the same event budget the sequential
 		// side used as a step budget.
-		waitFor(func() bool { return rt.Events() >= uint64(cfg.StrikeAfter) }, poll, timeoutCh)
+		waitFor(func() bool { return rt.Events() >= uint64(cfg.StrikeAfter) }, poll, deadline)
 		faults.New(*cfg.Strike, seed).StrikeRuntime(rt)
 	}
 
-	converged := waitFor(func() bool { return rt.Freeze().Legitimate(variant) }, poll, timeoutCh)
+	converged := waitFor(func() bool { return rt.Freeze().Legitimate(variant) }, poll, deadline)
 	rt.Stop()
 	final := rt.Freeze()
 
@@ -229,9 +234,11 @@ func runConcurrent(cfg Config, scn churn.Config, variant sim.Variant, timeout, p
 	}
 }
 
-// waitFor re-evaluates cond every poll tick until it holds or timeoutCh
-// fires, returning the final verdict (cond is re-checked once at timeout).
-func waitFor(cond func() bool, poll time.Duration, timeoutCh <-chan time.Time) bool {
+// waitFor re-evaluates cond every poll tick until it holds or deadline is
+// closed, returning the final verdict (cond is re-checked once at expiry).
+// A closed deadline makes waitFor return immediately, so sequential waits
+// sharing one deadline all respect the same total budget.
+func waitFor(cond func() bool, poll time.Duration, deadline <-chan struct{}) bool {
 	if cond() {
 		return true
 	}
@@ -242,7 +249,7 @@ func waitFor(cond func() bool, poll time.Duration, timeoutCh <-chan time.Time) b
 	defer ticker.Stop()
 	for {
 		select {
-		case <-timeoutCh:
+		case <-deadline:
 			return cond()
 		case <-ticker.C:
 			if cond() {

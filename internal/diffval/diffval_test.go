@@ -2,6 +2,7 @@ package diffval
 
 import (
 	"testing"
+	"time"
 
 	"fdp/internal/churn"
 	"fdp/internal/core"
@@ -88,6 +89,31 @@ func TestDifferentialWithStrike(t *testing.T) {
 	cfg.StrikeAfter = 60
 	vs := RunSeeds(cfg, 8)
 	assertAgreement(t, "strike", vs, true)
+}
+
+// The deadline must stay observable across sequential wait phases: when
+// the strike-budget wait consumes the whole budget, the convergence wait
+// must still return promptly instead of ticking forever on a drained
+// one-shot timer channel.
+func TestWaitForSharedDeadlineBoundsBothPhases(t *testing.T) {
+	deadline := make(chan struct{})
+	timer := time.AfterFunc(5*time.Millisecond, func() { close(deadline) })
+	defer timer.Stop()
+
+	never := func() bool { return false }
+	if waitFor(never, time.Millisecond, deadline) {
+		t.Fatal("first phase: cond never holds, waitFor must report false")
+	}
+	done := make(chan bool, 1)
+	go func() { done <- waitFor(never, time.Millisecond, deadline) }()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("second phase: cond never holds, waitFor must report false")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("second phase hung: expired deadline not observed after the first phase consumed it")
+	}
 }
 
 // goneWanted recomputes the scenario's leaver count for a seed.
