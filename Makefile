@@ -2,7 +2,7 @@ GO ?= go
 
 FDPLINT := bin/fdplint
 
-.PHONY: all ci vet lint build test race bench
+.PHONY: all ci vet lint build test race bench bench-artifacts
 
 all: vet lint build test race
 
@@ -13,8 +13,8 @@ vet:
 	$(GO) vet ./...
 
 # lint runs the model-discipline analyzers (refopacity, detiter,
-# guardpurity, lockorder — see DESIGN.md §9) through the standard vet
-# driver, so diagnostics carry package/position context and caching.
+# guardpurity, lockorder, obslock — see DESIGN.md §9) through the standard
+# vet driver, so diagnostics carry package/position context and caching.
 lint: $(FDPLINT)
 	$(GO) vet -vettool=$(FDPLINT) ./...
 
@@ -30,10 +30,17 @@ test:
 	$(GO) test ./...
 
 # The packages with real concurrency (goroutine-per-process runtime,
-# snapshot locking, the differential harness driving both engines) and the
-# model core they exercise run under the race detector.
+# snapshot locking, the observability registry, the differential harness
+# driving both engines) and the model core they exercise run under the race
+# detector.
 race:
-	$(GO) test -race ./internal/sim/... ./internal/parallel/... ./internal/core/... ./internal/diffval/... ./internal/faults/...
+	$(GO) test -race ./internal/sim/... ./internal/parallel/... ./internal/core/... ./internal/diffval/... ./internal/faults/... ./internal/obs/...
 
 bench:
 	$(GO) test -bench . -benchmem -run XXX .
+
+# bench-artifacts emits the machine-readable BENCH_<engine>.json files (the
+# per-size time-to-exit p50/p99 series of both engines) that the CI bench
+# job uploads.
+bench-artifacts:
+	$(GO) run ./cmd/fdpbench -quick -bench -bench-out bench-out

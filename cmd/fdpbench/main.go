@@ -8,17 +8,42 @@
 //	fdpbench -only E5,E6     # a subset
 //	fdpbench -only E16       # differential simulator-vs-runtime validation
 //	fdpbench -quick -json    # machine-readable summary for CI
+//	fdpbench -quick -bench -bench-out out/   # BENCH_<engine>.json artifacts
+//	fdpbench -bench -serve :9090             # live /metrics while benching
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"fdp"
 )
+
+// writeBench runs the benchmark harness and writes one BENCH_<engine>.json
+// per engine into dir.
+func writeBench(quick bool, dir string, reg *fdp.Observer) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, rep := range fdp.Bench(quick, reg) {
+		payload, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, "BENCH_"+rep.Engine+".json")
+		if err := os.WriteFile(path, append(payload, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%s, unit=%s, %d sizes)\n", path, rep.Name, rep.Unit, len(rep.Series))
+	}
+	return nil
+}
 
 // jsonReport is the machine-readable form of one experiment.
 type jsonReport struct {
@@ -32,12 +57,38 @@ type jsonReport struct {
 
 func main() {
 	var (
-		quick   = flag.Bool("quick", false, "run at CI scale")
-		only    = flag.String("only", "", "comma-separated experiment IDs (e.g. E2,E5)")
-		asJSON  = flag.Bool("json", false, "emit a JSON array instead of text tables")
-		noPlots = flag.Bool("no-plots", false, "suppress ASCII plots in text mode")
+		quick    = flag.Bool("quick", false, "run at CI scale")
+		only     = flag.String("only", "", "comma-separated experiment IDs (e.g. E2,E5)")
+		asJSON   = flag.Bool("json", false, "emit a JSON array instead of text tables")
+		noPlots  = flag.Bool("no-plots", false, "suppress ASCII plots in text mode")
+		bench    = flag.Bool("bench", false, "run the time-to-exit benchmark harness instead of the experiment suite")
+		benchOut = flag.String("bench-out", ".", "directory for the BENCH_<engine>.json artifacts of -bench")
+		serve    = flag.String("serve", "", "serve /metrics and /debug/pprof on this address while running (e.g. :9090)")
 	)
 	flag.Parse()
+
+	var reg *fdp.Observer
+	if *serve != "" {
+		reg = fdp.NewObserver()
+		ln, err := net.Listen("tcp", *serve)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fdpbench: -serve:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("metrics: http://%s/metrics (pprof at /debug/pprof/)\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, fdp.ObserveMux(reg)); err != nil {
+				fmt.Fprintln(os.Stderr, "fdpbench: -serve:", err)
+			}
+		}()
+	}
+	if *bench {
+		if err := writeBench(*quick, *benchOut, reg); err != nil {
+			fmt.Fprintln(os.Stderr, "fdpbench: -bench:", err)
+			os.Exit(2)
+		}
+		return
+	}
 
 	wanted := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {

@@ -1,6 +1,6 @@
 // Command fdplint is the repository's custom static analysis tool. It
-// bundles the four model-discipline analyzers — refopacity, detiter,
-// guardpurity and lockorder — behind the `go vet -vettool` protocol:
+// bundles the five model-discipline analyzers — refopacity, detiter,
+// guardpurity, lockorder and obslock — behind the `go vet -vettool` protocol:
 //
 //	go build -o bin/fdplint ./cmd/fdplint
 //	go vet -vettool=bin/fdplint ./...
@@ -13,6 +13,7 @@ import (
 	"fdp/internal/analysis/detiter"
 	"fdp/internal/analysis/guardpurity"
 	"fdp/internal/analysis/lockorder"
+	"fdp/internal/analysis/obslock"
 	"fdp/internal/analysis/refopacity"
 	"fdp/internal/analysis/unit"
 )
@@ -23,5 +24,6 @@ func main() {
 		detiter.Analyzer,
 		guardpurity.Analyzer,
 		lockorder.Analyzer,
+		obslock.Analyzer,
 	)
 }

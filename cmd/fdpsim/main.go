@@ -9,6 +9,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"sort"
 	"time"
@@ -63,6 +65,8 @@ func main() {
 		safety   = flag.Bool("safety", true, "check the Lemma 2 safety invariant during the run")
 		par      = flag.Bool("parallel", false, "run on the goroutine-per-process runtime instead of the simulator")
 		timeout  = flag.Duration("timeout", 30*time.Second, "wall-clock budget for -parallel")
+		serve    = flag.String("serve", "", "serve /metrics (Prometheus text) and /debug/pprof on this address during the run (e.g. :9090)")
+		hold     = flag.Duration("hold", 0, "keep the -serve endpoint up this long after the run finishes")
 	)
 	flag.Parse()
 
@@ -82,6 +86,20 @@ func main() {
 	}
 	if *variant == "fsp" {
 		cfg.Variant = fdp.FSP
+	}
+	if *serve != "" {
+		cfg.Observe = fdp.NewObserver()
+		ln, err := net.Listen("tcp", *serve)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fdpsim: -serve:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("metrics:          http://%s/metrics (pprof at /debug/pprof/)\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, fdp.ObserveMux(cfg.Observe)); err != nil {
+				fmt.Fprintln(os.Stderr, "fdpsim: -serve:", err)
+			}
+		}()
 	}
 	var (
 		rep fdp.Report
@@ -108,6 +126,10 @@ func main() {
 	fmt.Printf("exits:            %d\n", rep.Exits)
 	fmt.Printf("max channel:      %d\n", rep.MaxChannel)
 	fmt.Printf("safety violated:  %v\n", rep.SafetyViolated)
+	if *serve != "" && *hold > 0 {
+		fmt.Printf("holding -serve endpoint for %v\n", *hold)
+		time.Sleep(*hold)
+	}
 	if !rep.Converged || rep.SafetyViolated {
 		os.Exit(1)
 	}

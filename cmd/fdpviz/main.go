@@ -16,6 +16,7 @@ import (
 	"fdp/internal/churn"
 	"fdp/internal/core"
 	"fdp/internal/metrics"
+	"fdp/internal/obs"
 	"fdp/internal/oracle"
 	"fdp/internal/sim"
 )
@@ -57,6 +58,11 @@ func main() {
 		rec.Attach(s.World)
 	}
 
+	// The hook fan-out lets the registry ride alongside the MSC recorder:
+	// the same run yields both the event chart and the metric series.
+	reg := obs.NewRegistry()
+	obs.InstrumentWorld(s.World, reg)
+
 	snapshots := 0
 	res := sim.Run(s.World, sim.NewRandomScheduler(*seed, 512), sim.RunOptions{
 		Variant: sim.FDP, MaxSteps: *maxSteps, CheckEvery: 5,
@@ -80,6 +86,7 @@ func main() {
 		series.Append(float64(res.PotentialSteps[i]), float64(res.PotentialValues[i]))
 	}
 	write("phi.csv", series.CSV())
+	write("metrics.prom", reg.String())
 
 	fmt.Println()
 	fmt.Print(series.ASCIIPlot(64, 14))

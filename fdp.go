@@ -31,6 +31,7 @@ import (
 	"fdp/internal/churn"
 	"fdp/internal/core"
 	"fdp/internal/framework"
+	"fdp/internal/obs"
 	"fdp/internal/oracle"
 	"fdp/internal/parallel"
 	"fdp/internal/sim"
@@ -145,6 +146,11 @@ type Config struct {
 
 	// CheckSafety verifies the Lemma 2 invariant during the run.
 	CheckSafety bool
+
+	// Observe, when non-nil, receives the run's FDP metric series (event
+	// counts, message age, mailbox depth, time-to-exit, oracle calls) —
+	// see NewObserver.
+	Observe *Observer
 }
 
 // Report is the outcome of a simulation.
@@ -219,6 +225,9 @@ func Simulate(cfg Config) (Report, error) {
 	var orc sim.Oracle
 	if cfg.Variant == FDP {
 		orc = cfg.oracle()
+		if cfg.Observe != nil {
+			orc = obs.CountOracle(orc, cfg.Observe)
+		}
 	}
 	s := churn.Build(churn.Config{
 		N:             cfg.N,
@@ -234,6 +243,9 @@ func Simulate(cfg Config) (Report, error) {
 		Oracle:  orc,
 		Seed:    cfg.Seed,
 	})
+	if cfg.Observe != nil {
+		obs.InstrumentWorld(s.World, cfg.Observe)
+	}
 	res := sim.Run(s.World, cfg.scheduler(), sim.RunOptions{
 		Variant:     simVariant,
 		MaxSteps:    cfg.MaxSteps,
@@ -375,8 +387,14 @@ func SimulateParallel(cfg Config, timeout time.Duration) (Report, error) {
 	var orc parallel.Oracle
 	if cfg.Variant == FDP {
 		orc = cfg.oracle()
+		if cfg.Observe != nil {
+			orc = obs.CountOracle(orc, cfg.Observe)
+		}
 	}
 	rt, _ := buildParallelWorld(cfg.N, cfg.LeaveFraction, cfg.Seed, coreVariant, orc)
+	if cfg.Observe != nil {
+		obs.InstrumentRuntime(rt, cfg.Observe)
+	}
 	ok := rt.RunUntil(func(w *sim.World) bool {
 		return w.Legitimate(simVariant)
 	}, 2*time.Millisecond, timeout)

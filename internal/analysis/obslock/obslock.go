@@ -1,0 +1,245 @@
+// Package obslock enforces the locking discipline of the observability
+// layer (fdp/internal/obs): the package's hot path is lock-free atomics,
+// and its single mutex — the registry's registration lock — must stay a
+// leaf. Concretely, within the package no mutex may be acquired while any
+// mutex is already held, neither directly nor through a package-internal
+// call that (transitively) acquires one. A nested acquisition is how a
+// metrics layer deadlocks the engines it instruments (hook → registry →
+// hook), so the discipline is "one lock at a time, briefly".
+//
+// Like lockorder, the check is lexical within each function body plus a
+// package-wide fixpoint over which functions acquire any mutex; the
+// straight-line acquire/release shapes the package uses are exact under
+// it, and anything cleverer needs a //fdplint:ignore obslock <reason>.
+package obslock
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+
+	"fdp/internal/analysis"
+)
+
+// Analyzer is the obslock pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "obslock",
+	Doc:  "internal/obs locking discipline: never acquire a lock while holding another (hot path stays lock-free, the registry mutex stays a leaf)",
+	Run:  run,
+}
+
+const targetPkg = "fdp/internal/obs"
+
+func run(pass *analysis.Pass) (any, error) {
+	if analysis.PkgPath(pass.Pkg) != targetPkg {
+		return nil, nil
+	}
+	var decls []*ast.FuncDecl
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				decls = append(decls, fd)
+			}
+		}
+	}
+	acquirers := lockAcquirers(pass, decls)
+	for _, fd := range decls {
+		checkFunc(pass, fd, acquirers)
+	}
+	return nil, nil
+}
+
+// mutexOp recognizes <recv>.Lock/RLock/Unlock/RUnlock() on a sync.Mutex or
+// sync.RWMutex, returning the receiver key and whether the op acquires.
+func mutexOp(pass *analysis.Pass, call *ast.CallExpr) (key string, acquire, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	var acq bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		acq = true
+	case "Unlock", "RUnlock":
+		acq = false
+	default:
+		return "", false, false
+	}
+	t := pass.TypesInfo.TypeOf(sel.X)
+	if t == nil {
+		return "", false, false
+	}
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return "", false, false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" ||
+		(obj.Name() != "Mutex" && obj.Name() != "RWMutex") {
+		return "", false, false
+	}
+	return types.ExprString(sel.X), acq, true
+}
+
+// calleeFunc resolves a call to its *types.Func when it targets a function
+// or method of the package under analysis.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		if selection := pass.TypesInfo.Selections[fun]; selection != nil {
+			obj = selection.Obj()
+		} else {
+			obj = pass.TypesInfo.Uses[fun.Sel]
+		}
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != targetPkg {
+		return nil
+	}
+	return fn
+}
+
+// lockAcquirers computes the set of package functions that acquire any
+// mutex, directly or through package-internal calls.
+func lockAcquirers(pass *analysis.Pass, decls []*ast.FuncDecl) map[*types.Func]bool {
+	direct := make(map[*types.Func]bool)
+	calls := make(map[*types.Func][]*types.Func)
+	for _, fd := range decls {
+		fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+		if fn == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if _, acq, ok := mutexOp(pass, call); ok && acq {
+				direct[fn] = true
+			}
+			if callee := calleeFunc(pass, call); callee != nil {
+				calls[fn] = append(calls[fn], callee)
+			}
+			return true
+		})
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, callees := range calls {
+			if direct[fn] {
+				continue
+			}
+			for _, c := range callees {
+				if direct[c] {
+					direct[fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return direct
+}
+
+type opKind int
+
+const (
+	opLock opKind = iota
+	opUnlock
+	opLockCall // call to a function that transitively acquires a mutex
+	opReturn
+)
+
+type event struct {
+	pos      int
+	kind     opKind
+	key      string
+	deferred bool
+	node     ast.Node
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, acquirers map[*types.Func]bool) {
+	var events []event
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // literals run later; their lock use is their own
+		case *ast.DeferStmt:
+			if key, acq, ok := mutexOp(pass, n.Call); ok && !acq {
+				events = append(events, event{pos: int(n.Pos()), kind: opUnlock, key: key, deferred: true, node: n})
+			}
+			return false
+		case *ast.CallExpr:
+			if key, acq, ok := mutexOp(pass, n); ok {
+				kind := opUnlock
+				if acq {
+					kind = opLock
+				}
+				events = append(events, event{pos: int(n.Pos()), kind: kind, key: key, node: n})
+				return true
+			}
+			if callee := calleeFunc(pass, n); callee != nil && acquirers[callee] {
+				events = append(events, event{pos: int(n.Pos()), kind: opLockCall, key: callee.Name(), node: n})
+			}
+		case *ast.ReturnStmt:
+			events = append(events, event{pos: int(n.Pos()), kind: opReturn, node: n})
+		}
+		return true
+	})
+	sort.SliceStable(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	held := make(map[string]int)
+	lastLock := make(map[string]ast.Node)
+	deferredRelease := make(map[string]bool)
+	heldKey := func() (string, bool) {
+		for key, n := range held {
+			if n > 0 {
+				return key, true
+			}
+		}
+		return "", false
+	}
+
+	for _, ev := range events {
+		switch ev.kind {
+		case opLock:
+			if key, holding := heldKey(); holding {
+				pass.Reportf(ev.node.Pos(), "acquiring %s while holding %s; internal/obs never nests locks — the registry mutex must stay a leaf", ev.key, key)
+			}
+			held[ev.key]++
+			lastLock[ev.key] = ev.node
+		case opUnlock:
+			if ev.deferred {
+				deferredRelease[ev.key] = true
+				continue
+			}
+			if held[ev.key] > 0 {
+				held[ev.key]--
+			}
+		case opLockCall:
+			if key, holding := heldKey(); holding {
+				pass.Reportf(ev.node.Pos(), "calling %s (which acquires a lock) while holding %s; internal/obs never nests locks", ev.key, key)
+			}
+		case opReturn:
+			for key, n := range held {
+				if n > 0 && !deferredRelease[key] {
+					pass.Reportf(ev.node.Pos(), "return while holding %s with no deferred release", key)
+				}
+			}
+		}
+	}
+	for key, n := range held {
+		if n > 0 && !deferredRelease[key] {
+			pass.Reportf(lastLock[key].Pos(), "%s is locked but never released in this function", key)
+		}
+	}
+}

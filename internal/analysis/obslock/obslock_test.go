@@ -1,0 +1,11 @@
+package obslock
+
+import (
+	"testing"
+
+	"fdp/internal/analysis/analysistest"
+)
+
+func TestObsLock(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "fdp/internal/obs")
+}

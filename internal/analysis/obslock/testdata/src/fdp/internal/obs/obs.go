@@ -1,0 +1,87 @@
+// Fixture: package path fdp/internal/obs is the analyzer's scope. The
+// Registry shape mirrors the real one: a single registration mutex that
+// must remain a leaf, with the hot path entirely outside it.
+package obs
+
+import "sync"
+
+type Registry struct {
+	mu       sync.Mutex
+	renderMu sync.RWMutex
+	metrics  map[string]int
+}
+
+// The conforming leaf shape: one lock, held briefly, deferred release.
+func (r *Registry) lookup(name string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.metrics[name]
+}
+
+// Sequential phases are not nesting: the first lock is released before the
+// second is taken.
+func (r *Registry) twoPhases(name string) int {
+	r.mu.Lock()
+	v := r.metrics[name]
+	r.mu.Unlock()
+	r.renderMu.RLock()
+	v++
+	r.renderMu.RUnlock()
+	return v
+}
+
+func (r *Registry) nested() {
+	r.mu.Lock()
+	r.renderMu.Lock() // want "while holding"
+	r.renderMu.Unlock()
+	r.mu.Unlock()
+}
+
+func (r *Registry) reentrant() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.mu.Lock() // want "while holding"
+	r.mu.Unlock()
+}
+
+// render acquires renderMu, so calling it under mu nests transitively.
+func (r *Registry) render() int {
+	r.renderMu.RLock()
+	defer r.renderMu.RUnlock()
+	return len(r.metrics)
+}
+
+func (r *Registry) transitiveNesting() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.render() // want "acquires a lock"
+}
+
+// Calling an acquirer with nothing held is the intended composition.
+func (r *Registry) compose() int {
+	n := r.render()
+	return n + r.lookup("x")
+}
+
+func (r *Registry) earlyReturn(name string) int {
+	r.mu.Lock()
+	if name == "" {
+		return 0 // want "return while holding"
+	}
+	v := r.metrics[name]
+	r.mu.Unlock()
+	return v
+}
+
+func (r *Registry) leak() {
+	r.mu.Lock() // want "never released"
+	r.metrics = nil
+}
+
+// A hook literal takes its locks when it later runs; registering it under
+// the mutex is not nesting.
+func (r *Registry) hooks() func() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return func() int { return r.render() }
+}

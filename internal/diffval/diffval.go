@@ -19,6 +19,7 @@
 package diffval
 
 import (
+	"fmt"
 	"time"
 
 	"fdp/internal/churn"
@@ -48,6 +49,19 @@ type Config struct {
 	// StrikeAfter is the strike point: sequential steps on the simulator,
 	// executed events on the runtime. Only meaningful with Strike.
 	StrikeAfter int
+	// TraceK is how many recent events each engine retains for the
+	// dump-on-disagreement diagnostics (0 = 64, negative = disabled).
+	TraceK int
+}
+
+func (c Config) traceK() int {
+	if c.TraceK < 0 {
+		return 0
+	}
+	if c.TraceK == 0 {
+		return 64
+	}
+	return c.TraceK
 }
 
 // Outcome classifies one engine's terminal state.
@@ -78,6 +92,23 @@ type Verdict struct {
 	Seed       int64
 	Sequential Outcome
 	Concurrent Outcome
+
+	// SequentialTrace and ConcurrentTrace hold the last-K trace events of
+	// each engine (sim.FormatEvents rendering), filled in ONLY when the
+	// verdicts disagree — the post-mortem a bare "engines diverged on seed
+	// 17" never gave. Empty on agreement.
+	SequentialTrace string
+	ConcurrentTrace string
+}
+
+// Dump renders the disagreement diagnostics (empty when the engines
+// agreed).
+func (v Verdict) Dump() string {
+	if v.SequentialTrace == "" && v.ConcurrentTrace == "" {
+		return ""
+	}
+	return fmt.Sprintf("seed %d diverged\nsequential %+v\nlast events:\n%sconcurrent %+v\nlast events:\n%s",
+		v.Seed, v.Sequential, v.SequentialTrace, v.Concurrent, v.ConcurrentTrace)
 }
 
 // Agree reports whether the engines reached the same classification. Steps
@@ -140,11 +171,15 @@ func Run(cfg Config, seed int64) Verdict {
 	if scn.Variant == core.VariantFSP {
 		variant = sim.FSP
 	}
-	return Verdict{
-		Seed:       seed,
-		Sequential: runSequential(cfg, scn, variant, maxSteps, seed),
-		Concurrent: runConcurrent(cfg, scn, variant, timeout, poll, seed),
+	seqOut, seqTrace := runSequential(cfg, scn, variant, maxSteps, seed)
+	concOut, concTrace := runConcurrent(cfg, scn, variant, timeout, poll, seed)
+	v := Verdict{Seed: seed, Sequential: seqOut, Concurrent: concOut}
+	if !v.Agree() {
+		// Keep the dumps only on divergence: a Verdict slice over 50+ seeds
+		// stays small, and the traces point straight at the diverging run.
+		v.SequentialTrace, v.ConcurrentTrace = seqTrace, concTrace
 	}
+	return v
 }
 
 // RunSeeds runs seeds 0..n-1 and returns the verdicts.
@@ -167,11 +202,17 @@ func Disagreements(vs []Verdict) []Verdict {
 	return out
 }
 
-func runSequential(cfg Config, scn churn.Config, variant sim.Variant, maxSteps int, seed int64) Outcome {
+func runSequential(cfg Config, scn churn.Config, variant sim.Variant, maxSteps int, seed int64) (Outcome, string) {
 	s := churn.Build(scn)
 	leavers := s.LeavingNodes()
 	sched := sim.NewRandomScheduler(seed, 256)
 	opts := sim.RunOptions{Variant: variant, CheckSafety: true}
+
+	var rec *sim.Recorder
+	if k := cfg.traceK(); k > 0 {
+		rec = sim.NewRecorder(k)
+		rec.Attach(s.World)
+	}
 
 	var res sim.RunResult
 	if cfg.Strike != nil {
@@ -188,7 +229,7 @@ func runSequential(cfg Config, scn churn.Config, variant sim.Variant, maxSteps i
 		res = sim.Run(s.World, sched, opts)
 	}
 
-	return Outcome{
+	out := Outcome{
 		Converged:        res.Converged && res.SafetyViolation == nil,
 		SafetyViolated:   res.SafetyViolation != nil,
 		Gone:             goneCount(s.World, s.Nodes),
@@ -196,12 +237,20 @@ func runSequential(cfg Config, scn churn.Config, variant sim.Variant, maxSteps i
 		StayingPreserved: res.SafetyViolation == nil && s.World.StayingComponentsPreserved(),
 		Steps:            uint64(s.World.Steps()),
 	}
+	trace := ""
+	if rec != nil {
+		trace = rec.Dump()
+	}
+	return out, trace
 }
 
-func runConcurrent(cfg Config, scn churn.Config, variant sim.Variant, timeout, poll time.Duration, seed int64) Outcome {
+func runConcurrent(cfg Config, scn churn.Config, variant sim.Variant, timeout, poll time.Duration, seed int64) (Outcome, string) {
 	s := churn.Build(scn)
 	leavers := s.LeavingNodes()
 	rt := MirrorWorld(s.World, scn.Oracle)
+	if k := cfg.traceK(); k > 0 {
+		rt.EnableTrace(k)
+	}
 	rt.Start()
 
 	// One deadline bounds both wait phases — the same total budget the
@@ -231,7 +280,7 @@ func runConcurrent(cfg Config, scn churn.Config, variant sim.Variant, timeout, p
 		LeaversSettled:   leaversSettledRuntime(final, leavers, variant),
 		StayingPreserved: !violated && final.StayingComponentsPreserved(),
 		Steps:            rt.Events(),
-	}
+	}, sim.FormatEvents(rt.TraceEvents())
 }
 
 // waitFor re-evaluates cond every poll tick until it holds or deadline is

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"time"
+
+	"fdp/internal/churn"
+	"fdp/internal/core"
+	"fdp/internal/metrics"
+	"fdp/internal/obs"
+	"fdp/internal/oracle"
+	"fdp/internal/sim"
+)
+
+// BenchQuantiles summarizes one latency sample with exact (nearest-rank)
+// percentiles, as opposed to the interpolated bucket quantiles the live
+// /metrics endpoint reports.
+type BenchQuantiles struct {
+	Count int     `json:"count"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+	Mean  float64 `json:"mean"`
+	Max   float64 `json:"max"`
+}
+
+func quantiles(s *metrics.Sample) BenchQuantiles {
+	return BenchQuantiles{
+		Count: s.N(),
+		P50:   s.Percentile(50),
+		P99:   s.Percentile(99),
+		Mean:  s.Mean(),
+		Max:   s.Max(),
+	}
+}
+
+// BenchPoint is one system size in a bench series.
+type BenchPoint struct {
+	Size        int               `json:"size"`
+	TimeToExit  BenchQuantiles    `json:"time_to_exit"`
+	OracleCalls uint64            `json:"oracle_calls"`
+	Events      map[string]uint64 `json:"events"`
+	Converged   int               `json:"converged"`
+	Trials      int               `json:"trials"`
+}
+
+// BenchReport is one engine's machine-readable benchmark: the payload of
+// the BENCH_<engine>.json artifacts the bench harness emits for CI.
+type BenchReport struct {
+	Name   string       `json:"name"`
+	Engine string       `json:"engine"`
+	// Unit is the unit of the time-to-exit series: "steps" for the
+	// sequential engine (logical time), "seconds" for the concurrent one
+	// (wall clock).
+	Unit   string       `json:"unit"`
+	Series []BenchPoint `json:"series"`
+}
+
+func benchScenario(n int, seed int64) churn.Config {
+	return churn.Config{
+		N: n, Topology: churn.TopoRandom, LeaveFraction: 0.5,
+		Pattern: churn.LeaveRandom, Variant: core.VariantFDP,
+		Oracle: oracle.Single{}, Seed: seed,
+	}
+}
+
+// Bench runs the FDP churn benchmark on both engines and returns one report
+// per engine, each with a per-size time-to-exit p50/p99 series plus event
+// and oracle-call counts. When reg is non-nil every run is additionally
+// instrumented into it, so a live /metrics endpoint shows the benchmark's
+// aggregate series while it executes.
+func Bench(s Scale, reg *obs.Registry) []BenchReport {
+	return []BenchReport{benchSequential(s, reg), benchConcurrent(s, reg)}
+}
+
+func benchSequential(s Scale, reg *obs.Registry) BenchReport {
+	rep := BenchReport{Name: "fdp-churn-time-to-exit", Engine: "sim", Unit: "steps"}
+	for _, n := range s.Sizes {
+		var tte metrics.Sample
+		var kinds [sim.NumEventKinds]uint64
+		calls := obs.NewRegistry()
+		point := BenchPoint{Size: n, Trials: s.Trials}
+		for trial := 0; trial < s.Trials; trial++ {
+			seed := int64(n*1000 + trial)
+			scn := benchScenario(n, seed)
+			scn.Oracle = obs.CountOracle(scn.Oracle, calls)
+			built := churn.Build(scn)
+			built.World.AddEventHook(func(e sim.Event) {
+				kinds[e.Kind]++
+				if e.Kind == sim.EvExit {
+					tte.AddInt(e.Step)
+				}
+			})
+			if reg != nil {
+				obs.InstrumentWorld(built.World, reg)
+			}
+			res := sim.Run(built.World, sim.NewRandomScheduler(seed, 0), sim.RunOptions{
+				Variant: sim.FDP, MaxSteps: s.MaxSteps,
+			})
+			if res.Converged {
+				point.Converged++
+			}
+		}
+		point.TimeToExit = quantiles(&tte)
+		point.OracleCalls = calls.Counter(obs.MetricOracleCalls, "").Value()
+		point.Events = kindMap(kinds[:])
+		rep.Series = append(rep.Series, point)
+	}
+	return rep
+}
+
+func benchConcurrent(s Scale, reg *obs.Registry) BenchReport {
+	rep := BenchReport{Name: "fdp-churn-time-to-exit", Engine: "runtime", Unit: "seconds"}
+	for _, n := range s.Sizes {
+		var tte metrics.Sample
+		var kinds [sim.NumEventKinds]uint64
+		calls := obs.NewRegistry()
+		point := BenchPoint{Size: n, Trials: s.Trials}
+		for trial := 0; trial < s.Trials; trial++ {
+			seed := int64(n*1000 + trial)
+			orc := obs.CountOracle(oracle.Single{}, calls)
+			rt, _ := buildParallel(n, seed, orc)
+			if reg != nil {
+				obs.InstrumentRuntime(rt, reg)
+			}
+			if rt.RunUntil(func(w *sim.World) bool { return w.Legitimate(sim.FDP) },
+				2*time.Millisecond, time.Minute) {
+				point.Converged++
+			}
+			for k := 0; k < sim.NumEventKinds; k++ {
+				kinds[k] += rt.KindCount(sim.EventKind(k))
+			}
+			for _, d := range rt.ExitLatencies() {
+				tte.Add(d.Seconds())
+			}
+		}
+		point.TimeToExit = quantiles(&tte)
+		point.OracleCalls = calls.Counter(obs.MetricOracleCalls, "").Value()
+		point.Events = kindMap(kinds[:])
+		rep.Series = append(rep.Series, point)
+	}
+	return rep
+}
+
+func kindMap(kinds []uint64) map[string]uint64 {
+	out := make(map[string]uint64)
+	for k, c := range kinds {
+		if c > 0 {
+			out[sim.EventKind(k).String()] = c
+		}
+	}
+	return out
+}

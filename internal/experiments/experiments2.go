@@ -405,7 +405,7 @@ func E11Parallel(s Scale) Result {
 	tb := metrics.NewTable("E11: goroutine-per-process runs (50% leaving, random topology)",
 		"n", "converged", "exits ok", "events executed", "events/sec")
 	for _, n := range s.Sizes {
-		rt, leavingCount := buildParallel(n, int64(n))
+		rt, leavingCount := buildParallel(n, int64(n), oracle.Single{})
 		start := time.Now()
 		ok := rt.RunUntil(func(w *sim.World) bool {
 			return w.Legitimate(sim.FDP)
@@ -428,7 +428,7 @@ func E11Parallel(s Scale) Result {
 
 func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 
-func buildParallel(n int, seed int64) (*parallel.Runtime, int) {
+func buildParallel(n int, seed int64, orc parallel.Oracle) (*parallel.Runtime, int) {
 	space := ref.NewSpace()
 	nodes := space.NewN(n)
 	rngGraph := graph.RandomConnected(nodes, n/2, newRand(seed))
@@ -437,7 +437,7 @@ func buildParallel(n int, seed int64) (*parallel.Runtime, int) {
 	for _, i := range perm[:n/2] {
 		leaving.Add(nodes[i])
 	}
-	rt := parallel.NewRuntime(oracle.Single{})
+	rt := parallel.NewRuntime(orc)
 	procs := make(map[ref.Ref]*core.Proc, n)
 	for _, r := range nodes {
 		p := core.New(core.VariantFDP)

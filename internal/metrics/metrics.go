@@ -13,10 +13,14 @@ import (
 // Sample is a set of float64 observations.
 type Sample struct {
 	values []float64
+	sorted []float64 // cached sorted copy; nil until the first quantile query
 }
 
-// Add appends an observation.
-func (s *Sample) Add(v float64) { s.values = append(s.values, v) }
+// Add appends an observation and invalidates the sorted cache.
+func (s *Sample) Add(v float64) {
+	s.values = append(s.values, v)
+	s.sorted = nil
+}
 
 // AddInt appends an integer observation.
 func (s *Sample) AddInt(v int) { s.Add(float64(v)) }
@@ -80,24 +84,29 @@ func (s *Sample) Stddev() float64 {
 }
 
 // Percentile returns the p-th percentile (0 <= p <= 100) using
-// nearest-rank; 0 for an empty sample.
+// nearest-rank; 0 for an empty sample. The sorted copy is cached across
+// calls and rebuilt lazily after the next Add, so sweeping many quantiles
+// over one sample (the p50/p99 series of the bench harness) sorts once
+// instead of once per query.
 func (s *Sample) Percentile(p float64) float64 {
 	if len(s.values) == 0 {
 		return 0
 	}
-	sorted := append([]float64(nil), s.values...)
-	sort.Float64s(sorted)
+	if s.sorted == nil {
+		s.sorted = append(make([]float64, 0, len(s.values)), s.values...)
+		sort.Float64s(s.sorted)
+	}
 	if p <= 0 {
-		return sorted[0]
+		return s.sorted[0]
 	}
 	if p >= 100 {
-		return sorted[len(sorted)-1]
+		return s.sorted[len(s.sorted)-1]
 	}
-	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	rank := int(math.Ceil(p/100*float64(len(s.sorted)))) - 1
 	if rank < 0 {
 		rank = 0
 	}
-	return sorted[rank]
+	return s.sorted[rank]
 }
 
 // Median returns the 50th percentile.

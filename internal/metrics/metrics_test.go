@@ -138,3 +138,65 @@ func TestASCIIPlot(t *testing.T) {
 		t.Fatal("single-point plot broken")
 	}
 }
+
+// Regression for the percentile cache: queries after an Add must see the
+// new observation (the cache is invalidated, not stale), and repeated
+// queries between Adds must agree with a fresh sort.
+func TestPercentileCacheInvalidatedByAdd(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{5, 1, 9} {
+		s.Add(v)
+	}
+	if s.Median() != 5 {
+		t.Fatalf("Median = %v, want 5", s.Median())
+	}
+	// This Add must invalidate the sorted cache built by the query above.
+	s.Add(100)
+	if got := s.Percentile(100); got != 100 {
+		t.Fatalf("max after Add = %v, want 100 (stale cache?)", got)
+	}
+	if got := s.Median(); got != 5 {
+		t.Fatalf("median after Add = %v, want 5", got)
+	}
+	// Adding out-of-order values must not leave the cache sorted-but-wrong.
+	s.Add(0)
+	if got := s.Percentile(0); got != 0 {
+		t.Fatalf("min after Add = %v, want 0", got)
+	}
+	// Unsorted source order must survive the cached sort (Add keeps values
+	// in insertion order; only the cache is sorted).
+	if s.values[0] != 5 {
+		t.Fatalf("Add reordered the underlying values: %v", s.values)
+	}
+}
+
+// BenchmarkPercentileSweep measures the bench-harness access pattern: many
+// quantile queries against a sample that stopped growing. With the cache
+// this is one sort amortized over the sweep.
+func BenchmarkPercentileSweep(b *testing.B) {
+	var s Sample
+	for i := 0; i < 10000; i++ {
+		s.Add(float64((i * 7919) % 10000))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Percentile(50)
+		_ = s.Percentile(99)
+	}
+}
+
+// BenchmarkPercentileInterleaved is the worst case for the cache: every Add
+// invalidates, so each query pays a full sort, matching the pre-cache cost.
+func BenchmarkPercentileInterleaved(b *testing.B) {
+	var s Sample
+	for i := 0; i < 1000; i++ {
+		s.Add(float64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(float64(i))
+		_ = s.Percentile(99)
+	}
+}

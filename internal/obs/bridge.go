@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"time"
+
+	"fdp/internal/parallel"
+	"fdp/internal/ref"
+	"fdp/internal/sim"
+)
+
+// Canonical FDP series names. Both engines write the same vocabulary,
+// distinguished by the engine label, so dashboards and tests query one
+// schema regardless of which engine produced a run.
+const (
+	// MetricEvents is the per-kind event counter family.
+	MetricEvents = "fdp_events_total"
+	// MetricMessageAge is the message-age-at-delivery histogram. Sequential
+	// engine: age in steps. Concurrent engine has no step-stamped enqueue,
+	// so it does not write this series.
+	MetricMessageAge = "fdp_message_age_steps"
+	// MetricMailboxDepth is the channel/mailbox depth histogram, observed
+	// at every send (depth after the append).
+	MetricMailboxDepth = "fdp_mailbox_depth"
+	// MetricTimeToExitSteps is the sequential time-to-exit histogram: the
+	// step at which each leaver committed exit (leavers exist from step 0).
+	MetricTimeToExitSteps = "fdp_time_to_exit_steps"
+	// MetricTimeToExitSeconds is the concurrent time-to-exit histogram:
+	// wall-clock seconds from Runtime.Start to each committed exit.
+	MetricTimeToExitSeconds = "fdp_time_to_exit_seconds"
+	// MetricOracleCalls counts oracle evaluations (via CountOracle).
+	MetricOracleCalls = "fdp_oracle_calls_total"
+	// MetricExitDenied counts exit requests rejected by the runtime's
+	// revalidation under the snapshot lock.
+	MetricExitDenied = "fdp_exit_denied_total"
+)
+
+func eventSeries(engine string, k sim.EventKind) string {
+	return MetricEvents + `{engine="` + engine + `",kind="` + k.String() + `"}`
+}
+
+// kindCounters pre-registers one counter per event kind so the hook hot
+// path is a pure array index + atomic add.
+func kindCounters(reg *Registry, engine string) *[sim.NumEventKinds]*Counter {
+	var out [sim.NumEventKinds]*Counter
+	for k := 0; k < sim.NumEventKinds; k++ {
+		out[k] = reg.Counter(eventSeries(engine, sim.EventKind(k)),
+			"trace events per kind and engine")
+	}
+	return &out
+}
+
+// InstrumentWorld attaches a metrics hook to the sequential world via the
+// event-hook fan-out (existing consumers such as the viz recorder keep
+// receiving events). The hook is zero-alloc: every series it touches is
+// registered here, before the run.
+func InstrumentWorld(w *sim.World, reg *Registry) {
+	kinds := kindCounters(reg, "sim")
+	msgAge := reg.Histogram(MetricMessageAge,
+		"steps a message spent enqueued before delivery",
+		ExpBuckets(1, 2, 16))
+	depth := reg.Histogram(MetricMailboxDepth,
+		"channel depth after each send",
+		ExpBuckets(1, 2, 12))
+	timeToExit := reg.Histogram(MetricTimeToExitSteps,
+		"step at which each leaver committed exit",
+		ExpBuckets(1, 2, 24))
+	w.AddEventHook(func(e sim.Event) {
+		if int(e.Kind) < sim.NumEventKinds {
+			kinds[e.Kind].Inc()
+		}
+		switch e.Kind {
+		case sim.EvDeliver:
+			msgAge.Observe(float64(e.Age))
+		case sim.EvSend:
+			depth.Observe(float64(e.Depth))
+		case sim.EvExit:
+			timeToExit.Observe(float64(e.Step))
+		}
+	})
+}
+
+// InstrumentRuntime wires the concurrent runtime into reg: an event sink
+// feeding the same per-kind counters and depth histogram the sequential
+// bridge writes (engine="runtime"), a wall-clock time-to-exit histogram,
+// and collector gauges over the runtime's always-on atomic counters. Call
+// before Runtime.Start. The sink runs on the emitting goroutines and
+// touches only atomics.
+func InstrumentRuntime(rt *parallel.Runtime, reg *Registry) {
+	kinds := kindCounters(reg, "runtime")
+	depth := reg.Histogram(MetricMailboxDepth,
+		"channel depth after each send",
+		ExpBuckets(1, 2, 12))
+	timeToExit := reg.Histogram(MetricTimeToExitSeconds,
+		"wall-clock seconds from Start to each committed exit",
+		ExpBuckets(0.0001, 4, 12))
+	rt.SetEventSink(func(e sim.Event) {
+		if int(e.Kind) < sim.NumEventKinds {
+			kinds[e.Kind].Inc()
+		}
+		switch e.Kind {
+		case sim.EvSend:
+			depth.Observe(float64(e.Depth))
+		case sim.EvExit:
+			timeToExit.Observe(time.Since(rt.StartTime()).Seconds())
+		}
+	})
+	reg.GaugeFunc("fdp_runtime_actions_total", "executed actions (timeouts + deliveries)",
+		func() float64 { return float64(rt.Events()) })
+	reg.GaugeFunc("fdp_runtime_sent_total", "messages sent (including drops)",
+		func() float64 { return float64(rt.Sent()) })
+	reg.GaugeFunc("fdp_runtime_dropped_total", "sends that vanished (gone target)",
+		func() float64 { return float64(rt.Dropped()) })
+	reg.GaugeFunc("fdp_runtime_gone", "processes that committed exit",
+		func() float64 { return float64(rt.Gone()) })
+	reg.GaugeFunc(MetricExitDenied, "exit requests rejected by revalidation",
+		func() float64 { return float64(rt.ExitDenied()) })
+}
+
+// countedOracle wraps an oracle with an atomic call counter. The counter
+// update is receiver state only, so the wrapper stays a pure guard
+// (guardpurity-clean) and is safe under the runtime's concurrent
+// evaluation (serialized by oracleMu, but the counter does not rely on
+// that).
+type countedOracle struct {
+	inner sim.Oracle
+	calls *Counter
+}
+
+func (o countedOracle) Name() string { return o.inner.Name() }
+
+func (o countedOracle) Evaluate(w *sim.World, u ref.Ref) bool {
+	o.calls.Inc()
+	return o.inner.Evaluate(w, u)
+}
+
+// CountOracle wraps orc so every evaluation increments the
+// MetricOracleCalls counter of reg — the oracle-call-count series for both
+// engines (the sequential world evaluates on OracleSays and legitimacy
+// checks; the runtime from the coordinator and validateExit). A nil orc is
+// returned unchanged.
+func CountOracle(orc sim.Oracle, reg *Registry) sim.Oracle {
+	if orc == nil {
+		return nil
+	}
+	return countedOracle{inner: orc, calls: reg.Counter(MetricOracleCalls, "oracle evaluations")}
+}

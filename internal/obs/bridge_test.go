@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"fdp/internal/churn"
+	"fdp/internal/core"
+	"fdp/internal/oracle"
+	"fdp/internal/parallel"
+	"fdp/internal/sim"
+)
+
+func churnScenario(seed int64) *churn.Scenario {
+	return churn.Build(churn.Config{
+		N: 16, Topology: churn.TopoRandom, LeaveFraction: 0.5, Pattern: churn.LeaveRandom,
+		Corrupt: churn.Corruption{FlipBeliefs: 0.3, RandomAnchors: 0.3, JunkMessages: 4},
+		Variant: core.VariantFDP, Oracle: oracle.Single{}, Seed: seed,
+	})
+}
+
+// TestInstrumentWorldServesDuringRun drives an FDP churn run with the
+// world instrumented and scrapes the /metrics endpoint from inside the run
+// (OnStep): the acceptance criterion that the exposition is non-empty
+// DURING a run, not only after it.
+func TestInstrumentWorldServesDuringRun(t *testing.T) {
+	s := churnScenario(3)
+	reg := NewRegistry()
+	InstrumentWorld(s.World, reg)
+
+	srv := httptest.NewServer(NewServeMux(reg))
+	defer srv.Close()
+
+	var midRun string
+	res := sim.Run(s.World, sim.NewRandomScheduler(3, 0), sim.RunOptions{
+		Variant: sim.FDP, MaxSteps: 200000, CheckSafety: true,
+		OnStep: func(w *sim.World) {
+			if midRun == "" && w.Steps() == 50 {
+				resp, err := srv.Client().Get(srv.URL + "/metrics")
+				if err != nil {
+					t.Fatalf("GET /metrics: %v", err)
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				midRun = string(body)
+			}
+		},
+	})
+	if !res.Converged {
+		t.Fatalf("churn run did not converge: %+v", res)
+	}
+	if !strings.Contains(midRun, `fdp_events_total{engine="sim",kind="send"}`) {
+		t.Fatalf("mid-run scrape missing send counter:\n%s", midRun)
+	}
+	if !strings.Contains(midRun, "fdp_mailbox_depth_bucket") {
+		t.Fatalf("mid-run scrape missing depth histogram:\n%s", midRun)
+	}
+
+	// Terminal state: every leaver exited, and the time-to-exit histogram
+	// saw exactly one observation per exit.
+	exits := reg.Counter(eventSeries("sim", sim.EvExit), "").Value()
+	if exits == 0 || exits != uint64(res.Stats.Exits) {
+		t.Fatalf("exit counter = %d, stats say %d", exits, res.Stats.Exits)
+	}
+	tte := reg.Histogram(MetricTimeToExitSteps, "", nil)
+	if tte.Count() != exits {
+		t.Fatalf("time-to-exit count = %d, want %d", tte.Count(), exits)
+	}
+	age := reg.Histogram(MetricMessageAge, "", nil)
+	if age.Count() == 0 {
+		t.Fatal("message-age histogram empty after a churn run")
+	}
+}
+
+// TestInstrumentWorldFanOut pins that instrumenting a world does not
+// displace an already-attached recorder (the hook fan-out contract).
+func TestInstrumentWorldFanOut(t *testing.T) {
+	s := churnScenario(5)
+	rec := sim.NewRecorder(1 << 16)
+	rec.Attach(s.World)
+	reg := NewRegistry()
+	InstrumentWorld(s.World, reg)
+
+	res := sim.Run(s.World, sim.NewRandomScheduler(5, 0), sim.RunOptions{
+		Variant: sim.FDP, MaxSteps: 200000,
+	})
+	if !res.Converged {
+		t.Fatalf("run did not converge: %+v", res)
+	}
+	if rec.Total() == 0 {
+		t.Fatal("recorder saw no events after InstrumentWorld was added")
+	}
+	sends := reg.Counter(eventSeries("sim", sim.EvSend), "").Value()
+	if sends == 0 {
+		t.Fatal("registry saw no send events")
+	}
+	if got := rec.CountByKind()[sim.EvExit]; uint64(got) != reg.Counter(eventSeries("sim", sim.EvExit), "").Value() {
+		t.Fatalf("recorder and registry disagree on exits: %d vs %d",
+			got, reg.Counter(eventSeries("sim", sim.EvExit), "").Value())
+	}
+}
+
+func TestInstrumentRuntime(t *testing.T) {
+	s := churnScenario(7)
+	leavers := len(s.LeavingNodes())
+	rt := mirror(s.World, oracle.Single{})
+	reg := NewRegistry()
+	InstrumentRuntime(rt, reg)
+
+	ok := rt.RunUntil(func(w *sim.World) bool { return w.Legitimate(sim.FDP) },
+		time.Millisecond, 30*time.Second)
+	if !ok {
+		t.Fatal("runtime did not converge")
+	}
+	if rt.Gone() != leavers {
+		t.Fatalf("gone = %d, want %d leavers", rt.Gone(), leavers)
+	}
+	exits := reg.Counter(eventSeries("runtime", sim.EvExit), "").Value()
+	if exits != uint64(leavers) {
+		t.Fatalf("runtime exit counter = %d, want %d", exits, leavers)
+	}
+	tte := reg.Histogram(MetricTimeToExitSeconds, "", nil)
+	if tte.Count() != uint64(leavers) {
+		t.Fatalf("time-to-exit count = %d, want %d", tte.Count(), leavers)
+	}
+	if got := len(rt.ExitLatencies()); got != leavers {
+		t.Fatalf("ExitLatencies len = %d, want %d", got, leavers)
+	}
+	out := reg.String()
+	for _, want := range []string{
+		`fdp_events_total{engine="runtime",kind="send"}`,
+		"fdp_runtime_actions_total",
+		"fdp_time_to_exit_seconds_count",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("runtime exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCountOracle(t *testing.T) {
+	reg := NewRegistry()
+	orc := CountOracle(oracle.Single{}, reg)
+	if orc.Name() != (oracle.Single{}).Name() {
+		t.Fatalf("wrapper changed oracle name to %q", orc.Name())
+	}
+	s := churn.Build(churn.Config{
+		N: 8, Topology: churn.TopoRing, LeaveFraction: 0.4, Pattern: churn.LeaveRandom,
+		Variant: core.VariantFDP, Oracle: orc, Seed: 1,
+	})
+	res := sim.Run(s.World, sim.NewRandomScheduler(1, 0), sim.RunOptions{
+		Variant: sim.FDP, MaxSteps: 200000,
+	})
+	if !res.Converged {
+		t.Fatalf("run did not converge: %+v", res)
+	}
+	if reg.Counter(MetricOracleCalls, "").Value() == 0 {
+		t.Fatal("oracle-call counter stayed zero")
+	}
+	if CountOracle(nil, reg) != nil {
+		t.Fatal("CountOracle(nil) should stay nil")
+	}
+}
+
+// mirror transplants a built world onto the concurrent runtime — the same
+// shape as diffval.MirrorWorld, duplicated here to keep obs free of a
+// diffval dependency in tests.
+func mirror(w *sim.World, orc sim.Oracle) *parallel.Runtime {
+	src := w.Clone()
+	rt := parallel.NewRuntime(orc)
+	for _, r := range src.Refs() {
+		if src.LifeOf(r) == sim.Gone {
+			continue
+		}
+		rt.AddProcess(r, src.ModeOf(r), src.ProtocolOf(r))
+	}
+	for _, r := range src.Refs() {
+		if src.LifeOf(r) == sim.Gone {
+			continue
+		}
+		if src.LifeOf(r) == sim.Asleep {
+			rt.ForceAsleep(r)
+		}
+		for _, m := range src.ChannelSnapshot(r) {
+			rt.Enqueue(r, m)
+		}
+	}
+	return rt
+}

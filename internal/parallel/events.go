@@ -1,0 +1,153 @@
+package parallel
+
+import (
+	"sort"
+	"time"
+
+	"fdp/internal/sim"
+)
+
+// This file is the runtime's port of the simulator's sim.Event/Recorder
+// model (DESIGN.md §10): the same event kinds the sequential engine emits,
+// recorded concurrently without a global trace lock.
+//
+//   - Per-kind counts are always on: one atomic counter per EventKind,
+//     maintained by every action. They are what the differential
+//     event-parity test compares between engines.
+//   - Per-process ring buffers (EnableTrace) keep the last-K events of each
+//     process. Each ring is written only by its owner goroutine while it
+//     holds the action RLock (or, for exit, the snapshot write lock) and is
+//     read only under the snapshot write lock, so the RWMutex orders every
+//     write before every read with no extra locking on the hot path.
+//   - An optional event sink (SetEventSink) receives every event
+//     synchronously from the emitting goroutine; it must be safe for
+//     concurrent use (the obs bridge feeds atomic registry metrics).
+//
+// Event.Step on runtime events is the global executed-action count at
+// emission time — the closest concurrent analogue of the simulator's step
+// counter, good enough to order a dump for post-mortem reading.
+
+// evRing is a bounded per-process event ring. Single writer (the owning
+// goroutine, under the action RLock or the snapshot write lock); readers
+// take the snapshot write lock, which excludes all writers.
+type evRing struct {
+	buf   []sim.Event
+	next  int
+	total uint64
+}
+
+func (r *evRing) record(e sim.Event) {
+	if cap(r.buf) == 0 {
+		return
+	}
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.next] = e
+		r.next = (r.next + 1) % len(r.buf)
+	}
+	r.total++
+}
+
+func (r *evRing) events() []sim.Event {
+	out := make([]sim.Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// EnableTrace turns on per-process event rings keeping the most recent
+// perProc events of each process (perProc <= 0 selects 256). Must be
+// called after all AddProcess calls and before Start.
+func (rt *Runtime) EnableTrace(perProc int) {
+	if perProc <= 0 {
+		perProc = 256
+	}
+	rt.traceCap = perProc
+	for _, p := range rt.procs {
+		p.ring = &evRing{buf: make([]sim.Event, 0, perProc)}
+	}
+}
+
+// SetEventSink installs fn as a synchronous observer of every emitted
+// event. fn runs on the emitting goroutine and MUST be safe for concurrent
+// use (obs registry metrics are). Must be called before Start; nil clears.
+func (rt *Runtime) SetEventSink(fn func(sim.Event)) { rt.eventSink = fn }
+
+// record is the runtime's emit: per-kind counter, owner ring, sink. The
+// caller must hold the action RLock or the snapshot write lock (see the
+// evRing contract above).
+func (p *proc) record(e sim.Event) {
+	rt := p.rt
+	if int(e.Kind) < len(rt.kindCounts) {
+		rt.kindCounts[e.Kind].Add(1)
+	}
+	if p.ring != nil {
+		e.Step = int(rt.events.Load())
+		p.ring.record(e)
+	}
+	if rt.eventSink != nil {
+		rt.eventSink(e)
+	}
+}
+
+// EventKindCounts returns the number of events emitted so far per kind.
+// The counts are always maintained (no EnableTrace needed) and are the
+// series the differential event-parity test compares against the
+// sequential engine's recorder.
+func (rt *Runtime) EventKindCounts() map[sim.EventKind]uint64 {
+	out := make(map[sim.EventKind]uint64, sim.NumEventKinds)
+	for k := range rt.kindCounts {
+		if n := rt.kindCounts[k].Load(); n > 0 {
+			out[sim.EventKind(k)] = n
+		}
+	}
+	return out
+}
+
+// TraceEvents returns the retained events of every process, merged and
+// ordered by the global action count at emission (ties keep per-process
+// order). Empty unless EnableTrace was called. Safe to call while running
+// and after Stop.
+func (rt *Runtime) TraceEvents() []sim.Event {
+	rt.snap.Lock()
+	defer rt.snap.Unlock()
+	var out []sim.Event
+	for _, r := range rt.order {
+		if ring := rt.procs[r].ring; ring != nil {
+			out = append(out, ring.events()...)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Step < out[j].Step })
+	return out
+}
+
+// StartTime returns when Start launched the goroutines (zero before
+// Start). Exit latencies are measured from it.
+func (rt *Runtime) StartTime() time.Time { return rt.startTime }
+
+// ExitLatencies returns the wall-clock time from Start to each committed
+// exit, in commit order — the runtime's time-to-exit-per-leaver series.
+func (rt *Runtime) ExitLatencies() []time.Duration {
+	rt.snap.Lock()
+	defer rt.snap.Unlock()
+	out := make([]time.Duration, len(rt.exitLatency))
+	copy(out, rt.exitLatency)
+	return out
+}
+
+// MailboxDepths returns the current queue length of every non-gone
+// process, a consistent snapshot of mailbox depth.
+func (rt *Runtime) MailboxDepths() []int {
+	rt.snap.Lock()
+	defer rt.snap.Unlock()
+	out := make([]int, 0, len(rt.order))
+	for _, r := range rt.order {
+		p := rt.procs[r]
+		if p.life.Load() == 2 {
+			continue
+		}
+		out = append(out, p.mb.len())
+	}
+	return out
+}

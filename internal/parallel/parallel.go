@@ -73,49 +73,54 @@ func newMailbox() *mailbox {
 	return m
 }
 
-func (m *mailbox) push(msg sim.Message) bool {
+// push enqueues msg and returns the queue depth after the append (0 and
+// false when the mailbox is closed).
+func (m *mailbox) push(msg sim.Message) (int, bool) {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
-		return false
+		return 0, false
 	}
 	m.queue = append(m.queue, msg)
+	depth := len(m.queue)
 	m.cond.Signal()
 	m.mu.Unlock()
 	select {
 	case m.notify <- struct{}{}:
 	default:
 	}
-	return true
+	return depth, true
 }
 
 // tryPop returns immediately; a closed mailbox delivers nothing (its
-// remaining queue is retained for terminal snapshots).
-func (m *mailbox) tryPop() (sim.Message, bool) {
+// remaining queue is retained for terminal snapshots). The int result is
+// the queue depth after the pop.
+func (m *mailbox) tryPop() (sim.Message, int, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed || len(m.queue) == 0 {
-		return sim.Message{}, false
+		return sim.Message{}, 0, false
 	}
 	msg := m.queue[0]
 	m.queue = m.queue[1:]
-	return msg, true
+	return msg, len(m.queue), true
 }
 
-// waitPop blocks until a message arrives or the mailbox closes; the second
-// result is false when the mailbox is closed.
-func (m *mailbox) waitPop() (sim.Message, bool) {
+// waitPop blocks until a message arrives or the mailbox closes; the last
+// result is false when the mailbox is closed. The int result is the queue
+// depth after the pop.
+func (m *mailbox) waitPop() (sim.Message, int, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for len(m.queue) == 0 && !m.closed {
 		m.cond.Wait()
 	}
 	if m.closed || len(m.queue) == 0 {
-		return sim.Message{}, false
+		return sim.Message{}, 0, false
 	}
 	msg := m.queue[0]
 	m.queue = m.queue[1:]
-	return msg, true
+	return msg, len(m.queue), true
 }
 
 // close stops deliveries and further pushes but RETAINS the queued
@@ -157,6 +162,11 @@ type proc struct {
 	wantExit  bool
 	wantSleep bool
 
+	// ring is the per-process trace ring (nil unless EnableTrace). Written
+	// only by the owner goroutine under the action RLock (or the snapshot
+	// write lock for the exit event); read under the snapshot write lock.
+	ring *evRing
+
 	// oracleOK caches the coordinator's last oracle evaluation for this
 	// process. Reads are cheap and may be stale; exits are re-validated
 	// under the snapshot lock.
@@ -184,6 +194,17 @@ type Runtime struct {
 	dropped    atomic.Uint64 // sends to gone/closed targets (vanish, like the model)
 	exits      atomic.Int32
 	exitDenied atomic.Uint64 // exit requests rejected by revalidation
+
+	// kindCounts mirrors the sequential engine's per-kind event stream as
+	// always-on atomic counters (see events.go).
+	kindCounts [sim.NumEventKinds]atomic.Uint64
+	traceCap   int             // per-proc ring capacity set by EnableTrace
+	eventSink  func(sim.Event) // optional synchronous observer (obs bridge)
+	startTime  time.Time       // set by Start; exit latencies measured from it
+
+	// exitLatency records time-to-exit per committed exit, appended by
+	// validateExit under the snapshot write lock.
+	exitLatency []time.Duration
 
 	stop     atomic.Bool
 	stopCh   chan struct{} // closed by Stop; unblocks idle waits promptly
@@ -214,6 +235,9 @@ func (rt *Runtime) AddProcess(r ref.Ref, mode sim.Mode, proto sim.Protocol) {
 		panic("parallel: duplicate process")
 	}
 	p := &proc{id: r, mode: mode, proto: proto, mb: newMailbox(), rt: rt}
+	if rt.traceCap > 0 {
+		p.ring = &evRing{buf: make([]sim.Event, 0, rt.traceCap)}
+	}
 	rt.procs[r] = p
 	rt.order = append(rt.order, r)
 	ref.Sort(rt.order)
@@ -222,6 +246,14 @@ func (rt *Runtime) AddProcess(r ref.Ref, mode sim.Mode, proto sim.Protocol) {
 // Enqueue injects an initial in-flight message before Start.
 func (rt *Runtime) Enqueue(to ref.Ref, msg sim.Message) {
 	rt.procs[to].mb.push(msg)
+}
+
+// KindCount returns the number of events of kind k emitted so far.
+func (rt *Runtime) KindCount(k sim.EventKind) uint64 {
+	if int(k) >= len(rt.kindCounts) {
+		return 0
+	}
+	return rt.kindCounts[k].Load()
 }
 
 // ForceAsleep starts a process in the asleep state. It mirrors
@@ -266,8 +298,13 @@ func (c *pctx) Send(to ref.Ref, msg sim.Message) {
 	// The life check is advisory (the target may exit between it and the
 	// push); push itself refuses on a closed mailbox, so the pair behaves
 	// like the model's "sends to gone processes vanish".
-	if target == nil || target.life.Load() == 2 || !target.mb.push(msg) {
+	depth, pushed := 0, false
+	if target != nil && target.life.Load() != 2 {
+		depth, pushed = target.mb.push(msg)
+	}
+	if !pushed {
 		rt.dropped.Add(1)
+		c.p.record(sim.Event{Kind: sim.EvDrop, Proc: c.p.id, Peer: to, Label: msg.Label})
 		// Transport-level failure detection, same contract as the
 		// sequential Context: the sender learns within its own atomic
 		// action that the message was undeliverable. Safe here: the
@@ -275,7 +312,9 @@ func (c *pctx) Send(to ref.Ref, msg sim.Message) {
 		if h, ok := c.p.proto.(sim.UndeliverableHandler); ok {
 			h.Undeliverable(c, to, msg)
 		}
+		return
 	}
+	c.p.record(sim.Event{Kind: sim.EvSend, Proc: c.p.id, Peer: to, Label: msg.Label, Depth: depth})
 }
 
 func (c *pctx) Exit()  { c.p.wantExit = true }
@@ -307,9 +346,10 @@ func (p *proc) run() {
 			return
 		}
 		var msg sim.Message
-		var haveMsg bool
+		var haveMsg, woke bool
+		var depth int
 		if p.life.Load() == 1 { // asleep: block until a message arrives
-			msg, haveMsg = p.mb.waitPop()
+			msg, depth, haveMsg = p.mb.waitPop()
 			if !haveMsg {
 				if p.rt.stop.Load() || p.life.Load() == 2 {
 					return
@@ -317,18 +357,31 @@ func (p *proc) run() {
 				continue
 			}
 			p.life.Store(0) // processing a message wakes the process
+			woke = true
 		} else {
-			msg, haveMsg = p.mb.tryPop()
+			msg, depth, haveMsg = p.mb.tryPop()
 		}
 
 		ctx := &pctx{p: p}
 		p.wantExit, p.wantSleep = false, false
 
+		// The trace events of one action (wake, deliver/timeout, the sends
+		// inside the protocol code, sleep) are all recorded under the action
+		// RLock: the per-proc ring's single-writer contract relies on the
+		// snapshot lock ordering every ring write before every drain.
 		p.rt.snap.RLock()
 		if haveMsg {
+			if woke {
+				p.record(sim.Event{Kind: sim.EvWake, Proc: p.id})
+			}
+			p.record(sim.Event{Kind: sim.EvDeliver, Proc: p.id, Peer: msg.From(), Label: msg.Label, Depth: depth})
 			p.proto.Deliver(ctx, msg)
 		} else {
+			p.record(sim.Event{Kind: sim.EvTimeout, Proc: p.id})
 			p.proto.Timeout(ctx)
+		}
+		if p.wantSleep && !p.wantExit {
+			p.record(sim.Event{Kind: sim.EvSleep, Proc: p.id})
 		}
 		p.rt.snap.RUnlock()
 		p.rt.events.Add(1)
@@ -391,11 +444,14 @@ func (rt *Runtime) validateExit(p *proc) bool {
 	p.life.Store(2)
 	p.mb.close()
 	rt.exits.Add(1)
+	rt.exitLatency = append(rt.exitLatency, time.Since(rt.startTime))
+	p.record(sim.Event{Kind: sim.EvExit, Proc: p.id})
 	return true
 }
 
 // Start launches all process goroutines plus the oracle coordinator.
 func (rt *Runtime) Start() {
+	rt.startTime = time.Now()
 	rt.initially = rt.freezeLocked().PG().WeaklyConnectedComponents()
 	for _, r := range rt.order {
 		rt.wg.Add(1)
@@ -634,7 +690,8 @@ func (v *MutableView) Enqueue(to ref.Ref, msg sim.Message) bool {
 	if p == nil || p.life.Load() == 2 {
 		return false
 	}
-	return p.mb.push(msg)
+	_, ok := p.mb.push(msg)
+	return ok
 }
 
 // Reseal re-captures the weakly-connected-component partition of the

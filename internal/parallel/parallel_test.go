@@ -50,7 +50,7 @@ func buildRuntime(n int, leaveFrac float64, seed int64, variant core.Variant, o 
 
 func TestMailboxBasics(t *testing.T) {
 	mb := newMailbox()
-	if _, ok := mb.tryPop(); ok {
+	if _, _, ok := mb.tryPop(); ok {
 		t.Fatal("empty mailbox must not pop")
 	}
 	mb.push(sim.NewMessage("a"))
@@ -58,7 +58,7 @@ func TestMailboxBasics(t *testing.T) {
 	if mb.len() != 2 {
 		t.Fatal("len wrong")
 	}
-	m, ok := mb.tryPop()
+	m, _, ok := mb.tryPop()
 	if !ok || m.Label != "a" {
 		t.Fatal("FIFO broken")
 	}
@@ -67,10 +67,10 @@ func TestMailboxBasics(t *testing.T) {
 		t.Fatal("snapshot wrong")
 	}
 	mb.close()
-	if mb.push(sim.NewMessage("c")) {
+	if _, ok := mb.push(sim.NewMessage("c")); ok {
 		t.Fatal("closed mailbox must reject pushes")
 	}
-	if _, ok := mb.waitPop(); ok {
+	if _, _, ok := mb.waitPop(); ok {
 		t.Fatal("closed mailbox must not deliver")
 	}
 }
@@ -90,7 +90,7 @@ func TestMailboxCloseRetainsQueue(t *testing.T) {
 	if len(snap) != 2 || snap[0].Label != "a" || snap[1].Label != "b" {
 		t.Fatalf("snapshot after close wrong: %v", snap)
 	}
-	if _, ok := mb.tryPop(); ok {
+	if _, _, ok := mb.tryPop(); ok {
 		t.Fatal("closed mailbox must not deliver via tryPop")
 	}
 }
@@ -99,7 +99,7 @@ func TestMailboxWaitPopWakes(t *testing.T) {
 	mb := newMailbox()
 	done := make(chan sim.Message, 1)
 	go func() {
-		m, _ := mb.waitPop()
+		m, _, _ := mb.waitPop()
 		done <- m
 	}()
 	time.Sleep(5 * time.Millisecond)

@@ -1,0 +1,87 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fdp/internal/ref"
+	"fdp/internal/sim"
+)
+
+// idleRuntime builds a started single-process runtime whose protocol does
+// nothing, so WaitUntil timing is not perturbed by real work.
+func idleRuntime(t *testing.T) *Runtime {
+	t.Helper()
+	space := ref.NewSpace()
+	rt := NewRuntime(nil)
+	rt.AddProcess(space.New(), sim.Staying, &fixedRefsProto{})
+	rt.Start()
+	t.Cleanup(func() { rt.Stop() })
+	return rt
+}
+
+// A predicate that becomes true after the last poll tick but before the
+// deadline must still be observed: WaitUntil re-checks once when the timer
+// fires. With a poll interval far beyond the timeout, the deadline re-check
+// is the ONLY chance to see the flip.
+func TestWaitUntilTrueExactlyAtDeadline(t *testing.T) {
+	rt := idleRuntime(t)
+	var flag atomic.Bool
+	timer := time.AfterFunc(30*time.Millisecond, func() { flag.Store(true) })
+	defer timer.Stop()
+
+	start := time.Now()
+	ok := rt.WaitUntil(func(*sim.World) bool { return flag.Load() },
+		time.Hour, 150*time.Millisecond)
+	if !ok {
+		t.Fatal("WaitUntil missed a predicate that was true at the deadline")
+	}
+	if elapsed := time.Since(start); elapsed < 150*time.Millisecond {
+		t.Fatalf("returned after %v — only the deadline re-check could have seen the flip", elapsed)
+	}
+}
+
+func TestWaitUntilFalseAtDeadline(t *testing.T) {
+	rt := idleRuntime(t)
+	if rt.WaitUntil(func(*sim.World) bool { return false }, time.Millisecond, 30*time.Millisecond) {
+		t.Fatal("WaitUntil returned true for an always-false predicate")
+	}
+}
+
+// poll <= 0 must fall back to a small default, not panic in NewTicker or
+// spin: the predicate flips long before the generous timeout, and a working
+// poll loop observes it promptly.
+func TestWaitUntilPollDefaulting(t *testing.T) {
+	for _, poll := range []time.Duration{0, -time.Second} {
+		rt := idleRuntime(t)
+		var flag atomic.Bool
+		timer := time.AfterFunc(20*time.Millisecond, func() { flag.Store(true) })
+		start := time.Now()
+		ok := rt.WaitUntil(func(*sim.World) bool { return flag.Load() }, poll, 10*time.Second)
+		timer.Stop()
+		if !ok {
+			t.Fatalf("poll=%v: WaitUntil timed out", poll)
+		}
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Fatalf("poll=%v: took %v — default poll interval not applied", poll, elapsed)
+		}
+	}
+}
+
+// An immediately-true predicate returns before any timer is consulted, even
+// with a zero timeout, and sees a real frozen snapshot.
+func TestWaitUntilImmediateTrue(t *testing.T) {
+	rt := idleRuntime(t)
+	var sawProc bool
+	ok := rt.WaitUntil(func(w *sim.World) bool {
+		sawProc = len(w.Refs()) == 1
+		return true
+	}, time.Hour, 0)
+	if !ok {
+		t.Fatal("WaitUntil false for an immediately-true predicate")
+	}
+	if !sawProc {
+		t.Fatal("predicate did not receive a frozen snapshot of the runtime")
+	}
+}

@@ -25,8 +25,15 @@ func NewRecorder(cap int) *Recorder {
 	return &Recorder{cap: cap}
 }
 
-// Only restricts recording to the given event kinds.
+// Only restricts recording to the given event kinds. Calling it with no
+// kinds means "record everything": it clears any filter instead of
+// installing an empty one (an earlier revision installed the empty non-nil
+// map, which silently dropped every event).
 func (r *Recorder) Only(kinds ...EventKind) *Recorder {
+	if len(kinds) == 0 {
+		r.filter = nil
+		return r
+	}
 	r.filter = make(map[EventKind]bool, len(kinds))
 	for _, k := range kinds {
 		r.filter[k] = true
@@ -34,8 +41,11 @@ func (r *Recorder) Only(kinds ...EventKind) *Recorder {
 	return r
 }
 
-// Attach installs the recorder on w (replacing any existing hook).
-func (r *Recorder) Attach(w *World) { w.SetEventHook(r.Record) }
+// Attach installs the recorder on w alongside any hooks already installed:
+// it goes through the world's hook fan-out, so attaching a recorder no
+// longer silently replaces a consumer installed via SetEventHook (or an
+// earlier Attach).
+func (r *Recorder) Attach(w *World) { w.AddEventHook(r.Record) }
 
 // Record stores one event; usable directly as an event hook.
 func (r *Recorder) Record(e Event) {
@@ -63,9 +73,14 @@ func (r *Recorder) Events() []Event {
 }
 
 // Dump renders the retained events, one per line.
-func (r *Recorder) Dump() string {
+func (r *Recorder) Dump() string { return FormatEvents(r.Events()) }
+
+// FormatEvents renders events one per line, the format Dump uses. It is
+// shared with the concurrent runtime's trace (internal/diffval dumps both
+// engines' last-K events in this format on any verdict disagreement).
+func FormatEvents(events []Event) string {
 	var b strings.Builder
-	for _, e := range r.Events() {
+	for _, e := range events {
 		fmt.Fprintf(&b, "%7d %-8s %v", e.Step, e.Kind, e.Proc)
 		if !e.Peer.IsNil() {
 			fmt.Fprintf(&b, " peer=%v", e.Peer)

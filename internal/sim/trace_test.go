@@ -36,6 +36,67 @@ func TestRecorderFilter(t *testing.T) {
 	}
 }
 
+// Regression: Only() with zero kinds used to install an empty non-nil
+// filter map, silently dropping every event. It must mean "record
+// everything" — both on a fresh recorder and as a way to clear a filter.
+func TestRecorderOnlyZeroKindsRecordsEverything(t *testing.T) {
+	p := ref.NewSpace().New()
+	r := NewRecorder(10).Only()
+	r.Record(Event{Kind: EvSend, Proc: p})
+	r.Record(Event{Kind: EvExit, Proc: p})
+	if r.Total() != 2 {
+		t.Fatalf("zero-kind Only dropped events: Total = %d, want 2", r.Total())
+	}
+	// Clearing an existing filter.
+	r2 := NewRecorder(10).Only(EvExit)
+	r2.Record(Event{Kind: EvSend, Proc: p})
+	r2.Only()
+	r2.Record(Event{Kind: EvSend, Proc: p})
+	if r2.Total() != 1 {
+		t.Fatalf("Only() did not clear the filter: Total = %d, want 1", r2.Total())
+	}
+}
+
+// Regression: Attach used to overwrite the world's single event hook, so
+// the second of two attached consumers silently starved the first. With the
+// hook fan-out every attached recorder sees every event.
+func TestRecorderAttachTwoConsumers(t *testing.T) {
+	space := ref.NewSpace()
+	a, b := space.New(), space.New()
+	w := NewWorld(nil)
+	fa := newFixture()
+	w.AddProcess(a, Staying, fa)
+	w.AddProcess(b, Staying, newFixture())
+
+	all := NewRecorder(100)
+	all.Attach(w)
+	exitsOnly := NewRecorder(100).Only(EvExit)
+	exitsOnly.Attach(w)
+	var hooked int
+	w.AddEventHook(func(Event) { hooked++ })
+
+	fa.onTimeout = func(ctx Context, f *fixtureProto) { ctx.Send(b, NewMessage("x")) }
+	w.Execute(Action{Proc: a, IsTimeout: true})
+	w.Execute(Action{Proc: b, MsgIndex: 0})
+
+	if all.Total() == 0 {
+		t.Fatal("first recorder starved after second Attach")
+	}
+	if uint64(hooked) != all.Total() {
+		t.Fatalf("plain hook saw %d events, recorder saw %d", hooked, all.Total())
+	}
+	if exitsOnly.Total() != 0 {
+		t.Fatal("filtered recorder recorded non-exit events")
+	}
+	// SetEventHook keeps its replace-all contract: after it, previous
+	// consumers are gone by request, not by accident.
+	w.SetEventHook(nil)
+	w.Execute(Action{Proc: a, IsTimeout: true})
+	if uint64(hooked) != all.Total() {
+		t.Fatal("SetEventHook(nil) did not clear the hook list symmetrically")
+	}
+}
+
 func TestRecorderAttachAndDump(t *testing.T) {
 	space := ref.NewSpace()
 	a, b := space.New(), space.New()

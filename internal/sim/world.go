@@ -24,6 +24,13 @@ type Event struct {
 	Peer    ref.Ref // message target / source where applicable
 	Label   string  // message label where applicable
 	Message string  // free-form detail
+	// Age is, on EvDeliver, the number of steps the message spent in the
+	// channel (delivery step minus enqueue step) — the "message age at
+	// delivery" series of the obs layer.
+	Age int
+	// Depth is the channel length after the operation: the target's queue
+	// after an EvSend, the receiver's queue after an EvDeliver.
+	Depth int
 }
 
 // EventKind enumerates trace event types.
@@ -39,6 +46,11 @@ const (
 	EvSleep
 	EvWake
 )
+
+// NumEventKinds is the number of EventKind values, sized for dense
+// per-kind counter arrays (the concurrent runtime keeps one atomic counter
+// per kind).
+const NumEventKinds = int(EvWake) + 1
 
 // String names the event kind.
 func (k EventKind) String() string {
@@ -105,7 +117,7 @@ type World struct {
 	// is judged against it.
 	initialComponents [][]ref.Ref
 
-	onEvent func(Event) // optional trace hook
+	onEvent []func(Event) // optional trace hooks, fanned out in attach order
 
 	// awake counts processes in the Awake state, for O(1) EnabledCount.
 	awake int
@@ -144,13 +156,34 @@ func NewWorld(oracle Oracle) *World {
 	}
 }
 
-// SetEventHook installs a trace callback (nil disables tracing).
-func (w *World) SetEventHook(fn func(Event)) { w.onEvent = fn }
+// SetEventHook replaces ALL installed trace callbacks with fn (nil
+// disables tracing). Use AddEventHook to attach a consumer without
+// displacing the ones already installed.
+func (w *World) SetEventHook(fn func(Event)) {
+	if fn == nil {
+		w.onEvent = nil
+		return
+	}
+	w.onEvent = []func(Event){fn}
+}
+
+// AddEventHook attaches one more trace callback; every installed hook
+// receives every emitted event, in attach order. This is the fan-out that
+// lets a world feed the viz recorder and the obs registry at once.
+func (w *World) AddEventHook(fn func(Event)) {
+	if fn == nil {
+		return
+	}
+	w.onEvent = append(w.onEvent, fn)
+}
 
 func (w *World) emit(e Event) {
-	if w.onEvent != nil {
-		e.Step = w.stats.Steps
-		w.onEvent(e)
+	if len(w.onEvent) == 0 {
+		return
+	}
+	e.Step = w.stats.Steps
+	for _, fn := range w.onEvent {
+		fn(e)
 	}
 }
 
@@ -433,7 +466,8 @@ func (w *World) Execute(a Action) {
 			w.emit(Event{Kind: EvWake, Proc: p.id})
 		}
 		w.stats.Deliveries++
-		w.emit(Event{Kind: EvDeliver, Proc: p.id, Peer: msg.from, Label: msg.Label})
+		w.emit(Event{Kind: EvDeliver, Proc: p.id, Peer: msg.from, Label: msg.Label,
+			Age: w.stats.Steps - msg.enqStep, Depth: len(p.ch)})
 		p.proto.Deliver(ctx, msg)
 	}
 
@@ -503,7 +537,7 @@ func (c *procCtx) Send(to ref.Ref, msg Message) {
 		c.w.stats.MaxChannel = len(target.ch)
 	}
 	c.w.pgEnqueue(target.id, &msg)
-	c.w.emit(Event{Kind: EvSend, Proc: c.p.id, Peer: to, Label: msg.Label})
+	c.w.emit(Event{Kind: EvSend, Proc: c.p.id, Peer: to, Label: msg.Label, Depth: len(target.ch)})
 }
 
 func (c *procCtx) Exit() { c.w.exitRequested = true }

@@ -1,0 +1,45 @@
+package fdp
+
+import (
+	"net/http"
+
+	"fdp/internal/experiments"
+	"fdp/internal/obs"
+)
+
+// Observer is the metric registry of the observability layer: a
+// concurrency-safe set of counters, gauges and histograms shared by both
+// engines. Set Config.Observe to one to have Simulate / SimulateParallel
+// record the FDP series (per-kind event counts, message age at delivery,
+// mailbox depth, time-to-exit per leaver, oracle calls) into it; render it
+// with WritePrometheus/String or serve it live via ObserveMux.
+type Observer = obs.Registry
+
+// NewObserver returns an empty metric registry.
+func NewObserver() *Observer { return obs.NewRegistry() }
+
+// ObserveMux returns an http.Handler exposing reg as a Prometheus text
+// endpoint at /metrics plus the net/http/pprof profiling endpoints at
+// /debug/pprof/ — the handler behind the -serve flag of cmd/fdpsim and
+// cmd/fdpbench.
+func ObserveMux(reg *Observer) http.Handler { return obs.NewServeMux(reg) }
+
+// BenchQuantiles, BenchPoint and BenchReport are the machine-readable
+// benchmark payload types (the BENCH_<engine>.json artifact schema).
+type (
+	BenchQuantiles = experiments.BenchQuantiles
+	BenchPoint     = experiments.BenchPoint
+	BenchReport    = experiments.BenchReport
+)
+
+// Bench runs the FDP churn benchmark on both engines and returns one report
+// per engine with exact per-size time-to-exit p50/p99 series. A non-nil reg
+// additionally receives every run's live series, so a -serve endpoint shows
+// the benchmark while it executes.
+func Bench(quick bool, reg *Observer) []BenchReport {
+	scale := experiments.Full()
+	if quick {
+		scale = experiments.Quick()
+	}
+	return experiments.Bench(scale, reg)
+}
