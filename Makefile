@@ -2,12 +2,12 @@ GO ?= go
 
 FDPLINT := bin/fdplint
 
-.PHONY: all ci vet lint build test race bench bench-artifacts
+.PHONY: all ci vet lint build test race bench bench-artifacts bench-baseline replay-golden
 
-all: vet lint build test race
+all: vet lint build test race replay-golden
 
 # ci is the exact sequence .github/workflows/ci.yml runs.
-ci: vet lint build test race
+ci: vet lint build test race replay-golden
 
 vet:
 	$(GO) vet ./...
@@ -34,7 +34,13 @@ test:
 # driving both engines) and the model core they exercise run under the race
 # detector.
 race:
-	$(GO) test -race ./internal/sim/... ./internal/parallel/... ./internal/core/... ./internal/diffval/... ./internal/faults/... ./internal/obs/...
+	$(GO) test -race ./internal/sim/... ./internal/parallel/... ./internal/core/... ./internal/diffval/... ./internal/faults/... ./internal/obs/... ./internal/trace/...
+
+# replay-golden holds the committed journals in cmd/fdpreplay/testdata to
+# the replay determinism contract: each must re-drive byte-identically.
+# Regenerate deliberately with: go test ./cmd/fdpreplay -update
+replay-golden:
+	$(GO) test ./cmd/fdpreplay -run TestGoldenJournalsReplayByteIdentically -count=1
 
 bench:
 	$(GO) test -bench . -benchmem -run XXX .
@@ -44,3 +50,8 @@ bench:
 # job uploads.
 bench-artifacts:
 	$(GO) run ./cmd/fdpbench -quick -bench -bench-out bench-out
+
+# bench-baseline regenerates the committed seed baseline in bench/ that
+# reviewers diff bench-artifacts output against.
+bench-baseline:
+	$(GO) run ./cmd/fdpbench -quick -bench -bench-out bench

@@ -1,0 +1,175 @@
+// Command fdpreplay inspects causal event journals recorded with the
+// -journal flag of fdpsim, fdpbench or fdpsweep (see internal/trace).
+//
+// Modes:
+//
+//	fdpreplay journal.jsonl              # re-drive the recorded run, verify byte-identical
+//	fdpreplay -diff a.jsonl b.jsonl      # align two journals by causal ID, report first divergence
+//	fdpreplay -spans journal.jsonl       # render per-leaver departure span trees
+//	fdpreplay -chrome journal.jsonl      # export Chrome trace-event JSON (Perfetto / chrome://tracing)
+//
+// Exit status: 0 on success, 1 on divergence or failed verification, 2 on
+// usage or I/O errors.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"fdp/internal/trace"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fdpreplay", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		diff   = fs.Bool("diff", false, "align two journals by causal ID and report the first diverging event")
+		strict = fs.Bool("strict", false, "with -diff: also compare timing fields (step, clock, ages), not just causal structure")
+		spans  = fs.Bool("spans", false, "render per-leaver departure span trees instead of verifying")
+		chrome = fs.Bool("chrome", false, "export the journal as Chrome trace-event JSON")
+		out    = fs.String("o", "", "write -chrome output to this file instead of stdout")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: fdpreplay [-spans|-chrome [-o out.json]] journal.jsonl")
+		fmt.Fprintln(stderr, "       fdpreplay -diff [-strict] a.jsonl b.jsonl")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	switch {
+	case *diff:
+		if fs.NArg() != 2 {
+			fs.Usage()
+			return 2
+		}
+		return runDiff(fs.Arg(0), fs.Arg(1), *strict, stdout, stderr)
+	case *spans:
+		if fs.NArg() != 1 {
+			fs.Usage()
+			return 2
+		}
+		return runSpans(fs.Arg(0), stdout, stderr)
+	case *chrome:
+		if fs.NArg() != 1 {
+			fs.Usage()
+			return 2
+		}
+		return runChrome(fs.Arg(0), *out, stdout, stderr)
+	default:
+		if fs.NArg() != 1 {
+			fs.Usage()
+			return 2
+		}
+		return runVerify(fs.Arg(0), stdout, stderr)
+	}
+}
+
+func loadJournal(path string, stderr io.Writer) (trace.Header, []trace.Record, []byte, bool) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "fdpreplay:", err)
+		return trace.Header{}, nil, nil, false
+	}
+	hdr, recs, err := trace.ReadJournal(bytes.NewReader(raw))
+	if err != nil {
+		fmt.Fprintf(stderr, "fdpreplay: %s: %v\n", path, err)
+		return trace.Header{}, nil, nil, false
+	}
+	return hdr, recs, raw, true
+}
+
+// runVerify re-drives the recorded sequential run from the journal's
+// scenario header and recorded schedule, then demands the regenerated
+// journal be byte-identical to the recording — the replay determinism
+// contract of DESIGN.md §11.
+func runVerify(path string, stdout, stderr io.Writer) int {
+	hdr, recs, raw, ok := loadJournal(path, stderr)
+	if !ok {
+		return 2
+	}
+	replayed, err := trace.Replay(hdr, recs)
+	if err != nil {
+		fmt.Fprintf(stderr, "fdpreplay: %s: %v\n", path, err)
+		return 2
+	}
+	if div := trace.DiffStrict(recs, replayed); div != nil {
+		fmt.Fprintf(stdout, "replay DIVERGED: %s\n", div)
+		return 1
+	}
+	var regen bytes.Buffer
+	if err := trace.WriteJournal(&regen, hdr, replayed); err != nil {
+		fmt.Fprintln(stderr, "fdpreplay:", err)
+		return 2
+	}
+	if !bytes.Equal(raw, regen.Bytes()) {
+		fmt.Fprintf(stdout, "replay DIVERGED: records match but serialized journal differs (%d vs %d bytes)\n",
+			len(raw), regen.Len())
+		return 1
+	}
+	fmt.Fprintf(stdout, "replay OK: %d records byte-identical (engine=%s n=%d seed=%d)\n",
+		len(recs), hdr.Engine, hdr.Scenario.N, hdr.Scenario.Seed)
+	return 0
+}
+
+func runDiff(pathA, pathB string, strict bool, stdout, stderr io.Writer) int {
+	_, a, _, ok := loadJournal(pathA, stderr)
+	if !ok {
+		return 2
+	}
+	_, b, _, ok := loadJournal(pathB, stderr)
+	if !ok {
+		return 2
+	}
+	div := trace.Diff(a, b)
+	if strict && div == nil {
+		div = trace.DiffStrict(a, b)
+	}
+	if div != nil {
+		fmt.Fprintf(stdout, "journals diverge: %s\n", div)
+		return 1
+	}
+	fmt.Fprintf(stdout, "journals causally identical (%d and %d records)\n", len(a), len(b))
+	return 0
+}
+
+func runSpans(path string, stdout, stderr io.Writer) int {
+	_, recs, _, ok := loadJournal(path, stderr)
+	if !ok {
+		return 2
+	}
+	sp := trace.BuildSpans(recs)
+	fmt.Fprintf(stdout, "%d departure span(s)\n", len(sp))
+	io.WriteString(stdout, trace.SpanTrees(sp))
+	return 0
+}
+
+func runChrome(path, outPath string, stdout, stderr io.Writer) int {
+	hdr, recs, _, ok := loadJournal(path, stderr)
+	if !ok {
+		return 2
+	}
+	w := stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "fdpreplay:", err)
+			return 2
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trace.WriteChrome(w, hdr, recs); err != nil {
+		fmt.Fprintln(stderr, "fdpreplay:", err)
+		return 2
+	}
+	return 0
+}

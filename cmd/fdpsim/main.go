@@ -67,6 +67,7 @@ func main() {
 		timeout  = flag.Duration("timeout", 30*time.Second, "wall-clock budget for -parallel")
 		serve    = flag.String("serve", "", "serve /metrics (Prometheus text) and /debug/pprof on this address during the run (e.g. :9090)")
 		hold     = flag.Duration("hold", 0, "keep the -serve endpoint up this long after the run finishes")
+		journal  = flag.String("journal", "", "write the causal event journal (JSONL) to this file; inspect it with fdpreplay")
 	)
 	flag.Parse()
 
@@ -86,6 +87,15 @@ func main() {
 	}
 	if *variant == "fsp" {
 		cfg.Variant = fdp.FSP
+	}
+	if *journal != "" {
+		f, err := os.Create(*journal)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fdpsim: -journal:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		cfg.Journal = f
 	}
 	if *serve != "" {
 		cfg.Observe = fdp.NewObserver()

@@ -5,18 +5,22 @@
 // Example:
 //
 //	fdpsweep -n 8,16,32,64 -leave 0.25,0.5,0.75 -corrupt 0,0.5 -seeds 5 > sweep.csv
+//	fdpsweep -n 16 -journal-dir sweeps/   # plus one causal journal per run
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
 	"fdp/internal/churn"
 	"fdp/internal/oracle"
 	"fdp/internal/sim"
+	"fdp/internal/trace"
 )
 
 func parseInts(s string) ([]int, error) {
@@ -43,16 +47,44 @@ func parseFloats(s string) ([]float64, error) {
 	return out, nil
 }
 
+// journalRun opens one run's causal journal in dir, named after the sweep
+// coordinates so a failing CSV row maps straight to its journal, and hooks
+// the writer into the world. The caller closes the file after the run.
+func journalRun(dir string, cfg churn.Config, corr float64, seed int, w *sim.World) (*trace.Writer, *os.File, error) {
+	name := fmt.Sprintf("n%d_leave%.2f_corrupt%.2f_seed%d.jsonl",
+		cfg.N, cfg.LeaveFraction, corr, seed)
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return nil, nil, err
+	}
+	jw := trace.NewWriter(f, trace.Header{
+		Version:  trace.Version,
+		Engine:   trace.EngineSim,
+		Scenario: trace.ScenarioFor(cfg, "random"),
+	})
+	w.AddEventHook(jw.Record)
+	return jw, f, nil
+}
+
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fdpsweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		ns       = flag.String("n", "8,16,32", "comma-separated system sizes")
-		leaves   = flag.String("leave", "0.25,0.5,0.75", "comma-separated leave fractions")
-		corrupts = flag.String("corrupt", "0,0.5", "comma-separated corruption probabilities")
-		seeds    = flag.Int("seeds", 3, "seeds per configuration")
-		topology = flag.String("topology", "random", "line|ring|star|tree|clique|hypercube|random")
-		maxSteps = flag.Int("max-steps", 1<<22, "step budget per run")
+		ns         = fs.String("n", "8,16,32", "comma-separated system sizes")
+		leaves     = fs.String("leave", "0.25,0.5,0.75", "comma-separated leave fractions")
+		corrupts   = fs.String("corrupt", "0,0.5", "comma-separated corruption probabilities")
+		seeds      = fs.Int("seeds", 3, "seeds per configuration")
+		topology   = fs.String("topology", "random", "line|ring|star|tree|clique|hypercube|random")
+		maxSteps   = fs.Int("max-steps", 1<<22, "step budget per run")
+		journalDir = fs.String("journal-dir", "", "write one causal event journal (JSONL) per run into this directory; inspect with fdpreplay")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	topoMap := map[string]churn.Topology{
 		"line": churn.TopoLine, "ring": churn.TopoRing, "star": churn.TopoStar,
@@ -61,32 +93,38 @@ func main() {
 	}
 	topo, ok := topoMap[*topology]
 	if !ok {
-		fmt.Fprintln(os.Stderr, "fdpsweep: unknown topology", *topology)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "fdpsweep: unknown topology", *topology)
+		return 2
 	}
 	sizes, err := parseInts(*ns)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "fdpsweep:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "fdpsweep:", err)
+		return 2
 	}
 	fracs, err := parseFloats(*leaves)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "fdpsweep:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "fdpsweep:", err)
+		return 2
 	}
 	corrs, err := parseFloats(*corrupts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "fdpsweep:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "fdpsweep:", err)
+		return 2
+	}
+	if *journalDir != "" {
+		if err := os.MkdirAll(*journalDir, 0o755); err != nil {
+			fmt.Fprintln(stderr, "fdpsweep: -journal-dir:", err)
+			return 2
+		}
 	}
 
-	fmt.Println("n,leave,corrupt,seed,converged,steps,messages,exits,max_channel,safety_ok")
+	fmt.Fprintln(stdout, "n,leave,corrupt,seed,converged,steps,messages,exits,max_channel,safety_ok")
 	bad := 0
 	for _, n := range sizes {
 		for _, frac := range fracs {
 			for _, corr := range corrs {
 				for seed := 0; seed < *seeds; seed++ {
-					s := churn.Build(churn.Config{
+					cfg := churn.Config{
 						N: n, Topology: topo, LeaveFraction: frac,
 						Pattern: churn.LeaveRandom,
 						Corrupt: churn.Corruption{
@@ -94,15 +132,36 @@ func main() {
 							JunkMessages: int(corr * float64(n)),
 						},
 						Oracle: oracle.Single{}, Seed: int64(seed),
-					})
+					}
+					s := churn.Build(cfg)
+					var jw *trace.Writer
+					var jf *os.File
+					if *journalDir != "" {
+						jw, jf, err = journalRun(*journalDir, cfg, corr, seed, s.World)
+						if err != nil {
+							fmt.Fprintln(stderr, "fdpsweep: -journal-dir:", err)
+							return 2
+						}
+					}
 					r := sim.Run(s.World, sim.NewRandomScheduler(int64(seed), 512), sim.RunOptions{
 						Variant: sim.FDP, MaxSteps: *maxSteps, CheckSafety: true,
 					})
+					if jw != nil {
+						if err := jw.Err(); err != nil {
+							jf.Close()
+							fmt.Fprintln(stderr, "fdpsweep: journal write:", err)
+							return 2
+						}
+						if err := jf.Close(); err != nil {
+							fmt.Fprintln(stderr, "fdpsweep: journal write:", err)
+							return 2
+						}
+					}
 					safetyOK := r.SafetyViolation == nil
 					if !r.Converged || !safetyOK {
 						bad++
 					}
-					fmt.Printf("%d,%.2f,%.2f,%d,%v,%d,%d,%d,%d,%v\n",
+					fmt.Fprintf(stdout, "%d,%.2f,%.2f,%d,%v,%d,%d,%d,%d,%v\n",
 						n, frac, corr, seed, r.Converged, r.Steps, r.Stats.Sent,
 						r.Stats.Exits, r.Stats.MaxChannel, safetyOK)
 				}
@@ -110,7 +169,8 @@ func main() {
 		}
 	}
 	if bad > 0 {
-		fmt.Fprintf(os.Stderr, "fdpsweep: %d run(s) failed\n", bad)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "fdpsweep: %d run(s) failed\n", bad)
+		return 1
 	}
+	return 0
 }

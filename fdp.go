@@ -26,6 +26,7 @@ package fdp
 import (
 	"errors"
 	"fmt"
+	"io"
 	"time"
 
 	"fdp/internal/churn"
@@ -35,6 +36,7 @@ import (
 	"fdp/internal/oracle"
 	"fdp/internal/parallel"
 	"fdp/internal/sim"
+	"fdp/internal/trace"
 )
 
 // Variant selects the departure flavour.
@@ -151,6 +153,14 @@ type Config struct {
 	// counts, message age, mailbox depth, time-to-exit, oracle calls) —
 	// see NewObserver.
 	Observe *Observer
+
+	// Journal, when non-nil, receives the run's causal event journal:
+	// a JSONL stream (header line plus one record per event) that
+	// cmd/fdpreplay can verify, diff, and render as spans or a Chrome
+	// trace — see internal/trace. Sequential journals replay
+	// byte-identically; runtime journals carry the same causal schema
+	// but are diff-only.
+	Journal io.Writer
 }
 
 // Report is the outcome of a simulation.
@@ -229,7 +239,7 @@ func Simulate(cfg Config) (Report, error) {
 			orc = obs.CountOracle(orc, cfg.Observe)
 		}
 	}
-	s := churn.Build(churn.Config{
+	churnCfg := churn.Config{
 		N:             cfg.N,
 		Topology:      churn.Topology(cfg.Topology),
 		LeaveFraction: cfg.LeaveFraction,
@@ -242,15 +252,31 @@ func Simulate(cfg Config) (Report, error) {
 		Variant: coreVariant,
 		Oracle:  orc,
 		Seed:    cfg.Seed,
-	})
+	}
+	s := churn.Build(churnCfg)
 	if cfg.Observe != nil {
 		obs.InstrumentWorld(s.World, cfg.Observe)
 	}
-	res := sim.Run(s.World, cfg.scheduler(), sim.RunOptions{
+	sched := cfg.scheduler()
+	var jw *trace.Writer
+	if cfg.Journal != nil {
+		jw = trace.NewWriter(cfg.Journal, trace.Header{
+			Version:  trace.Version,
+			Engine:   trace.EngineSim,
+			Scenario: trace.ScenarioFor(churnCfg, sched.Name()),
+		})
+		s.World.AddEventHook(jw.Record)
+	}
+	res := sim.Run(s.World, sched, sim.RunOptions{
 		Variant:     simVariant,
 		MaxSteps:    cfg.MaxSteps,
 		CheckSafety: cfg.CheckSafety,
 	})
+	if jw != nil {
+		if err := jw.Err(); err != nil {
+			return reportFrom(res), fmt.Errorf("fdp: journal write: %w", err)
+		}
+	}
 	return reportFrom(res), nil
 }
 
@@ -395,9 +421,32 @@ func SimulateParallel(cfg Config, timeout time.Duration) (Report, error) {
 	if cfg.Observe != nil {
 		obs.InstrumentRuntime(rt, cfg.Observe)
 	}
+	var jw *trace.Writer
+	if cfg.Journal != nil {
+		// Provenance header only: the runtime builds its own random
+		// topology, and its journals are diff-able but not replayable.
+		jw = trace.NewWriter(cfg.Journal, trace.Header{
+			Version: trace.Version,
+			Engine:  trace.EngineRuntime,
+			Scenario: trace.ScenarioFor(churn.Config{
+				N:             cfg.N,
+				Topology:      churn.TopoRandom,
+				LeaveFraction: cfg.LeaveFraction,
+				Variant:       coreVariant,
+				Oracle:        orc,
+				Seed:          cfg.Seed,
+			}, ""),
+		})
+		rt.SetEventSink(jw.Record)
+	}
 	ok := rt.RunUntil(func(w *sim.World) bool {
 		return w.Legitimate(simVariant)
 	}, 2*time.Millisecond, timeout)
+	if jw != nil {
+		if err := jw.Err(); err != nil {
+			return Report{}, fmt.Errorf("fdp: journal write: %w", err)
+		}
+	}
 	return Report{
 		Converged:    ok,
 		Steps:        int(rt.Events()),

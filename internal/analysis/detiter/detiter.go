@@ -41,6 +41,10 @@ var deterministicPkgs = map[string]bool{
 	"fdp/internal/core":   true,
 	"fdp/internal/churn":  true,
 	"fdp/internal/faults": true,
+	// The journal/replay subsystem: a journal written twice from the same
+	// schedule must be byte-identical, so the writer and every analysis
+	// over records (spans, diffs, exports) must be order-deterministic.
+	"fdp/internal/trace": true,
 }
 
 // globalRandAllowed lists math/rand identifiers that do NOT draw from the

@@ -9,6 +9,7 @@ import (
 func TestDetIter(t *testing.T) {
 	analysistest.Run(t, "testdata", Analyzer,
 		"fdp/internal/sim",     // deterministic package: violations flagged
+		"fdp/internal/trace",   // journal subsystem: violations flagged
 		"fdp/internal/harness", // out of scope: everything allowed
 	)
 }

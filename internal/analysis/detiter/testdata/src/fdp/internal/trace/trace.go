@@ -1,0 +1,55 @@
+// Fixture: package path fdp/internal/trace is a deterministic package —
+// journals must be byte-identical across identical runs, so the writer and
+// every record analysis must not leak map order, global randomness, or
+// wall-clock reads.
+package trace
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type record struct {
+	CID  uint64
+	Proc string
+}
+
+// Span building indexes by causal ID but must walk records in slice order.
+func spansByProc(recs []record) map[string][]record {
+	out := make(map[string][]record)
+	for _, r := range recs {
+		out[r.Proc] = append(out[r.Proc], r)
+	}
+	return out
+}
+
+// Rendering the index by ranging the map leaks iteration order into the
+// journal text.
+func renderAll(spans map[string][]record) []string {
+	var out []string
+	for proc := range spans { // want "range over map is iteration-order nondeterministic"
+		out = append(out, proc)
+	}
+	return out
+}
+
+// Collect-then-sort is the sanctioned shape.
+func renderSorted(spans map[string][]record) []string {
+	procs := make([]string, 0, len(spans))
+	for proc := range spans {
+		procs = append(procs, proc)
+	}
+	sort.Strings(procs)
+	return procs
+}
+
+// Journal timestamps would make byte-identical replay impossible.
+func stamp() time.Time {
+	return time.Now() // want "time.Now reads the wall clock in a deterministic package"
+}
+
+// Sampling records with global randomness breaks replay too.
+func sample(recs []record) record {
+	return recs[rand.Intn(len(recs))] // want "rand.Intn draws from the process-global generator"
+}

@@ -3,3 +3,4 @@ package sort
 
 func Slice(x interface{}, less func(i, j int) bool) {}
 func Ints(x []int)                                  {}
+func Strings(x []string)                            {}

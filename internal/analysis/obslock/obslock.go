@@ -1,11 +1,12 @@
-// Package obslock enforces the locking discipline of the observability
-// layer (fdp/internal/obs): the package's hot path is lock-free atomics,
-// and its single mutex — the registry's registration lock — must stay a
-// leaf. Concretely, within the package no mutex may be acquired while any
-// mutex is already held, neither directly nor through a package-internal
-// call that (transitively) acquires one. A nested acquisition is how a
-// metrics layer deadlocks the engines it instruments (hook → registry →
-// hook), so the discipline is "one lock at a time, briefly".
+// Package obslock enforces the locking discipline of the observation
+// layers (fdp/internal/obs and fdp/internal/trace): their hot paths are
+// lock-free atomics or a single leaf mutex — the registry's registration
+// lock, the journal writer's line lock. Concretely, within these packages
+// no mutex may be acquired while any mutex is already held, neither
+// directly nor through a package-internal call that (transitively)
+// acquires one. A nested acquisition is how a metrics or journaling layer
+// deadlocks the engines it instruments (hook → registry → hook), so the
+// discipline is "one lock at a time, briefly".
 //
 // Like lockorder, the check is lexical within each function body plus a
 // package-wide fixpoint over which functions acquire any mutex; the
@@ -24,14 +25,20 @@ import (
 // Analyzer is the obslock pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "obslock",
-	Doc:  "internal/obs locking discipline: never acquire a lock while holding another (hot path stays lock-free, the registry mutex stays a leaf)",
+	Doc:  "internal/obs + internal/trace locking discipline: never acquire a lock while holding another (hot paths stay lock-free, every mutex stays a leaf)",
 	Run:  run,
 }
 
-const targetPkg = "fdp/internal/obs"
+// targetPkgs are the observation-layer packages whose mutexes must stay
+// leaves: the metrics registry and the journal writer both run inside
+// engine event hooks, where a nested acquisition deadlocks the engine.
+var targetPkgs = map[string]bool{
+	"fdp/internal/obs":   true,
+	"fdp/internal/trace": true,
+}
 
 func run(pass *analysis.Pass) (any, error) {
-	if analysis.PkgPath(pass.Pkg) != targetPkg {
+	if !targetPkgs[analysis.PkgPath(pass.Pkg)] {
 		return nil, nil
 	}
 	var decls []*ast.FuncDecl
@@ -102,7 +109,7 @@ func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
 		}
 	}
 	fn, ok := obj.(*types.Func)
-	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != targetPkg {
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != analysis.PkgPath(pass.Pkg) {
 		return nil
 	}
 	return fn

@@ -7,5 +7,5 @@ import (
 )
 
 func TestObsLock(t *testing.T) {
-	analysistest.Run(t, "testdata", Analyzer, "fdp/internal/obs")
+	analysistest.Run(t, "testdata", Analyzer, "fdp/internal/obs", "fdp/internal/trace")
 }

@@ -1,0 +1,53 @@
+// Fixture: package path fdp/internal/trace is in the analyzer's scope. The
+// Writer shape mirrors the real journal writer: one line mutex that runs
+// inside engine event hooks and must stay a leaf.
+package trace
+
+import "sync"
+
+type sink struct {
+	mu  sync.Mutex
+	out []byte
+	err error
+}
+
+// The conforming leaf shape: one lock, held briefly, deferred release.
+func (s *sink) record(line []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err == nil {
+		s.out = append(s.out, line...)
+	}
+}
+
+type multi struct {
+	mu    sync.Mutex
+	spans sync.Mutex
+}
+
+func (m *multi) nested() {
+	m.mu.Lock()
+	m.spans.Lock() // want "while holding"
+	m.spans.Unlock()
+	m.mu.Unlock()
+}
+
+// flush acquires the mutex, so calling it with the lock held nests
+// transitively.
+func (s *sink) flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+func (s *sink) recordAndFlush(line []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.out = append(s.out, line...)
+	return s.flush() // want "acquires a lock"
+}
+
+func (s *sink) leak() {
+	s.mu.Lock() // want "never released"
+	s.out = nil
+}

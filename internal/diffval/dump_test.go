@@ -1,0 +1,49 @@
+package diffval
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"fdp/internal/churn"
+	"fdp/internal/oracle"
+	"fdp/internal/sim"
+)
+
+// TestDumpJoinableByCausalID is the regression test for the causal
+// coordinates in divergence dumps: both engines' trace renderings must
+// carry cid= (and the delivery lines msg=), so a cross-engine disagreement
+// can be aligned event by event — and joined against journals — instead of
+// eyeballed. An earlier revision dumped events without identities, leaving
+// the two dumps uncorrelatable.
+func TestDumpJoinableByCausalID(t *testing.T) {
+	cfg := Config{
+		Scenario: churn.Config{
+			N: 10, Topology: churn.TopoLine, LeaveFraction: 0.3,
+			Pattern: churn.LeaveRandom, Oracle: oracle.Single{},
+		},
+		TraceK: 4096,
+	}
+	scn := cfg.Scenario
+	scn.Seed = 5
+
+	_, seqTrace := runSequential(cfg, scn, sim.FDP, 50000, 5)
+	_, concTrace := runConcurrent(cfg, scn, sim.FDP, 10*time.Second, time.Millisecond, 5)
+
+	for name, tr := range map[string]string{"sequential": seqTrace, "concurrent": concTrace} {
+		if !strings.Contains(tr, "cid=") {
+			t.Errorf("%s trace lacks causal IDs:\n%.400s", name, tr)
+		}
+		if !strings.Contains(tr, "clock=") {
+			t.Errorf("%s trace lacks Lamport clocks:\n%.400s", name, tr)
+		}
+		if !strings.Contains(tr, "msg=") {
+			t.Errorf("%s trace lacks message identities:\n%.400s", name, tr)
+		}
+	}
+
+	v := Verdict{Seed: 5, SequentialTrace: seqTrace, ConcurrentTrace: concTrace}
+	if dump := v.Dump(); !strings.Contains(dump, "cid=") {
+		t.Errorf("Verdict.Dump lost the causal IDs:\n%.400s", dump)
+	}
+}

@@ -32,6 +32,11 @@ const (
 	// MetricExitDenied counts exit requests rejected by the runtime's
 	// revalidation under the snapshot lock.
 	MetricExitDenied = "fdp_exit_denied_total"
+	// MetricCausalIDs is the high-water mark of assigned causal identities
+	// (events and messages) — the causal-progress gauge of DESIGN.md §11.
+	// Joinable against journal records: a journal's largest cid is this
+	// gauge's final value.
+	MetricCausalIDs = "fdp_causal_ids"
 )
 
 func eventSeries(engine string, k sim.EventKind) string {
@@ -64,10 +69,16 @@ func InstrumentWorld(w *sim.World, reg *Registry) {
 	timeToExit := reg.Histogram(MetricTimeToExitSteps,
 		"step at which each leaver committed exit",
 		ExpBuckets(1, 2, 24))
+	// Updated from the hook rather than a GaugeFunc over World.CausalIDs:
+	// the world is single-threaded and must not be read by a concurrent
+	// Collect, while a gauge is an atomic cell. Event CIDs are the latest
+	// allocation at emission time, so the gauge tracks the high-water mark.
+	causal := reg.Gauge(MetricCausalIDs, "high-water mark of assigned causal identities")
 	w.AddEventHook(func(e sim.Event) {
 		if int(e.Kind) < sim.NumEventKinds {
 			kinds[e.Kind].Inc()
 		}
+		causal.Set(int64(e.CID))
 		switch e.Kind {
 		case sim.EvDeliver:
 			msgAge.Observe(float64(e.Age))
@@ -114,6 +125,10 @@ func InstrumentRuntime(rt *parallel.Runtime, reg *Registry) {
 		func() float64 { return float64(rt.Gone()) })
 	reg.GaugeFunc(MetricExitDenied, "exit requests rejected by revalidation",
 		func() float64 { return float64(rt.ExitDenied()) })
+	// The runtime's causal counter is an atomic, so a collector-time read is
+	// race-free (unlike the sequential world, which needs the hook form).
+	reg.GaugeFunc(MetricCausalIDs, "high-water mark of assigned causal identities",
+		func() float64 { return float64(rt.CausalIDs()) })
 }
 
 // countedOracle wraps an oracle with an atomic call counter. The counter

@@ -122,6 +122,11 @@ func (rt *Runtime) TraceEvents() []sim.Event {
 	return out
 }
 
+// CausalIDs returns how many causal identities (events and messages) the
+// runtime has assigned so far — the high-water mark of Event.CID. Always
+// maintained; safe to read concurrently.
+func (rt *Runtime) CausalIDs() uint64 { return rt.causal.Load() }
+
 // StartTime returns when Start launched the goroutines (zero before
 // Start). Exit latencies are measured from it.
 func (rt *Runtime) StartTime() time.Time { return rt.startTime }

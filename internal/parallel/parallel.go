@@ -162,6 +162,13 @@ type proc struct {
 	wantExit  bool
 	wantSleep bool
 
+	// clock is the process's Lamport clock and curCID the causal ID of the
+	// current action's trigger event. Both are touched only by the owner
+	// goroutine (validateExit included: it runs on the owner), so they need
+	// no synchronization beyond the mailbox transfer of message clocks.
+	clock  uint64
+	curCID uint64
+
 	// ring is the per-process trace ring (nil unless EnableTrace). Written
 	// only by the owner goroutine under the action RLock (or the snapshot
 	// write lock for the exit event); read under the snapshot write lock.
@@ -188,6 +195,12 @@ type Runtime struct {
 	// releasing it) against validateExit's evaluation under the lock, so
 	// stateful oracles do not race with themselves.
 	oracleMu sync.Mutex
+
+	// causal is the runtime's causal-ID counter, the concurrent analogue of
+	// the simulator's. Enqueue seeds it past any transplanted message's CID
+	// (MirrorWorld preserves the build world's IDs), so the initial causal
+	// vocabulary is identical across engines and fresh IDs never collide.
+	causal atomic.Uint64
 
 	events     atomic.Uint64 // executed actions (timeouts + deliveries)
 	sent       atomic.Uint64
@@ -243,8 +256,16 @@ func (rt *Runtime) AddProcess(r ref.Ref, mode sim.Mode, proto sim.Protocol) {
 	ref.Sort(rt.order)
 }
 
-// Enqueue injects an initial in-flight message before Start.
+// Enqueue injects an initial in-flight message before Start. Messages that
+// already carry a causal identity (transplanted from a sequential world by
+// MirrorWorld) keep it and advance the runtime's causal counter past it;
+// bare messages get a fresh CID.
 func (rt *Runtime) Enqueue(to ref.Ref, msg sim.Message) {
+	if msg.CID() == 0 {
+		msg = sim.StampCausal(msg, rt.causal.Add(1), 0, 0)
+	} else if cur := rt.causal.Load(); msg.CID() > cur {
+		rt.causal.Store(msg.CID())
+	}
 	rt.procs[to].mb.push(msg)
 }
 
@@ -294,6 +315,9 @@ func (c *pctx) Send(to ref.Ref, msg sim.Message) {
 	}
 	rt := c.p.rt
 	rt.sent.Add(1)
+	// Causal stamp, mirroring the simulator's Send: fresh CID, parent = the
+	// action event being executed, clock = the sender's Lamport time.
+	msg = sim.StampCausal(msg, rt.causal.Add(1), c.p.curCID, c.p.clock)
 	target := rt.procs[to]
 	// The life check is advisory (the target may exit between it and the
 	// push); push itself refuses on a closed mailbox, so the pair behaves
@@ -304,7 +328,8 @@ func (c *pctx) Send(to ref.Ref, msg sim.Message) {
 	}
 	if !pushed {
 		rt.dropped.Add(1)
-		c.p.record(sim.Event{Kind: sim.EvDrop, Proc: c.p.id, Peer: to, Label: msg.Label})
+		c.p.record(sim.Event{Kind: sim.EvDrop, Proc: c.p.id, Peer: to, Label: msg.Label,
+			CID: msg.CID(), Parent: msg.CausalParent(), MsgID: msg.CID(), Clock: c.p.clock})
 		// Transport-level failure detection, same contract as the
 		// sequential Context: the sender learns within its own atomic
 		// action that the message was undeliverable. Safe here: the
@@ -314,7 +339,8 @@ func (c *pctx) Send(to ref.Ref, msg sim.Message) {
 		}
 		return
 	}
-	c.p.record(sim.Event{Kind: sim.EvSend, Proc: c.p.id, Peer: to, Label: msg.Label, Depth: depth})
+	c.p.record(sim.Event{Kind: sim.EvSend, Proc: c.p.id, Peer: to, Label: msg.Label, Depth: depth,
+		CID: msg.CID(), Parent: msg.CausalParent(), MsgID: msg.CID(), MsgSeq: msg.Seq(), Clock: c.p.clock})
 }
 
 func (c *pctx) Exit()  { c.p.wantExit = true }
@@ -371,17 +397,28 @@ func (p *proc) run() {
 		// snapshot lock ordering every ring write before every drain.
 		p.rt.snap.RLock()
 		if haveMsg {
-			if woke {
-				p.record(sim.Event{Kind: sim.EvWake, Proc: p.id})
+			// Lamport merge: the delivery happens after the send.
+			if c := msg.SendClock(); c > p.clock {
+				p.clock = c
 			}
-			p.record(sim.Event{Kind: sim.EvDeliver, Proc: p.id, Peer: msg.From(), Label: msg.Label, Depth: depth})
+			p.clock++
+			if woke {
+				p.record(sim.Event{Kind: sim.EvWake, Proc: p.id,
+					CID: p.rt.causal.Add(1), Parent: msg.CID(), Clock: p.clock})
+			}
+			p.curCID = p.rt.causal.Add(1)
+			p.record(sim.Event{Kind: sim.EvDeliver, Proc: p.id, Peer: msg.From(), Label: msg.Label, Depth: depth,
+				CID: p.curCID, Parent: msg.CID(), MsgID: msg.CID(), MsgSeq: msg.Seq(), Clock: p.clock})
 			p.proto.Deliver(ctx, msg)
 		} else {
-			p.record(sim.Event{Kind: sim.EvTimeout, Proc: p.id})
+			p.clock++
+			p.curCID = p.rt.causal.Add(1)
+			p.record(sim.Event{Kind: sim.EvTimeout, Proc: p.id, CID: p.curCID, Clock: p.clock})
 			p.proto.Timeout(ctx)
 		}
 		if p.wantSleep && !p.wantExit {
-			p.record(sim.Event{Kind: sim.EvSleep, Proc: p.id})
+			p.record(sim.Event{Kind: sim.EvSleep, Proc: p.id,
+				CID: p.rt.causal.Add(1), Parent: p.curCID, Clock: p.clock})
 		}
 		p.rt.snap.RUnlock()
 		p.rt.events.Add(1)
@@ -445,7 +482,8 @@ func (rt *Runtime) validateExit(p *proc) bool {
 	p.mb.close()
 	rt.exits.Add(1)
 	rt.exitLatency = append(rt.exitLatency, time.Since(rt.startTime))
-	p.record(sim.Event{Kind: sim.EvExit, Proc: p.id})
+	p.record(sim.Event{Kind: sim.EvExit, Proc: p.id,
+		CID: rt.causal.Add(1), Parent: p.curCID, Clock: p.clock})
 	return true
 }
 
@@ -685,12 +723,14 @@ func (v *MutableView) ProtocolOf(r ref.Ref) sim.Protocol { return v.rt.procs[r].
 
 // Enqueue injects a message into r's mailbox (spurious junk, or a displaced
 // reference kept in flight). Messages to gone processes vanish, like sends.
+// Injected messages get a fresh causal identity with no parent — they are
+// faults, nothing in the trace caused them.
 func (v *MutableView) Enqueue(to ref.Ref, msg sim.Message) bool {
 	p := v.rt.procs[to]
 	if p == nil || p.life.Load() == 2 {
 		return false
 	}
-	_, ok := p.mb.push(msg)
+	_, ok := p.mb.push(sim.StampCausal(msg, v.rt.causal.Add(1), 0, 0))
 	return ok
 }
 

@@ -1,0 +1,86 @@
+package parallel
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"fdp/internal/core"
+	"fdp/internal/oracle"
+	"fdp/internal/sim"
+)
+
+// TestTraceCausalIDsConcurrentReads hammers TraceEvents from several
+// goroutines while actions fire, under -race: every observed snapshot must
+// be internally consistent — no duplicated causal IDs — and the final
+// trace must account for every emitted event (per-kind counters) with
+// unique, in-range CIDs. The ring capacity is large enough that nothing is
+// evicted, so a missing CID would mean a dropped event.
+func TestTraceCausalIDsConcurrentReads(t *testing.T) {
+	rt, _, leaving := buildRuntime(24, 0.4, 11, core.VariantFDP, oracle.Single{})
+	rt.EnableTrace(1 << 17)
+	rt.Start()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				evs := rt.TraceEvents()
+				seen := make(map[uint64]bool, len(evs))
+				for _, e := range evs {
+					if e.CID == 0 {
+						t.Error("event without causal ID in live snapshot")
+						return
+					}
+					if seen[e.CID] {
+						t.Errorf("duplicated causal ID %d in live snapshot", e.CID)
+						return
+					}
+					seen[e.CID] = true
+				}
+			}
+		}()
+	}
+
+	deadline := time.Now().Add(15 * time.Second)
+	for rt.Gone() < leaving.Len() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	rt.Stop()
+	close(stop)
+	wg.Wait()
+	if rt.Gone() != leaving.Len() {
+		t.Fatalf("runtime settled %d of %d leavers", rt.Gone(), leaving.Len())
+	}
+
+	final := rt.TraceEvents()
+	var total uint64
+	for _, n := range rt.EventKindCounts() {
+		total += n
+	}
+	if uint64(len(final)) != total {
+		t.Fatalf("trace retained %d events, per-kind counters saw %d (dropped or duplicated events)", len(final), total)
+	}
+	high := rt.CausalIDs()
+	seen := make(map[uint64]bool, len(final))
+	for _, e := range final {
+		if e.CID == 0 || e.CID > high {
+			t.Fatalf("event CID %d out of range (0, %d]", e.CID, high)
+		}
+		if seen[e.CID] {
+			t.Fatalf("duplicated causal ID %d in final trace", e.CID)
+		}
+		seen[e.CID] = true
+		if e.Kind == sim.EvDeliver && e.MsgID == 0 {
+			t.Fatalf("delivery without message identity: %+v", e)
+		}
+	}
+}

@@ -22,6 +22,8 @@ type CloneableProtocol interface {
 func (w *World) Clone() *World {
 	c := NewWorld(w.oracle)
 	c.seq = w.seq
+	c.causal = w.causal
+	c.curCID = w.curCID
 	c.stats = w.Stats()
 	c.initialComponents = w.initialComponents
 	c.awake = 0
@@ -39,6 +41,7 @@ func (w *World) Clone() *World {
 			life:        p.life,
 			proto:       cp.CloneProtocol(),
 			lastTimeout: p.lastTimeout,
+			clock:       p.clock,
 		}
 		np.ch = make([]Message, len(p.ch))
 		copy(np.ch, p.ch)

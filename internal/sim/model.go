@@ -97,6 +97,17 @@ type Message struct {
 	from    ref.Ref // sender, for tracing only; the model has no implicit sender
 	seq     uint64  // arrival sequence number, a stable identity
 	enqStep int     // step at which the message entered the channel, for aging
+
+	// Causal metadata, engine-assigned and invisible to protocols: cid is
+	// the message's unique causal identity (drawn from the engine's causal
+	// counter at send/enqueue), parent the CID of the action event (timeout
+	// or delivery) that triggered the send (0 for initial-state messages),
+	// and lclock the sender's Lamport clock at send time. Together they
+	// carry the happens-before relation across process boundaries (DESIGN.md
+	// §11).
+	cid    uint64
+	parent uint64
+	lclock uint64
 }
 
 // From returns the sender for tracing and debugging. Protocol code must not
@@ -105,6 +116,18 @@ func (m Message) From() ref.Ref { return m.from }
 
 // Seq returns the global arrival sequence number of the message.
 func (m Message) Seq() uint64 { return m.seq }
+
+// CID returns the message's unique causal identity, assigned by the engine
+// when the message entered the system. Tracing and debugging only.
+func (m Message) CID() uint64 { return m.cid }
+
+// CausalParent returns the CID of the action event (timeout or delivery)
+// whose execution sent this message, or 0 for initial-state messages.
+func (m Message) CausalParent() uint64 { return m.parent }
+
+// SendClock returns the sender's Lamport clock at send time (0 for
+// initial-state messages).
+func (m Message) SendClock() uint64 { return m.lclock }
 
 // EnqueuedAt returns the step at which the message entered its channel. The
 // schedulers age messages on it: seq advances once per send while steps
@@ -116,6 +139,15 @@ func (m Message) EnqueuedAt() int { return m.enqStep }
 // NewMessage builds a message carrying the given references.
 func NewMessage(label string, refs ...RefInfo) Message {
 	return Message{Label: label, Refs: refs}
+}
+
+// StampCausal returns m with the causal metadata set. It exists for the
+// concurrent runtime (package parallel), which assigns CIDs from its own
+// atomic counter; protocol code never calls it — the engines stamp causal
+// identity at send/enqueue themselves.
+func StampCausal(m Message, cid, parent, lclock uint64) Message {
+	m.cid, m.parent, m.lclock = cid, parent, lclock
+	return m
 }
 
 // Protocol is the per-process protocol instance: its variables and actions.

@@ -88,6 +88,19 @@ func FormatEvents(events []Event) string {
 		if e.Label != "" {
 			fmt.Fprintf(&b, " label=%s", e.Label)
 		}
+		// The causal coordinates make two engines' dumps joinable: initial
+		// messages carry identical CIDs on both sides, so a cross-engine
+		// disagreement can be aligned event by event instead of eyeballed.
+		if e.CID != 0 {
+			fmt.Fprintf(&b, " cid=%d", e.CID)
+			if e.Parent != 0 {
+				fmt.Fprintf(&b, " parent=%d", e.Parent)
+			}
+			if e.MsgID != 0 {
+				fmt.Fprintf(&b, " msg=%d", e.MsgID)
+			}
+			fmt.Fprintf(&b, " clock=%d", e.Clock)
+		}
 		if e.Message != "" {
 			fmt.Fprintf(&b, " %s", e.Message)
 		}

@@ -31,6 +31,30 @@ type Event struct {
 	// Depth is the channel length after the operation: the target's queue
 	// after an EvSend, the receiver's queue after an EvDeliver.
 	Depth int
+
+	// CID is the unique causal identity of this event within its engine
+	// run, drawn from the engine's causal counter. Every emitted event gets
+	// a fresh CID; messages share the CID of their EvSend (initial-state
+	// messages get a CID without an event).
+	CID uint64
+	// Parent is the CID of this event's causal parent: for EvSend/EvDrop
+	// the action event (timeout or delivery) being executed when the send
+	// happened; for EvDeliver/EvWake the CID of the message being delivered
+	// (i.e. of its send); for EvExit/EvSleep the triggering action event.
+	// 0 means "no recorded parent" (a timeout, or an initial-state message).
+	Parent uint64
+	// MsgID is, on EvSend/EvDeliver/EvDrop, the unique causal identity of
+	// the message itself (equal to the CID of its send event).
+	MsgID uint64
+	// MsgSeq is, on EvSend/EvDeliver, the message's arrival sequence number
+	// — the identity ReplayScheduler re-resolves actions by, which is what
+	// makes a journal's schedule re-executable.
+	MsgSeq uint64
+	// Clock is the executing process's Lamport clock at emission: bumped on
+	// every action start, merged with the message's SendClock on delivery.
+	// Events ordered by happens-before always have increasing clocks, on
+	// both engines.
+	Clock uint64
 }
 
 // EventKind enumerates trace event types.
@@ -98,6 +122,10 @@ type process struct {
 
 	lastTimeout int // step index of last timeout execution, for fairness aging
 
+	// clock is the process's Lamport clock: incremented at every action it
+	// executes, merged (max) with the sender's clock on every delivery.
+	clock uint64
+
 	// pgRefs is the copy of proto.Refs() the incremental process graph was
 	// last synced against (see pg.go). nil until the graph is seeded.
 	pgRefs []ref.Ref
@@ -111,6 +139,13 @@ type World struct {
 	oracle Oracle
 	stats  Stats
 	seq    uint64
+
+	// causal is the causal-ID counter: every emitted event and every
+	// message draws a fresh CID from it. curCID is the CID of the current
+	// atomic action's trigger event (the timeout or delivery), the causal
+	// parent of every send the action performs.
+	causal uint64
+	curCID uint64
 
 	// initialComponents is the weakly-connected-component partition of the
 	// initial PG, captured by SealInitialState; legitimacy condition (iii)
@@ -228,6 +263,12 @@ func (w *World) Enqueue(to ref.Ref, msg Message) {
 	w.seq++
 	msg.seq = w.seq
 	msg.enqStep = w.stats.Steps
+	// Initial-state messages (and runtime-snapshot reconstructions) get a
+	// fresh causal identity with no parent: nothing in the trace caused them.
+	w.causal++
+	msg.cid = w.causal
+	msg.parent = 0
+	msg.lclock = 0
 	p.ch = append(p.ch, msg)
 	w.stats.TotalInQueue++
 	if len(p.ch) > w.stats.MaxChannel {
@@ -325,6 +366,10 @@ func (w *World) Stats() Stats {
 
 // Steps returns the number of atomic actions executed so far.
 func (w *World) Steps() int { return w.stats.Steps }
+
+// CausalIDs returns how many causal identities (events and messages) the
+// world has assigned so far — the high-water mark of Event.CID.
+func (w *World) CausalIDs() uint64 { return w.causal }
 
 func (w *World) mustProc(r ref.Ref) *process {
 	p := w.byRef[r]
@@ -447,7 +492,10 @@ func (w *World) Execute(a Action) {
 		}
 		w.stats.Timeouts++
 		p.lastTimeout = w.stats.Steps
-		w.emit(Event{Kind: EvTimeout, Proc: p.id})
+		p.clock++
+		w.causal++
+		w.curCID = w.causal
+		w.emit(Event{Kind: EvTimeout, Proc: p.id, CID: w.curCID, Clock: p.clock})
 		p.proto.Timeout(ctx)
 	} else {
 		if a.MsgIndex < 0 || a.MsgIndex >= len(p.ch) {
@@ -458,16 +506,25 @@ func (w *World) Execute(a Action) {
 		p.ch = append(p.ch[:a.MsgIndex], p.ch[a.MsgIndex+1:]...)
 		w.stats.TotalInQueue--
 		w.pgDequeue(p.id, &msg)
+		// Lamport merge: the delivery happens after the send.
+		if msg.lclock > p.clock {
+			p.clock = msg.lclock
+		}
+		p.clock++
 		if p.life == Asleep {
 			p.life = Awake
 			w.awake++
 			w.asleep--
 			w.stats.Wakes++
-			w.emit(Event{Kind: EvWake, Proc: p.id})
+			w.causal++
+			w.emit(Event{Kind: EvWake, Proc: p.id, CID: w.causal, Parent: msg.cid, Clock: p.clock})
 		}
 		w.stats.Deliveries++
+		w.causal++
+		w.curCID = w.causal
 		w.emit(Event{Kind: EvDeliver, Proc: p.id, Peer: msg.from, Label: msg.Label,
-			Age: w.stats.Steps - msg.enqStep, Depth: len(p.ch)})
+			Age: w.stats.Steps - msg.enqStep, Depth: len(p.ch),
+			CID: w.curCID, Parent: msg.cid, MsgID: msg.cid, MsgSeq: msg.seq, Clock: p.clock})
 		p.proto.Deliver(ctx, msg)
 	}
 
@@ -485,7 +542,8 @@ func (w *World) Execute(a Action) {
 		w.stats.TotalInQueue -= len(p.ch)
 		p.ch = nil
 		w.pgExit(p)
-		w.emit(Event{Kind: EvExit, Proc: p.id})
+		w.causal++
+		w.emit(Event{Kind: EvExit, Proc: p.id, CID: w.causal, Parent: w.curCID, Clock: p.clock})
 	} else {
 		// Only the acting process's stored refs can change during an atomic
 		// action: fold its explicit-edge delta into the incremental PG.
@@ -498,7 +556,8 @@ func (w *World) Execute(a Action) {
 			p.life = Asleep
 			w.stats.Sleeps++
 			w.gen++
-			w.emit(Event{Kind: EvSleep, Proc: p.id})
+			w.causal++
+			w.emit(Event{Kind: EvSleep, Proc: p.id, CID: w.causal, Parent: w.curCID, Clock: p.clock})
 		}
 	}
 	w.current = nil
@@ -517,12 +576,21 @@ func (c *procCtx) Send(to ref.Ref, msg Message) {
 		return
 	}
 	msg.from = c.p.id
+	// Causal stamp: the message's identity is a fresh CID, its parent the
+	// action event being executed, its clock the sender's Lamport time.
+	// Stamped before the drop check so even vanished sends are identified
+	// in the trace.
+	c.w.causal++
+	msg.cid = c.w.causal
+	msg.parent = c.w.curCID
+	msg.lclock = c.p.clock
 	target := c.w.byRef[to]
 	c.w.stats.Sent++
 	c.w.stats.SentByLabel[msg.Label]++
 	if target == nil || target.life == Gone {
 		c.w.stats.Dropped++
-		c.w.emit(Event{Kind: EvDrop, Proc: c.p.id, Peer: to, Label: msg.Label})
+		c.w.emit(Event{Kind: EvDrop, Proc: c.p.id, Peer: to, Label: msg.Label,
+			CID: msg.cid, Parent: msg.parent, MsgID: msg.cid, Clock: c.p.clock})
 		if h, ok := c.p.proto.(UndeliverableHandler); ok {
 			h.Undeliverable(c, to, msg)
 		}
@@ -537,7 +605,8 @@ func (c *procCtx) Send(to ref.Ref, msg Message) {
 		c.w.stats.MaxChannel = len(target.ch)
 	}
 	c.w.pgEnqueue(target.id, &msg)
-	c.w.emit(Event{Kind: EvSend, Proc: c.p.id, Peer: to, Label: msg.Label, Depth: len(target.ch)})
+	c.w.emit(Event{Kind: EvSend, Proc: c.p.id, Peer: to, Label: msg.Label, Depth: len(target.ch),
+		CID: msg.cid, Parent: msg.parent, MsgID: msg.cid, MsgSeq: msg.seq, Clock: c.p.clock})
 }
 
 func (c *procCtx) Exit() { c.w.exitRequested = true }

@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"fdp/internal/sim"
+)
+
+// Writer appends a journal to an io.Writer: one JSON header line followed by
+// one JSON record line per event. Record is hook-shaped — install it with
+// World.AddEventHook (sequential) or Runtime.SetEventSink (concurrent).
+//
+// Locking: Writer is a leaf. It takes its own mutex (the runtime's event
+// sinks run on many goroutines at once), holds no other lock while writing,
+// and calls nothing that locks. Errors are sticky and reported by Err — an
+// event hook has no error return, so the driver checks once at the end.
+type Writer struct {
+	mu  sync.Mutex
+	w   io.Writer
+	err error
+	n   int
+}
+
+// NewWriter writes the header line and returns the journal writer. A header
+// write failure is sticky (see Err); the writer then drops every record.
+func NewWriter(w io.Writer, hdr Header) *Writer {
+	jw := &Writer{w: w}
+	jw.err = writeLine(w, hdr)
+	return jw
+}
+
+// Record appends one event to the journal. Safe for concurrent use; usable
+// directly as a sim event hook or a parallel runtime event sink.
+func (jw *Writer) Record(e sim.Event) {
+	jw.mu.Lock()
+	defer jw.mu.Unlock()
+	if jw.err != nil {
+		return
+	}
+	if jw.err = writeLine(jw.w, FromEvent(e)); jw.err == nil {
+		jw.n++
+	}
+}
+
+// Err returns the first write error, if any.
+func (jw *Writer) Err() error {
+	jw.mu.Lock()
+	defer jw.mu.Unlock()
+	return jw.err
+}
+
+// Count returns how many records were written.
+func (jw *Writer) Count() int {
+	jw.mu.Lock()
+	defer jw.mu.Unlock()
+	return jw.n
+}
+
+// writeLine marshals v as one JSONL line. encoding/json emits struct fields
+// in declaration order and sorts map keys, so journal bytes are a pure
+// function of the values — the property the byte-identical replay check
+// rests on.
+func writeLine(w io.Writer, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteJournal writes a complete journal (header plus records) in exactly
+// the format Writer produces — the regeneration path the byte-identical
+// replay check compares against.
+func WriteJournal(w io.Writer, hdr Header, recs []Record) error {
+	if err := writeLine(w, hdr); err != nil {
+		return err
+	}
+	for i := range recs {
+		if err := writeLine(w, recs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadJournal parses a journal stream: the header line, then every record.
+func ReadJournal(r io.Reader) (Header, []Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var hdr Header
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return hdr, nil, err
+		}
+		return hdr, nil, fmt.Errorf("trace: empty journal")
+	}
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return hdr, nil, fmt.Errorf("trace: bad journal header: %w", err)
+	}
+	if hdr.Version != Version {
+		return hdr, nil, fmt.Errorf("trace: journal version %d, want %d", hdr.Version, Version)
+	}
+	if hdr.Engine != EngineSim && hdr.Engine != EngineRuntime {
+		return hdr, nil, fmt.Errorf("trace: unknown journal engine %q", hdr.Engine)
+	}
+	var recs []Record
+	for line := 2; sc.Scan(); line++ {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return hdr, nil, fmt.Errorf("trace: bad journal record on line %d: %w", line, err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return hdr, nil, err
+	}
+	return hdr, recs, nil
+}

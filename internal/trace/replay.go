@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"fdp/internal/sim"
+)
+
+// RecordRun builds the scenario, runs it under its named scheduler, and
+// streams the journal to w — the canonical recording path (fdpreplay's
+// golden regeneration uses it; the CLI drivers journal through the same
+// Writer). opts.Variant is forced from the scenario so the journal is
+// self-consistent.
+func RecordRun(s Scenario, w io.Writer, opts sim.RunOptions) (sim.RunResult, error) {
+	scn, err := s.BuildScenario()
+	if err != nil {
+		return sim.RunResult{}, err
+	}
+	sched, err := SchedulerByName(s.Scheduler, s.Seed)
+	if err != nil {
+		return sim.RunResult{}, err
+	}
+	if opts.Variant, err = s.SimVariant(); err != nil {
+		return sim.RunResult{}, err
+	}
+	jw := NewWriter(w, Header{Version: Version, Engine: EngineSim, Scenario: s})
+	scn.World.AddEventHook(jw.Record)
+	res := sim.Run(scn.World, sched, opts)
+	return res, jw.Err()
+}
+
+// Schedule extracts the executed action sequence from a journal: one action
+// per timeout or delivery record, in journal order. Deliveries are
+// re-resolved by message sequence number (sim.ValidateAction), the stable
+// identity that survives channel reordering. Send/drop/exit/sleep/wake
+// records are consequences of these actions, not schedule entries.
+func Schedule(recs []Record) ([]sim.Action, error) {
+	var out []sim.Action
+	for i := range recs {
+		rec := &recs[i]
+		kind, ok := kindByName(rec.Kind)
+		if !ok {
+			return nil, fmt.Errorf("trace: record %d has unknown kind %q", i, rec.Kind)
+		}
+		switch kind {
+		case sim.EvTimeout, sim.EvDeliver:
+			proc, err := parseRef(rec.Proc)
+			if err != nil {
+				return nil, fmt.Errorf("trace: record %d: %w", i, err)
+			}
+			out = append(out, sim.Action{
+				Proc:      proc,
+				IsTimeout: kind == sim.EvTimeout,
+				MsgSeq:    rec.MsgSeq,
+			})
+		}
+	}
+	return out, nil
+}
+
+// ReplayError reports the point at which a recorded action stopped being
+// executable against the rebuilt world — a divergence between the journal
+// and this replay (corrupted journal, changed code, or a journal from a
+// different build).
+type ReplayError struct {
+	// ActionIndex is the position in the extracted schedule.
+	ActionIndex int
+	// Action is the recorded action that failed to validate.
+	Action sim.Action
+}
+
+// Error implements error.
+func (e *ReplayError) Error() string {
+	what := fmt.Sprintf("deliver seq=%d to %v", e.Action.MsgSeq, e.Action.Proc)
+	if e.Action.IsTimeout {
+		what = fmt.Sprintf("timeout of %v", e.Action.Proc)
+	}
+	return fmt.Sprintf("trace: replay diverged at action %d: %s no longer enabled", e.ActionIndex, what)
+}
+
+// Replay re-drives a sequential journal: it rebuilds the recorded scenario
+// (BuildScenario), re-executes the recorded timeout/delivery sequence, and
+// returns the events the replay emitted, as records. Because the sequential
+// engine is deterministic, a faithful journal replays into byte-identical
+// records (see VerifyReplay); a journal that stalls returns a *ReplayError.
+//
+// Only EngineSim journals replay — a runtime journal records one concurrent
+// schedule that no sequential re-execution is obligated to reproduce (those
+// are aligned with Diff instead).
+func Replay(hdr Header, recs []Record) ([]Record, error) {
+	if hdr.Engine != EngineSim {
+		return nil, fmt.Errorf("trace: cannot replay %q journal (only %q journals are deterministic)", hdr.Engine, EngineSim)
+	}
+	scn, err := hdr.Scenario.BuildScenario()
+	if err != nil {
+		return nil, err
+	}
+	schedule, err := Schedule(recs)
+	if err != nil {
+		return nil, err
+	}
+	var replayed []Record
+	scn.World.AddEventHook(func(e sim.Event) {
+		replayed = append(replayed, FromEvent(e))
+	})
+	for i, a := range schedule {
+		if !scn.World.ValidateAction(&a) {
+			return replayed, &ReplayError{ActionIndex: i, Action: a}
+		}
+		scn.World.Execute(a)
+	}
+	return replayed, nil
+}
+
+// VerifyReplay replays a sequential journal and aligns the result against
+// the recording by causal ID. It returns nil iff the replay reproduced the
+// journal exactly — the replay determinism contract (DESIGN.md §11). On
+// divergence the returned *Divergence pinpoints the first differing event.
+func VerifyReplay(hdr Header, recs []Record) (*Divergence, error) {
+	replayed, err := Replay(hdr, recs)
+	if err != nil {
+		return nil, err
+	}
+	return DiffStrict(recs, replayed), nil
+}

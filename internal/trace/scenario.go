@@ -1,0 +1,197 @@
+package trace
+
+import (
+	"fmt"
+
+	"fdp/internal/churn"
+	"fdp/internal/core"
+	"fdp/internal/oracle"
+	"fdp/internal/sim"
+)
+
+// Scenario is the construction recipe of a recorded run, embedded in every
+// journal header. It is the plain-data image of churn.Config: a journal is
+// self-describing — ScenarioWorld rebuilds the exact initial world (same
+// references, same topology, same corruption, same initial messages with the
+// same causal identities), which is what makes sequential journals
+// deterministically replayable.
+type Scenario struct {
+	N             int     `json:"n"`
+	Topology      string  `json:"topology"`
+	LeaveFraction float64 `json:"leave"`
+	Pattern       string  `json:"pattern"`
+	Variant       string  `json:"variant"` // "FDP" or "FSP"
+	// Oracle is the oracle's Name(); empty means no oracle. Stateful oracles
+	// (SINGLE~timeout) are rebuilt with their default parameters, which the
+	// recording side must therefore use.
+	Oracle string `json:"oracle,omitempty"`
+	Seed   int64  `json:"seed"`
+	// Scheduler is provenance only: replay re-drives the recorded action
+	// sequence and never consults a scheduler.
+	Scheduler string `json:"scheduler,omitempty"`
+	// Corruption knobs (churn.Corruption).
+	FlipBeliefs   float64 `json:"flip_beliefs,omitempty"`
+	RandomAnchors float64 `json:"random_anchors,omitempty"`
+	JunkMessages  int     `json:"junk_messages,omitempty"`
+	AsleepLeavers float64 `json:"asleep_leavers,omitempty"`
+	Components    int     `json:"components,omitempty"`
+}
+
+// ScenarioFor captures a churn config (plus scheduler provenance) as a
+// journal scenario.
+func ScenarioFor(cfg churn.Config, scheduler string) Scenario {
+	s := Scenario{
+		N:             cfg.N,
+		Topology:      cfg.Topology.String(),
+		LeaveFraction: cfg.LeaveFraction,
+		Pattern:       cfg.Pattern.String(),
+		Variant:       cfg.Variant.String(),
+		Seed:          cfg.Seed,
+		Scheduler:     scheduler,
+		FlipBeliefs:   cfg.Corrupt.FlipBeliefs,
+		RandomAnchors: cfg.Corrupt.RandomAnchors,
+		JunkMessages:  cfg.Corrupt.JunkMessages,
+		AsleepLeavers: cfg.Corrupt.AsleepLeavers,
+		Components:    cfg.Components,
+	}
+	if cfg.Oracle != nil {
+		s.Oracle = cfg.Oracle.Name()
+	}
+	return s
+}
+
+// ChurnConfig is the inverse of ScenarioFor: it rebuilds the churn.Config a
+// journal header describes.
+func (s Scenario) ChurnConfig() (churn.Config, error) {
+	topo, err := topologyByName(s.Topology)
+	if err != nil {
+		return churn.Config{}, err
+	}
+	pat, err := patternByName(s.Pattern)
+	if err != nil {
+		return churn.Config{}, err
+	}
+	variant, err := variantByName(s.Variant)
+	if err != nil {
+		return churn.Config{}, err
+	}
+	orc, err := OracleByName(s.Oracle)
+	if err != nil {
+		return churn.Config{}, err
+	}
+	return churn.Config{
+		N:             s.N,
+		Topology:      topo,
+		LeaveFraction: s.LeaveFraction,
+		Pattern:       pat,
+		Corrupt: churn.Corruption{
+			FlipBeliefs:   s.FlipBeliefs,
+			RandomAnchors: s.RandomAnchors,
+			JunkMessages:  s.JunkMessages,
+			AsleepLeavers: s.AsleepLeavers,
+		},
+		Variant:    variant,
+		Oracle:     orc,
+		Seed:       s.Seed,
+		Components: s.Components,
+	}, nil
+}
+
+// BuildScenario rebuilds the recorded scenario: the same churn.Build call
+// the recording side made, so references, topology, corruption and the
+// causal identities of initial messages all match the recording.
+func (s Scenario) BuildScenario() (*churn.Scenario, error) {
+	cfg, err := s.ChurnConfig()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("trace: scenario has n = %d", cfg.N)
+	}
+	return churn.Build(cfg), nil
+}
+
+// topologyByName inverts churn.Topology.String.
+func topologyByName(name string) (churn.Topology, error) {
+	for t := churn.TopoLine; t <= churn.TopoRandom; t++ {
+		if t.String() == name {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown topology %q", name)
+}
+
+// patternByName inverts churn.LeavePattern.String.
+func patternByName(name string) (churn.LeavePattern, error) {
+	for p := churn.LeaveRandom; p <= churn.LeaveAllButOne; p++ {
+		if p.String() == name {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown leave pattern %q", name)
+}
+
+// variantByName inverts core.Variant.String.
+func variantByName(name string) (core.Variant, error) {
+	switch name {
+	case core.VariantFDP.String():
+		return core.VariantFDP, nil
+	case core.VariantFSP.String():
+		return core.VariantFSP, nil
+	}
+	return 0, fmt.Errorf("trace: unknown variant %q", name)
+}
+
+// OracleByName rebuilds an oracle from its Name(). The empty name is the
+// nil oracle. Stateful oracles come back with default parameters.
+func OracleByName(name string) (sim.Oracle, error) {
+	switch name {
+	case "":
+		return nil, nil
+	case oracle.Single{}.Name():
+		return oracle.Single{}, nil
+	case oracle.NIDEC{}.Name():
+		return oracle.NIDEC{}, nil
+	case oracle.ExitSafe{}.Name():
+		return oracle.ExitSafe{}, nil
+	case oracle.EC{}.Name():
+		return oracle.EC{}, nil
+	case oracle.Always(true).Name():
+		return oracle.Always(true), nil
+	case oracle.Always(false).Name():
+		return oracle.Always(false), nil
+	case (&oracle.TimeoutSingle{}).Name():
+		return oracle.NewTimeoutSingle(0), nil
+	}
+	return nil, fmt.Errorf("trace: unknown oracle %q", name)
+}
+
+// SimVariant maps the scenario variant to the run driver's legitimacy
+// predicate.
+func (s Scenario) SimVariant() (sim.Variant, error) {
+	v, err := variantByName(s.Variant)
+	if err != nil {
+		return 0, err
+	}
+	if v == core.VariantFSP {
+		return sim.FSP, nil
+	}
+	return sim.FDP, nil
+}
+
+// SchedulerByName builds a scheduler from its Name() and the scenario seed.
+// Recording drivers use it so the name they stamp into the header is the
+// name they actually ran.
+func SchedulerByName(name string, seed int64) (sim.Scheduler, error) {
+	switch name {
+	case "random":
+		return sim.NewRandomScheduler(seed, 0), nil
+	case "rounds":
+		return sim.NewRoundScheduler(), nil
+	case "adversarial":
+		return sim.NewAdversarialScheduler(seed, 0), nil
+	case "fifo":
+		return sim.NewFIFOScheduler(), nil
+	}
+	return nil, fmt.Errorf("trace: unknown scheduler %q", name)
+}
