@@ -2,7 +2,7 @@ GO ?= go
 
 FDPLINT := bin/fdplint
 
-.PHONY: all ci vet lint build test race bench bench-artifacts bench-baseline replay-golden
+.PHONY: all ci vet lint build test race bench bench-artifacts bench-baseline bench-compare replay-golden
 
 all: vet lint build test race replay-golden
 
@@ -52,6 +52,14 @@ bench-artifacts:
 	$(GO) run ./cmd/fdpbench -quick -bench -bench-out bench-out
 
 # bench-baseline regenerates the committed seed baseline in bench/ that
-# reviewers diff bench-artifacts output against.
+# reviewers diff bench-artifacts output against. The extra large-n sizes
+# run only on the concurrent engine (the sequential series is capped at
+# its O(n²) feasibility bound).
 bench-baseline:
-	$(GO) run ./cmd/fdpbench -quick -bench -bench-out bench
+	$(GO) run ./cmd/fdpbench -quick -bench -sizes 8,16,32,64,1000,10000,100000 -bench-out bench
+
+# bench-compare diffs freshly generated bench-out/ artifacts against the
+# committed bench/ baseline and fails on a >2x p99 regression at any size
+# both series cover. Run bench-artifacts first (CI does).
+bench-compare:
+	$(GO) run ./cmd/fdpbenchcmp -baseline bench -fresh bench-out -threshold 2.0

@@ -9,6 +9,7 @@
 //	fdpbench -only E16       # differential simulator-vs-runtime validation
 //	fdpbench -quick -json    # machine-readable summary for CI
 //	fdpbench -quick -bench -bench-out out/   # BENCH_<engine>.json artifacts
+//	fdpbench -bench -sizes 1000,10000,100000 # large-n churn series
 //	fdpbench -bench -serve :9090             # live /metrics while benching
 package main
 
@@ -20,18 +21,43 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"fdp"
 )
 
+// parseSizes parses the -sizes value: a comma-separated, strictly
+// increasing list of positive system sizes. An empty string selects the
+// scale's default series (nil).
+func parseSizes(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var sizes []int
+	for _, field := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil {
+			return nil, fmt.Errorf("-sizes: %q is not an integer", strings.TrimSpace(field))
+		}
+		if n <= 0 {
+			return nil, fmt.Errorf("-sizes: size %d must be positive", n)
+		}
+		if len(sizes) > 0 && n <= sizes[len(sizes)-1] {
+			return nil, fmt.Errorf("-sizes: %d after %d — the list must be strictly increasing", n, sizes[len(sizes)-1])
+		}
+		sizes = append(sizes, n)
+	}
+	return sizes, nil
+}
+
 // writeBench runs the benchmark harness and writes one BENCH_<engine>.json
 // per engine into dir.
-func writeBench(quick bool, dir string, reg *fdp.Observer) error {
+func writeBench(quick bool, sizes []int, dir string, reg *fdp.Observer) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	for _, rep := range fdp.Bench(quick, reg) {
+	for _, rep := range fdp.BenchSizes(quick, sizes, reg) {
 		payload, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
 			return err
@@ -90,6 +116,7 @@ func main() {
 		noPlots  = flag.Bool("no-plots", false, "suppress ASCII plots in text mode")
 		bench    = flag.Bool("bench", false, "run the time-to-exit benchmark harness instead of the experiment suite")
 		benchOut = flag.String("bench-out", ".", "directory for the BENCH_<engine>.json artifacts of -bench")
+		sizes    = flag.String("sizes", "", "with -bench: comma-separated, strictly increasing system sizes (e.g. 1000,10000,100000); empty keeps the default series")
 		serve    = flag.String("serve", "", "serve /metrics and /debug/pprof on this address while running (e.g. :9090)")
 		journal  = flag.String("journal", "", "with -bench: also record the causal event journal (JSONL) of one representative bench-scale run to this file")
 	)
@@ -110,8 +137,17 @@ func main() {
 			}
 		}()
 	}
+	benchSizes, err := parseSizes(*sizes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fdpbench:", err)
+		os.Exit(2)
+	}
+	if benchSizes != nil && !*bench {
+		fmt.Fprintln(os.Stderr, "fdpbench: -sizes requires -bench")
+		os.Exit(2)
+	}
 	if *bench {
-		if err := writeBench(*quick, *benchOut, reg); err != nil {
+		if err := writeBench(*quick, benchSizes, *benchOut, reg); err != nil {
 			fmt.Fprintln(os.Stderr, "fdpbench: -bench:", err)
 			os.Exit(2)
 		}

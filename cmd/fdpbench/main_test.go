@@ -1,0 +1,43 @@
+package main
+
+import "testing"
+
+func TestParseSizes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+		ok   bool
+	}{
+		{"", nil, true},
+		{"  ", nil, true},
+		{"64", []int{64}, true},
+		{"1000,10000,100000", []int{1000, 10000, 100000}, true},
+		{" 8 , 16 , 32 ", []int{8, 16, 32}, true},
+		{"8,8", nil, false},       // not strictly increasing
+		{"32,16", nil, false},     // decreasing
+		{"8,,16", nil, false},     // empty field
+		{"8,sixteen", nil, false}, // not an integer
+		{"0", nil, false},         // non-positive
+		{"-4", nil, false},
+	}
+	for _, c := range cases {
+		got, err := parseSizes(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("parseSizes(%q): err=%v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if !c.ok {
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("parseSizes(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("parseSizes(%q) = %v, want %v", c.in, got, c.want)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,97 @@
+// Command fdpbenchcmp diffs fresh BENCH_<engine>.json bench artifacts
+// against the committed baseline in bench/ and fails on p99 time-to-exit
+// regressions beyond a threshold at the sizes both series cover.
+//
+// Example (the CI bench job):
+//
+//	fdpbenchcmp -baseline bench -fresh bench-out -threshold 2.0
+//
+// Only overlapping sizes are compared: the baseline may carry large-n
+// points a quick CI run does not reproduce, and vice versa. A baseline
+// point with an empty sample (p99 == 0) is skipped — there is nothing to
+// regress against.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"fdp"
+)
+
+// compare returns one human-readable line per overlapping size whose fresh
+// p99 exceeds threshold times the baseline p99.
+func compare(base, fresh fdp.BenchReport, threshold float64) []string {
+	basePoints := make(map[int]fdp.BenchPoint, len(base.Series))
+	for _, p := range base.Series {
+		basePoints[p.Size] = p
+	}
+	var regressions []string
+	for _, f := range fresh.Series {
+		b, ok := basePoints[f.Size]
+		if !ok || b.TimeToExit.P99 <= 0 {
+			continue
+		}
+		if f.TimeToExit.P99 > threshold*b.TimeToExit.P99 {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s n=%d: p99 %.6g %s vs baseline %.6g (%.2fx > %.2fx allowed)",
+				fresh.Engine, f.Size, f.TimeToExit.P99, fresh.Unit,
+				b.TimeToExit.P99, f.TimeToExit.P99/b.TimeToExit.P99, threshold))
+		}
+	}
+	return regressions
+}
+
+func loadReport(path string) (fdp.BenchReport, error) {
+	var rep fdp.BenchReport
+	payload, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(payload, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+func main() {
+	var (
+		baseline  = flag.String("baseline", "bench", "directory with the committed BENCH_<engine>.json baseline")
+		fresh     = flag.String("fresh", "bench-out", "directory with the freshly generated BENCH_<engine>.json artifacts")
+		threshold = flag.Float64("threshold", 2.0, "fail when a fresh p99 exceeds this multiple of the baseline p99")
+	)
+	flag.Parse()
+
+	paths, err := filepath.Glob(filepath.Join(*baseline, "BENCH_*.json"))
+	if err != nil || len(paths) == 0 {
+		fmt.Fprintf(os.Stderr, "fdpbenchcmp: no BENCH_*.json baseline in %s\n", *baseline)
+		os.Exit(2)
+	}
+	var regressions []string
+	for _, basePath := range paths {
+		base, err := loadReport(basePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fdpbenchcmp:", err)
+			os.Exit(2)
+		}
+		freshPath := filepath.Join(*fresh, filepath.Base(basePath))
+		rep, err := loadReport(freshPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fdpbenchcmp:", err)
+			os.Exit(2)
+		}
+		overlaps := compare(base, rep, *threshold)
+		regressions = append(regressions, overlaps...)
+		fmt.Printf("%s: engine %s, %d baseline sizes, %d fresh sizes, %d regression(s)\n",
+			filepath.Base(basePath), base.Engine, len(base.Series), len(rep.Series), len(overlaps))
+	}
+	for _, r := range regressions {
+		fmt.Fprintln(os.Stderr, "REGRESSION:", r)
+	}
+	if len(regressions) > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"fdp"
+)
+
+func report(engine string, points map[int]float64) fdp.BenchReport {
+	rep := fdp.BenchReport{Name: "fdp-churn-time-to-exit", Engine: engine, Unit: "seconds"}
+	for size, p99 := range points {
+		rep.Series = append(rep.Series, fdp.BenchPoint{
+			Size: size, TimeToExit: fdp.BenchQuantiles{Count: 1, P99: p99},
+		})
+	}
+	return rep
+}
+
+func TestCompareFlagsOnlyRealRegressions(t *testing.T) {
+	base := report("runtime", map[int]float64{8: 0.001, 64: 0.010, 100000: 30})
+	fresh := report("runtime", map[int]float64{8: 0.0019, 64: 0.021, 1000: 0.5})
+
+	got := compare(base, fresh, 2.0)
+	// n=8 is within 2x, n=64 is 2.1x over, n=1000 and n=100000 do not
+	// overlap — exactly one regression.
+	if len(got) != 1 {
+		t.Fatalf("compare flagged %d regressions, want 1: %v", len(got), got)
+	}
+	if !strings.Contains(got[0], "n=64") {
+		t.Fatalf("regression names the wrong size: %s", got[0])
+	}
+}
+
+func TestCompareSkipsEmptyBaselineSamples(t *testing.T) {
+	base := report("runtime", map[int]float64{8: 0})
+	fresh := report("runtime", map[int]float64{8: 5})
+	if got := compare(base, fresh, 2.0); len(got) != 0 {
+		t.Fatalf("empty baseline sample must not regress: %v", got)
+	}
+}
+
+func TestCompareExactThresholdPasses(t *testing.T) {
+	base := report("sim", map[int]float64{8: 100})
+	fresh := report("sim", map[int]float64{8: 200})
+	if got := compare(base, fresh, 2.0); len(got) != 0 {
+		t.Fatalf("exactly 2x must pass a 2x threshold: %v", got)
+	}
+}

@@ -451,6 +451,6 @@ func SimulateParallel(cfg Config, timeout time.Duration) (Report, error) {
 		Converged:    ok,
 		Steps:        int(rt.Events()),
 		MessagesSent: rt.Sent(),
-		Exits:        rt.Gone(),
+		Exits:        int(rt.Gone()), // bounded by Config.N
 	}, nil
 }

@@ -1,23 +1,31 @@
-// Package lockorder enforces the DESIGN.md §8 locking discipline of the
-// concurrent runtime (fdp/internal/parallel):
+// Package lockorder enforces the DESIGN.md §12 locking discipline of the
+// sharded concurrent runtime (fdp/internal/parallel):
 //
-//  1. Lock order: the snapshot lock `snap` must never be acquired —
-//     directly, or through a function that (transitively) acquires it —
-//     while `oracleMu` is held. The runtime's order is snap → oracleMu
-//     (validateExit); the reverse order deadlocks against the coordinator.
-//  2. Pairing: every Lock/RLock must be released on all paths — either a
+//  1. Lock order: freezeMu → actMu (per shard, ascending) → at most one
+//     leaf of {mbMu, exitMu, oracleMu}. Acquiring a lock of an earlier
+//     class while holding a later one — directly, or through a function
+//     that (transitively) pauses the world — inverts the order and can
+//     deadlock against the coordinator's epoch pause. The legacy global
+//     `snap` lock counts as pause-class, so pre-§12 code keeps its old
+//     snap → oracleMu rule as a special case.
+//  2. Leaf discipline: the leaves are terminal. While any of mbMu, exitMu
+//     or oracleMu is held, no other lock may be acquired — not directly,
+//     and not through a package function that acquires a leaf itself.
+//  3. Pairing: every Lock/RLock must be released on all paths — either a
 //     matching (deferred or lexically later) Unlock/RUnlock of the same
 //     receiver, with no return statement inside the held region.
-//  3. Serialization: every sim.Oracle.Evaluate call site in the package
+//  4. Serialization: every sim.Oracle.Evaluate call site in the package
 //     must run under oracleMu, so stateful oracles never race with
 //     themselves between the coordinator and validateExit.
 //
 // The checks are lexical within each function body (events in source
-// order), plus one package-wide fixpoint computing which functions acquire
-// snap transitively. That is an approximation — Go lock usage is not
-// statically decidable — but it is exact for the straight-line and
-// branch-local-release patterns §8 prescribes, and anything cleverer
-// deserves the //fdplint:ignore lockorder <reason> it would need.
+// order), plus two package-wide fixpoints computing which functions acquire
+// pause-class and leaf-class locks transitively. That is an approximation —
+// Go lock usage is not statically decidable — but it is exact for the
+// straight-line and branch-local-release patterns §12 prescribes. The one
+// sanctioned exception, the pauseAll/resumeAll handoff (locks acquired in
+// one function and released in its inverse), carries the
+// //fdplint:ignore lockorder <reason> it deserves.
 package lockorder
 
 import (
@@ -32,7 +40,7 @@ import (
 // Analyzer is the lockorder pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "lockorder",
-	Doc:  "internal/parallel locking discipline: snap never under oracleMu, all locks released on all paths, oracle evaluation serialized (DESIGN.md §8)",
+	Doc:  "internal/parallel locking discipline: freezeMu → actMu → one leaf, leaves never nest, all locks released on all paths, oracle evaluation serialized (DESIGN.md §12)",
 	Run:  run,
 }
 
@@ -53,9 +61,10 @@ func run(pass *analysis.Pass) (any, error) {
 			}
 		}
 	}
-	acquirers := snapAcquirers(pass, decls)
+	pausers := rankAcquirers(pass, decls, func(r int) bool { return r == rankPause || r == rankAct })
+	leafers := rankAcquirers(pass, decls, func(r int) bool { return r == rankLeaf })
 	for _, fd := range decls {
-		checkFunc(pass, fd, acquirers)
+		checkFunc(pass, fd, pausers, leafers)
 	}
 	return nil, nil
 }
@@ -67,8 +76,9 @@ type opKind int
 const (
 	opLock opKind = iota
 	opUnlock
-	opSnapCall // call to a function that transitively acquires snap
-	opEvaluate // sim.Oracle.Evaluate call
+	opPauseCall // call to a function that transitively acquires a pause-class lock
+	opLeafCall  // call to a function that transitively acquires a leaf lock
+	opEvaluate  // sim.Oracle.Evaluate call
 	opReturn
 )
 
@@ -116,8 +126,32 @@ func mutexOp(pass *analysis.Pass, call *ast.CallExpr) (key string, acquire, ok b
 	return types.ExprString(sel.X), acq, true
 }
 
-func isSnapKey(key string) bool     { return key == "snap" || strings.HasSuffix(key, ".snap") }
-func isOracleMuKey(key string) bool { return key == "oracleMu" || strings.HasSuffix(key, ".oracleMu") }
+// §12 lock classes, in acquisition order. rankNone locks (a mutex the
+// runtime does not know about) get pairing checks only.
+const (
+	rankNone  = -1
+	rankPause = 0 // freezeMu, and the legacy global snap lock
+	rankAct   = 1 // per-shard actMu
+	rankLeaf  = 2 // mbMu, exitMu, oracleMu — terminal
+)
+
+func lockRank(key string) int {
+	switch {
+	case hasField(key, "snap"), hasField(key, "freezeMu"):
+		return rankPause
+	case hasField(key, "actMu"):
+		return rankAct
+	case hasField(key, "mbMu"), hasField(key, "exitMu"), hasField(key, "oracleMu"):
+		return rankLeaf
+	}
+	return rankNone
+}
+
+func hasField(key, field string) bool {
+	return key == field || strings.HasSuffix(key, "."+field)
+}
+
+func isOracleMuKey(key string) bool { return hasField(key, "oracleMu") }
 
 // calleeFunc resolves a call to its *types.Func when it targets a function
 // or method of the package under analysis.
@@ -157,11 +191,11 @@ func isOracleEvaluate(pass *analysis.Pass, call *ast.CallExpr) bool {
 	return fn.FullName() == "(fdp/internal/sim.Oracle).Evaluate"
 }
 
-// --- snap-acquirer fixpoint --------------------------------------------
+// --- transitive-acquirer fixpoint --------------------------------------
 
-// snapAcquirers computes the set of package functions that acquire the
-// snapshot lock directly or through package-internal calls.
-func snapAcquirers(pass *analysis.Pass, decls []*ast.FuncDecl) map[*types.Func]bool {
+// rankAcquirers computes the set of package functions that acquire a lock
+// whose rank satisfies want, directly or through package-internal calls.
+func rankAcquirers(pass *analysis.Pass, decls []*ast.FuncDecl, want func(int) bool) map[*types.Func]bool {
 	direct := make(map[*types.Func]bool)
 	calls := make(map[*types.Func][]*types.Func)
 	declObj := func(fd *ast.FuncDecl) *types.Func {
@@ -178,7 +212,7 @@ func snapAcquirers(pass *analysis.Pass, decls []*ast.FuncDecl) map[*types.Func]b
 			if !ok {
 				return true
 			}
-			if key, acq, ok := mutexOp(pass, call); ok && acq && isSnapKey(key) {
+			if key, acq, ok := mutexOp(pass, call); ok && acq && want(lockRank(key)) {
 				direct[fn] = true
 			}
 			if callee := calleeFunc(pass, call); callee != nil {
@@ -208,7 +242,7 @@ func snapAcquirers(pass *analysis.Pass, decls []*ast.FuncDecl) map[*types.Func]b
 
 // --- per-function lexical check ----------------------------------------
 
-func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, acquirers map[*types.Func]bool) {
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, pausers, leafers map[*types.Func]bool) {
 	var events []event
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
@@ -230,8 +264,14 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, acquirers map[*types.Func]
 			}
 			if isOracleEvaluate(pass, n) {
 				events = append(events, event{pos: int(n.Pos()), kind: opEvaluate, node: n})
-			} else if callee := calleeFunc(pass, n); callee != nil && acquirers[callee] {
-				events = append(events, event{pos: int(n.Pos()), kind: opSnapCall, key: callee.Name(), node: n})
+			} else if callee := calleeFunc(pass, n); callee != nil {
+				// A pause-acquirer that also touches leaves reports as the
+				// pause call: the world pause is the stronger operation.
+				if pausers[callee] {
+					events = append(events, event{pos: int(n.Pos()), kind: opPauseCall, key: callee.Name(), node: n})
+				} else if leafers[callee] {
+					events = append(events, event{pos: int(n.Pos()), kind: opLeafCall, key: callee.Name(), node: n})
+				}
 			}
 		case *ast.ReturnStmt:
 			events = append(events, event{pos: int(n.Pos()), kind: opReturn, node: n})
@@ -244,6 +284,21 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, acquirers map[*types.Func]
 	lastLock := make(map[string]ast.Node)
 	everLocked := make(map[string]bool)
 	deferredRelease := make(map[string]bool)
+	// heldOfRank returns one lexically held key whose rank satisfies want.
+	heldOfRank := func(want func(int) bool) string {
+		keys := make([]string, 0, len(held))
+		for key, n := range held {
+			if n > 0 && want(lockRank(key)) {
+				keys = append(keys, key)
+			}
+		}
+		if len(keys) == 0 {
+			return ""
+		}
+		sort.Strings(keys) // deterministic diagnostics
+		return keys[0]
+	}
+	leafHeld := func() string { return heldOfRank(func(r int) bool { return r == rankLeaf }) }
 	oracleMuHeld := func() bool {
 		for key, n := range held {
 			if n > 0 && isOracleMuKey(key) {
@@ -256,8 +311,21 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, acquirers map[*types.Func]
 	for _, ev := range events {
 		switch ev.kind {
 		case opLock:
-			if isSnapKey(ev.key) && oracleMuHeld() {
-				pass.Reportf(ev.node.Pos(), "acquiring %s while holding oracleMu inverts the §8 lock order (snap → oracleMu) and can deadlock against validateExit", ev.key)
+			rk := lockRank(ev.key)
+			// Ascending-order rule: a ranked lock may only be acquired while
+			// every held ranked lock has an equal or earlier class; leaves
+			// admit no equal either (they never nest). Unranked locks are
+			// still forbidden under a leaf.
+			var over string
+			if rk == rankNone {
+				over = leafHeld()
+			} else {
+				over = heldOfRank(func(r int) bool {
+					return r > rk || (r == rankLeaf && rk == rankLeaf)
+				})
+			}
+			if over != "" {
+				pass.Reportf(ev.node.Pos(), "acquiring %s while holding %s inverts the §12 lock order (freezeMu → actMu → one leaf of {mbMu, exitMu, oracleMu}) and can deadlock", ev.key, over)
 			}
 			held[ev.key]++
 			everLocked[ev.key] = true
@@ -275,13 +343,20 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, acquirers map[*types.Func]
 				// Unlock with no Lock anywhere before it is a sure bug.
 				pass.Reportf(ev.node.Pos(), "%s released without a preceding acquisition in this function", ev.key)
 			}
-		case opSnapCall:
-			if oracleMuHeld() {
-				pass.Reportf(ev.node.Pos(), "calling %s (which acquires the snapshot lock) while holding oracleMu inverts the §8 lock order and can deadlock", ev.key)
+		case opPauseCall:
+			// Pausing the world re-acquires freezeMu and every actMu, so any
+			// held runtime lock — pause-class (self-deadlock) or leaf
+			// (order inversion) — is fatal.
+			if over := heldOfRank(func(r int) bool { return r != rankNone }); over != "" {
+				pass.Reportf(ev.node.Pos(), "calling %s (which pauses the world) while holding %s inverts the §12 lock order and can deadlock", ev.key, over)
+			}
+		case opLeafCall:
+			if over := leafHeld(); over != "" {
+				pass.Reportf(ev.node.Pos(), "calling %s (which acquires a leaf lock) while holding %s violates the §12 leaf discipline: leaves never nest", ev.key, over)
 			}
 		case opEvaluate:
 			if !oracleMuHeld() && !deferredOracleMu(deferredRelease, held) {
-				pass.Reportf(ev.node.Pos(), "oracle.Evaluate outside an oracleMu critical section; §8 serializes all oracle evaluations so stateful oracles never race with themselves")
+				pass.Reportf(ev.node.Pos(), "oracle.Evaluate outside an oracleMu critical section; §12 serializes all oracle evaluations so stateful oracles never race with themselves")
 			}
 		case opReturn:
 			for key, n := range held {

@@ -1,6 +1,7 @@
 // Fixture: package path fdp/internal/parallel is the analyzer's scope.
-// The Runtime shape mirrors the real one: snap guards snapshots, oracleMu
-// serializes oracle evaluation, lock order is snap → oracleMu.
+// The Runtime shape mirrors the real sharded one (§12): freezeMu and the
+// per-shard actMu pause the world, {mbMu, exitMu, oracleMu} are terminal
+// leaves, and the legacy snap lock still counts as pause-class.
 package parallel
 
 import (
@@ -10,15 +11,35 @@ import (
 	"fdp/internal/sim"
 )
 
+type shard struct {
+	actMu sync.RWMutex
+	mbMu  sync.Mutex
+}
+
 type Runtime struct {
-	snap     sync.RWMutex
+	snap     sync.RWMutex // legacy pause-class lock, pre-§12 shape
+	freezeMu sync.Mutex
 	oracleMu sync.Mutex
+	exitMu   sync.Mutex
+	sh       *shard
 	oracle   sim.Oracle
 	world    *sim.World
 }
 
-// The §8-conforming shape: snap first, oracleMu inside, Evaluate under it.
+// The §12-conforming shape: pause classes ascending, one leaf inside,
+// Evaluate under oracleMu.
 func (rt *Runtime) validate(u ref.Ref) bool {
+	rt.freezeMu.Lock()
+	defer rt.freezeMu.Unlock()
+	rt.sh.actMu.Lock()
+	defer rt.sh.actMu.Unlock()
+	rt.oracleMu.Lock()
+	defer rt.oracleMu.Unlock()
+	return rt.oracle.Evaluate(rt.world, u)
+}
+
+// The legacy conforming shape: snap first, oracleMu inside.
+func (rt *Runtime) validateLegacy(u ref.Ref) bool {
 	rt.snap.Lock()
 	defer rt.snap.Unlock()
 	rt.oracleMu.Lock()
@@ -34,24 +55,79 @@ func (rt *Runtime) coordinate(u ref.Ref) bool {
 	return ok
 }
 
+// Sequential leaf use is fine: the first leaf is released before the next.
+func (rt *Runtime) leafHandoff() {
+	rt.sh.mbMu.Lock()
+	rt.sh.mbMu.Unlock()
+	rt.exitMu.Lock()
+	rt.exitMu.Unlock()
+}
+
 func (rt *Runtime) inverted(u ref.Ref) {
 	rt.oracleMu.Lock()
-	rt.snap.Lock() // want "inverts the §8 lock order"
+	rt.snap.Lock() // want "inverts the §12 lock order"
 	rt.snap.Unlock()
 	rt.oracleMu.Unlock()
+}
+
+func (rt *Runtime) pauseUnderAct() {
+	rt.sh.actMu.RLock()
+	rt.freezeMu.Lock() // want "inverts the §12 lock order"
+	rt.freezeMu.Unlock()
+	rt.sh.actMu.RUnlock()
+}
+
+// Leaves are terminal: no second leaf may nest inside one.
+func (rt *Runtime) nestedLeaves() {
+	rt.exitMu.Lock()
+	rt.sh.mbMu.Lock() // want "inverts the §12 lock order"
+	rt.sh.mbMu.Unlock()
+	rt.exitMu.Unlock()
+}
+
+func (rt *Runtime) actUnderLeaf() {
+	rt.sh.mbMu.Lock()
+	rt.sh.actMu.RLock() // want "inverts the §12 lock order"
+	rt.sh.actMu.RUnlock()
+	rt.sh.mbMu.Unlock()
 }
 
 func (rt *Runtime) freeze() {
-	rt.snap.Lock()
-	rt.snap.Unlock()
+	rt.freezeMu.Lock()
+	rt.freezeMu.Unlock()
 }
 
-// freeze acquires snap, so calling it under oracleMu inverts the order
+// freeze pauses the world, so calling it under a leaf inverts the order
 // transitively.
 func (rt *Runtime) transitiveInversion() {
 	rt.oracleMu.Lock()
-	rt.freeze() // want "acquires the snapshot lock"
+	rt.freeze() // want "pauses the world"
 	rt.oracleMu.Unlock()
+}
+
+// ...and calling it while already holding a pause-class lock self-deadlocks.
+func (rt *Runtime) reentrantPause() {
+	rt.sh.actMu.RLock()
+	rt.freeze() // want "pauses the world"
+	rt.sh.actMu.RUnlock()
+}
+
+func (rt *Runtime) push() {
+	rt.sh.mbMu.Lock()
+	rt.sh.mbMu.Unlock()
+}
+
+// push acquires a leaf, so calling it while holding another leaf nests
+// leaves transitively.
+func (rt *Runtime) transitiveLeafNest() {
+	rt.exitMu.Lock()
+	rt.push() // want "leaves never nest"
+	rt.exitMu.Unlock()
+}
+
+// Calling a leaf acquirer with nothing held is the normal shape.
+func (rt *Runtime) leafCallClean() {
+	rt.push()
 }
 
 func (rt *Runtime) unguarded(u ref.Ref) bool {
@@ -85,7 +161,8 @@ func (rt *Runtime) branchRelease(cond bool) bool {
 	return true
 }
 
-// Suppression with a reason is honoured.
+// Suppression with a reason is honoured — the real pauseAll/resumeAll
+// handoff pair relies on it.
 func (rt *Runtime) audited(u ref.Ref) bool {
 	//fdplint:ignore lockorder fixture exercises suppression; caller holds oracleMu
 	return rt.oracle.Evaluate(rt.world, u)

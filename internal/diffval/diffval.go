@@ -75,7 +75,7 @@ type Outcome struct {
 	// PG edges), so a terminal-state check is equivalent to a continuous one.
 	SafetyViolated bool
 	// Gone counts departed processes (FDP exits; always 0 for FSP).
-	Gone int
+	Gone uint64
 	// LeaversSettled reports the Lemma 3 goal: every initial leaver is gone
 	// (FDP) or hibernating (FSP).
 	LeaversSettled bool
@@ -308,8 +308,8 @@ func waitFor(cond func() bool, poll time.Duration, deadline <-chan struct{}) boo
 	}
 }
 
-func goneCount(w *sim.World, nodes []ref.Ref) int {
-	n := 0
+func goneCount(w *sim.World, nodes []ref.Ref) uint64 {
+	var n uint64
 	for _, r := range nodes {
 		if w.LifeOf(r) == sim.Gone {
 			n++

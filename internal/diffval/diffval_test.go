@@ -117,10 +117,10 @@ func TestWaitForSharedDeadlineBoundsBothPhases(t *testing.T) {
 }
 
 // goneWanted recomputes the scenario's leaver count for a seed.
-func goneWanted(cfg Config, seed int64) int {
+func goneWanted(cfg Config, seed int64) uint64 {
 	scn := cfg.Scenario
 	scn.Seed = seed
-	return churn.Build(scn).Leaving.Len()
+	return uint64(churn.Build(scn).Leaving.Len())
 }
 
 // MirrorWorld must transplant the full state: modes, protocol clones (not

@@ -62,9 +62,40 @@ func benchScenario(n int, seed int64) churn.Config {
 	}
 }
 
+// SimBenchSizeCap bounds the sequential engine's bench series. The random
+// scheduler's enabled-action scan is O(n) per step, so sequential churn is
+// O(n²) per trial and a n=100k point would run for hours; sizes above the
+// cap are reported only by the concurrent engine.
+const SimBenchSizeCap = 2048
+
+// trialsFor scales the per-size trial count down as n grows so large-n
+// points stay affordable: full trials through n=256, two through n=4096,
+// one above that. p50/p99 come from per-exit latencies, so even one trial
+// of a n=100k run yields a 50k-sample distribution.
+func trialsFor(s Scale, n int) int {
+	switch {
+	case n <= 256:
+		return s.Trials
+	case n <= 4096:
+		return min(s.Trials, 2)
+	default:
+		return 1
+	}
+}
+
+// benchTimeout is the per-trial convergence budget of the concurrent
+// engine: large-n churn legitimately needs minutes of wall clock.
+func benchTimeout(n int) time.Duration {
+	if n > 4096 {
+		return 10 * time.Minute
+	}
+	return time.Minute
+}
+
 // Bench runs the FDP churn benchmark on both engines and returns one report
 // per engine, each with a per-size time-to-exit p50/p99 series plus event
-// and oracle-call counts. When reg is non-nil every run is additionally
+// and oracle-call counts. Sizes above SimBenchSizeCap appear only in the
+// concurrent engine's report. When reg is non-nil every run is additionally
 // instrumented into it, so a live /metrics endpoint shows the benchmark's
 // aggregate series while it executes.
 func Bench(s Scale, reg *obs.Registry) []BenchReport {
@@ -74,11 +105,15 @@ func Bench(s Scale, reg *obs.Registry) []BenchReport {
 func benchSequential(s Scale, reg *obs.Registry) BenchReport {
 	rep := BenchReport{Name: "fdp-churn-time-to-exit", Engine: "sim", Unit: "steps"}
 	for _, n := range s.Sizes {
+		if n > SimBenchSizeCap {
+			continue
+		}
 		var tte metrics.Sample
 		var kinds [sim.NumEventKinds]uint64
 		calls := obs.NewRegistry()
-		point := BenchPoint{Size: n, Trials: s.Trials}
-		for trial := 0; trial < s.Trials; trial++ {
+		trials := trialsFor(s, n)
+		point := BenchPoint{Size: n, Trials: trials}
+		for trial := 0; trial < trials; trial++ {
 			seed := int64(n*1000 + trial)
 			scn := benchScenario(n, seed)
 			scn.Oracle = obs.CountOracle(scn.Oracle, calls)
@@ -113,8 +148,9 @@ func benchConcurrent(s Scale, reg *obs.Registry) BenchReport {
 		var tte metrics.Sample
 		var kinds [sim.NumEventKinds]uint64
 		calls := obs.NewRegistry()
-		point := BenchPoint{Size: n, Trials: s.Trials}
-		for trial := 0; trial < s.Trials; trial++ {
+		trials := trialsFor(s, n)
+		point := BenchPoint{Size: n, Trials: trials}
+		for trial := 0; trial < trials; trial++ {
 			seed := int64(n*1000 + trial)
 			orc := obs.CountOracle(oracle.Single{}, calls)
 			rt, _ := buildParallel(n, seed, orc)
@@ -122,7 +158,7 @@ func benchConcurrent(s Scale, reg *obs.Registry) BenchReport {
 				obs.InstrumentRuntime(rt, reg)
 			}
 			if rt.RunUntil(func(w *sim.World) bool { return w.Legitimate(sim.FDP) },
-				2*time.Millisecond, time.Minute) {
+				2*time.Millisecond, benchTimeout(n)) {
 				point.Converged++
 			}
 			for k := 0; k < sim.NumEventKinds; k++ {

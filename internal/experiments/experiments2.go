@@ -414,7 +414,7 @@ func E11Parallel(s Scale) Result {
 		if !ok {
 			res.Pass = false
 		}
-		exitsOK := rt.Gone() == leavingCount
+		exitsOK := rt.Gone() == uint64(leavingCount)
 		if !exitsOK {
 			res.Pass = false
 		}

@@ -56,6 +56,19 @@ func (g *Graph) undirectedReach(start ref.Ref) ref.Set {
 	return seen
 }
 
+// UndirectedReach returns the set of nodes reachable from start ignoring
+// edge directions, including start, or nil if start is not a node. One
+// traversal answers same-component queries for any number of peers —
+// callers checking a whole member list against one anchor must use this
+// instead of per-pair SameWeakComponent calls, which repeat the BFS per
+// query and turn a linear check quadratic.
+func (g *Graph) UndirectedReach(start ref.Ref) ref.Set {
+	if !g.nodes.Has(start) {
+		return nil
+	}
+	return g.undirectedReach(start)
+}
+
 // SameWeakComponent reports whether u and v lie in the same weakly connected
 // component. A node is in the same component as itself.
 func (g *Graph) SameWeakComponent(u, v ref.Ref) bool {

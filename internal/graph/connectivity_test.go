@@ -234,3 +234,21 @@ func TestQuickArticulationDefinition(t *testing.T) {
 		}
 	}
 }
+
+func TestUndirectedReach(t *testing.T) {
+	nodes, _ := mkNodes(4)
+	g := New()
+	g.AddEdge(nodes[0], nodes[1], Explicit)
+	g.AddEdge(nodes[2], nodes[1], Implicit) // reverse direction must not matter
+	g.AddNode(nodes[3])
+	reach := g.UndirectedReach(nodes[0])
+	if !reach.Has(nodes[0]) || !reach.Has(nodes[1]) || !reach.Has(nodes[2]) {
+		t.Fatalf("reach from %v missing connected nodes: %v", nodes[0], reach.Sorted())
+	}
+	if reach.Has(nodes[3]) {
+		t.Fatal("isolated node must not be reachable")
+	}
+	if g.UndirectedReach(ref.Ref{}) != nil {
+		t.Fatal("non-node start must yield nil")
+	}
+}

@@ -148,14 +148,39 @@ func (o countedOracle) Evaluate(w *sim.World, u ref.Ref) bool {
 	return o.inner.Evaluate(w, u)
 }
 
+// degreeJudge mirrors the concurrent runtime's degree-oracle contract: an
+// oracle whose verdict is a pure function of the SINGLE-style relevant
+// degree. The counting wrapper must preserve it — the runtime discovers
+// the capability by type assertion, and losing it would silently push a
+// benchmark run off the incremental-degree fast path onto the per-epoch
+// world clone.
+type degreeJudge interface {
+	JudgeDegree(deg int) bool
+}
+
+type countedDegreeOracle struct {
+	countedOracle
+	jd degreeJudge
+}
+
+func (o countedDegreeOracle) JudgeDegree(deg int) bool {
+	o.calls.Inc()
+	return o.jd.JudgeDegree(deg)
+}
+
 // CountOracle wraps orc so every evaluation increments the
 // MetricOracleCalls counter of reg — the oracle-call-count series for both
 // engines (the sequential world evaluates on OracleSays and legitimacy
-// checks; the runtime from the coordinator and validateExit). A nil orc is
-// returned unchanged.
+// checks; the runtime from the coordinator, epoch validation and
+// validateExit). Degree-pure oracles keep their JudgeDegree method through
+// the wrapper. A nil orc is returned unchanged.
 func CountOracle(orc sim.Oracle, reg *Registry) sim.Oracle {
 	if orc == nil {
 		return nil
 	}
-	return countedOracle{inner: orc, calls: reg.Counter(MetricOracleCalls, "oracle evaluations")}
+	c := countedOracle{inner: orc, calls: reg.Counter(MetricOracleCalls, "oracle evaluations")}
+	if jd, ok := orc.(degreeJudge); ok {
+		return countedDegreeOracle{countedOracle: c, jd: jd}
+	}
+	return c
 }

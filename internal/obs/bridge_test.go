@@ -115,7 +115,7 @@ func TestInstrumentRuntime(t *testing.T) {
 	if !ok {
 		t.Fatal("runtime did not converge")
 	}
-	if rt.Gone() != leavers {
+	if rt.Gone() != uint64(leavers) {
 		t.Fatalf("gone = %d, want %d leavers", rt.Gone(), leavers)
 	}
 	exits := reg.Counter(eventSeries("runtime", sim.EvExit), "").Value()
@@ -146,6 +146,16 @@ func TestCountOracle(t *testing.T) {
 	orc := CountOracle(oracle.Single{}, reg)
 	if orc.Name() != (oracle.Single{}).Name() {
 		t.Fatalf("wrapper changed oracle name to %q", orc.Name())
+	}
+	jd, ok := orc.(interface{ JudgeDegree(int) bool })
+	if !ok {
+		t.Fatal("wrapper dropped Single's JudgeDegree — runtime would lose the degree fast path")
+	}
+	if !jd.JudgeDegree(1) || jd.JudgeDegree(2) {
+		t.Fatal("wrapped JudgeDegree no longer matches Single's verdict")
+	}
+	if _, bad := CountOracle(oracle.NIDEC{}, reg).(interface{ JudgeDegree(int) bool }); bad {
+		t.Fatal("wrapper invented JudgeDegree for a stateful oracle")
 	}
 	s := churn.Build(churn.Config{
 		N: 8, Topology: churn.TopoRing, LeaveFraction: 0.4, Pattern: churn.LeaveRandom,

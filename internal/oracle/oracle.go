@@ -37,6 +37,12 @@ func (Single) Evaluate(w *sim.World, u ref.Ref) bool {
 	return deg <= 1
 }
 
+// JudgeDegree is the degree-only form of Evaluate: SINGLE's verdict is a
+// pure function of the caller's relevant degree. Engines that maintain that
+// degree incrementally (the concurrent runtime's epoch fast path) judge
+// exits through it without materializing a world snapshot.
+func (Single) JudgeDegree(deg int) bool { return deg <= 1 }
+
 // NIDEC is the oracle of Foreback et al. [15]: true for u iff No process
 // holds a reference of u (no Incoming Edges) and u's Channel is empty
 // ("DEC": departure channel empty). It is strictly stronger than needed for
@@ -97,8 +103,9 @@ func (ExitSafe) Evaluate(w *sim.World, u ref.Ref) bool {
 	}
 	h := pg.Clone()
 	h.RemoveNode(u)
-	for i := 1; i < len(others); i++ {
-		if !h.SameWeakComponent(others[0], others[i]) {
+	reach := h.UndirectedReach(others[0])
+	for _, x := range others[1:] {
+		if !reach.Has(x) {
 			return false
 		}
 	}
@@ -120,6 +127,11 @@ func (a Always) Name() string {
 
 // Evaluate implements sim.Oracle.
 func (a Always) Evaluate(*sim.World, ref.Ref) bool { return bool(a) }
+
+// JudgeDegree returns the constant, ignoring the degree: Always is a
+// degree-judged oracle in the trivial sense, so the concurrent runtime's
+// epoch fast path covers the unsafe-oracle ablations too.
+func (a Always) JudgeDegree(int) bool { return bool(a) }
 
 // TimeoutSingle approximates SINGLE the way a practical deployment would:
 // instead of a consistent global snapshot, it remembers the answer computed

@@ -1,0 +1,120 @@
+package parallel
+
+import (
+	"testing"
+	"time"
+
+	"fdp/internal/core"
+	"fdp/internal/oracle"
+	"fdp/internal/ref"
+	"fdp/internal/sim"
+)
+
+// TestIncrementalDegreeMatchesFrozenWorld pauses a running churn system at
+// random moments and checks, for every live leaver, that the incremental
+// neighbor multiset (degree.go) reports exactly the frozen world's
+// RelevantDegree — the quantity the epoch fast path judges exits on. A
+// mid-run Mutate injects junk in-flight references to exercise the reseed
+// path as well.
+func TestIncrementalDegreeMatchesFrozenWorld(t *testing.T) {
+	for _, shards := range []int{1, 3} {
+		rt, nodes, leaving := buildShardedRuntime(512, 0.5, 41, core.VariantFDP, oracle.Single{}, shards)
+		rt.Start()
+		if !rt.trackDeg {
+			t.Fatal("Single must enable degree tracking")
+		}
+		deadline := time.Now().Add(20 * time.Second)
+		checks, struck := 0, false
+		for time.Now().Before(deadline) {
+			if rt.Gone() == uint64(leaving.Len()) && checks > 0 {
+				break
+			}
+			if !struck && rt.Gone() > 3 {
+				// Junk in-flight references mid-run: Mutate must reseed the
+				// counters to match.
+				rt.Mutate(func(v *MutableView) {
+					live := v.Live()
+					for i := 0; i < 5 && i < len(live); i++ {
+						v.Enqueue(live[i], sim.NewMessage("junk",
+							sim.RefInfo{Ref: nodes[(i*7)%len(nodes)], Mode: sim.Staying}))
+					}
+				})
+				struck = true
+			}
+			checks++
+			rt.pauseAll()
+			w := rt.freezeUnderPause()
+			for _, p := range rt.leavers {
+				if p.life.Load() == 2 {
+					continue
+				}
+				want, rel := w.RelevantDegree(p.id)
+				if !rel {
+					rt.resumeAll()
+					t.Fatalf("shards=%d: live leaver %v not relevant in frozen world", shards, p.id)
+				}
+				if got := len(p.nbr); got != want {
+					rt.resumeAll()
+					t.Fatalf("shards=%d: leaver %v incremental degree %d, frozen world says %d (checks=%d)",
+						shards, p.id, got, want, checks)
+				}
+			}
+			rt.resumeAll()
+			time.Sleep(500 * time.Microsecond)
+		}
+		rt.Stop()
+		if rt.Gone() != uint64(leaving.Len()) {
+			t.Fatalf("shards=%d: only %d/%d exits", shards, rt.Gone(), leaving.Len())
+		}
+		if checks < 3 {
+			t.Fatalf("shards=%d: too few mid-run checks (%d)", shards, checks)
+		}
+		if !struck {
+			t.Fatalf("shards=%d: strike never fired", shards)
+		}
+	}
+}
+
+// TestEpochFastPathJudgesExits asserts the fast path actually runs (no
+// frozen world needed) and still refuses unsafe exits: with Always(false)
+// no process may ever leave, with Single everyone must.
+func TestEpochFastPathJudgesExits(t *testing.T) {
+	rt, _, _ := buildRuntime(12, 0.5, 7, core.VariantFDP, oracle.Always(false))
+	rt.Start()
+	if !rt.trackDeg {
+		t.Fatal("Always must enable degree tracking")
+	}
+	time.Sleep(50 * time.Millisecond)
+	rt.Stop()
+	if rt.Gone() != 0 {
+		t.Fatalf("Always(false) under the fast path let %d exits through", rt.Gone())
+	}
+	if rt.Epochs() == 0 {
+		t.Fatal("coordinator never ran an epoch")
+	}
+}
+
+// TestDegreeSeedCountsInitialInFlight checks the Start-time reseed counts
+// pre-Start injected messages as implicit edges: a leaver whose only tie to
+// the system is a reference travelling in a message must report degree 1.
+func TestDegreeSeedCountsInitialInFlight(t *testing.T) {
+	space := ref.NewSpace()
+	nodes := space.NewN(3)
+	rt := NewRuntime(oracle.Single{})
+	rt.AddProcess(nodes[0], sim.Staying, core.New(core.VariantFDP))
+	rt.AddProcess(nodes[1], sim.Staying, core.New(core.VariantFDP))
+	rt.AddProcess(nodes[2], sim.Leaving, core.New(core.VariantFDP))
+	// nodes[0] is being told about the leaver: the ref rides in flight.
+	rt.Enqueue(nodes[0], sim.NewMessage("intro", sim.RefInfo{Ref: nodes[2], Mode: sim.Leaving}))
+	rt.Start()
+	defer rt.Stop()
+	rt.pauseAll()
+	leaver := rt.procs[nodes[2]]
+	got := len(leaver.nbr)
+	w := rt.freezeUnderPause()
+	want, _ := w.RelevantDegree(nodes[2])
+	rt.resumeAll()
+	if got != want || want == 0 {
+		t.Fatalf("seeded degree %d, frozen world %d (want equal and nonzero)", got, want)
+	}
+}

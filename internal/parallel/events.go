@@ -15,10 +15,11 @@ import (
 //     maintained by every action. They are what the differential
 //     event-parity test compares between engines.
 //   - Per-process ring buffers (EnableTrace) keep the last-K events of each
-//     process. Each ring is written only by its owner goroutine while it
-//     holds the action RLock (or, for exit, the snapshot write lock) and is
-//     read only under the snapshot write lock, so the RWMutex orders every
-//     write before every read with no extra locking on the hot path.
+//     process. Each ring is written only by the owning shard's worker while
+//     it holds the shard's action read lock (or by the coordinator under a
+//     full pause, for batched exit events) and is read only under a full
+//     pause, so the action locks order every write before every read with
+//     no extra locking on the hot path.
 //   - An optional event sink (SetEventSink) receives every event
 //     synchronously from the emitting goroutine; it must be safe for
 //     concurrent use (the obs bridge feeds atomic registry metrics).
@@ -28,8 +29,8 @@ import (
 // counter, good enough to order a dump for post-mortem reading.
 
 // evRing is a bounded per-process event ring. Single writer (the owning
-// goroutine, under the action RLock or the snapshot write lock); readers
-// take the snapshot write lock, which excludes all writers.
+// shard's worker under the action read lock, or the coordinator under a
+// full pause); readers pause the world, which excludes all writers.
 type evRing struct {
 	buf   []sim.Event
 	next  int
@@ -64,7 +65,7 @@ func (rt *Runtime) EnableTrace(perProc int) {
 		perProc = 256
 	}
 	rt.traceCap = perProc
-	for _, p := range rt.procs {
+	for _, p := range rt.byPid {
 		p.ring = &evRing{buf: make([]sim.Event, 0, perProc)}
 	}
 }
@@ -75,8 +76,8 @@ func (rt *Runtime) EnableTrace(perProc int) {
 func (rt *Runtime) SetEventSink(fn func(sim.Event)) { rt.eventSink = fn }
 
 // record is the runtime's emit: per-kind counter, owner ring, sink. The
-// caller must hold the action RLock or the snapshot write lock (see the
-// evRing contract above).
+// caller must hold the owning shard's action read lock or a full pause (see
+// the evRing contract above).
 func (p *proc) record(e sim.Event) {
 	rt := p.rt
 	if int(e.Kind) < len(rt.kindCounts) {
@@ -110,8 +111,8 @@ func (rt *Runtime) EventKindCounts() map[sim.EventKind]uint64 {
 // order). Empty unless EnableTrace was called. Safe to call while running
 // and after Stop.
 func (rt *Runtime) TraceEvents() []sim.Event {
-	rt.snap.Lock()
-	defer rt.snap.Unlock()
+	rt.pauseAll()
+	defer rt.resumeAll()
 	var out []sim.Event
 	for _, r := range rt.order {
 		if ring := rt.procs[r].ring; ring != nil {
@@ -134,8 +135,8 @@ func (rt *Runtime) StartTime() time.Time { return rt.startTime }
 // ExitLatencies returns the wall-clock time from Start to each committed
 // exit, in commit order — the runtime's time-to-exit-per-leaver series.
 func (rt *Runtime) ExitLatencies() []time.Duration {
-	rt.snap.Lock()
-	defer rt.snap.Unlock()
+	rt.exitMu.Lock()
+	defer rt.exitMu.Unlock()
 	out := make([]time.Duration, len(rt.exitLatency))
 	copy(out, rt.exitLatency)
 	return out
@@ -144,8 +145,8 @@ func (rt *Runtime) ExitLatencies() []time.Duration {
 // MailboxDepths returns the current queue length of every non-gone
 // process, a consistent snapshot of mailbox depth.
 func (rt *Runtime) MailboxDepths() []int {
-	rt.snap.Lock()
-	defer rt.snap.Unlock()
+	rt.pauseAll()
+	defer rt.resumeAll()
 	out := make([]int, 0, len(rt.order))
 	for _, r := range rt.order {
 		p := rt.procs[r]

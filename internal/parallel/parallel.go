@@ -1,41 +1,53 @@
-// Package parallel is the concurrent runtime: one goroutine per process,
-// real mailboxes, true parallel execution on all cores. It runs the same
-// Protocol implementations as the sequential simulator (they only ever see
-// the sim.Context interface) and is used to cross-validate the simulator's
+// Package parallel is the concurrent runtime: a sharded M:N scheduler that
+// drives up to hundreds of thousands of processes on a fixed worker pool,
+// with true parallel execution on all cores. It runs the same Protocol
+// implementations as the sequential simulator (they only ever see the
+// sim.Context interface) and is used to cross-validate the simulator's
 // outcomes (experiment E16, internal/diffval) and to measure event
-// throughput (experiment E11).
+// throughput and time-to-exit at scale (experiment E11, the bench harness).
 //
-// Concurrency design ("share memory by communicating" where possible, a
-// coarse snapshot lock where the model demands a consistent global view):
+// Architecture (DESIGN.md §12):
 //
-//   - Each process's protocol state is owned by its goroutine; nobody else
-//     touches it while actions run.
-//   - Mailboxes are mutex+cond queues with unbounded capacity, matching the
-//     model's channels (no loss, no bound). FIFO order per mailbox is one
-//     legal schedule of the non-FIFO model. A closed mailbox stops
-//     accepting and delivering messages but RETAINS its queue, so terminal
-//     snapshots still see every in-flight reference (implicit edges).
-//   - Every action executes under the read side of a global RWMutex; global
-//     snapshots (oracle evaluation, legitimacy detection, exit validation,
-//     fault injection via Mutate) take the write side. This gives honest
-//     parallelism between snapshot points.
-//   - exit is validated under the write lock: a process's cached oracle
-//     answer may be stale, so validateExit re-evaluates the oracle on a
-//     consistent snapshot before committing the exit — exactly the "check
-//     then act atomically" the sequential model provides for free.
-//   - Idle processes are event-driven: a timeout that finds no work waits
-//     on the mailbox's notify channel with an exponentially growing backoff
-//     (idleMin..idleMax) instead of busy-sleeping a fixed interval. A
-//     message arrival wakes the process immediately; the backoff cap bounds
-//     the latency of purely timeout-driven progress.
+//   - The runtime is split into shards, one worker goroutine each (default
+//     GOMAXPROCS). Every process is interned to a compact uint32 pid and
+//     owned by exactly one shard; each worker alternates bounded delivery
+//     and timeout rounds over its own processes, so scheduling costs O(work)
+//     instead of O(goroutines).
+//   - Mailboxes are plain queues behind a single per-shard lock (mbMu) that
+//     also guards the shard's run queue: a push takes one brief leaf lock,
+//     the worker drains messages in batches under one hold, and wake-ups
+//     are amortized to one notification per newly-runnable process.
+//   - Every action executes under the read side of its shard's action lock
+//     (actMu). A consistent global view — snapshots, exit validation,
+//     Mutate — takes the write side of every shard in ascending order
+//     (pauseAll), replacing the old single global RWMutex: workers contend
+//     only on their own shard's cache line, and the pause cost is paid per
+//     epoch instead of per oracle question.
+//   - exit is validated in epoch batches: a process requesting exit is
+//     suspended (it executes no further actions — its guard must still hold
+//     at commit time), and the coordinator validates all pending requests
+//     against ONE sealed snapshot per epoch, folding every commit back into
+//     the snapshot (sim.World.MarkGone) so later requests in the same batch
+//     are judged against the post-commit state. One O(n) freeze now serves
+//     a whole batch of exits — the change that takes churn runs past
+//     n=100k — while keeping the model's "check then act atomically"
+//     semantics: a stale cached oracle answer can request an exit but never
+//     commit one.
+//   - Workers are paced, not greedy: timeout rounds fire at most once per
+//     timeoutTick (weak fairness needs periodic timeouts, not timeout
+//     storms at CPU speed), a hot worker yields the processor after every
+//     productive round so the coordinator keeps its cadence even on
+//     single-core hosts, an idle worker sleeps until its next timeout round
+//     is due, and a shard blocks entirely once every owned process is
+//     asleep or gone; a message push wakes it immediately.
 //
 // Oracles used with this runtime must be stateless values (like
-// oracle.Single); evaluations run concurrently from the coordinator and
-// from validateExit and are serialized only by oracleMu, not by the
-// snapshot lock.
+// oracle.Single); evaluations are serialized by oracleMu and run on sealed
+// snapshots, never on live state.
 package parallel
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -45,139 +57,78 @@ import (
 	"fdp/internal/sim"
 )
 
-// Idle backoff bounds for the per-process event loop and the coordinator's
-// refresh cadence. Small enough that timeout-driven protocol progress stays
-// fast, large enough that a converged system does not spin.
+// Idle sleep bounds for the shard workers and the coordinator's epoch
+// cadence. Small enough that timeout-driven protocol progress stays fast,
+// large enough that a converged system does not spin. The coordinator
+// additionally never sleeps less than pauseDutyFactor times the last epoch's
+// pause, so at n=100k the world is not frozen back-to-back.
 const (
-	idleMin  = 5 * time.Microsecond
-	idleMax  = time.Millisecond
-	coordMin = 200 * time.Microsecond
-	coordMax = 4 * time.Millisecond
+	idleMin         = 5 * time.Microsecond
+	idleMax         = time.Millisecond
+	coordMin        = 200 * time.Microsecond
+	coordMax        = 4 * time.Millisecond
+	pauseDutyFactor = 3
 )
-
-// mailbox is an unbounded FIFO queue with blocking receive.
-type mailbox struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []sim.Message
-	closed bool
-	// notify is a capacity-1 wakeup signal for the owner's idle wait; push
-	// raises it so an idling process reacts to new work immediately instead
-	// of sleeping out its backoff interval.
-	notify chan struct{}
-}
-
-func newMailbox() *mailbox {
-	m := &mailbox{notify: make(chan struct{}, 1)}
-	m.cond = sync.NewCond(&m.mu)
-	return m
-}
-
-// push enqueues msg and returns the queue depth after the append (0 and
-// false when the mailbox is closed).
-func (m *mailbox) push(msg sim.Message) (int, bool) {
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
-		return 0, false
-	}
-	m.queue = append(m.queue, msg)
-	depth := len(m.queue)
-	m.cond.Signal()
-	m.mu.Unlock()
-	select {
-	case m.notify <- struct{}{}:
-	default:
-	}
-	return depth, true
-}
-
-// tryPop returns immediately; a closed mailbox delivers nothing (its
-// remaining queue is retained for terminal snapshots). The int result is
-// the queue depth after the pop.
-func (m *mailbox) tryPop() (sim.Message, int, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.closed || len(m.queue) == 0 {
-		return sim.Message{}, 0, false
-	}
-	msg := m.queue[0]
-	m.queue = m.queue[1:]
-	return msg, len(m.queue), true
-}
-
-// waitPop blocks until a message arrives or the mailbox closes; the last
-// result is false when the mailbox is closed. The int result is the queue
-// depth after the pop.
-func (m *mailbox) waitPop() (sim.Message, int, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for len(m.queue) == 0 && !m.closed {
-		m.cond.Wait()
-	}
-	if m.closed || len(m.queue) == 0 {
-		return sim.Message{}, 0, false
-	}
-	msg := m.queue[0]
-	m.queue = m.queue[1:]
-	return msg, len(m.queue), true
-}
-
-// close stops deliveries and further pushes but RETAINS the queued
-// messages: they are in-flight state the terminal freeze must still count
-// (an earlier revision nilled the queue here, silently dropping every
-// reference carried by undelivered messages from post-Stop snapshots).
-func (m *mailbox) close() {
-	m.mu.Lock()
-	m.closed = true
-	m.cond.Broadcast()
-	m.mu.Unlock()
-}
-
-func (m *mailbox) len() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.queue)
-}
-
-func (m *mailbox) snapshot() []sim.Message {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]sim.Message, len(m.queue))
-	copy(out, m.queue)
-	return out
-}
 
 // proc is one concurrent process.
 type proc struct {
 	id    ref.Ref
+	pid   uint32 // dense index into Runtime.byPid
 	mode  sim.Mode
 	proto sim.Protocol
-	mb    *mailbox
+	mb    mailbox // guarded by the owning shard's mbMu (or a full pause)
 
-	// life is read concurrently (sends, snapshots) and written by the
-	// owner goroutine / coordinator: 0 awake, 1 asleep, 2 gone.
+	// shard is the owning shard's index. Rewritten only under a full pause
+	// (rebalance); read atomically by senders on other shards.
+	shard atomic.Uint32
+
+	// inRun reports whether the process sits in its shard's run queue (or is
+	// being drained right now). Guarded by the owning shard's mbMu.
+	inRun bool
+
+	// life is read concurrently (sends, snapshots) and written by the owning
+	// worker / coordinator: 0 awake, 1 asleep, 2 gone.
 	life atomic.Int32
+
+	// exitPending suspends the process between its exit request and the
+	// coordinator's batched verdict: the worker delivers nothing to it and
+	// runs no timeouts on it, so the state the guard was evaluated in cannot
+	// drift before the commit. Set by the worker (CAS), cleared by the
+	// coordinator under a full pause.
+	exitPending atomic.Bool
 
 	wantExit  bool
 	wantSleep bool
 
 	// clock is the process's Lamport clock and curCID the causal ID of the
-	// current action's trigger event. Both are touched only by the owner
-	// goroutine (validateExit included: it runs on the owner), so they need
-	// no synchronization beyond the mailbox transfer of message clocks.
+	// current action's trigger event. Both are touched only under the
+	// shard's action read lock by the one worker that owns the process (or
+	// under a full pause), so they need no further synchronization.
 	clock  uint64
 	curCID uint64
 
 	// ring is the per-process trace ring (nil unless EnableTrace). Written
-	// only by the owner goroutine under the action RLock (or the snapshot
-	// write lock for the exit event); read under the snapshot write lock.
+	// only by the owning worker under the action read lock (or under a full
+	// pause for the exit event); read under a full pause.
 	ring *evRing
 
 	// oracleOK caches the coordinator's last oracle evaluation for this
-	// process. Reads are cheap and may be stale; exits are re-validated
-	// under the snapshot lock.
+	// process. Reads are cheap and may be stale; exits are re-validated on a
+	// sealed snapshot (or the incremental degree counters) before
+	// committing.
 	oracleOK atomic.Bool
+
+	// nbr is the incremental relevant-degree multiset: distinct neighbor
+	// pid → number of current PG edges with it (see degree.go). Non-nil
+	// only for live leaving processes of degree-tracked runs; guarded by
+	// degMu (pair updates lock both endpoints in ascending pid order).
+	nbr   map[uint32]int32
+	degMu sync.Mutex
+
+	// refsA/refsB are the action-diff scratch buffers of degree tracking,
+	// touched only by the owning worker (or under a full pause).
+	refsA []ref.Ref
+	refsB []ref.Ref
 
 	rt *Runtime
 }
@@ -186,15 +137,27 @@ type proc struct {
 type Runtime struct {
 	procs  map[ref.Ref]*proc
 	order  []ref.Ref
+	byPid  []*proc
+	shards []*shard
 	oracle sim.Oracle // evaluated on frozen snapshots via the World shim
 
-	snap sync.RWMutex // actions: RLock; snapshots and Mutate: Lock
+	// freezeMu serializes world pausers (coordinator epochs, Freeze, Mutate,
+	// validateExit) ahead of the per-shard action locks; see pauseAll.
+	freezeMu sync.Mutex
 
-	// oracleMu serializes oracle evaluations that run outside the snapshot
-	// lock (the coordinator evaluates on a private frozen world after
-	// releasing it) against validateExit's evaluation under the lock, so
-	// stateful oracles do not race with themselves.
+	// oracleMu serializes oracle evaluations so stateful oracles never race
+	// with themselves. Leaf lock: nothing else is acquired under it.
 	oracleMu sync.Mutex
+
+	// exitMu guards the pending-exit list and the exit-latency series. Leaf
+	// lock.
+	exitMu       sync.Mutex
+	pendingExits []*proc
+	exitLatency  []time.Duration
+
+	// exitKick is a capacity-1 signal that exit requests are pending, so the
+	// coordinator runs an early epoch instead of sleeping out its interval.
+	exitKick chan struct{}
 
 	// causal is the runtime's causal-ID counter, the concurrent analogue of
 	// the simulator's. Enqueue seeds it past any transplanted message's CID
@@ -202,11 +165,21 @@ type Runtime struct {
 	// vocabulary is identical across engines and fresh IDs never collide.
 	causal atomic.Uint64
 
+	// trackDeg enables incremental relevant-degree counters (degree.go):
+	// set at Start when the oracle's verdict is a pure degree function.
+	// leavers indexes the Leaving processes for the epoch cache refresh;
+	// asleep counts processes with life==1 — while it is zero nothing can
+	// hibernate and the counters equal the frozen world's RelevantDegree.
+	trackDeg bool
+	leavers  []*proc
+	asleep   atomic.Int64
+
 	events     atomic.Uint64 // executed actions (timeouts + deliveries)
 	sent       atomic.Uint64
 	dropped    atomic.Uint64 // sends to gone/closed targets (vanish, like the model)
-	exits      atomic.Int32
+	exits      atomic.Uint64
 	exitDenied atomic.Uint64 // exit requests rejected by revalidation
+	epochs     atomic.Uint64 // coordinator epochs (world pauses for batch validation)
 
 	// kindCounts mirrors the sequential engine's per-kind event stream as
 	// always-on atomic counters (see events.go).
@@ -215,10 +188,6 @@ type Runtime struct {
 	eventSink  func(sim.Event) // optional synchronous observer (obs bridge)
 	startTime  time.Time       // set by Start; exit latencies measured from it
 
-	// exitLatency records time-to-exit per committed exit, appended by
-	// validateExit under the snapshot write lock.
-	exitLatency []time.Duration
-
 	stop     atomic.Bool
 	stopCh   chan struct{} // closed by Stop; unblocks idle waits promptly
 	stopOnce sync.Once
@@ -226,19 +195,45 @@ type Runtime struct {
 
 	// initially is the weakly-connected-component partition captured at
 	// Start (and re-captured by MutableView.Reseal after a fault strike).
-	// Written only before the goroutines exist or under the snapshot lock.
+	// Written only before the goroutines exist or under a full pause.
 	initially [][]ref.Ref
 }
 
 // Oracle is re-exported so callers pass the same oracles as the simulator.
 type Oracle = sim.Oracle
 
-// NewRuntime returns an empty runtime with the given oracle (may be nil).
+// NewRuntime returns an empty runtime with the given oracle (may be nil) and
+// one shard per GOMAXPROCS.
 func NewRuntime(oracle Oracle) *Runtime {
-	return &Runtime{
-		procs:  make(map[ref.Ref]*proc),
-		oracle: oracle,
-		stopCh: make(chan struct{}),
+	rt := &Runtime{
+		procs:    make(map[ref.Ref]*proc),
+		oracle:   oracle,
+		stopCh:   make(chan struct{}),
+		exitKick: make(chan struct{}, 1),
+	}
+	rt.makeShards(runtime.GOMAXPROCS(0))
+	return rt
+}
+
+// SetShards fixes the worker count. Must be called before any AddProcess;
+// processes are dealt pid-modulo-k until a rebalance.
+func (rt *Runtime) SetShards(k int) {
+	if k < 1 {
+		panic("parallel: SetShards needs at least one shard")
+	}
+	if len(rt.byPid) > 0 {
+		panic("parallel: SetShards after AddProcess")
+	}
+	rt.makeShards(k)
+}
+
+// Shards returns the worker-shard count.
+func (rt *Runtime) Shards() int { return len(rt.shards) }
+
+func (rt *Runtime) makeShards(k int) {
+	rt.shards = make([]*shard, k)
+	for i := range rt.shards {
+		rt.shards[i] = &shard{idx: i, rt: rt, notify: make(chan struct{}, 1)}
 	}
 }
 
@@ -247,11 +242,18 @@ func (rt *Runtime) AddProcess(r ref.Ref, mode sim.Mode, proto sim.Protocol) {
 	if _, dup := rt.procs[r]; dup {
 		panic("parallel: duplicate process")
 	}
-	p := &proc{id: r, mode: mode, proto: proto, mb: newMailbox(), rt: rt}
+	p := &proc{id: r, pid: uint32(len(rt.byPid)), mode: mode, proto: proto, rt: rt}
 	if rt.traceCap > 0 {
 		p.ring = &evRing{buf: make([]sim.Event, 0, rt.traceCap)}
 	}
+	sh := rt.shards[int(p.pid)%len(rt.shards)]
+	p.shard.Store(uint32(sh.idx))
+	sh.pids = append(sh.pids, p.pid)
+	rt.byPid = append(rt.byPid, p)
 	rt.procs[r] = p
+	if mode == sim.Leaving {
+		rt.leavers = append(rt.leavers, p)
+	}
 	rt.order = append(rt.order, r)
 	ref.Sort(rt.order)
 }
@@ -266,7 +268,7 @@ func (rt *Runtime) Enqueue(to ref.Ref, msg sim.Message) {
 	} else if cur := rt.causal.Load(); msg.CID() > cur {
 		rt.causal.Store(msg.CID())
 	}
-	rt.procs[to].mb.push(msg)
+	rt.push(rt.procs[to], msg)
 }
 
 // KindCount returns the number of events of kind k emitted so far.
@@ -282,6 +284,7 @@ func (rt *Runtime) KindCount(k sim.EventKind) uint64 {
 // initial state contains asleep processes) and must be called before Start.
 func (rt *Runtime) ForceAsleep(r ref.Ref) {
 	rt.procs[r].life.Store(1)
+	rt.asleep.Add(1)
 }
 
 // Events returns the number of executed actions so far.
@@ -295,13 +298,18 @@ func (rt *Runtime) Sent() uint64 { return rt.sent.Load() }
 // gone (or exiting concurrently).
 func (rt *Runtime) Dropped() uint64 { return rt.dropped.Load() }
 
-// Gone returns the number of exited processes.
-func (rt *Runtime) Gone() int { return int(rt.exits.Load()) }
+// Gone returns the number of exited processes. The counter is a uint64 end
+// to end (no truncating int conversion) so exit accounting stays exact at
+// any scale.
+func (rt *Runtime) Gone() uint64 { return rt.exits.Load() }
 
-// ExitDenied returns how many exit requests the revalidation under the
-// snapshot lock rejected because the stale cached oracle answer no longer
-// held. Observability for the validateExit contention tests.
+// ExitDenied returns how many exit requests the batched revalidation
+// rejected because the stale cached oracle answer no longer held.
+// Observability for the validateExit contention tests.
 func (rt *Runtime) ExitDenied() uint64 { return rt.exitDenied.Load() }
+
+// Epochs returns how many epoch pauses the coordinator has run.
+func (rt *Runtime) Epochs() uint64 { return rt.epochs.Load() }
 
 // ctx implements sim.Context for a process action.
 type pctx struct{ p *proc }
@@ -324,7 +332,7 @@ func (c *pctx) Send(to ref.Ref, msg sim.Message) {
 	// like the model's "sends to gone processes vanish".
 	depth, pushed := 0, false
 	if target != nil && target.life.Load() != 2 {
-		depth, pushed = target.mb.push(msg)
+		depth, pushed = rt.push(target, msg)
 	}
 	if !pushed {
 		rt.dropped.Add(1)
@@ -333,7 +341,7 @@ func (c *pctx) Send(to ref.Ref, msg sim.Message) {
 		// Transport-level failure detection, same contract as the
 		// sequential Context: the sender learns within its own atomic
 		// action that the message was undeliverable. Safe here: the
-		// handler runs on the owner goroutine under the action RLock.
+		// handler runs on the owning worker under the action read lock.
 		if h, ok := c.p.proto.(sim.UndeliverableHandler); ok {
 			h.Undeliverable(c, to, msg)
 		}
@@ -346,10 +354,10 @@ func (c *pctx) Send(to ref.Ref, msg sim.Message) {
 func (c *pctx) Exit()  { c.p.wantExit = true }
 func (c *pctx) Sleep() { c.p.wantSleep = true }
 
-// OracleSays gives the process's cached view, refreshed periodically by the
-// coordinator; the authoritative re-check happens in validateExit under the
-// snapshot lock. (Taking the snapshot lock here would deadlock: the calling
-// action already holds its read side.)
+// OracleSays gives the process's cached view, refreshed every epoch by the
+// coordinator; the authoritative re-check happens on a sealed snapshot
+// before any exit commits. (Freezing here would deadlock: the calling action
+// already holds its shard's action read lock.)
 func (c *pctx) OracleSays() bool {
 	if c.p.rt.oracle == nil {
 		return false
@@ -357,143 +365,193 @@ func (c *pctx) OracleSays() bool {
 	return c.p.oracleOK.Load()
 }
 
-// run is the per-process goroutine body.
-func (p *proc) run() {
-	defer p.rt.wg.Done()
-	backoff := idleMin
-	idleTimer := time.NewTimer(time.Hour)
-	if !idleTimer.Stop() {
-		<-idleTimer.C
+// deliverAction executes one delivery on p under the shard's action read
+// lock. depth is the queue length right after this message's removal. It
+// returns true when the action took p out of circulation for this batch
+// (exit committed, or exit requested and the process suspended).
+func (p *proc) deliverAction(sh *shard, msg sim.Message, depth int) bool {
+	ctx := &pctx{p: p}
+	p.wantExit, p.wantSleep = false, false
+	// Lamport merge: the delivery happens after the send.
+	if c := msg.SendClock(); c > p.clock {
+		p.clock = c
 	}
-	defer idleTimer.Stop()
+	p.clock++
+	if p.life.Load() == 1 {
+		p.life.Store(0) // processing a message wakes the process
+		sh.awake.Add(1)
+		p.rt.asleep.Add(-1)
+		p.record(sim.Event{Kind: sim.EvWake, Proc: p.id,
+			CID: p.rt.causal.Add(1), Parent: msg.CID(), Clock: p.clock})
+	}
+	p.curCID = p.rt.causal.Add(1)
+	p.record(sim.Event{Kind: sim.EvDeliver, Proc: p.id, Peer: msg.From(), Label: msg.Label, Depth: depth,
+		CID: p.curCID, Parent: msg.CID(), MsgID: msg.CID(), MsgSeq: msg.Seq(), Clock: p.clock})
+	if p.rt.trackDeg {
+		// The message leaves the in-flight state: its implicit edges drop,
+		// and whatever the handler stores reappears via the explicit diff.
+		p.rt.removeMsgPairs(p, &msg)
+		p.beginRefs()
+		p.proto.Deliver(ctx, msg)
+		p.syncRefs()
+	} else {
+		p.proto.Deliver(ctx, msg)
+	}
+	return p.finishAction(sh)
+}
 
-	for !p.rt.stop.Load() {
-		if p.life.Load() == 2 {
-			return
-		}
-		var msg sim.Message
-		var haveMsg, woke bool
-		var depth int
-		if p.life.Load() == 1 { // asleep: block until a message arrives
-			msg, depth, haveMsg = p.mb.waitPop()
-			if !haveMsg {
-				if p.rt.stop.Load() || p.life.Load() == 2 {
-					return
-				}
-				continue
-			}
-			p.life.Store(0) // processing a message wakes the process
-			woke = true
-		} else {
-			msg, depth, haveMsg = p.mb.tryPop()
-		}
+// timeoutAction executes one timeout on p under the shard's action read
+// lock.
+func (p *proc) timeoutAction(sh *shard) bool {
+	ctx := &pctx{p: p}
+	p.wantExit, p.wantSleep = false, false
+	p.clock++
+	p.curCID = p.rt.causal.Add(1)
+	p.record(sim.Event{Kind: sim.EvTimeout, Proc: p.id, CID: p.curCID, Clock: p.clock})
+	if p.rt.trackDeg {
+		p.beginRefs()
+		p.proto.Timeout(ctx)
+		p.syncRefs()
+	} else {
+		p.proto.Timeout(ctx)
+	}
+	return p.finishAction(sh)
+}
 
-		ctx := &pctx{p: p}
-		p.wantExit, p.wantSleep = false, false
+// finishAction applies the deferred lifecycle transitions of one atomic
+// action, mirroring the sequential engine's post-action block. Exit wins
+// over sleep. With no oracle configured the exit commits immediately (there
+// is no guard to revalidate); otherwise the process suspends and the
+// request joins the coordinator's next epoch batch.
+func (p *proc) finishAction(sh *shard) bool {
+	rt := p.rt
+	if p.wantSleep && !p.wantExit {
+		p.record(sim.Event{Kind: sim.EvSleep, Proc: p.id,
+			CID: rt.causal.Add(1), Parent: p.curCID, Clock: p.clock})
+	}
+	rt.events.Add(1)
+	if p.wantExit {
+		if rt.oracle == nil {
+			rt.commitExit(p)
+			return true
+		}
+		if p.exitPending.CompareAndSwap(false, true) {
+			rt.requestExit(p)
+		}
+		return true
+	}
+	if p.wantSleep {
+		p.life.Store(1)
+		sh.awake.Add(-1)
+		rt.asleep.Add(1)
+	}
+	return false
+}
 
-		// The trace events of one action (wake, deliver/timeout, the sends
-		// inside the protocol code, sleep) are all recorded under the action
-		// RLock: the per-proc ring's single-writer contract relies on the
-		// snapshot lock ordering every ring write before every drain.
-		p.rt.snap.RLock()
-		if haveMsg {
-			// Lamport merge: the delivery happens after the send.
-			if c := msg.SendClock(); c > p.clock {
-				p.clock = c
-			}
-			p.clock++
-			if woke {
-				p.record(sim.Event{Kind: sim.EvWake, Proc: p.id,
-					CID: p.rt.causal.Add(1), Parent: msg.CID(), Clock: p.clock})
-			}
-			p.curCID = p.rt.causal.Add(1)
-			p.record(sim.Event{Kind: sim.EvDeliver, Proc: p.id, Peer: msg.From(), Label: msg.Label, Depth: depth,
-				CID: p.curCID, Parent: msg.CID(), MsgID: msg.CID(), MsgSeq: msg.Seq(), Clock: p.clock})
-			p.proto.Deliver(ctx, msg)
-		} else {
-			p.clock++
-			p.curCID = p.rt.causal.Add(1)
-			p.record(sim.Event{Kind: sim.EvTimeout, Proc: p.id, CID: p.curCID, Clock: p.clock})
-			p.proto.Timeout(ctx)
-		}
-		if p.wantSleep && !p.wantExit {
-			p.record(sim.Event{Kind: sim.EvSleep, Proc: p.id,
-				CID: p.rt.causal.Add(1), Parent: p.curCID, Clock: p.clock})
-		}
-		p.rt.snap.RUnlock()
-		p.rt.events.Add(1)
-
-		if p.wantExit {
-			if p.rt.validateExit(p) {
-				return
-			}
-		} else if p.wantSleep {
-			p.life.Store(1)
-		}
-
-		if haveMsg {
-			backoff = idleMin
-			continue
-		}
-		// Idle timeout loop: wait for new work (mailbox notify) or the next
-		// timeout slot, whichever comes first. The backoff doubles while the
-		// process stays idle and resets on the next delivery, so a busy
-		// system runs flat out and a converged one barely wakes.
-		idleTimer.Reset(backoff)
-		select {
-		case <-p.mb.notify:
-			if !idleTimer.Stop() {
-				<-idleTimer.C
-			}
-		case <-p.rt.stopCh:
-			if !idleTimer.Stop() {
-				<-idleTimer.C
-			}
-		case <-idleTimer.C:
-		}
-		if backoff < idleMax {
-			backoff *= 2
-			if backoff > idleMax {
-				backoff = idleMax
-			}
-		}
+// requestExit queues p for the coordinator's next batched validation and
+// kicks an early epoch.
+func (rt *Runtime) requestExit(p *proc) {
+	rt.exitMu.Lock()
+	rt.pendingExits = append(rt.pendingExits, p)
+	rt.exitMu.Unlock()
+	select {
+	case rt.exitKick <- struct{}{}:
+	default:
 	}
 }
 
-// validateExit re-evaluates the oracle under the snapshot (write) lock and
-// commits the exit only if it still holds — the concurrent-world equivalent
-// of the model's atomic guard evaluation. A stale oracleOK cache can
-// therefore request an exit but never commit one.
+// commitExit makes p gone: mailbox closed (retaining its queue for terminal
+// snapshots), shard bookkeeping updated, latency recorded, EvExit emitted.
+// Callers: the owning worker under its action read lock (oracle-free path)
+// or the coordinator / validateExit under a full pause.
+func (rt *Runtime) commitExit(p *proc) {
+	sh := rt.shards[p.shard.Load()]
+	wasAwake := p.life.Load() == 0
+	p.life.Store(2)
+	sh.mbMu.Lock()
+	p.mb.closed = true
+	sh.mbMu.Unlock()
+	if wasAwake {
+		sh.awake.Add(-1)
+	} else {
+		rt.asleep.Add(-1)
+	}
+	if rt.trackDeg {
+		// Degree-tracked commits only happen under the coordinator's full
+		// pause, so the pair erasure races with no mutator.
+		rt.dropPairsOf(p)
+	}
+	rt.exits.Add(1)
+	rt.exitMu.Lock()
+	rt.exitLatency = append(rt.exitLatency, time.Since(rt.startTime))
+	rt.exitMu.Unlock()
+	p.record(sim.Event{Kind: sim.EvExit, Proc: p.id,
+		CID: rt.causal.Add(1), Parent: p.curCID, Clock: p.clock})
+}
+
+// validateExit pauses the world, re-evaluates the oracle on a sealed
+// snapshot and commits p's exit only if the guard still holds — the
+// concurrent-world equivalent of the model's atomic guard evaluation. A
+// stale oracleOK cache can therefore request an exit but never commit one.
+// The coordinator batches many requests per pause via validateExitOn; this
+// entry point pays one pause for one request (tests, direct use). Callers
+// must not hold any shard's action lock.
 func (rt *Runtime) validateExit(p *proc) bool {
-	rt.snap.Lock()
-	defer rt.snap.Unlock()
+	rt.pauseAll()
+	defer rt.resumeAll()
+	var w *sim.World
 	if rt.oracle != nil {
-		w := rt.freezeUnderLock()
+		w = rt.freezeUnderPause()
+	}
+	return rt.validateExitOn(w, p)
+}
+
+// validateExitOn validates one exit request against the sealed snapshot w
+// and commits or denies it. A commit is folded back into w (MarkGone) so the
+// next request validated on the same snapshot is judged against the
+// post-commit state — required for oracles that are not monotone under
+// departures. Caller holds the world paused.
+func (rt *Runtime) validateExitOn(w *sim.World, p *proc) bool {
+	if rt.oracle != nil {
 		rt.oracleMu.Lock()
 		ok := rt.oracle.Evaluate(w, p.id)
 		rt.oracleMu.Unlock()
 		if !ok {
 			p.oracleOK.Store(false) // the cache was stale; stop re-requesting
 			rt.exitDenied.Add(1)
+			p.exitPending.Store(false)
+			rt.reschedule(p)
 			return false
 		}
+		w.MarkGone(p.id)
 	}
-	p.life.Store(2)
-	p.mb.close()
-	rt.exits.Add(1)
-	rt.exitLatency = append(rt.exitLatency, time.Since(rt.startTime))
-	p.record(sim.Event{Kind: sim.EvExit, Proc: p.id,
-		CID: rt.causal.Add(1), Parent: p.curCID, Clock: p.clock})
+	p.exitPending.Store(false)
+	rt.commitExit(p)
 	return true
 }
 
-// Start launches all process goroutines plus the oracle coordinator.
+// Start launches the shard workers plus the oracle coordinator.
 func (rt *Runtime) Start() {
 	rt.startTime = time.Now()
 	rt.initially = rt.freezeLocked().PG().WeaklyConnectedComponents()
-	for _, r := range rt.order {
+	if _, ok := rt.oracle.(degreeOracle); ok {
+		// Degree-judged oracle: maintain incremental relevant-degree
+		// counters so epochs validate exits without cloning the world.
+		// Seeded before the workers exist; push/deliver/action-diff keep
+		// them current from here on (degree.go).
+		rt.trackDeg = true
+		rt.reseedDegrees()
+	}
+	for _, sh := range rt.shards {
+		var awake int32
+		for _, pid := range sh.pids {
+			if rt.byPid[pid].life.Load() == 0 {
+				awake++
+			}
+		}
+		sh.awake.Store(awake)
 		rt.wg.Add(1)
-		go rt.procs[r].run()
+		go sh.worker()
 	}
 	if rt.oracle != nil {
 		rt.wg.Add(1)
@@ -501,11 +559,14 @@ func (rt *Runtime) Start() {
 	}
 }
 
-// coordinate periodically refreshes every live leaving process's cached
-// oracle answer on a consistent snapshot. The cadence adapts: while actions
-// execute it refreshes every coordMin, and while the system is quiet the
-// interval doubles up to coordMax, so a converged (or FSP-hibernated)
-// system is not frozen 2000 times a second for nothing.
+// coordinate runs the epoch loop: each epoch pauses the world once, seals
+// one snapshot, validates every pending exit on it, and refreshes every
+// live leaving process's cached oracle answer. The cadence adapts twice
+// over — while actions execute it runs every coordMin, while the system is
+// quiet the interval doubles up to coordMax, and it never sleeps less than
+// pauseDutyFactor times the last epoch's own duration, so large worlds are
+// not frozen back-to-back. A pending exit request kicks an early epoch so
+// small systems keep sub-millisecond exit latency.
 func (rt *Runtime) coordinate() {
 	defer rt.wg.Done()
 	interval := coordMin
@@ -517,15 +578,9 @@ func (rt *Runtime) coordinate() {
 	defer timer.Stop()
 
 	for !rt.stop.Load() {
-		w := rt.freezeLocked()
-		rt.oracleMu.Lock()
-		for _, r := range rt.order {
-			p := rt.procs[r]
-			if p.mode == sim.Leaving && p.life.Load() != 2 {
-				p.oracleOK.Store(rt.oracle.Evaluate(w, r))
-			}
-		}
-		rt.oracleMu.Unlock()
+		began := time.Now()
+		rt.epoch()
+		cost := time.Since(began)
 
 		if ev := rt.events.Load(); ev == lastEvents {
 			if interval < coordMax {
@@ -538,9 +593,17 @@ func (rt *Runtime) coordinate() {
 			lastEvents = ev
 			interval = coordMin
 		}
-		timer.Reset(interval)
+		wait := interval
+		if floor := pauseDutyFactor * cost; floor > wait {
+			wait = floor
+		}
+		timer.Reset(wait)
 		select {
 		case <-timer.C:
+		case <-rt.exitKick:
+			if !timer.Stop() {
+				<-timer.C
+			}
 		case <-rt.stopCh:
 			if !timer.Stop() {
 				<-timer.C
@@ -549,18 +612,59 @@ func (rt *Runtime) coordinate() {
 	}
 }
 
-// Stop signals all goroutines to finish and waits for them, then leaves the
-// mailboxes closed-but-intact: undelivered messages stay queued so a
-// post-Stop Freeze still counts every in-flight reference. Closing wakes
-// processes blocked in waitPop (asleep, FSP); the stop channel wakes idle
-// backoff waits.
+// epoch is one coordinator round under a single world pause: seal a
+// snapshot, settle the pending exit batch on it, refresh the oracle caches,
+// rebalance if the shards have drifted apart.
+func (rt *Runtime) epoch() {
+	rt.pauseAll()
+	defer rt.resumeAll()
+	rt.epochs.Add(1)
+	if jd, ok := rt.oracle.(degreeOracle); ok && rt.trackDeg && rt.asleep.Load() == 0 {
+		// Fast path: nothing is asleep, so nothing hibernates and the
+		// incremental counters equal the frozen world's RelevantDegree —
+		// O(pending + leavers) instead of an O(n+m) world clone.
+		rt.epochFast(jd)
+		rt.maybeRebalance()
+		return
+	}
+	w := rt.freezeUnderPause()
+	for _, p := range rt.takePendingExits() {
+		rt.validateExitOn(w, p)
+	}
+	rt.oracleMu.Lock()
+	for _, r := range rt.order {
+		p := rt.procs[r]
+		if p.mode == sim.Leaving && p.life.Load() != 2 {
+			p.oracleOK.Store(rt.oracle.Evaluate(w, r))
+		}
+	}
+	rt.oracleMu.Unlock()
+	rt.maybeRebalance()
+}
+
+// takePendingExits claims the current exit batch. A process appears at most
+// once: requestExit is guarded by the exitPending CAS and the flag is only
+// cleared under the pause the batch is processed in.
+func (rt *Runtime) takePendingExits() []*proc {
+	rt.exitMu.Lock()
+	defer rt.exitMu.Unlock()
+	batch := rt.pendingExits
+	rt.pendingExits = nil
+	return batch
+}
+
+// Stop signals all workers to finish, waits for them, then leaves every
+// mailbox closed-but-intact: undelivered messages stay queued so a
+// post-Stop Freeze still counts every in-flight reference.
 func (rt *Runtime) Stop() {
 	rt.stop.Store(true)
 	rt.stopOnce.Do(func() { close(rt.stopCh) })
-	for _, p := range rt.procs {
-		p.mb.close()
-	}
 	rt.wg.Wait()
+	rt.pauseAll()
+	for _, p := range rt.byPid {
+		p.mb.closed = true
+	}
+	rt.resumeAll()
 }
 
 // RunUntil drives the system until predicate(frozen world) is true or the
@@ -574,29 +678,41 @@ func (rt *Runtime) RunUntil(pred func(*sim.World) bool, pollEvery, timeout time.
 
 // WaitUntil blocks until pred holds on a consistent frozen snapshot,
 // re-evaluating every poll tick, or until timeout elapses, and returns the
-// final verdict (the predicate is re-checked once at the deadline). Unlike
-// a deadline busy-poll, the wait is a single timer plus a ticker, with no
-// wall-clock reads in the loop condition. The runtime must be started;
+// final verdict (the predicate is re-checked once at the deadline). The
+// effective poll interval adapts to the freeze cost: it is never shorter
+// than pauseDutyFactor times the last evaluation's duration, so polling a
+// large world cannot freeze it back-to-back. The runtime must be started;
 // callers own Start/Stop.
 func (rt *Runtime) WaitUntil(pred func(*sim.World) bool, poll, timeout time.Duration) bool {
+	began := time.Now()
 	if pred(rt.freezeLocked()) {
 		return true
 	}
+	cost := time.Since(began)
 	if poll <= 0 {
 		poll = time.Millisecond
 	}
+	effective := func() time.Duration {
+		if floor := pauseDutyFactor * cost; floor > poll {
+			return floor
+		}
+		return poll
+	}
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
-	ticker := time.NewTicker(poll)
-	defer ticker.Stop()
+	tick := time.NewTimer(effective())
+	defer tick.Stop()
 	for {
 		select {
 		case <-timer.C:
 			return pred(rt.freezeLocked())
-		case <-ticker.C:
+		case <-tick.C:
+			began = time.Now()
 			if pred(rt.freezeLocked()) {
 				return true
 			}
+			cost = time.Since(began)
+			tick.Reset(effective())
 		}
 	}
 }
@@ -608,14 +724,17 @@ func (rt *Runtime) WaitUntil(pred func(*sim.World) bool, poll, timeout time.Dura
 // including undelivered messages).
 func (rt *Runtime) Freeze() *sim.World { return rt.freezeLocked() }
 
-// freezeLocked takes the snapshot lock and builds the frozen world.
+// freezeLocked pauses the world and builds the frozen world.
 func (rt *Runtime) freezeLocked() *sim.World {
-	rt.snap.Lock()
-	defer rt.snap.Unlock()
-	return rt.freezeUnderLock()
+	rt.pauseAll()
+	defer rt.resumeAll()
+	return rt.freezeUnderPause()
 }
 
-func (rt *Runtime) freezeUnderLock() *sim.World {
+// freezeUnderPause builds the frozen world. Caller holds the world paused
+// (every shard's action lock), so process state and mailboxes are plain
+// data.
+func (rt *Runtime) freezeUnderPause() *sim.World {
 	w := sim.NewWorld(rt.oracle)
 	for _, r := range rt.order {
 		p := rt.procs[r]
@@ -624,7 +743,7 @@ func (rt *Runtime) freezeUnderLock() *sim.World {
 		}
 		fp := &frozenProto{refs: p.proto.Refs()}
 		if bh, ok := p.proto.(interface{ Beliefs() []sim.RefInfo }); ok {
-			fp.beliefs = bh.Beliefs() // copied under the snapshot lock
+			fp.beliefs = bh.Beliefs() // copied under the pause
 		}
 		w.AddProcess(r, p.mode, fp)
 	}
@@ -636,7 +755,7 @@ func (rt *Runtime) freezeUnderLock() *sim.World {
 		if p.life.Load() == 1 {
 			w.ForceAsleep(r)
 		}
-		for _, m := range p.mb.snapshot() {
+		for _, m := range p.mb.queue[p.mb.head:] {
 			w.Enqueue(r, m)
 		}
 	}
@@ -649,8 +768,8 @@ func (rt *Runtime) freezeUnderLock() *sim.World {
 	if rt.initially != nil {
 		w.SetInitialComponents(rt.initially)
 	}
-	// Seed the incremental process graph while we still hold the snapshot
-	// lock: the frozen world is immutable afterwards, so the coordinator and
+	// Seed the incremental process graph while the world is still paused:
+	// the frozen world is immutable afterwards, so the coordinator and
 	// predicates hit warm per-generation caches on every query.
 	w.PG()
 	return w
@@ -681,19 +800,23 @@ func (rt *Runtime) PGSnapshot() *graph.Graph { return rt.freezeLocked().PG() }
 // --- Pause-the-world mutation (fault injection) ------------------------
 
 // MutableView is the exclusive access Mutate hands its callback: every
-// process goroutine is paused (the callback runs under the snapshot write
-// lock), so protocol state may be read and corrupted freely. The view must
-// not escape the callback.
+// worker is paused (the callback runs under the full pause), so protocol
+// state may be read and corrupted freely. The view must not escape the
+// callback.
 type MutableView struct{ rt *Runtime }
 
-// Mutate pauses the world under the snapshot (write) lock and runs fn with
-// exclusive access to the live protocol states and mailboxes. It is how the
-// fault injector strikes a RUNNING runtime: no action executes concurrently
-// with fn, matching the simulator's between-actions strike semantics.
+// Mutate pauses the world and runs fn with exclusive access to the live
+// protocol states and mailboxes. It is how the fault injector strikes a
+// RUNNING runtime: no action executes concurrently with fn, matching the
+// simulator's between-actions strike semantics.
 func (rt *Runtime) Mutate(fn func(v *MutableView)) {
-	rt.snap.Lock()
-	defer rt.snap.Unlock()
+	rt.pauseAll()
+	defer rt.resumeAll()
 	fn(&MutableView{rt: rt})
+	// A strike may rewrite stored references or inject messages without any
+	// action running: rebuild the incremental degree counters before the
+	// world resumes (the counter analogue of sim.World.InvalidatePG).
+	rt.reseedDegrees()
 }
 
 // Live returns the references of all non-gone processes in deterministic
@@ -718,7 +841,7 @@ func (v *MutableView) Alive(r ref.Ref) bool {
 func (v *MutableView) ModeOf(r ref.Ref) sim.Mode { return v.rt.procs[r].mode }
 
 // ProtocolOf returns the live protocol instance of r for in-place
-// corruption. Exclusive access: the owner goroutine is paused.
+// corruption. Exclusive access: the workers are paused.
 func (v *MutableView) ProtocolOf(r ref.Ref) sim.Protocol { return v.rt.procs[r].proto }
 
 // Enqueue injects a message into r's mailbox (spurious junk, or a displaced
@@ -730,7 +853,7 @@ func (v *MutableView) Enqueue(to ref.Ref, msg sim.Message) bool {
 	if p == nil || p.life.Load() == 2 {
 		return false
 	}
-	_, ok := p.mb.push(sim.StampCausal(msg, v.rt.causal.Add(1), 0, 0))
+	_, ok := v.rt.push(p, sim.StampCausal(msg, v.rt.causal.Add(1), 0, 0))
 	return ok
 }
 
@@ -739,5 +862,5 @@ func (v *MutableView) Enqueue(to ref.Ref, msg sim.Message) bool {
 // post-fault state is the new "arbitrary initial state" convergence is
 // measured from, exactly like faults.Strike's re-seal on the simulator.
 func (v *MutableView) Reseal() {
-	v.rt.initially = v.rt.freezeUnderLock().PG().WeaklyConnectedComponents()
+	v.rt.initially = v.rt.freezeUnderPause().PG().WeaklyConnectedComponents()
 }

@@ -15,6 +15,14 @@ import (
 // buildRuntime mirrors churn.Build for the concurrent runtime: a random
 // connected topology of core.Proc processes with the given leavers.
 func buildRuntime(n int, leaveFrac float64, seed int64, variant core.Variant, o Oracle) (*Runtime, []ref.Ref, ref.Set) {
+	return buildShardedRuntime(n, leaveFrac, seed, variant, o, 0)
+}
+
+// buildShardedRuntime is buildRuntime with an explicit worker-shard count
+// (shards <= 0 keeps the GOMAXPROCS default). On single-core machines the
+// default collapses to one shard, so multi-shard code paths — cross-shard
+// sends, per-shard pause ordering, rebalancing — need the explicit count.
+func buildShardedRuntime(n int, leaveFrac float64, seed int64, variant core.Variant, o Oracle, shards int) (*Runtime, []ref.Ref, ref.Set) {
 	rng := rand.New(rand.NewSource(seed))
 	space := ref.NewSpace()
 	nodes := space.NewN(n)
@@ -28,6 +36,9 @@ func buildRuntime(n int, leaveFrac float64, seed int64, variant core.Variant, o 
 		leaving.Add(nodes[i])
 	}
 	rt := NewRuntime(o)
+	if shards > 0 {
+		rt.SetShards(shards)
+	}
 	procs := make(map[ref.Ref]*core.Proc, n)
 	for _, r := range nodes {
 		p := core.New(variant)
@@ -48,69 +59,55 @@ func buildRuntime(n int, leaveFrac float64, seed int64, variant core.Variant, o 
 	return rt, nodes, leaving
 }
 
-func TestMailboxBasics(t *testing.T) {
-	mb := newMailbox()
-	if _, _, ok := mb.tryPop(); ok {
+func TestMailboxBatchPop(t *testing.T) {
+	var mb mailbox
+	if batch, _ := mb.popInto(nil, 4); len(batch) != 0 {
 		t.Fatal("empty mailbox must not pop")
 	}
-	mb.push(sim.NewMessage("a"))
-	mb.push(sim.NewMessage("b"))
-	if mb.len() != 2 {
-		t.Fatal("len wrong")
+	mb.queue = append(mb.queue, sim.NewMessage("a"), sim.NewMessage("b"), sim.NewMessage("c"))
+	batch, depth := mb.popInto(nil, 2)
+	if len(batch) != 2 || batch[0].Label != "a" || batch[1].Label != "b" {
+		t.Fatalf("FIFO batch broken: %v", batch)
 	}
-	m, _, ok := mb.tryPop()
-	if !ok || m.Label != "a" {
-		t.Fatal("FIFO broken")
+	if depth != 1 || mb.len() != 1 {
+		t.Fatalf("depth after batch pop = %d (len %d), want 1", depth, mb.len())
 	}
-	snap := mb.snapshot()
-	if len(snap) != 1 || snap[0].Label != "b" {
-		t.Fatal("snapshot wrong")
+	// An action that suspends its process mid-batch puts the remainder back
+	// in front, preserving order.
+	mb.unpop(batch[1:])
+	if mb.len() != 2 || mb.queue[mb.head].Label != "b" {
+		t.Fatalf("unpop broke order: %v", mb.queue[mb.head:])
 	}
-	mb.close()
-	if _, ok := mb.push(sim.NewMessage("c")); ok {
-		t.Fatal("closed mailbox must reject pushes")
-	}
-	if _, _, ok := mb.waitPop(); ok {
+	mb.closed = true
+	if batch, _ := mb.popInto(nil, 4); len(batch) != 0 {
 		t.Fatal("closed mailbox must not deliver")
 	}
 }
 
-// Regression: close() used to nil the queue, so any message still queued at
+// Regression: close used to nil the queue, so any message still queued at
 // close time vanished from terminal snapshots — in-flight references
-// (implicit PG edges) silently dropped.
-func TestMailboxCloseRetainsQueue(t *testing.T) {
-	mb := newMailbox()
-	mb.push(sim.NewMessage("a"))
-	mb.push(sim.NewMessage("b"))
-	mb.close()
-	if got := mb.len(); got != 2 {
+// (implicit PG edges) silently dropped. A push after close is refused AND
+// the queue already in place survives.
+func TestMailboxPushAfterCloseRetainsQueue(t *testing.T) {
+	space := ref.NewSpace()
+	a, b := space.New(), space.New()
+	rt := NewRuntime(nil)
+	rt.AddProcess(a, sim.Staying, &fixedRefsProto{})
+	rt.AddProcess(b, sim.Staying, &fixedRefsProto{})
+	rt.Enqueue(b, sim.NewMessage("one", sim.RefInfo{Ref: a, Mode: sim.Staying}))
+	rt.Enqueue(b, sim.NewMessage("two"))
+	pb := rt.procs[b]
+	pb.mb.closed = true
+	if _, ok := rt.push(pb, sim.NewMessage("late")); ok {
+		t.Fatal("closed mailbox must reject pushes")
+	}
+	if got := pb.mb.len(); got != 2 {
 		t.Fatalf("closed mailbox retained %d messages, want 2", got)
 	}
-	snap := mb.snapshot()
-	if len(snap) != 2 || snap[0].Label != "a" || snap[1].Label != "b" {
-		t.Fatalf("snapshot after close wrong: %v", snap)
-	}
-	if _, _, ok := mb.tryPop(); ok {
-		t.Fatal("closed mailbox must not deliver via tryPop")
-	}
-}
-
-func TestMailboxWaitPopWakes(t *testing.T) {
-	mb := newMailbox()
-	done := make(chan sim.Message, 1)
-	go func() {
-		m, _, _ := mb.waitPop()
-		done <- m
-	}()
-	time.Sleep(5 * time.Millisecond)
-	mb.push(sim.NewMessage("wake"))
-	select {
-	case m := <-done:
-		if m.Label != "wake" {
-			t.Fatal("wrong message")
-		}
-	case <-time.After(2 * time.Second):
-		t.Fatal("waitPop never woke")
+	// The in-flight reference carried by the retained message must still be
+	// an implicit PG edge of the terminal freeze.
+	if w := rt.Freeze(); w.ChannelLen(b) != 2 || !w.PG().HasEdge(b, a) {
+		t.Fatal("terminal freeze lost in-flight state of a closed mailbox")
 	}
 }
 
@@ -125,7 +122,7 @@ func TestParallelFDPConvergence(t *testing.T) {
 		if !ok {
 			t.Fatalf("seed %d: no convergence (gone=%d of %d)", seed, rt.Gone(), leaving.Len())
 		}
-		if rt.Gone() != leaving.Len() {
+		if rt.Gone() != uint64(leaving.Len()) {
 			t.Fatalf("seed %d: gone=%d want %d", seed, rt.Gone(), leaving.Len())
 		}
 		// Safety on the final snapshot.

@@ -51,13 +51,13 @@ func TestTraceCausalIDsConcurrentReads(t *testing.T) {
 	}
 
 	deadline := time.Now().Add(15 * time.Second)
-	for rt.Gone() < leaving.Len() && time.Now().Before(deadline) {
+	for rt.Gone() < uint64(leaving.Len()) && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
 	rt.Stop()
 	close(stop)
 	wg.Wait()
-	if rt.Gone() != leaving.Len() {
+	if rt.Gone() != uint64(leaving.Len()) {
 		t.Fatalf("runtime settled %d of %d leavers", rt.Gone(), leaving.Len())
 	}
 

@@ -237,8 +237,12 @@ func (w *World) StayingComponentsPreserved() bool {
 				members = append(members, r)
 			}
 		}
-		for i := 1; i < len(members); i++ {
-			if !pg.SameWeakComponent(members[0], members[i]) {
+		if len(members) < 2 {
+			continue
+		}
+		reach := pg.UndirectedReach(members[0])
+		for _, m := range members[1:] {
+			if !reach.Has(m) {
 				return false
 			}
 		}
@@ -261,8 +265,12 @@ func (w *World) RelevantComponentsIntact() bool {
 				members = append(members, r)
 			}
 		}
-		for i := 1; i < len(members); i++ {
-			if !pg.SameWeakComponent(members[0], members[i]) {
+		if len(members) < 2 {
+			continue
+		}
+		reach := pg.UndirectedReach(members[0])
+		for _, m := range members[1:] {
+			if !reach.Has(m) {
 				return false
 			}
 		}

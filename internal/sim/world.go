@@ -354,6 +354,31 @@ func (w *World) ForceAsleep(r ref.Ref) {
 	w.gen++
 }
 
+// MarkGone removes a process from the world outside any action: the process
+// becomes gone, its channel contents vanish and PG drops the node with every
+// incident edge, exactly as the deferred exit in Execute — but without
+// emitting an EvExit event. It exists for snapshot bookkeeping: the parallel
+// runtime validates a batch of exit requests against one sealed frozen world
+// and must fold each committed exit into that snapshot so later requests in
+// the same batch are judged against the post-commit state (arbitrary oracles
+// are not monotone under departures). Idempotent on gone processes.
+func (w *World) MarkGone(r ref.Ref) {
+	p := w.mustProc(r)
+	if p.life == Gone {
+		return
+	}
+	if p.life == Awake {
+		w.awake--
+	} else {
+		w.asleep--
+	}
+	p.life = Gone
+	w.stats.Exits++
+	w.stats.TotalInQueue -= len(p.ch)
+	p.ch = nil
+	w.pgExit(p)
+}
+
 // Stats returns a copy of the run counters.
 func (w *World) Stats() Stats {
 	s := w.stats

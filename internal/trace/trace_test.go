@@ -334,14 +334,14 @@ func TestRuntimeJournal(t *testing.T) {
 	jw := trace.NewWriter(&buf, trace.Header{Version: trace.Version, Engine: trace.EngineRuntime, Scenario: s})
 	rt.SetEventSink(jw.Record)
 	rt.Start()
-	for i := 0; i < 20000 && rt.Gone() < want; i++ {
+	for i := 0; i < 20000 && rt.Gone() < uint64(want); i++ {
 		time.Sleep(time.Millisecond)
 	}
 	rt.Stop()
 	if jw.Err() != nil {
 		t.Fatalf("journal writer: %v", jw.Err())
 	}
-	if rt.Gone() != want {
+	if rt.Gone() != uint64(want) {
 		t.Fatalf("runtime settled %d of %d leavers", rt.Gone(), want)
 	}
 

@@ -37,9 +37,20 @@ type (
 // additionally receives every run's live series, so a -serve endpoint shows
 // the benchmark while it executes.
 func Bench(quick bool, reg *Observer) []BenchReport {
+	return BenchSizes(quick, nil, reg)
+}
+
+// BenchSizes is Bench with an explicit system-size series (strictly
+// increasing; nil keeps the scale's default). Sizes above the sequential
+// engine's O(n²) feasibility cap appear only in the concurrent engine's
+// report; trial counts scale down automatically at large n.
+func BenchSizes(quick bool, sizes []int, reg *Observer) []BenchReport {
 	scale := experiments.Full()
 	if quick {
 		scale = experiments.Quick()
+	}
+	if len(sizes) > 0 {
+		scale.Sizes = sizes
 	}
 	return experiments.Bench(scale, reg)
 }
