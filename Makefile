@@ -2,12 +2,12 @@ GO ?= go
 
 FDPLINT := bin/fdplint
 
-.PHONY: all ci vet lint build test race bench bench-artifacts bench-baseline bench-compare replay-golden
+.PHONY: all ci vet lint build test race bench bench-artifacts bench-baseline bench-compare replay-golden fuzz-smoke
 
-all: vet lint build test race replay-golden
+all: vet lint build test race replay-golden fuzz-smoke
 
 # ci is the exact sequence .github/workflows/ci.yml runs.
-ci: vet lint build test race replay-golden
+ci: vet lint build test race replay-golden fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -34,13 +34,22 @@ test:
 # driving both engines) and the model core they exercise run under the race
 # detector.
 race:
-	$(GO) test -race ./internal/sim/... ./internal/parallel/... ./internal/core/... ./internal/diffval/... ./internal/faults/... ./internal/obs/... ./internal/trace/...
+	$(GO) test -race ./internal/sim/... ./internal/parallel/... ./internal/core/... ./internal/diffval/... ./internal/faults/... ./internal/obs/... ./internal/trace/... ./internal/fuzz/...
 
 # replay-golden holds the committed journals in cmd/fdpreplay/testdata to
 # the replay determinism contract: each must re-drive byte-identically.
 # Regenerate deliberately with: go test ./cmd/fdpreplay -update
 replay-golden:
 	$(GO) test ./cmd/fdpreplay -run TestGoldenJournalsReplayByteIdentically -count=1
+
+# fuzz-smoke replays every committed counterexample fixture byte-identically
+# (internal/fuzz/testdata), runs the mutation harness end to end (the
+# injected MUTANT-SINGLE bug must be found, shrunk, journaled and replayed),
+# then takes a short fresh-fuzz pass over a fixed seed. Single shard,
+# deterministic, budgeted well under 30s on one core.
+fuzz-smoke:
+	$(GO) test ./internal/fuzz -count=1
+	$(GO) run ./cmd/fdpfuzz -seed 11 -runs 20 -timeout 5s
 
 bench:
 	$(GO) test -bench . -benchmem -run XXX .

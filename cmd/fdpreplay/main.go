@@ -20,6 +20,11 @@ import (
 	"os"
 
 	"fdp/internal/trace"
+
+	// Registers the fuzzer's mutant oracles so their journals replay here
+	// too — the mutation-test harness verifies its shrunk counterexamples
+	// with this command.
+	_ "fdp/internal/fuzz"
 )
 
 func main() {

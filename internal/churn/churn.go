@@ -34,7 +34,21 @@ const (
 	TopoClique
 	TopoHypercube
 	TopoRandom
+	TopoSkipGraph
+	TopoDeBruijn
+	TopoRandomRegular
 )
+
+// Topologies lists every topology kind, in declaration order. Name lookups
+// and the fuzzer's generator iterate it instead of hard-coding the enum
+// bounds.
+func Topologies() []Topology {
+	return []Topology{
+		TopoLine, TopoDirectedLine, TopoRing, TopoStar, TopoTree,
+		TopoClique, TopoHypercube, TopoRandom, TopoSkipGraph,
+		TopoDeBruijn, TopoRandomRegular,
+	}
+}
 
 // String names the topology.
 func (t Topology) String() string {
@@ -53,31 +67,75 @@ func (t Topology) String() string {
 		return "clique"
 	case TopoHypercube:
 		return "hypercube"
+	case TopoSkipGraph:
+		return "skip-graph"
+	case TopoDeBruijn:
+		return "de-bruijn"
+	case TopoRandomRegular:
+		return "random-regular"
 	default:
 		return "random"
 	}
 }
 
-// Build the initial graph for a topology.
-func (t Topology) Build(nodes []ref.Ref, rng *rand.Rand) *graph.Graph {
+// BuildError is the typed error Topology.Build returns when a topology
+// cannot be realized on the given node count — a hypercube on a non-power-
+// of-two, or any topology on zero nodes. Scenario builders surface it
+// instead of panicking or silently degenerating.
+type BuildError struct {
+	Topology Topology
+	N        int
+	Reason   string
+}
+
+// Error implements error.
+func (e *BuildError) Error() string {
+	return fmt.Sprintf("churn: cannot build %s topology on %d node(s): %s", e.Topology, e.N, e.Reason)
+}
+
+// Build constructs the initial graph for a topology. The result is always a
+// valid weakly connected graph over exactly the given nodes; node counts the
+// topology cannot host yield a *BuildError instead.
+func (t Topology) Build(nodes []ref.Ref, rng *rand.Rand) (*graph.Graph, error) {
+	n := len(nodes)
+	if n < 1 {
+		return nil, &BuildError{Topology: t, N: n, Reason: "need at least one node"}
+	}
+	var g *graph.Graph
 	switch t {
 	case TopoLine:
-		return graph.Line(nodes)
+		g = graph.Line(nodes)
 	case TopoDirectedLine:
-		return graph.DirectedLine(nodes)
+		g = graph.DirectedLine(nodes)
 	case TopoRing:
-		return graph.Ring(nodes)
+		g = graph.Ring(nodes)
 	case TopoStar:
-		return graph.Star(nodes)
+		g = graph.Star(nodes)
 	case TopoTree:
-		return graph.BinaryTree(nodes)
+		g = graph.BinaryTree(nodes)
 	case TopoClique:
-		return graph.Clique(nodes)
+		g = graph.Clique(nodes)
 	case TopoHypercube:
-		return graph.Hypercube(nodes)
+		if n&(n-1) != 0 {
+			return nil, &BuildError{Topology: t, N: n, Reason: "hypercube needs a power-of-two node count"}
+		}
+		g = graph.Hypercube(nodes)
+	case TopoSkipGraph:
+		g = graph.SkipGraph(nodes)
+	case TopoDeBruijn:
+		g = graph.DeBruijn(nodes)
+	case TopoRandomRegular:
+		g = graph.RandomRegular(nodes, 3, rng)
 	default:
-		return graph.RandomConnected(nodes, len(nodes)/2, rng)
+		g = graph.RandomConnected(nodes, n/2, rng)
 	}
+	// Every generator is connected by construction; verify anyway so a
+	// future generator bug surfaces here as a typed error, not as a spurious
+	// Lemma 2 violation deep inside a run.
+	if g.NumNodes() != n || !g.WeaklyConnected() {
+		return nil, &BuildError{Topology: t, N: n, Reason: "generator produced a disconnected graph"}
+	}
+	return g, nil
 }
 
 // LeavePattern selects which processes want to leave.
@@ -97,7 +155,20 @@ const (
 	// LeaveAllButOne marks every process but one as leaving — the extreme
 	// case still permitted by the one-staying-process-per-component rule.
 	LeaveAllButOne
+	// LeaveNeighborhood marks all but one member of one process's closed
+	// undirected neighborhood as leaving: the targeted burst that leaves a
+	// single survivor responsible for re-stitching the hole around it.
+	// LeaveFraction is ignored.
+	LeaveNeighborhood
 )
+
+// Patterns lists every leave pattern, in declaration order.
+func Patterns() []LeavePattern {
+	return []LeavePattern{
+		LeaveRandom, LeaveArticulation, LeaveBlock, LeaveAllButOne,
+		LeaveNeighborhood,
+	}
+}
 
 // String names the pattern.
 func (p LeavePattern) String() string {
@@ -108,6 +179,8 @@ func (p LeavePattern) String() string {
 		return "articulation"
 	case LeaveBlock:
 		return "block"
+	case LeaveNeighborhood:
+		return "neighborhood"
 	default:
 		return "all-but-one"
 	}
@@ -149,6 +222,13 @@ type Config struct {
 	// per initial component, and the protocol must neither merge nor
 	// disconnect them.
 	Components int
+	// LeaverIndices, when non-empty, names the leaving processes explicitly
+	// by node index and overrides Pattern/LeaveFraction entirely (no rng
+	// draws are consumed picking leavers). The fuzzer's shrinker uses it to
+	// drop leavers one at a time from a failing scenario while keeping the
+	// rest of the construction identical; journals serialize it so shrunk
+	// scenarios stay replayable.
+	LeaverIndices []int
 }
 
 // Scenario is a built world ready to run.
@@ -177,11 +257,38 @@ func (s *Scenario) partOf(r ref.Ref) []ref.Ref {
 	return s.Nodes
 }
 
-// Build constructs the scenario. It panics on nonsensical configs (N < 1);
-// scenario construction errors are programming errors.
+// Build constructs the scenario. It panics on invalid configs (N < 1, a
+// topology that cannot host its component size, an explicit leaver set that
+// violates the builder invariant); callers that handle arbitrary configs —
+// the fuzzer, journal replay — use TryBuild instead.
 func Build(cfg Config) *Scenario {
+	s, err := TryBuild(cfg)
+	if err != nil {
+		panic(err.Error())
+	}
+	return s
+}
+
+// ConfigError is the typed error TryBuild returns for invalid scenario
+// configurations that are not topology build failures.
+type ConfigError struct {
+	Field  string
+	Reason string
+}
+
+// Error implements error.
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("churn: invalid config %s: %s", e.Field, e.Reason)
+}
+
+// TryBuild constructs the scenario, returning a typed error (*BuildError or
+// *ConfigError) for configurations that cannot produce a valid initial
+// state: N < 1, a topology undefined at the component size, out-of-range
+// explicit leaver indices, or a leaver set that strips some weak component
+// of its last staying process (the Section 1.5 invariant).
+func TryBuild(cfg Config) (*Scenario, error) {
 	if cfg.N < 1 {
-		panic(fmt.Sprintf("churn: N = %d", cfg.N))
+		return nil, &ConfigError{Field: "N", Reason: fmt.Sprintf("N = %d", cfg.N)}
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	space := ref.NewSpace()
@@ -209,17 +316,47 @@ func Build(cfg Config) *Scenario {
 		}
 		part := nodes[lo:hi]
 		parts = append(parts, part)
-		sub := cfg.Topology.Build(part, rng)
+		sub, err := cfg.Topology.Build(part, rng)
+		if err != nil {
+			return nil, err
+		}
 		for _, e := range sub.Edges() {
 			g.AddEdge(e.From, e.To, e.Kind)
 		}
 		for _, n := range part {
 			g.AddNode(n)
 		}
-		subCfg := cfg
-		subCfg.N = len(part)
-		for _, r := range pickLeavers(sub, part, subCfg, rng).Sorted() {
-			leaving.Add(r)
+		if len(cfg.LeaverIndices) == 0 {
+			subCfg := cfg
+			subCfg.N = len(part)
+			for _, r := range pickLeavers(sub, part, subCfg, rng).Sorted() {
+				leaving.Add(r)
+			}
+		}
+	}
+	if len(cfg.LeaverIndices) > 0 {
+		for _, i := range cfg.LeaverIndices {
+			if i < 0 || i >= cfg.N {
+				return nil, &ConfigError{Field: "LeaverIndices",
+					Reason: fmt.Sprintf("index %d out of range [0,%d)", i, cfg.N)}
+			}
+			leaving.Add(nodes[i])
+		}
+	}
+	// Builder invariant: every weakly connected component keeps at least one
+	// staying process. Pattern-based picking guarantees it per part; an
+	// explicit leaver set must be validated.
+	for _, comp := range g.WeaklyConnectedComponents() {
+		stays := false
+		for _, r := range comp {
+			if !leaving.Has(r) {
+				stays = true
+				break
+			}
+		}
+		if !stays {
+			return nil, &ConfigError{Field: "LeaverIndices",
+				Reason: "a weak component has no staying process"}
 		}
 	}
 
@@ -252,7 +389,20 @@ func Build(cfg Config) *Scenario {
 	}
 	s.corrupt(rng)
 	w.SealInitialState()
-	return s
+	return s, nil
+}
+
+// LeaverIndexes returns the node indices of the leaving processes in
+// ascending order — the explicit-leaver image of this scenario's choice,
+// usable as Config.LeaverIndices to pin (and then shrink) the leaver set.
+func (s *Scenario) LeaverIndexes() []int {
+	var out []int
+	for i, r := range s.Nodes {
+		if s.Leaving.Has(r) {
+			out = append(out, i)
+		}
+	}
+	return out
 }
 
 func pickLeavers(g *graph.Graph, nodes []ref.Ref, cfg Config, rng *rand.Rand) ref.Set {
@@ -294,6 +444,20 @@ func pickLeavers(g *graph.Graph, nodes []ref.Ref, cfg Config, rng *rand.Rand) re
 		keep := rng.Intn(n)
 		for i, r := range nodes {
 			if i != keep {
+				leaving.Add(r)
+			}
+		}
+	case LeaveNeighborhood:
+		// The closed undirected neighborhood of one random process leaves,
+		// except for one random member kept staying. The component invariant
+		// holds: the kept member stays, and so does every process outside the
+		// neighborhood.
+		center := nodes[rng.Intn(n)]
+		nbhd := append([]ref.Ref{center}, g.UndirectedNeighbors(center)...)
+		ref.Sort(nbhd)
+		keep := nbhd[rng.Intn(len(nbhd))]
+		for _, r := range nbhd {
+			if r != keep {
 				leaving.Add(r)
 			}
 		}

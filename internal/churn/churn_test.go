@@ -1,6 +1,7 @@
 package churn
 
 import (
+	"errors"
 	"testing"
 
 	"fdp/internal/core"
@@ -138,6 +139,70 @@ func TestTopologyAndPatternNames(t *testing.T) {
 	if LeaveRandom.String() != "random" || LeaveArticulation.String() != "articulation" ||
 		LeaveBlock.String() != "block" || LeaveAllButOne.String() != "all-but-one" {
 		t.Fatal("pattern names wrong")
+	}
+}
+
+// Every topology × n∈{1,2,3,5} must either build a valid connected scenario
+// or fail with the typed *BuildError — never panic, never hand back a
+// disconnected or partial graph. (Found by the small-n fuzz sweep: the
+// hypercube silently degenerated off powers of two, and TryBuild previously
+// did not exist so nonsense configs panicked deep inside generators.)
+func TestSmallNTopologyTable(t *testing.T) {
+	for _, topo := range Topologies() {
+		for _, n := range []int{1, 2, 3, 5} {
+			for seed := int64(0); seed < 3; seed++ {
+				s, err := TryBuild(Config{N: n, Topology: topo, LeaveFraction: 0.5,
+					Pattern: LeaveRandom, Seed: seed})
+				if err != nil {
+					var be *BuildError
+					if !errors.As(err, &be) {
+						t.Fatalf("%v n=%d: error is %T (%v), want *BuildError", topo, n, err, err)
+					}
+					if topo != TopoHypercube || n&(n-1) == 0 {
+						t.Fatalf("%v n=%d: unexpected build error %v", topo, n, err)
+					}
+					continue
+				}
+				if topo == TopoHypercube && n&(n-1) != 0 {
+					t.Fatalf("hypercube n=%d: want *BuildError, built fine", n)
+				}
+				if got := s.Initial.NumNodes(); got != n {
+					t.Fatalf("%v n=%d: initial graph has %d nodes", topo, n, got)
+				}
+				if !s.Initial.WeaklyConnected() {
+					t.Fatalf("%v n=%d seed=%d: initial graph disconnected:\n%s", topo, n, seed, s.Initial.String())
+				}
+				if len(s.StayingNodes()) < 1 {
+					t.Fatalf("%v n=%d: no staying process", topo, n)
+				}
+			}
+		}
+	}
+}
+
+func TestExplicitLeaverIndices(t *testing.T) {
+	s, err := TryBuild(Config{N: 6, Topology: TopoRing, Seed: 1,
+		LeaverIndices: []int{0, 2, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 2, 4} {
+		if !s.Leaving.Has(s.Nodes[i]) {
+			t.Fatalf("node %d not leaving", i)
+		}
+	}
+	if got := s.LeaverIndexes(); len(got) != 3 || got[0] != 0 || got[1] != 2 || got[2] != 4 {
+		t.Fatalf("LeaverIndexes = %v", got)
+	}
+	// All nodes leaving violates the one-staying-per-component invariant.
+	if _, err := TryBuild(Config{N: 3, Topology: TopoRing, Seed: 1,
+		LeaverIndices: []int{0, 1, 2}}); err == nil {
+		t.Fatal("want invariant violation error")
+	}
+	// Out-of-range index is a typed config error.
+	if _, err := TryBuild(Config{N: 3, Topology: TopoRing, Seed: 1,
+		LeaverIndices: []int{7}}); err == nil {
+		t.Fatal("want out-of-range error")
 	}
 }
 

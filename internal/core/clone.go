@@ -16,6 +16,8 @@ func (p *Proc) CloneProtocol() sim.Protocol {
 	}
 	c.anchor = p.anchor
 	c.anchorMode = p.anchorMode
+	c.verifyGap = p.verifyGap
+	c.sinceVerify = p.sinceVerify
 	return c
 }
 
@@ -24,7 +26,7 @@ func (p *Proc) CloneProtocol() sim.Protocol {
 // the variant.
 func (p *Proc) FingerprintState() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "v%d;a%v:%d;", p.variant, p.anchor, p.anchorMode)
+	fmt.Fprintf(&b, "v%d;a%v:%d;g%d.%d;", p.variant, p.anchor, p.anchorMode, p.verifyGap, p.sinceVerify)
 	for _, r := range p.NeighborRefs() {
 		fmt.Fprintf(&b, "%v:%d,", r, p.n[r])
 	}

@@ -63,9 +63,33 @@ type Proc struct {
 	// about its mode.
 	anchor     ref.Ref
 	anchorMode sim.Mode
+
+	// verifyGap and sinceVerify pace the anchor re-verification of Algorithm
+	// 1 lines 9–10 with exponential backoff: the verification fires on the
+	// first eligible timeout after adopting an anchor and then with doubling
+	// gaps (capped). Pacing is indistinguishable from a slower timer in the
+	// asynchronous model, so the paper's correctness argument is unaffected —
+	// but it is what keeps oracles whose guard inspects in-flight state
+	// (NIDEC's no-incoming-edges condition) satisfiable under deterministic
+	// fair schedulers: an unpaced leaver re-introduces itself every timeout,
+	// and a phase-locked schedule can keep that self-introduction in flight
+	// at every single oracle query, livelocking the departure (found by the
+	// churn fuzzer under both the rounds and fifo schedulers). Both counters
+	// reset whenever the anchor changes, so corruption of the pacing state
+	// only delays — never prevents — the cycle-dissolving verification.
+	verifyGap   int
+	sinceVerify int
 }
 
-var _ sim.Protocol = (*Proc)(nil)
+// maxVerifyGap caps the re-verification backoff so a corrupted or
+// long-stable anchor is still re-verified within a bounded number of
+// timeouts.
+const maxVerifyGap = 4096
+
+var (
+	_ sim.Protocol             = (*Proc)(nil)
+	_ sim.UndeliverableHandler = (*Proc)(nil)
+)
 
 // New returns a fresh process state with empty neighborhood and no anchor.
 func New(variant Variant) *Proc {
@@ -95,6 +119,15 @@ func (p *Proc) RemoveNeighbor(v ref.Ref) { delete(p.n, v) }
 func (p *Proc) SetAnchor(v ref.Ref, belief sim.Mode) {
 	p.anchor = v
 	p.anchorMode = belief
+	p.resetVerifyPacing()
+}
+
+// resetVerifyPacing re-arms the anchor re-verification backoff; called
+// whenever the anchor variable changes, so a fresh (or freshly corrupted)
+// anchor is verified on the next eligible timeout.
+func (p *Proc) resetVerifyPacing() {
+	p.verifyGap = 0
+	p.sinceVerify = 0
 }
 
 // RepointAnchor replaces the anchor with v (and the given belief) and
@@ -107,6 +140,7 @@ func (p *Proc) RepointAnchor(v ref.Ref, belief sim.Mode) sim.RefInfo {
 	old := sim.RefInfo{Ref: p.anchor, Mode: p.anchorMode}
 	p.anchor = v
 	p.anchorMode = belief
+	p.resetVerifyPacing()
 	return old
 }
 
@@ -173,8 +207,14 @@ func (p *Proc) Timeout(ctx sim.Context) {
 	u := ctx.Self()
 
 	// Lines 1–3: an anchor believed to be leaving is not a valid anchor;
-	// move its reference into u's own channel for regular processing.
-	if !p.anchor.IsNil() && p.anchorMode == sim.Leaving {
+	// move its reference into u's own channel for regular processing. Only a
+	// leaver may do this: a leaving receiver of its own present always
+	// answers with a reversal (Algorithm 2 line 5), but a staying receiver
+	// consumes a present for a reference it does not hold silently — and
+	// since this self-present deleted the anchor copy, that would burn what
+	// may be the last copy of the reference (the anchor-reintegration-burn
+	// fixture). Staying processes fold their anchor into n below instead.
+	if ctx.Mode() == sim.Leaving && !p.anchor.IsNil() && p.anchorMode == sim.Leaving {
 		ctx.Send(u, present(p.anchor, p.anchorMode)) // ♦ (reference kept in flight)
 		p.anchor = ref.Nil
 	}
@@ -187,11 +227,26 @@ func (p *Proc) Timeout(ctx sim.Context) {
 				return
 			}
 			// Lines 9–10: re-verify the anchor. A staying anchor that has
-			// already shed us consumes this silently; a leaving one answers
-			// with its true mode, which clears the invalid anchor — this is
-			// what breaks mutual-anchor cycles between two leavers.
+			// already shed us answers with a reversal we delegate straight
+			// back (a bounded exchange); a leaving one answers with its true
+			// mode, which clears the invalid anchor — this is what breaks
+			// mutual-anchor cycles between two leavers. The
+			// verification is paced with exponential backoff (see verifyGap):
+			// each re-introduction puts a reference of u in flight, and
+			// sending one on every timeout lets a deterministic schedule keep
+			// NIDEC's guard false at every query.
 			if !p.anchor.IsNil() {
-				ctx.Send(p.anchor, present(u, sim.Leaving)) // ♦ self-introduction
+				if p.sinceVerify >= p.verifyGap {
+					ctx.Send(p.anchor, present(u, sim.Leaving)) // ♦ self-introduction
+					p.sinceVerify = 0
+					if p.verifyGap == 0 {
+						p.verifyGap = 1
+					} else if p.verifyGap < maxVerifyGap {
+						p.verifyGap *= 2
+					}
+				} else {
+					p.sinceVerify++
+				}
 			}
 			if p.variant == VariantFSP {
 				// FSP: no oracle; go to sleep. Incoming messages wake the
@@ -214,9 +269,22 @@ func (p *Proc) Timeout(ctx sim.Context) {
 	}
 
 	// Staying branch (lines 15–22). A staying process needs no anchor:
-	// reintegrate it as an ordinary reference.
+	// reintegrate it as an ordinary reference. The fold-back is a direct
+	// store (♠ fusion with any copy already in n), NOT a present to self: a
+	// self-present deletes the anchor copy, so on delivery it is a
+	// delegation in introduction's clothing — and the silent-consumption
+	// branch of the present action (sound only for true introductions,
+	// whose sender keeps a copy) would burn what may be the last copy of
+	// the reference. The churn fuzzer found exactly that as a Lemma 2
+	// violation: a staying process with a corrupted anchor to a leaver
+	// reintegrated it, consumed the self-present silently, and disconnected
+	// itself (the anchor-reintegration-burn fixture). This store handles
+	// anchors of either claimed mode; a leaving-claimed one is shed by the
+	// reversal in the loop below within the same timeout.
 	if !p.anchor.IsNil() {
-		ctx.Send(u, present(p.anchor, p.anchorMode)) // ♦
+		if p.anchor != u {
+			p.n[p.anchor] = p.anchorMode
+		}
 		p.anchor = ref.Nil
 	}
 	for _, v := range p.NeighborRefs() {
@@ -271,17 +339,20 @@ func (p *Proc) onPresent(ctx sim.Context, ri sim.RefInfo) {
 			ctx.Send(v, forward(u, sim.Leaving))
 			return
 		}
-		// Lines 7–9: a staying process sheds a *stored* leaving reference
-		// and hands the leaver its own reference instead (♣ reversal). A
-		// present for a reference we do not hold is consumed silently: the
-		// introducing sender kept its own copy, so no connectivity is lost
-		// — and this quiescence is exactly what lets FSP leavers hibernate
-		// after their anchor verification (the anchor stops answering once
-		// it has shed them).
-		if _, held := p.n[v]; held {
-			delete(p.n, v)
-			ctx.Send(v, forward(u, sim.Staying))
-		}
+		// Lines 7–9: a staying process sheds a leaving reference and hands
+		// the leaver its own reference instead (♣ reversal) — held or not,
+		// matching the forward action. An earlier version consumed a present
+		// for a reference it did not hold silently, reasoning that an
+		// introduction's sender keeps its own copy; the churn fuzzer refuted
+		// that for corrupted states, where a junk present can be the only
+		// bridge between two components and burning it splits them (the
+		// junk-present-bridge fixture). The reversal flips the edge instead
+		// of dropping it, and the exchange it starts terminates: the leaver
+		// delegates the reply to its anchor (self-discarded when the anchor
+		// is us), and its verification backoff and FSP sleep bound any
+		// repeats — so leavers still hibernate.
+		delete(p.n, v)
+		ctx.Send(v, forward(u, sim.Staying))
 		return
 	}
 	// claim == staying.
@@ -295,10 +366,42 @@ func (p *Proc) onPresent(ctx sim.Context, ri sim.RefInfo) {
 		// Line 15: adopt v as anchor. ♠ (reference stored)
 		p.anchor = v
 		p.anchorMode = sim.Staying
+		p.resetVerifyPacing()
 		return
 	}
 	// Line 17: staying processes store staying references. ♠
 	p.n[v] = claim
+}
+
+// Undeliverable implements sim.UndeliverableHandler: a message u sent
+// bounced because its target is gone. This is the transport-level failure
+// detection the model's postprocess presupposes ("postprocess is able to
+// handle messages that cannot be delivered").
+//
+// Two things need repair. First, a gone target is never a valid anchor:
+// clear it, or u would keep delegating into the void forever. Second, a
+// bounced forward is a Delegation (♥) whose sender deleted its own copy —
+// if the carried reference is neither u itself nor the dead target, the
+// bounced message may hold the LAST copy of that reference, and losing it
+// can disconnect relevant processes (a Lemma 2 violation). Recover it by
+// re-sending it to u's own channel, where the forward action processes it
+// again under the repaired anchor. A bounced present needs no recovery: an
+// Introduction's (♦) sender kept its own copy, so no connectivity hinges on
+// the message.
+func (p *Proc) Undeliverable(ctx sim.Context, to ref.Ref, msg sim.Message) {
+	if p.anchor == to {
+		p.anchor = ref.Nil
+	}
+	if msg.Label != LabelForward || len(msg.Refs) != 1 {
+		return
+	}
+	ri := msg.Refs[0]
+	if ri.Ref == ctx.Self() || ri.Ref == to {
+		// Our own reference (we keep ourselves) or a reference to the dead
+		// process itself (never again an edge of PG): nothing to preserve.
+		return
+	}
+	ctx.Send(ctx.Self(), forward(ri.Ref, ri.Mode)) // ♥ reference kept in flight
 }
 
 // onForward implements Algorithm 3 (u.forward(v)).
@@ -346,6 +449,7 @@ func (p *Proc) onForward(ctx sim.Context, ri sim.RefInfo) {
 		// Line 18: adopt v as anchor. ♠
 		p.anchor = v
 		p.anchorMode = sim.Staying
+		p.resetVerifyPacing()
 		return
 	}
 	// Line 20: staying processes store staying references. ♠

@@ -133,11 +133,15 @@ func TestTimeoutStayingDropsAnchorAndLeavingNeighbors(t *testing.T) {
 	if !p.Anchor().IsNil() {
 		t.Fatal("staying process must clear its anchor (lines 16-18)")
 	}
-	if len(ctx.sentTo(u, LabelPresent)) != 1 {
-		t.Fatal("anchor must be re-presented to self")
+	if len(ctx.sentTo(u, LabelPresent)) != 0 {
+		t.Fatal("staying process must not send its anchor to itself: the self-present " +
+			"deletes the only copy and can be burned on delivery (anchor-reintegration-burn)")
 	}
-	if len(p.Neighbors()) != 0 {
-		t.Fatal("leaving neighbor must be dropped (lines 20-21)")
+	if got := p.Neighbors(); len(got) != 1 || got[a] != sim.Staying {
+		t.Fatalf("staying anchor must be folded into n, got %v", got)
+	}
+	if len(ctx.sentTo(a, LabelPresent)) != 1 {
+		t.Fatal("reintegrated anchor must receive the periodic self-introduction")
 	}
 	// b still receives present(u): reversal.
 	msgs := ctx.sentTo(b, LabelPresent)

@@ -77,9 +77,14 @@ func TestFDPMultipleComponents(t *testing.T) {
 func TestQuickConvergenceProperty(t *testing.T) {
 	f := func(seedRaw uint16, nRaw, fracRaw uint8) bool {
 		n := 4 + int(nRaw)%12
+		topo := churn.Topology(int(seedRaw) % 8)
+		if topo == churn.TopoHypercube {
+			// Hypercubes exist only at power-of-two sizes.
+			n = 1 << (2 + int(nRaw)%2)
+		}
 		frac := float64(fracRaw%90) / 100
 		cfg := churn.Config{
-			N: n, Topology: churn.Topology(int(seedRaw) % 8), LeaveFraction: frac,
+			N: n, Topology: topo, LeaveFraction: frac,
 			Pattern: churn.LeavePattern(int(seedRaw) % 3),
 			Corrupt: churn.Corruption{
 				FlipBeliefs:   float64(seedRaw%100) / 150,

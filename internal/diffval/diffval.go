@@ -20,6 +20,7 @@ package diffval
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"fdp/internal/churn"
@@ -28,6 +29,7 @@ import (
 	"fdp/internal/parallel"
 	"fdp/internal/ref"
 	"fdp/internal/sim"
+	"fdp/internal/trace"
 )
 
 // Config describes one differential scenario. The same Scenario config is
@@ -45,13 +47,53 @@ type Config struct {
 	// Poll is the concurrent legitimacy-polling interval (0 = 1ms).
 	Poll time.Duration
 	// Strike, if non-nil, injects a mid-run transient fault on both sides.
+	// Legacy single-wave form: equivalent to one Waves entry at StrikeAfter.
 	Strike *faults.Config
 	// StrikeAfter is the strike point: sequential steps on the simulator,
 	// executed events on the runtime. Only meaningful with Strike.
 	StrikeAfter int
+	// Waves is the general form of Strike: a train of mid-run fault waves,
+	// each fired once the engine reaches its After point (sequential steps /
+	// concurrent events), with injector seeds faults.WaveSeed(seed, i) on
+	// BOTH engines. Waves and Strike compose; Strike is prepended.
+	Waves []faults.Wave
+	// Scheduler names the sequential scheduler (trace.SchedulerByName);
+	// empty selects the default random scheduler. The concurrent engine has
+	// no scheduler — its interleavings come from the machine.
+	Scheduler string
+	// Journal, when non-nil, receives the sequential run as a replayable
+	// trace journal (header + records, trace.WriteJournal format) with every
+	// fired wave recorded at the step it actually struck. Replaying that
+	// journal byte-identically reproduces the sequential side of the verdict.
+	Journal io.Writer
 	// TraceK is how many recent events each engine retains for the
 	// dump-on-disagreement diagnostics (0 = 64, negative = disabled).
 	TraceK int
+}
+
+// waves flattens the legacy Strike/StrikeAfter pair and Waves into the
+// wave train both engines apply.
+func (c Config) waves() []faults.Wave {
+	if c.Strike == nil {
+		return c.Waves
+	}
+	out := make([]faults.Wave, 0, len(c.Waves)+1)
+	out = append(out, faults.Wave{Config: *c.Strike, After: c.StrikeAfter})
+	return append(out, c.Waves...)
+}
+
+// scheduler resolves the sequential scheduler. The default keeps the
+// harness's historical random scheduler; named schedulers come from the
+// trace registry so journal headers name what actually ran.
+func (c Config) scheduler(seed int64) (sim.Scheduler, string) {
+	if c.Scheduler == "" {
+		return sim.NewRandomScheduler(seed, 256), "random"
+	}
+	sched, err := trace.SchedulerByName(c.Scheduler, seed)
+	if err != nil {
+		panic(fmt.Sprintf("diffval: %v", err))
+	}
+	return sched, c.Scheduler
 }
 
 func (c Config) traceK() int {
@@ -182,6 +224,25 @@ func Run(cfg Config, seed int64) Verdict {
 	return v
 }
 
+// SequentialOutcome runs only the sequential engine of the scenario —
+// exactly the sequential side of Run (same scheduler, same wave seeds, same
+// journal hook), without paying for a concurrent run. The fuzz shrinker uses
+// it as the fast still-failing predicate for sequential-side failures.
+func SequentialOutcome(cfg Config, seed int64) Outcome {
+	scn := cfg.Scenario
+	scn.Seed = seed
+	maxSteps := cfg.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 400000
+	}
+	variant := sim.FDP
+	if scn.Variant == core.VariantFSP {
+		variant = sim.FSP
+	}
+	out, _ := runSequential(cfg, scn, variant, maxSteps, seed)
+	return out
+}
+
 // RunSeeds runs seeds 0..n-1 and returns the verdicts.
 func RunSeeds(cfg Config, n int) []Verdict {
 	out := make([]Verdict, 0, n)
@@ -205,7 +266,7 @@ func Disagreements(vs []Verdict) []Verdict {
 func runSequential(cfg Config, scn churn.Config, variant sim.Variant, maxSteps int, seed int64) (Outcome, string) {
 	s := churn.Build(scn)
 	leavers := s.LeavingNodes()
-	sched := sim.NewRandomScheduler(seed, 256)
+	sched, schedName := cfg.scheduler(seed)
 	opts := sim.RunOptions{Variant: variant, CheckSafety: true}
 
 	var rec *sim.Recorder
@@ -213,20 +274,40 @@ func runSequential(cfg Config, scn churn.Config, variant sim.Variant, maxSteps i
 		rec = sim.NewRecorder(k)
 		rec.Attach(s.World)
 	}
+	var recs []trace.Record
+	if cfg.Journal != nil {
+		s.World.AddEventHook(func(e sim.Event) { recs = append(recs, trace.FromEvent(e)) })
+	}
 
+	waves := cfg.waves()
 	var res sim.RunResult
-	if cfg.Strike != nil {
-		opts.MaxSteps = cfg.StrikeAfter
-		res = sim.Run(s.World, sched, opts)
-		if res.SafetyViolation == nil {
-			faults.New(*cfg.Strike, seed).Strike(s.World)
-			// After the strike the leavers set is unchanged (strikes corrupt
-			// values, never modes), so Lemma 3 is still judged on `leavers`.
+	fired := make([]trace.StrikeSpec, 0, len(waves))
+	for i, wv := range waves {
+		if wv.After > s.World.Steps() {
+			opts.MaxSteps = wv.After
+			res = sim.Run(s.World, sched, opts)
+			if res.SafetyViolation != nil {
+				break
+			}
 		}
+		// After a strike the leavers set is unchanged (strikes corrupt
+		// values, never modes), so Lemma 3 is still judged on `leavers`.
+		faults.New(wv.Config, faults.WaveSeed(seed, i)).Strike(s.World)
+		sp := trace.StrikeSpecFor(wv)
+		sp.After = s.World.Steps()
+		fired = append(fired, sp)
 	}
 	if res.SafetyViolation == nil {
 		opts.MaxSteps = s.World.Steps() + maxSteps
 		res = sim.Run(s.World, sched, opts)
+	}
+	if cfg.Journal != nil {
+		hs := trace.ScenarioFor(scn, schedName)
+		hs.Strikes = fired
+		// A journal write failure surfaces on the reader side (truncated or
+		// missing journal); the verdict itself is unaffected.
+		_ = trace.WriteJournal(cfg.Journal,
+			trace.Header{Version: trace.Version, Engine: trace.EngineSim, Scenario: hs}, recs)
 	}
 
 	out := Outcome{
@@ -261,11 +342,11 @@ func runConcurrent(cfg Config, scn churn.Config, variant sim.Variant, timeout, p
 	deadline := make(chan struct{})
 	timer := time.AfterFunc(timeout, func() { close(deadline) })
 	defer timer.Stop()
-	if cfg.Strike != nil {
+	for i, wv := range cfg.waves() {
 		// The concurrent strike point: the same event budget the sequential
 		// side used as a step budget.
-		waitFor(func() bool { return rt.Events() >= uint64(cfg.StrikeAfter) }, poll, deadline)
-		faults.New(*cfg.Strike, seed).StrikeRuntime(rt)
+		waitFor(func() bool { return rt.Events() >= uint64(wv.After) }, poll, deadline)
+		faults.New(wv.Config, faults.WaveSeed(seed, i)).StrikeRuntime(rt)
 	}
 
 	converged := waitFor(func() bool { return rt.Freeze().Legitimate(variant) }, poll, deadline)

@@ -1,6 +1,7 @@
 package diffval
 
 import (
+	"bytes"
 	"testing"
 	"time"
 
@@ -10,6 +11,7 @@ import (
 	"fdp/internal/oracle"
 	"fdp/internal/parallel"
 	"fdp/internal/sim"
+	"fdp/internal/trace"
 )
 
 func fdpConfig() Config {
@@ -158,5 +160,61 @@ func TestMirrorWorldTransplantsState(t *testing.T) {
 		if held == extra {
 			t.Fatal("MirrorWorld aliased protocol state instead of cloning it")
 		}
+	}
+}
+
+// A wave train must hit both engines (same wave seeds) and the engines must
+// still agree on the verdict.
+func TestDifferentialWithWaveTrain(t *testing.T) {
+	cfg := fdpConfig()
+	cfg.Waves = []faults.Wave{
+		{Config: faults.Config{FlipBeliefs: 0.4, JunkMessages: 3}, After: 60},
+		{Config: faults.Config{ScrambleAnchors: 0.5, DuplicateMessages: 2}, After: 200},
+	}
+	assertAgreement(t, "wave-train", RunSeeds(cfg, 4), true)
+}
+
+// The sequential side of a verdict must be reproducible from its journal:
+// Run with a Journal writer emits a replayable journal whose replay is
+// byte-identical, including the strike steps.
+func TestRunJournalReplays(t *testing.T) {
+	cfg := fdpConfig()
+	cfg.Waves = []faults.Wave{{Config: faults.Config{FlipBeliefs: 0.5, JunkMessages: 4}, After: 80}}
+	var buf bytes.Buffer
+	cfg.Journal = &buf
+	v := Run(cfg, 3)
+	hdr, recs, err := trace.ReadJournal(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("journal unreadable: %v", err)
+	}
+	if len(hdr.Scenario.Strikes) != 1 {
+		t.Fatalf("journal strikes = %+v", hdr.Scenario.Strikes)
+	}
+	if got := uint64(len(recs)); got == 0 || v.Sequential.Steps == 0 {
+		t.Fatalf("empty journal (%d recs, %d steps)", got, v.Sequential.Steps)
+	}
+	div, err := trace.VerifyReplay(hdr, recs)
+	if err != nil {
+		t.Fatalf("VerifyReplay: %v", err)
+	}
+	if div != nil {
+		t.Fatalf("diffval journal diverged on replay: %+v", div)
+	}
+	// Determinism: journaling the same seed again is byte-identical.
+	var again bytes.Buffer
+	cfg.Journal = &again
+	Run(cfg, 3)
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("re-running the same seed changed the journal bytes")
+	}
+}
+
+// Named schedulers change the explored sequential schedule but never the
+// verdict agreement.
+func TestDifferentialNamedSchedulers(t *testing.T) {
+	for _, name := range []string{"fifo", "rounds", "adversarial"} {
+		cfg := fdpConfig()
+		cfg.Scheduler = name
+		assertAgreement(t, "scheduler-"+name, RunSeeds(cfg, 2), true)
 	}
 }

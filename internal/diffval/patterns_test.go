@@ -1,0 +1,93 @@
+package diffval
+
+import (
+	"testing"
+
+	"fdp/internal/churn"
+	"fdp/internal/core"
+	"fdp/internal/oracle"
+	"fdp/internal/ref"
+	"fdp/internal/sim"
+)
+
+// The builder invariant behind Lemma 2's premise: every weakly connected
+// component of the initial process graph keeps at least one staying process,
+// no matter how adversarial the leaver-selection pattern is. The cut-vertex
+// (articulation) pattern deliberately targets the processes whose removal
+// disconnects the graph, and the neighborhood pattern marks an entire closed
+// neighborhood as leaving except one survivor — both must still leave a
+// stayer in every component, on the sequential engine's sealed component
+// partition and on the concurrent runtime mirrored from the same world.
+func TestLeavePatternsPreserveStayers(t *testing.T) {
+	patterns := []churn.LeavePattern{
+		churn.LeaveArticulation,
+		churn.LeaveNeighborhood,
+		churn.LeaveAllButOne,
+	}
+	fractions := []float64{0.4, 0.8, 1.0}
+	sizes := []int{2, 3, 4, 7, 8, 16}
+	built := 0
+	for _, topo := range churn.Topologies() {
+		for _, pat := range patterns {
+			for _, n := range sizes {
+				for _, frac := range fractions {
+					for _, comps := range []int{0, 2} {
+						for seed := int64(1); seed <= 3; seed++ {
+							cfg := churn.Config{
+								N: n, Topology: topo, LeaveFraction: frac,
+								Pattern: pat, Variant: core.VariantFDP,
+								Oracle: oracle.Single{}, Seed: seed,
+								Components: comps,
+							}
+							s, err := churn.TryBuild(cfg)
+							if err != nil {
+								// Degenerate configs (hypercube at a
+								// non-power-of-two size, a component split the
+								// topology cannot host) are the builder's typed
+								// rejections, not pattern failures.
+								continue
+							}
+							built++
+							checkStayers(t, s)
+						}
+					}
+				}
+			}
+		}
+	}
+	if built < 100 {
+		t.Fatalf("only %d configurations built; the sweep lost its coverage", built)
+	}
+}
+
+// checkStayers asserts the invariant on both engines' view of the initial
+// state.
+func checkStayers(t *testing.T, s *churn.Scenario) {
+	t.Helper()
+	cfg := s.Config
+	stayerIn := func(w *sim.World, comp []ref.Ref) bool {
+		for _, r := range comp {
+			if w.ModeOf(r) == sim.Staying {
+				return true
+			}
+		}
+		return false
+	}
+	for _, comp := range s.World.InitialComponents() {
+		if !stayerIn(s.World, comp) {
+			t.Fatalf("%v pattern=%s n=%d comps=%d seed=%d: sequential component %v has no staying process",
+				cfg.Topology, cfg.Pattern, cfg.N, cfg.Components, cfg.Seed, comp)
+		}
+	}
+	// Mirror onto the concurrent runtime and judge its own frozen view of
+	// the process graph — the state the runtime's oracle coordinator would
+	// seal at Start.
+	rt := MirrorWorld(s.World, cfg.Oracle)
+	frozen := rt.Freeze()
+	for _, comp := range frozen.PG().WeaklyConnectedComponents() {
+		if !stayerIn(frozen, comp) {
+			t.Fatalf("%v pattern=%s n=%d comps=%d seed=%d: concurrent component %v has no staying process",
+				cfg.Topology, cfg.Pattern, cfg.N, cfg.Components, cfg.Seed, comp)
+		}
+	}
+}

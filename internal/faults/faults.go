@@ -44,13 +44,35 @@ type Config struct {
 	// JunkMessages is the number of spurious present/forward messages
 	// injected with random live references and random claims.
 	JunkMessages int
+	// DuplicateMessages re-enqueues up to this many copies of random
+	// in-flight messages to their original targets — the channel-duplication
+	// adversary. Duplication only copies references (never consumes them),
+	// so it is admissible for any copy-store-send protocol; a protocol that
+	// cannot tolerate a duplicated present/forward message is broken.
+	DuplicateMessages int
 }
+
+// Wave schedules one strike at a point in a run: after After sequential
+// steps on the simulator, or After executed events on the concurrent
+// runtime. A run can take a whole train of waves — the "unbounded churn"
+// adversary is a wave train with increasing After points.
+type Wave struct {
+	Config
+	After int
+}
+
+// WaveSeed derives the deterministic rng seed of the i-th wave from a run's
+// base seed. Recording and replay must derive wave seeds identically for a
+// journal to replay byte-identically, so the derivation lives here, next to
+// the injector it feeds.
+func WaveSeed(base int64, i int) int64 { return base + int64(i+1)*1000003 }
 
 // Report summarizes what a strike corrupted.
 type Report struct {
-	BeliefsFlipped   int
-	AnchorsScrambled int
-	MessagesInjected int
+	BeliefsFlipped     int
+	AnchorsScrambled   int
+	MessagesInjected   int
+	MessagesDuplicated int
 }
 
 // Injector applies strikes using its own seeded randomness.
@@ -74,6 +96,7 @@ type system interface {
 	ModeOf(r ref.Ref) sim.Mode
 	ProtocolOf(r ref.Ref) sim.Protocol
 	Enqueue(to ref.Ref, msg sim.Message) bool
+	ChannelSnapshot(r ref.Ref) []sim.Message
 }
 
 // Strike corrupts the current state of every (non-gone) process running the
@@ -158,6 +181,18 @@ func (i *Injector) strike(sys system) Report {
 		sys.Enqueue(to, sim.NewMessage(label, sim.RefInfo{Ref: carried, Mode: randomMode(i.rng)}))
 		rep.MessagesInjected++
 	}
+	for n := 0; n < i.cfg.DuplicateMessages; n++ {
+		to := live[i.rng.Intn(len(live))]
+		ch := sys.ChannelSnapshot(to)
+		if len(ch) == 0 {
+			continue
+		}
+		// Re-enqueue a copy of one pending message to its original target.
+		// The engine restamps sequence and causal identity on enqueue, so the
+		// duplicate is a distinct message carrying the same content.
+		sys.Enqueue(to, ch[i.rng.Intn(len(ch))])
+		rep.MessagesDuplicated++
+	}
 	return rep
 }
 
@@ -180,6 +215,12 @@ func (s worldSystem) Alive(r ref.Ref) bool {
 
 func (s worldSystem) ModeOf(r ref.Ref) sim.Mode         { return s.w.ModeOf(r) }
 func (s worldSystem) ProtocolOf(r ref.Ref) sim.Protocol { return s.w.ProtocolOf(r) }
+func (s worldSystem) ChannelSnapshot(r ref.Ref) []sim.Message {
+	if !s.Alive(r) {
+		return nil
+	}
+	return s.w.ChannelSnapshot(r)
+}
 func (s worldSystem) Enqueue(to ref.Ref, m sim.Message) bool {
 	if !s.Alive(to) {
 		return false

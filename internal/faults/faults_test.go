@@ -226,3 +226,72 @@ func TestStrikeOnAllGoneWorld(t *testing.T) {
 	rep := inj.Strike(s.World) // must not panic with gone processes around
 	_ = rep
 }
+
+// Message duplication is the channel adversary: copies of in-flight messages
+// re-enqueued to their original targets. The reference multiset only grows,
+// so the protocol must tolerate it — and the duplicate must carry the same
+// content as an original.
+func TestStrikeDuplicatesInFlightMessages(t *testing.T) {
+	s := buildScenario(13)
+	// A clean build ships initial present() messages, so channels are
+	// non-empty and every duplication draw should land.
+	total := 0
+	for _, r := range s.Nodes {
+		total += s.World.ChannelLen(r)
+	}
+	if total == 0 {
+		t.Skip("scenario built with empty channels")
+	}
+	inj := New(Config{DuplicateMessages: 6}, 14)
+	rep := inj.Strike(s.World)
+	if rep.MessagesDuplicated == 0 {
+		t.Fatalf("no messages duplicated: %+v", rep)
+	}
+	after := 0
+	for _, r := range s.Nodes {
+		after += s.World.ChannelLen(r)
+	}
+	if after != total+rep.MessagesDuplicated {
+		t.Fatalf("channel total %d, want %d + %d duplicates", after, total, rep.MessagesDuplicated)
+	}
+	// The struck system must still converge: duplication is admissible.
+	res := sim.Run(s.World, sim.NewRandomScheduler(13, 256), sim.RunOptions{
+		Variant: sim.FDP, MaxSteps: 400000, CheckSafety: true,
+	})
+	if !res.Converged || res.SafetyViolation != nil {
+		t.Fatalf("no recovery from duplication: %+v", res)
+	}
+}
+
+func TestStrikeRuntimeChannelSnapshot(t *testing.T) {
+	space := ref.NewSpace()
+	a, b := space.New(), space.New()
+	rt := parallel.NewRuntime(nil)
+	pa, pb := core.New(core.VariantFDP), core.New(core.VariantFDP)
+	rt.AddProcess(a, sim.Staying, pa)
+	rt.AddProcess(b, sim.Staying, pb)
+	rt.Mutate(func(v *parallel.MutableView) {
+		if got := v.ChannelSnapshot(a); len(got) != 0 {
+			t.Fatalf("fresh mailbox not empty: %v", got)
+		}
+		v.Enqueue(a, sim.NewMessage(core.LabelPresent, sim.RefInfo{Ref: b, Mode: sim.Staying}))
+		got := v.ChannelSnapshot(a)
+		if len(got) != 1 || got[0].Label != core.LabelPresent {
+			t.Fatalf("snapshot = %v", got)
+		}
+	})
+}
+
+func TestWaveSeedsDistinct(t *testing.T) {
+	seen := map[int64]bool{}
+	for i := 0; i < 16; i++ {
+		s := WaveSeed(42, i)
+		if seen[s] {
+			t.Fatalf("wave %d reuses seed %d", i, s)
+		}
+		seen[s] = true
+	}
+	if WaveSeed(42, 0) == 42 {
+		t.Fatal("wave seed must differ from the base seed")
+	}
+}

@@ -1,0 +1,94 @@
+package fuzz
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"fdp/internal/trace"
+)
+
+// Meta is the sidecar description committed next to a fixture journal: what
+// bug the journal reproduces and the shrunk case that records it.
+type Meta struct {
+	// Name is the fixture's base name (files <Name>.jsonl + <Name>.meta.json).
+	Name string `json:"name"`
+	// Kind is the original failure classification (Kind* constants).
+	Kind string `json:"kind"`
+	// Note describes the bug and, once fixed, the fix the fixture guards.
+	Note string `json:"note,omitempty"`
+	// Case is the shrunk failing case.
+	Case Case `json:"case"`
+}
+
+// Fixture is one loaded regression fixture: its metadata and its journal.
+type Fixture struct {
+	Meta    Meta
+	Raw     []byte
+	Header  trace.Header
+	Records []trace.Record
+}
+
+// WriteFixture commits a shrunk counterexample: the journal bytes as
+// <name>.jsonl and the metadata as <name>.meta.json in dir.
+func WriteFixture(dir string, meta Meta, journal []byte) error {
+	if meta.Name == "" {
+		return fmt.Errorf("fuzz: fixture needs a name")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, meta.Name+".jsonl"), journal, 0o644); err != nil {
+		return err
+	}
+	mb, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, meta.Name+".meta.json"), append(mb, '\n'), 0o644)
+}
+
+// LoadFixtures reads every committed fixture in dir, sorted by name. A
+// journal without metadata (or vice versa) is an error — fixtures travel in
+// pairs.
+func LoadFixtures(dir string) ([]Fixture, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if n := e.Name(); strings.HasSuffix(n, ".jsonl") {
+			names = append(names, strings.TrimSuffix(n, ".jsonl"))
+		}
+	}
+	sort.Strings(names)
+	out := make([]Fixture, 0, len(names))
+	for _, name := range names {
+		raw, err := os.ReadFile(filepath.Join(dir, name+".jsonl"))
+		if err != nil {
+			return nil, err
+		}
+		hdr, recs, err := trace.ReadJournal(bytes.NewReader(raw))
+		if err != nil {
+			return nil, fmt.Errorf("fuzz: fixture %s: %w", name, err)
+		}
+		mb, err := os.ReadFile(filepath.Join(dir, name+".meta.json"))
+		if err != nil {
+			return nil, fmt.Errorf("fuzz: fixture %s has no metadata: %w", name, err)
+		}
+		var meta Meta
+		if err := json.Unmarshal(mb, &meta); err != nil {
+			return nil, fmt.Errorf("fuzz: fixture %s: bad metadata: %w", name, err)
+		}
+		out = append(out, Fixture{Meta: meta, Raw: raw, Header: hdr, Records: recs})
+	}
+	return out, nil
+}

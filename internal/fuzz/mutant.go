@@ -1,0 +1,35 @@
+package fuzz
+
+import (
+	"fdp/internal/ref"
+	"fdp/internal/sim"
+	"fdp/internal/trace"
+)
+
+// MutantSingle is a deliberately broken SINGLE oracle: the guard is loosened
+// from degree <= 1 to degree <= 2, so a leaving process may exit while still
+// bridging two other relevant processes — exactly the disconnection Lemma 2
+// forbids. It exists for the mutation-test harness: a fuzzer that cannot
+// find, shrink and replay the failure this mutant plants cannot be trusted
+// to find real guard bugs either.
+type MutantSingle struct{}
+
+// Name returns "MUTANT-SINGLE".
+func (MutantSingle) Name() string { return "MUTANT-SINGLE" }
+
+// Evaluate implements sim.Oracle with the broken guard.
+func (MutantSingle) Evaluate(w *sim.World, u ref.Ref) bool {
+	deg, relevant := w.RelevantDegree(u)
+	return relevant && deg <= 2
+}
+
+// JudgeDegree gives the concurrent runtime's incremental-degree fast path
+// the same broken guard, so the mutant breaks both engines identically.
+func (MutantSingle) JudgeDegree(deg int) bool { return deg <= 2 }
+
+// The mutant registers itself so journals recorded under it replay — the
+// shrunk counterexample of a mutation run is verified with the same
+// byte-identical replay check as a real fixture.
+func init() {
+	trace.RegisterOracle(MutantSingle{}.Name(), func() sim.Oracle { return MutantSingle{} })
+}

@@ -1,0 +1,273 @@
+package fuzz
+
+import (
+	"bytes"
+	"reflect"
+
+	"fdp/internal/churn"
+	"fdp/internal/diffval"
+	"fdp/internal/sim"
+	"fdp/internal/trace"
+)
+
+// Shrink delta-debugs a failing case to a smaller one that still fails,
+// returning the minimized case and the number of candidate executions spent.
+// "Still fails" accepts ANY failure kind: a shrink step that turns a
+// disagreement into a plain sequential safety violation is progress, not a
+// different bug.
+//
+// Sequential-side failures (safety-sequential, no-convergence, build-error)
+// are re-checked with the sequential engine only, which keeps shrinking fast
+// — a candidate that stops failing sequentially is simply rejected. Failures
+// that need both engines (disagreement, concurrent safety, panic) pay for
+// the full differential run per candidate.
+func Shrink(f *Failure, opts Options, budget int) (Case, int) {
+	if budget <= 0 {
+		budget = 120
+	}
+	spent := 0
+	interesting := stillFails(f.Kind, opts, &spent, &budget)
+
+	c := f.Case
+	for round := 0; round < 4; round++ {
+		improved := false
+
+		// Drop the whole wave train, then individual waves.
+		if len(c.Scenario.Strikes) > 0 {
+			cand := c
+			cand.Scenario.Strikes = nil
+			if interesting(cand) {
+				c, improved = cand, true
+			}
+		}
+		for i := len(c.Scenario.Strikes) - 1; i >= 0; i-- {
+			cand := c
+			cand.Scenario.Strikes = append(append([]trace.StrikeSpec{},
+				c.Scenario.Strikes[:i]...), c.Scenario.Strikes[i+1:]...)
+			if interesting(cand) {
+				c, improved = cand, true
+			}
+		}
+
+		// Zero each corruption knob.
+		for _, zero := range []func(*trace.Scenario){
+			func(s *trace.Scenario) { s.FlipBeliefs = 0 },
+			func(s *trace.Scenario) { s.RandomAnchors = 0 },
+			func(s *trace.Scenario) { s.JunkMessages = 0 },
+			func(s *trace.Scenario) { s.AsleepLeavers = 0 },
+		} {
+			cand := c
+			zero(&cand.Scenario)
+			if !reflect.DeepEqual(cand.Scenario, c.Scenario) && interesting(cand) {
+				c, improved = cand, true
+			}
+		}
+
+		// Collapse to a single component, the simplest scheduler, the
+		// simplest topology.
+		for _, simplify := range []func(*trace.Scenario){
+			func(s *trace.Scenario) { s.Components = 0 },
+			func(s *trace.Scenario) { s.Scheduler = "fifo" },
+			func(s *trace.Scenario) { s.Topology = churn.TopoLine.String() },
+		} {
+			cand := c
+			simplify(&cand.Scenario)
+			if !reflect.DeepEqual(cand.Scenario, c.Scenario) && interesting(cand) {
+				c, improved = cand, true
+			}
+		}
+
+		// Halve the system until it stops failing.
+		for c.Scenario.N > 2 {
+			cand := c
+			cand.Scenario.N = c.Scenario.N / 2
+			if cand.Scenario.N < 2 {
+				cand.Scenario.N = 2
+			}
+			cand.Scenario.LeaverIndices = trimIndices(c.Scenario.LeaverIndices, cand.Scenario.N)
+			if len(c.Scenario.LeaverIndices) > 0 && len(cand.Scenario.LeaverIndices) == 0 {
+				break
+			}
+			if !interesting(cand) {
+				break
+			}
+			c, improved = cand, true
+		}
+
+		// Pin the leaver set to explicit indices, then drop leavers one at a
+		// time. Pinning skips the pattern's rng draws, so the corruption
+		// stream shifts — the candidate is re-run and only accepted if it
+		// still fails.
+		if len(c.Scenario.LeaverIndices) == 0 {
+			if idx := leaversOf(c); len(idx) > 0 {
+				cand := c
+				cand.Scenario.LeaverIndices = idx
+				if interesting(cand) {
+					c, improved = cand, true
+				}
+			}
+		}
+		for i := len(c.Scenario.LeaverIndices) - 1; i >= 0 && len(c.Scenario.LeaverIndices) > 1; i-- {
+			cand := c
+			cand.Scenario.LeaverIndices = append(append([]int{},
+				c.Scenario.LeaverIndices[:i]...), c.Scenario.LeaverIndices[i+1:]...)
+			if interesting(cand) {
+				c, improved = cand, true
+			}
+		}
+
+		if !improved || budget <= 0 {
+			break
+		}
+	}
+	return c, spent
+}
+
+// stillFails builds the candidate-acceptance predicate for a failure kind.
+func stillFails(kind string, opts Options, spent, budget *int) func(Case) bool {
+	sequentialOnly := kind == KindSafetySequential || kind == KindNoConvergence || kind == KindBuildError
+	return func(cand Case) bool {
+		if *budget <= 0 {
+			return false
+		}
+		*budget--
+		*spent++
+		if sequentialOnly {
+			cfg, err := cand.diffConfig(opts)
+			if err != nil {
+				// A candidate the builder rejects is progress only when the
+				// bug being shrunk IS a builder rejection; for safety or
+				// convergence failures it is a different (invalid) case.
+				return kind == KindBuildError
+			}
+			if _, err := churn.TryBuild(cfg.Scenario); err != nil {
+				return kind == KindBuildError
+			}
+			if kind == KindBuildError {
+				return false // builds fine now: the rejection is gone
+			}
+			out := diffval.SequentialOutcome(cfg, cand.Scenario.Seed)
+			return out.SafetyViolated || !out.Converged
+		}
+		return Execute(cand, opts) != nil
+	}
+}
+
+// trimIndices keeps the leaver indices still in range after halving.
+func trimIndices(idx []int, n int) []int {
+	var out []int
+	for _, i := range idx {
+		if i < n {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// leaversOf materializes the pattern-drawn leaver set of a case as explicit
+// node indices, so the shrinker can drop leavers individually.
+func leaversOf(c Case) []int {
+	cfg, err := c.Scenario.ChurnConfig()
+	if err != nil {
+		return nil
+	}
+	s, err := churn.TryBuild(cfg)
+	if err != nil {
+		return nil
+	}
+	return s.LeaverIndexes()
+}
+
+// Journal records the sequential run of a case as a replayable journal and
+// returns its bytes alongside the parsed form. The journal's header carries
+// every fired wave at the step it actually struck, so trace.VerifyReplay on
+// the returned parts is the byte-identical reproduction check fdpreplay
+// applies to committed fixtures.
+func Journal(c Case, opts Options) ([]byte, trace.Header, []trace.Record, error) {
+	cfg, err := c.diffConfig(opts)
+	if err != nil {
+		return nil, trace.Header{}, nil, err
+	}
+	if _, err := churn.TryBuild(cfg.Scenario); err != nil {
+		return nil, trace.Header{}, nil, err
+	}
+	var buf bytes.Buffer
+	cfg.Journal = &buf
+	diffval.SequentialOutcome(cfg, c.Scenario.Seed)
+	hdr, recs, err := trace.ReadJournal(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return nil, trace.Header{}, nil, err
+	}
+	return buf.Bytes(), hdr, recs, nil
+}
+
+// RewriteJournal re-serializes a (possibly truncated) journal to the byte
+// form fixtures are committed in.
+func RewriteJournal(hdr trace.Header, recs []trace.Record) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := trace.WriteJournal(&buf, hdr, recs); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// ShrinkJournal truncates a sequential-safety journal to the shortest
+// schedule prefix that still violates Lemma 2, using binary search: once a
+// relevant process is disconnected it stays disconnected (references spread
+// only by copy-store-send), so the violating prefix set is upward closed.
+// The truncated journal replays byte-identically by construction — replay of
+// a prefix schedule is the prefix of the replay. Returns the (possibly
+// shortened) records and whether truncation applied.
+func ShrinkJournal(hdr trace.Header, recs []trace.Record) ([]trace.Record, bool) {
+	violates := func(rs []trace.Record) bool {
+		scn, _, err := trace.ReplayWorld(hdr, rs)
+		if err != nil || scn == nil {
+			return false
+		}
+		return !scn.World.RelevantComponentsIntact()
+	}
+	if !violates(recs) {
+		return recs, false
+	}
+	bounds := actionBoundaries(recs)
+	lo, hi := 0, len(bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if violates(recs[:bounds[mid]]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo >= len(bounds) {
+		return recs, false
+	}
+	return recs[:bounds[lo]], bounds[lo] < len(recs)
+}
+
+// actionBoundaries returns, for each schedule action in the record stream,
+// the record index just past the action and its consequence records — the
+// positions a journal may be truncated at without splitting an atomic step.
+func actionBoundaries(recs []trace.Record) []int {
+	isAction := func(r trace.Record) bool {
+		k, ok := kindOf(r)
+		return ok && (k == sim.EvTimeout || k == sim.EvDeliver)
+	}
+	var bounds []int
+	for i := range recs {
+		if isAction(recs[i]) && i > 0 {
+			bounds = append(bounds, i)
+		}
+	}
+	bounds = append(bounds, len(recs))
+	return bounds
+}
+
+func kindOf(r trace.Record) (sim.EventKind, bool) {
+	for k := 0; k < sim.NumEventKinds; k++ {
+		if sim.EventKind(k).String() == r.Kind {
+			return sim.EventKind(k), true
+		}
+	}
+	return 0, false
+}

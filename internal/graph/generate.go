@@ -147,3 +147,71 @@ func RandomConnected(nodes []ref.Ref, extra int, rng *rand.Rand) *Graph {
 func RandomTree(nodes []ref.Ref, rng *rand.Rand) *Graph {
 	return RandomConnected(nodes, 0, rng)
 }
+
+// SkipGraph builds a deterministic skip-graph-like overlay: the nodes form a
+// sorted base list (level 0), and every node additionally links to the nodes
+// at distance 2, 4, 8, ... in list order — the perfect-skip-list express
+// lanes that give skip graphs their O(log n) routing. All edges are
+// bidirectional; the base list alone makes the graph connected at every n.
+func SkipGraph(nodes []ref.Ref) *Graph {
+	g := Line(nodes)
+	for dist := 2; dist < len(nodes); dist <<= 1 {
+		for i := 0; i+dist < len(nodes); i += dist {
+			g.AddEdge(nodes[i], nodes[i+dist], Explicit)
+			g.AddEdge(nodes[i+dist], nodes[i], Explicit)
+		}
+	}
+	return g
+}
+
+// DeBruijn builds the generalized binary de Bruijn digraph GB(2, n): node i
+// has directed edges to (2i) mod n and (2i+1) mod n (self-loops skipped).
+// Generalized de Bruijn digraphs are strongly — hence weakly — connected for
+// every n >= 1, with diameter at most ceil(log2 n), which is what makes them
+// a standard constant-degree overlay.
+func DeBruijn(nodes []ref.Ref) *Graph {
+	g := New()
+	n := len(nodes)
+	for _, v := range nodes {
+		g.AddNode(v)
+	}
+	for i := 0; i < n; i++ {
+		for r := 0; r < 2; r++ {
+			j := (2*i + r) % n
+			if j != i && !g.HasEdge(nodes[i], nodes[j]) {
+				g.AddEdge(nodes[i], nodes[j], Explicit)
+			}
+		}
+	}
+	return g
+}
+
+// RandomRegular builds a connected random graph with near-uniform degree d:
+// a ring guarantees connectivity (and degree 2), then each extra degree
+// round superimposes a random partial matching drawn from rng. Every edge is
+// bidirectional. Degrees are exactly d except where a matching round cannot
+// place an edge (duplicate or self pair), so the graph is "random
+// d-regular-ish" in the configuration-model sense. d is clamped to n-1.
+func RandomRegular(nodes []ref.Ref, d int, rng *rand.Rand) *Graph {
+	n := len(nodes)
+	if d >= n {
+		d = n - 1
+	}
+	if n <= 3 || d >= n-1 {
+		// Too small for a ring-plus-matchings to add anything: the clique is
+		// the unique (n-1)-regular graph and the best effort below it.
+		return Clique(nodes)
+	}
+	g := Ring(nodes)
+	for round := 2; round < d; round++ {
+		perm := rng.Perm(n)
+		for i := 0; i+1 < n; i += 2 {
+			a, b := nodes[perm[i]], nodes[perm[i+1]]
+			if a != b && !g.HasEdge(a, b) {
+				g.AddEdge(a, b, Explicit)
+				g.AddEdge(b, a, Explicit)
+			}
+		}
+	}
+	return g
+}

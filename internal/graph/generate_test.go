@@ -1,0 +1,73 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"fdp/internal/ref"
+)
+
+// The fuzzer draws topologies at arbitrary sizes, so every generator must
+// yield a weakly connected graph containing all its nodes at every n it
+// accepts — including the degenerate n=1..3 range.
+func TestGeneratorsConnectedAtAllSmallSizes(t *testing.T) {
+	gens := map[string]func([]ref.Ref, *rand.Rand) *Graph{
+		"line":          func(ns []ref.Ref, _ *rand.Rand) *Graph { return Line(ns) },
+		"directed-line": func(ns []ref.Ref, _ *rand.Rand) *Graph { return DirectedLine(ns) },
+		"ring":          func(ns []ref.Ref, _ *rand.Rand) *Graph { return Ring(ns) },
+		"star":          func(ns []ref.Ref, _ *rand.Rand) *Graph { return Star(ns) },
+		"tree":          func(ns []ref.Ref, _ *rand.Rand) *Graph { return BinaryTree(ns) },
+		"clique":        func(ns []ref.Ref, _ *rand.Rand) *Graph { return Clique(ns) },
+		"skip-graph":    func(ns []ref.Ref, _ *rand.Rand) *Graph { return SkipGraph(ns) },
+		"de-bruijn":     func(ns []ref.Ref, _ *rand.Rand) *Graph { return DeBruijn(ns) },
+		"random":        func(ns []ref.Ref, rng *rand.Rand) *Graph { return RandomConnected(ns, len(ns)/2, rng) },
+		"random-regular": func(ns []ref.Ref, rng *rand.Rand) *Graph {
+			return RandomRegular(ns, 3, rng)
+		},
+	}
+	for name, gen := range gens {
+		for _, n := range []int{1, 2, 3, 4, 5, 8, 17, 33} {
+			for seed := int64(0); seed < 5; seed++ {
+				s := ref.NewSpace()
+				nodes := s.NewN(n)
+				g := gen(nodes, rand.New(rand.NewSource(seed)))
+				if g.NumNodes() != n {
+					t.Fatalf("%s n=%d seed=%d: %d nodes in graph", name, n, seed, g.NumNodes())
+				}
+				for _, v := range nodes {
+					if !g.HasNode(v) {
+						t.Fatalf("%s n=%d seed=%d: node %v missing", name, n, seed, v)
+					}
+				}
+				if !g.WeaklyConnected() {
+					t.Fatalf("%s n=%d seed=%d: not weakly connected:\n%s", name, n, seed, g.String())
+				}
+			}
+		}
+	}
+}
+
+// Hypercube is only defined on powers of two; at those sizes it must be
+// connected and d-regular.
+func TestHypercubePowersOfTwo(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16, 32} {
+		s := ref.NewSpace()
+		nodes := s.NewN(n)
+		g := Hypercube(nodes)
+		if !g.WeaklyConnected() {
+			t.Fatalf("hypercube n=%d not connected", n)
+		}
+	}
+}
+
+func TestDeBruijnDegreesBounded(t *testing.T) {
+	s := ref.NewSpace()
+	nodes := s.NewN(16)
+	g := DeBruijn(nodes)
+	for _, v := range nodes {
+		// Out-degree at most 2 by construction.
+		if d := len(g.Succ(v)); d > 2 {
+			t.Fatalf("de Bruijn out-degree of %v is %d", v, d)
+		}
+	}
+}

@@ -857,6 +857,19 @@ func (v *MutableView) Enqueue(to ref.Ref, msg sim.Message) bool {
 	return ok
 }
 
+// ChannelSnapshot returns a copy of r's pending (undelivered) messages in
+// mailbox order. Exclusive access: the workers are paused, so the mailbox is
+// plain data. Gone or unknown processes have no channel.
+func (v *MutableView) ChannelSnapshot(r ref.Ref) []sim.Message {
+	p := v.rt.procs[r]
+	if p == nil || p.life.Load() == 2 {
+		return nil
+	}
+	out := make([]sim.Message, p.mb.len())
+	copy(out, p.mb.queue[p.mb.head:])
+	return out
+}
+
 // Reseal re-captures the weakly-connected-component partition of the
 // current state as the new reference point for safety and legitimacy — the
 // post-fault state is the new "arbitrary initial state" convergence is

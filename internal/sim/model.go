@@ -198,10 +198,13 @@ type Sleeper interface {
 // delivered because its target is gone. This models the transport-level
 // failure detection (e.g. a broken TCP connection) that Section 4's
 // postprocess action presupposes: "postprocess is able to handle messages
-// that cannot be delivered". The Section 3 protocol does not need it — the
-// SINGLE oracle already prevents any send to a gone process from losing a
-// reference — but the framework P′ uses it to unwedge pending verifications
-// addressed to processes that exited with one remaining partner.
+// that cannot be delivered". The framework P′ uses it to unwedge pending
+// verifications addressed to processes that exited with one remaining
+// partner, and the Section 3 protocol uses it too: under guards weaker than
+// SINGLE (e.g. EXITSAFE) a delegation through an anchor that exited would
+// silently burn the last copy of the carried reference — the churn fuzzer
+// found exactly that as a Lemma 2 violation (see DESIGN.md §6 and the
+// dead-anchor-delegation fixture).
 type UndeliverableHandler interface {
 	Undeliverable(ctx Context, to ref.Ref, msg Message)
 }

@@ -92,11 +92,20 @@ func (s *RandomScheduler) sweep(w *World) {
 
 // --- Round scheduler ----------------------------------------------------
 
-// RoundScheduler executes canonical asynchronous rounds: in each round,
-// every process (in deterministic order) first processes all messages that
-// were in its channel at the start of the round, then executes its timeout
-// if awake. This is trivially fair and provides the "rounds to convergence"
-// metric used by the experiments.
+// RoundScheduler executes canonical synchronous rounds in two global
+// phases: first every process (in deterministic order) processes all
+// messages that were in its channel at the start of the round, then every
+// awake process executes its timeout. This is trivially fair and provides
+// the "rounds to convergence" metric used by the experiments.
+//
+// The phase split matters for oracle-guarded exits: a timeout's oracle
+// query sees a round boundary where every message from the previous round
+// has been consumed. Interleaving timeouts between deliveries instead can
+// starve guards that depend on in-flight state forever — a leaver
+// re-verifying its anchor sends one self-introduction per round, and if its
+// timeout always runs before the anchor's delivery, NIDEC's no-incoming-
+// edges condition is false at every single query even though the schedule
+// is fair (found by the churn fuzzer as a sequential-only livelock).
 type RoundScheduler struct {
 	plan   []Action // reused round plan buffer
 	pos    int      // cursor into plan, so the buffer keeps its capacity
@@ -134,9 +143,11 @@ func (s *RoundScheduler) Next(w *World) (Action, bool) {
 	}
 }
 
-// buildRound snapshots the message seqs present at round start. It iterates
-// the dense process slice in place (already in deterministic ref order) and
-// reads channels directly — no per-round ref sort or channel copy.
+// buildRound snapshots the message seqs present at round start: the
+// delivery phase first (every process's round-start messages), then the
+// timeout phase. It iterates the dense process slice in place (already in
+// deterministic ref order) and reads channels directly — no per-round ref
+// sort or channel copy.
 func (s *RoundScheduler) buildRound(w *World) {
 	s.plan = s.plan[:0]
 	for _, p := range w.procs {
@@ -145,6 +156,11 @@ func (s *RoundScheduler) buildRound(w *World) {
 		}
 		for i := range p.ch {
 			s.plan = append(s.plan, Action{Proc: p.id, MsgSeq: p.ch[i].seq, MsgStep: p.ch[i].enqStep})
+		}
+	}
+	for _, p := range w.procs {
+		if p == nil || p.life == Gone {
+			continue
 		}
 		s.plan = append(s.plan, Action{Proc: p.id, IsTimeout: true})
 	}
@@ -241,13 +257,28 @@ func (s *AdversarialScheduler) Next(w *World) (Action, bool) {
 
 // --- FIFO scheduler -------------------------------------------------------
 
-// FIFOScheduler delivers the globally oldest message first and interleaves
-// one timeout per process between deliveries. Although the model allows
-// non-FIFO channels, FIFO order is a legal schedule and a useful baseline.
+// FIFOScheduler delivers the globally oldest message first, in drain-paced
+// phases: all messages enqueued before the current phase are delivered (in
+// global seq order), then every awake process executes one timeout, then
+// the next phase begins. Although the model allows non-FIFO channels, FIFO
+// order is a legal schedule and a useful baseline.
+//
+// The drain pacing matters. An earlier version interleaved one timeout per
+// three picks at a fixed ratio; the churn fuzzer found that on dense
+// graphs (junk-densified scenarios reach average degree > 2) the periodic
+// self-introductions produced by timeouts then outpace the two deliveries
+// per timeout, channels grow without bound, and a leaver's oracle
+// re-verification message spends ever longer in flight — an incoming
+// implicit edge at almost every NIDEC query, livelocking exits the
+// concurrent engine performs easily (the nidec-fifo-flood fixture).
+// Draining everything the previous phase produced before the next timeout
+// pass keeps queues bounded by one phase's production while remaining fair
+// and globally FIFO.
 type FIFOScheduler struct {
-	rr int
+	threshold uint64 // deliver messages with seq <= threshold before the next timeout pass
 
-	timeouts []Action // scratch buffer reused across picks
+	timeouts []Action // pending timeout pass, served one action per pick
+	tpos     int
 }
 
 // NewFIFOScheduler returns a FIFO scheduler.
@@ -259,37 +290,54 @@ func (s *FIFOScheduler) Name() string { return "fifo" }
 // Next implements Scheduler. It scans process state directly in one pass —
 // no per-pick EnabledActions materialization.
 func (s *FIFOScheduler) Next(w *World) (Action, bool) {
-	var best Action
-	bestSeq := ^uint64(0)
-	haveMsg := false
-	s.timeouts = s.timeouts[:0]
-	for _, p := range w.procs {
-		if p == nil || p.life == Gone {
-			continue
-		}
-		if p.life == Awake {
-			s.timeouts = append(s.timeouts, Action{Proc: p.id, IsTimeout: true})
-		}
-		for i := range p.ch {
-			m := &p.ch[i]
-			if m.seq < bestSeq {
-				best = Action{Proc: p.id, MsgIndex: i, MsgSeq: m.seq, MsgStep: m.enqStep}
-				bestSeq, haveMsg = m.seq, true
+	for {
+		// Serve the pending timeout pass first, one action per pick.
+		for s.tpos < len(s.timeouts) {
+			a := s.timeouts[s.tpos]
+			s.tpos++
+			if p := w.byRef[a.Proc]; p != nil && p.life == Awake {
+				return a, true
 			}
 		}
+		// Drain phase: the globally oldest message among those enqueued
+		// before the phase started.
+		var best Action
+		bestSeq := ^uint64(0)
+		haveMsg, anyMsg := false, false
+		maxSeq := uint64(0)
+		s.timeouts = s.timeouts[:0]
+		for _, p := range w.procs {
+			if p == nil || p.life == Gone {
+				continue
+			}
+			if p.life == Awake {
+				s.timeouts = append(s.timeouts, Action{Proc: p.id, IsTimeout: true})
+			}
+			for i := range p.ch {
+				m := &p.ch[i]
+				anyMsg = true
+				if m.seq > maxSeq {
+					maxSeq = m.seq
+				}
+				if m.seq <= s.threshold && m.seq < bestSeq {
+					best = Action{Proc: p.id, MsgIndex: i, MsgSeq: m.seq, MsgStep: m.enqStep}
+					bestSeq, haveMsg = m.seq, true
+				}
+			}
+		}
+		if haveMsg {
+			s.timeouts = s.timeouts[:0] // not this pick's pass; rebuilt at phase end
+			return best, true
+		}
+		if !anyMsg && len(s.timeouts) == 0 {
+			return Action{}, false
+		}
+		// Phase boundary: everything at or below the threshold is consumed.
+		// The next drain phase covers all messages produced so far; the
+		// timeout pass built above runs first (possibly empty when every
+		// process is asleep, in which case the raised threshold lets the
+		// loop deliver the wake-up messages).
+		s.threshold = maxSeq
+		s.tpos = 0
 	}
-	timeouts := s.timeouts
-	if !haveMsg && len(timeouts) == 0 {
-		return Action{}, false
-	}
-	s.rr++
-	// Alternate: every third pick runs a timeout (round-robin) so guards
-	// stay live even under a constant message stream.
-	if len(timeouts) > 0 && (!haveMsg || s.rr%3 == 0) {
-		return timeouts[s.rr/3%len(timeouts)], true
-	}
-	if haveMsg {
-		return best, true
-	}
-	return timeouts[s.rr%len(timeouts)], true
 }

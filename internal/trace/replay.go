@@ -4,14 +4,24 @@ import (
 	"fmt"
 	"io"
 
+	"fdp/internal/churn"
+	"fdp/internal/faults"
 	"fdp/internal/sim"
 )
 
 // RecordRun builds the scenario, runs it under its named scheduler, and
-// streams the journal to w — the canonical recording path (fdpreplay's
+// writes the journal to w — the canonical recording path (fdpreplay's
 // golden regeneration uses it; the CLI drivers journal through the same
-// Writer). opts.Variant is forced from the scenario so the journal is
+// machinery). opts.Variant is forced from the scenario so the journal is
 // self-consistent.
+//
+// Scenarios with Strikes run in segments: each wave i fires once the world
+// reaches its After step (or as soon as the run stalls before it), seeded
+// with faults.WaveSeed(s.Seed, i). The header is written last so it can
+// record each wave at the step it ACTUALLY fired — the step Replay
+// re-applies it at. Waves that never fired (the run aborted on a safety
+// violation first) are dropped from the header: the journal describes the
+// run that happened.
 func RecordRun(s Scenario, w io.Writer, opts sim.RunOptions) (sim.RunResult, error) {
 	scn, err := s.BuildScenario()
 	if err != nil {
@@ -24,10 +34,39 @@ func RecordRun(s Scenario, w io.Writer, opts sim.RunOptions) (sim.RunResult, err
 	if opts.Variant, err = s.SimVariant(); err != nil {
 		return sim.RunResult{}, err
 	}
-	jw := NewWriter(w, Header{Version: Version, Engine: EngineSim, Scenario: s})
-	scn.World.AddEventHook(jw.Record)
-	res := sim.Run(scn.World, sched, opts)
-	return res, jw.Err()
+	if opts.MaxSteps <= 0 {
+		opts.MaxSteps = 1 << 20
+	}
+	var recs []Record
+	scn.World.AddEventHook(func(e sim.Event) { recs = append(recs, FromEvent(e)) })
+
+	var res sim.RunResult
+	fired := make([]StrikeSpec, 0, len(s.Strikes))
+	for i, spec := range s.Strikes {
+		if spec.After > scn.World.Steps() {
+			segment := opts
+			segment.MaxSteps = spec.After
+			if segment.MaxSteps > opts.MaxSteps {
+				segment.MaxSteps = opts.MaxSteps
+			}
+			res = sim.Run(scn.World, sched, segment)
+			if res.SafetyViolation != nil {
+				break
+			}
+		}
+		faults.New(spec.Wave().Config, faults.WaveSeed(s.Seed, i)).Strike(scn.World)
+		spec.After = scn.World.Steps()
+		fired = append(fired, spec)
+	}
+	if res.SafetyViolation == nil {
+		res = sim.Run(scn.World, sched, opts)
+	}
+	hdr := s
+	hdr.Strikes = fired
+	if err := WriteJournal(w, Header{Version: Version, Engine: EngineSim, Scenario: hdr}, recs); err != nil {
+		return res, err
+	}
+	return res, nil
 }
 
 // Schedule extracts the executed action sequence from a journal: one action
@@ -89,28 +128,50 @@ func (e *ReplayError) Error() string {
 // schedule that no sequential re-execution is obligated to reproduce (those
 // are aligned with Diff instead).
 func Replay(hdr Header, recs []Record) ([]Record, error) {
+	_, replayed, err := ReplayWorld(hdr, recs)
+	return replayed, err
+}
+
+// ReplayWorld is Replay plus the terminal state: it returns the rebuilt
+// scenario with its world advanced through the recorded schedule, so callers
+// can interrogate the outcome (safety, leavers, Φ) and not just the event
+// stream. The fuzz shrinker's schedule-truncation predicate lives on this.
+func ReplayWorld(hdr Header, recs []Record) (*churn.Scenario, []Record, error) {
 	if hdr.Engine != EngineSim {
-		return nil, fmt.Errorf("trace: cannot replay %q journal (only %q journals are deterministic)", hdr.Engine, EngineSim)
+		return nil, nil, fmt.Errorf("trace: cannot replay %q journal (only %q journals are deterministic)", hdr.Engine, EngineSim)
 	}
 	scn, err := hdr.Scenario.BuildScenario()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	schedule, err := Schedule(recs)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var replayed []Record
 	scn.World.AddEventHook(func(e sim.Event) {
 		replayed = append(replayed, FromEvent(e))
 	})
+	// Strikes recorded in the header fire at the step they fired during the
+	// recording. Striking emits no events and is deterministic per wave seed,
+	// so a re-applied strike preserves byte-identical replay.
+	strikes := hdr.Scenario.Strikes
+	si := 0
+	applyDue := func() {
+		for si < len(strikes) && strikes[si].After <= scn.World.Steps() {
+			faults.New(strikes[si].Wave().Config, faults.WaveSeed(hdr.Scenario.Seed, si)).Strike(scn.World)
+			si++
+		}
+	}
+	applyDue()
 	for i, a := range schedule {
 		if !scn.World.ValidateAction(&a) {
-			return replayed, &ReplayError{ActionIndex: i, Action: a}
+			return scn, replayed, &ReplayError{ActionIndex: i, Action: a}
 		}
 		scn.World.Execute(a)
+		applyDue()
 	}
-	return replayed, nil
+	return scn, replayed, nil
 }
 
 // VerifyReplay replays a sequential journal and aligns the result against

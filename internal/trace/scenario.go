@@ -5,6 +5,7 @@ import (
 
 	"fdp/internal/churn"
 	"fdp/internal/core"
+	"fdp/internal/faults"
 	"fdp/internal/oracle"
 	"fdp/internal/sim"
 )
@@ -35,6 +36,51 @@ type Scenario struct {
 	JunkMessages  int     `json:"junk_messages,omitempty"`
 	AsleepLeavers float64 `json:"asleep_leavers,omitempty"`
 	Components    int     `json:"components,omitempty"`
+	// LeaverIndices, when non-empty, pins the leaving set to these node
+	// indices instead of drawing it from Pattern/LeaveFraction. The shrinker
+	// uses it to drop individual leavers from a failing scenario without
+	// perturbing the pattern rng.
+	LeaverIndices []int `json:"leavers,omitempty"`
+	// Strikes are the mid-run fault waves applied during the recording, in
+	// order, each at the sequential step it ACTUALLY fired (which can be
+	// earlier than requested if the run went quiescent first). Replay
+	// re-applies wave i at the same step boundary with the injector seed
+	// faults.WaveSeed(Seed, i), so struck journals stay byte-identical.
+	Strikes []StrikeSpec `json:"strikes,omitempty"`
+}
+
+// StrikeSpec is the plain-data image of a faults.Wave, embedded in journal
+// headers.
+type StrikeSpec struct {
+	After             int     `json:"after"`
+	FlipBeliefs       float64 `json:"flip_beliefs,omitempty"`
+	ScrambleAnchors   float64 `json:"scramble_anchors,omitempty"`
+	JunkMessages      int     `json:"junk_messages,omitempty"`
+	DuplicateMessages int     `json:"duplicate_messages,omitempty"`
+}
+
+// StrikeSpecFor captures a fault wave as a journal strike spec.
+func StrikeSpecFor(w faults.Wave) StrikeSpec {
+	return StrikeSpec{
+		After:             w.After,
+		FlipBeliefs:       w.FlipBeliefs,
+		ScrambleAnchors:   w.ScrambleAnchors,
+		JunkMessages:      w.JunkMessages,
+		DuplicateMessages: w.DuplicateMessages,
+	}
+}
+
+// Wave is the inverse of StrikeSpecFor.
+func (sp StrikeSpec) Wave() faults.Wave {
+	return faults.Wave{
+		After: sp.After,
+		Config: faults.Config{
+			FlipBeliefs:       sp.FlipBeliefs,
+			ScrambleAnchors:   sp.ScrambleAnchors,
+			JunkMessages:      sp.JunkMessages,
+			DuplicateMessages: sp.DuplicateMessages,
+		},
+	}
 }
 
 // ScenarioFor captures a churn config (plus scheduler provenance) as a
@@ -53,6 +99,7 @@ func ScenarioFor(cfg churn.Config, scheduler string) Scenario {
 		JunkMessages:  cfg.Corrupt.JunkMessages,
 		AsleepLeavers: cfg.Corrupt.AsleepLeavers,
 		Components:    cfg.Components,
+		LeaverIndices: cfg.LeaverIndices,
 	}
 	if cfg.Oracle != nil {
 		s.Oracle = cfg.Oracle.Name()
@@ -90,10 +137,11 @@ func (s Scenario) ChurnConfig() (churn.Config, error) {
 			JunkMessages:  s.JunkMessages,
 			AsleepLeavers: s.AsleepLeavers,
 		},
-		Variant:    variant,
-		Oracle:     orc,
-		Seed:       s.Seed,
-		Components: s.Components,
+		Variant:       variant,
+		Oracle:        orc,
+		Seed:          s.Seed,
+		Components:    s.Components,
+		LeaverIndices: s.LeaverIndices,
 	}, nil
 }
 
@@ -105,15 +153,12 @@ func (s Scenario) BuildScenario() (*churn.Scenario, error) {
 	if err != nil {
 		return nil, err
 	}
-	if cfg.N < 1 {
-		return nil, fmt.Errorf("trace: scenario has n = %d", cfg.N)
-	}
-	return churn.Build(cfg), nil
+	return churn.TryBuild(cfg)
 }
 
 // topologyByName inverts churn.Topology.String.
 func topologyByName(name string) (churn.Topology, error) {
-	for t := churn.TopoLine; t <= churn.TopoRandom; t++ {
+	for _, t := range churn.Topologies() {
 		if t.String() == name {
 			return t, nil
 		}
@@ -123,7 +168,7 @@ func topologyByName(name string) (churn.Topology, error) {
 
 // patternByName inverts churn.LeavePattern.String.
 func patternByName(name string) (churn.LeavePattern, error) {
-	for p := churn.LeaveRandom; p <= churn.LeaveAllButOne; p++ {
+	for _, p := range churn.Patterns() {
 		if p.String() == name {
 			return p, nil
 		}
@@ -140,6 +185,19 @@ func variantByName(name string) (core.Variant, error) {
 		return core.VariantFSP, nil
 	}
 	return 0, fmt.Errorf("trace: unknown variant %q", name)
+}
+
+// oracleRegistry holds extra oracle constructors registered at runtime —
+// test-only oracles (e.g. the fuzzer's deliberately broken mutants) whose
+// journals must still replay.
+var oracleRegistry = map[string]func() sim.Oracle{}
+
+// RegisterOracle makes journals recorded under a non-built-in oracle
+// replayable: OracleByName consults the registry after the built-ins. Not
+// safe for concurrent use; register during setup. Registering a built-in
+// name has no effect (built-ins win).
+func RegisterOracle(name string, factory func() sim.Oracle) {
+	oracleRegistry[name] = factory
 }
 
 // OracleByName rebuilds an oracle from its Name(). The empty name is the
@@ -162,6 +220,9 @@ func OracleByName(name string) (sim.Oracle, error) {
 		return oracle.Always(false), nil
 	case (&oracle.TimeoutSingle{}).Name():
 		return oracle.NewTimeoutSingle(0), nil
+	}
+	if factory, ok := oracleRegistry[name]; ok {
+		return factory(), nil
 	}
 	return nil, fmt.Errorf("trace: unknown oracle %q", name)
 }

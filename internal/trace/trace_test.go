@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -81,7 +82,7 @@ func TestJournalRoundTrip(t *testing.T) {
 	if !res.Converged {
 		t.Fatalf("run did not converge in %d steps", res.Steps)
 	}
-	if hdr.Version != trace.Version || hdr.Engine != trace.EngineSim || hdr.Scenario != s {
+	if hdr.Version != trace.Version || hdr.Engine != trace.EngineSim || !reflect.DeepEqual(hdr.Scenario, s) {
 		t.Fatalf("header did not round-trip: %+v", hdr)
 	}
 	if len(recs) == 0 {
@@ -370,5 +371,91 @@ func TestRuntimeJournal(t *testing.T) {
 	div := trace.Diff(recs, perturbed)
 	if div == nil || div.CID != recs[k].CID || div.Field != "parent" {
 		t.Fatalf("wrong divergence: %+v", div)
+	}
+}
+
+// A journal recorded with mid-run strike waves must replay byte-identically:
+// the header records each wave at the step it actually fired, and Replay
+// re-applies the same corruption (same wave seed) at the same step boundary.
+func TestStruckJournalReplaysByteIdentically(t *testing.T) {
+	s := testScenario(12, 7)
+	s.Strikes = []trace.StrikeSpec{
+		{After: 40, FlipBeliefs: 0.5, JunkMessages: 4},
+		{After: 120, ScrambleAnchors: 0.6, DuplicateMessages: 3},
+	}
+	raw, hdr, recs, res := record(t, s, 400000)
+	if !res.Converged {
+		t.Fatalf("struck run did not converge: %+v", res)
+	}
+	if len(hdr.Scenario.Strikes) != 2 {
+		t.Fatalf("header strikes = %+v", hdr.Scenario.Strikes)
+	}
+	for i, sp := range hdr.Scenario.Strikes {
+		if sp.After < s.Strikes[i].After {
+			// Actual fire step can only move earlier if the run stalled; with
+			// MaxSteps this large both waves should land exactly on request.
+			t.Fatalf("wave %d fired at %d, requested %d", i, sp.After, s.Strikes[i].After)
+		}
+	}
+	div, err := trace.VerifyReplay(hdr, recs)
+	if err != nil {
+		t.Fatalf("VerifyReplay: %v", err)
+	}
+	if div != nil {
+		t.Fatalf("struck journal diverged on replay: %+v", div)
+	}
+	// Re-recording the same scenario is byte-identical end to end.
+	var buf bytes.Buffer
+	if _, err := trace.RecordRun(s, &buf, sim.RunOptions{MaxSteps: 400000}); err != nil {
+		t.Fatalf("re-record: %v", err)
+	}
+	if !bytes.Equal(raw, buf.Bytes()) {
+		t.Fatal("re-recording a struck scenario changed journal bytes")
+	}
+}
+
+func TestExplicitLeaversRoundTripThroughJournal(t *testing.T) {
+	s := testScenario(8, 3)
+	s.LeaveFraction = 0
+	s.LeaverIndices = []int{1, 5}
+	_, hdr, recs, _ := record(t, s, 400000)
+	if got := hdr.Scenario.LeaverIndices; len(got) != 2 || got[0] != 1 || got[1] != 5 {
+		t.Fatalf("leaver indices did not round-trip: %v", got)
+	}
+	div, err := trace.VerifyReplay(hdr, recs)
+	if err != nil || div != nil {
+		t.Fatalf("replay with pinned leavers failed: div=%+v err=%v", div, err)
+	}
+}
+
+type testOracle struct{ oracle.Single }
+
+func (testOracle) Name() string { return "TEST-REGISTERED" }
+
+func TestOracleRegistry(t *testing.T) {
+	if _, err := trace.OracleByName("TEST-REGISTERED"); err == nil {
+		t.Fatal("unregistered oracle must not resolve")
+	}
+	trace.RegisterOracle("TEST-REGISTERED", func() sim.Oracle { return testOracle{} })
+	orc, err := trace.OracleByName("TEST-REGISTERED")
+	if err != nil {
+		t.Fatalf("OracleByName after register: %v", err)
+	}
+	if orc.Name() != "TEST-REGISTERED" {
+		t.Fatalf("wrong oracle: %v", orc.Name())
+	}
+}
+
+// A scenario whose build cannot succeed surfaces the churn error instead of
+// panicking — journals with nonsense headers fail replay cleanly.
+func TestBuildScenarioRejectsBadConfig(t *testing.T) {
+	s := testScenario(0, 1)
+	if _, err := s.BuildScenario(); err == nil {
+		t.Fatal("n=0 scenario must not build")
+	}
+	s = testScenario(6, 1)
+	s.Topology = "hypercube"
+	if _, err := s.BuildScenario(); err == nil {
+		t.Fatal("hypercube n=6 scenario must not build")
 	}
 }
