@@ -2,20 +2,30 @@ GO ?= go
 
 FDPLINT := bin/fdplint
 
-.PHONY: all ci vet lint build test race bench bench-artifacts bench-baseline bench-compare replay-golden fuzz-smoke
+.PHONY: all ci vet lint lint-unit build test race bench bench-artifacts bench-baseline bench-compare replay-golden fuzz-smoke fuzz-hunt
 
 all: vet lint build test race replay-golden fuzz-smoke
 
 # ci is the exact sequence .github/workflows/ci.yml runs.
-ci: vet lint build test race replay-golden fuzz-smoke
+ci: vet lint lint-unit build test race replay-golden fuzz-smoke
 
 vet:
 	$(GO) vet ./...
 
-# lint runs the model-discipline analyzers (refopacity, detiter,
-# guardpurity, lockorder, obslock — see DESIGN.md §9) through the standard
-# vet driver, so diagnostics carry package/position context and caching.
+# lint runs the full fdp analysis suite (see DESIGN.md §9 and §14:
+# refopacity, detiter, guardpurity, lockorder, obslock, primdecomp,
+# atomicdiscipline, lockgraph) in whole-program mode: one process loads the
+# module in dependency order, threads cross-package facts through a shared
+# store, and checks global properties — the call-graph mover fixpoint, the
+# inferred lock-acquisition graph — that per-unit drivers cannot see.
 lint: $(FDPLINT)
+	$(FDPLINT) ./...
+
+# lint-unit is the unitchecker smoke: the same binary driven by go vet, one
+# compilation unit per invocation with facts round-tripped through .vetx
+# files. Keeps the vet integration honest without replacing whole-program
+# mode.
+lint-unit: $(FDPLINT)
 	$(GO) vet -vettool=$(FDPLINT) ./...
 
 $(FDPLINT): FORCE
@@ -50,6 +60,15 @@ replay-golden:
 fuzz-smoke:
 	$(GO) test ./internal/fuzz -count=1
 	$(GO) run ./cmd/fdpfuzz -seed 11 -runs 20 -timeout 5s
+
+# fuzz-hunt is the scheduled long hunt (.github/workflows/fuzz.yml): a
+# time-bounded randomized sweep with the seed drawn from the calendar date,
+# so each nightly run walks a fresh case sequence while staying exactly
+# reproducible from the log line. Shrunk failures land in fuzz-artifacts/
+# as replayable journal fixtures for the workflow to upload.
+FUZZ_DURATION ?= 10m
+fuzz-hunt:
+	$(GO) run ./cmd/fdpfuzz -seed $$(date +%Y%m%d) -duration $(FUZZ_DURATION) -out fuzz-artifacts
 
 bench:
 	$(GO) test -bench . -benchmem -run XXX .

@@ -1,29 +1,66 @@
-// Command fdplint is the repository's custom static analysis tool. It
-// bundles the five model-discipline analyzers — refopacity, detiter,
-// guardpurity, lockorder and obslock — behind the `go vet -vettool` protocol:
+// Command fdplint runs the fdp static-analysis suite (see
+// internal/analysis/all) in one of two modes:
 //
-//	go build -o bin/fdplint ./cmd/fdplint
-//	go vet -vettool=bin/fdplint ./...
+//   - Whole-program mode (the default, and what `make lint` runs):
 //
-// See DESIGN.md §9 for the invariants each analyzer enforces and the
-// //fdplint:ignore escape hatch.
+//     fdplint [packages]
+//
+//     loads the module in dependency order via the go build machinery,
+//     runs every analyzer over every package with one shared fact store,
+//     and prints findings. Patterns default to ./... relative to the
+//     current directory.
+//
+//   - Unitchecker mode, auto-detected when cmd/go invokes the binary with
+//     -V=full / -flags / a .cfg argument:
+//
+//     go vet -vettool=bin/fdplint ./...
+//
+//     analyzes one compilation unit per invocation, round-tripping facts
+//     through the build system's .vetx files.
+//
+// See DESIGN.md §9 and §14 for the invariants each analyzer enforces and
+// the //fdplint:ignore escape hatch.
 package main
 
 import (
-	"fdp/internal/analysis/detiter"
-	"fdp/internal/analysis/guardpurity"
-	"fdp/internal/analysis/lockorder"
-	"fdp/internal/analysis/obslock"
-	"fdp/internal/analysis/refopacity"
+	"fmt"
+	"os"
+	"strings"
+
+	"fdp/internal/analysis/all"
+	"fdp/internal/analysis/program"
 	"fdp/internal/analysis/unit"
 )
 
 func main() {
-	unit.Main(
-		refopacity.Analyzer,
-		detiter.Analyzer,
-		guardpurity.Analyzer,
-		lockorder.Analyzer,
-		obslock.Analyzer,
-	)
+	if unitcheckerInvocation(os.Args[1:]) {
+		unit.Main(all.Analyzers()...)
+		return
+	}
+
+	res, err := program.Run(program.Options{Patterns: os.Args[1:]}, all.Analyzers())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fdplint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range res.Diags {
+		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", res.Fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	if len(res.Diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// unitcheckerInvocation detects the go vet protocol: a -V/-flags flag or a
+// *.cfg positional argument.
+func unitcheckerInvocation(args []string) bool {
+	for _, a := range args {
+		switch {
+		case a == "-flags", a == "--flags",
+			a == "-V" || strings.HasPrefix(a, "-V=") || strings.HasPrefix(a, "--V="),
+			strings.HasSuffix(a, ".cfg"):
+			return true
+		}
+	}
+	return false
 }

@@ -1,0 +1,30 @@
+// Package all registers the full fdplint analyzer suite in one place, so
+// the drivers (cmd/fdplint in both program and unitchecker mode, the
+// mutation tests, make lint) agree on what "the suite" is.
+package all
+
+import (
+	"fdp/internal/analysis"
+	"fdp/internal/analysis/atomicdiscipline"
+	"fdp/internal/analysis/detiter"
+	"fdp/internal/analysis/guardpurity"
+	"fdp/internal/analysis/lockgraph"
+	"fdp/internal/analysis/lockorder"
+	"fdp/internal/analysis/obslock"
+	"fdp/internal/analysis/primdecomp"
+	"fdp/internal/analysis/refopacity"
+)
+
+// Analyzers is the full suite, in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		refopacity.Analyzer,
+		detiter.Analyzer,
+		guardpurity.Analyzer,
+		lockorder.Analyzer,
+		lockgraph.Analyzer,
+		obslock.Analyzer,
+		primdecomp.Analyzer,
+		atomicdiscipline.Analyzer,
+	}
+}

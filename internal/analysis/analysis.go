@@ -1,19 +1,27 @@
 // Package analysis is a minimal, dependency-free reimplementation of the
 // golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects one
 // typechecked package through a Pass and reports position-tagged
-// Diagnostics. The module cannot vendor x/tools (the build environment is
-// offline), so the subset the fdplint analyzers need — no facts, no
-// Requires graph, no SSA — is implemented here directly on go/ast and
-// go/types. The API mirrors x/tools deliberately: if the dependency ever
-// becomes available, each analyzer ports by changing one import line.
+// Diagnostics, and may export Facts about package-level objects that
+// downstream packages import (see facts.go). The module cannot vendor
+// x/tools (the build environment is offline), so the subset the fdplint
+// analyzers need — no Requires graph, no SSA — is implemented here
+// directly on go/ast and go/types. The API mirrors x/tools deliberately:
+// if the dependency ever becomes available, each analyzer ports by
+// changing one import line.
 //
 // The drivers live alongside:
 //
+//   - internal/analysis/program typechecks the whole module in dependency
+//     order (via `go list -deps -export -json`) and runs every analyzer
+//     over every package with one shared fact store — the mode behind
+//     `make lint` and a bare `fdplint ./...`.
 //   - internal/analysis/unit implements the `go vet -vettool=` protocol so
-//     cmd/fdplint runs under the standard build machinery (make lint).
+//     cmd/fdplint also runs under the standard build machinery, with facts
+//     serialized through the build system's .vetx files.
 //   - internal/analysis/analysistest loads golden-fixture packages from an
 //     analyzer's testdata/src tree and checks reported diagnostics against
-//     `// want "regexp"` comments.
+//     `// want "regexp"` comments, threading facts across the listed
+//     fixture packages in order.
 //
 // Suppression: a comment of the form
 //
@@ -49,6 +57,10 @@ type Analyzer struct {
 	// pass.Report/Reportf. The result value is unused (kept for x/tools API
 	// parity).
 	Run func(pass *Pass) (any, error)
+	// FactTypes lists prototype values of every Fact type the analyzer
+	// exports (see facts.go). Drivers use it to decide which analyzers must
+	// run on dependency packages and to build the serialization registry.
+	FactTypes []Fact
 }
 
 // Pass presents one typechecked package to an Analyzer.
@@ -59,6 +71,10 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 	Report    func(Diagnostic)
+	// Facts is the program-wide fact store, shared across packages and
+	// analyzers by whole-program drivers. Nil under a bare RunPackage; the
+	// fact methods allocate lazily so single-package analyzers still work.
+	Facts *FactStore
 }
 
 // Reportf reports a diagnostic at pos with a formatted message.
@@ -76,39 +92,61 @@ type Diagnostic struct {
 // IgnoreDirective is the comment prefix of the suppression facility.
 const IgnoreDirective = "//fdplint:ignore"
 
-// ignoreSet records, per analyzer name, the file lines on which
-// diagnostics are suppressed.
-type ignoreSet map[string]map[string]map[int]bool // analyzer -> filename -> line
-
-func (s ignoreSet) add(name, file string, line int) {
-	byFile := s[name]
-	if byFile == nil {
-		byFile = make(map[string]map[int]bool)
-		s[name] = byFile
-	}
-	lines := byFile[file]
-	if lines == nil {
-		lines = make(map[int]bool)
-		byFile[file] = lines
-	}
-	lines[line] = true
+// directive is one well-formed //fdplint:ignore comment. hits counts the
+// diagnostics it suppressed, so a directive that suppresses nothing can
+// itself be reported (a stale ignore silently disables future findings on
+// its line).
+type directive struct {
+	name   string // analyzer the directive names
+	pos    token.Pos
+	inTest bool
+	hits   int
 }
 
+// ignoreSet records, per analyzer name, the file lines on which
+// diagnostics are suppressed and by which directives.
+type ignoreSet map[string]map[string]map[int][]*directive // analyzer -> filename -> line
+
+func (s ignoreSet) add(d *directive, file string, line int) {
+	byFile := s[d.name]
+	if byFile == nil {
+		byFile = make(map[string]map[int][]*directive)
+		s[d.name] = byFile
+	}
+	if byFile[file] == nil {
+		byFile[file] = make(map[int][]*directive)
+	}
+	for _, have := range byFile[file][line] {
+		if have == d {
+			return
+		}
+	}
+	byFile[file][line] = append(byFile[file][line], d)
+}
+
+// suppressed reports whether a diagnostic of the named analyzer at
+// file:line is covered, and credits the covering directives.
 func (s ignoreSet) suppressed(name, file string, line int) bool {
-	return s[name][file][line]
+	ds := s[name][file][line]
+	for _, d := range ds {
+		d.hits++
+	}
+	return len(ds) > 0
 }
 
 // collectIgnores scans every comment of every file for //fdplint:ignore
 // directives. Malformed directives (run-on prefix, no analyzer name, or no
 // reason) are reported as diagnostics of the pseudo-analyzer "fdplint" so
 // that a typo never silently disables a check.
-func collectIgnores(fset *token.FileSet, files []*ast.File) (ignoreSet, []Diagnostic) {
+func collectIgnores(fset *token.FileSet, files []*ast.File) (ignoreSet, []*directive, []Diagnostic) {
 	ignores := make(ignoreSet)
+	var all []*directive
 	var bad []Diagnostic
 	for _, f := range files {
-		// targets maps each directive-covered line to the analyzer names
-		// suppressed there, for the statement-span extension below.
-		targets := make(map[int][]string)
+		inTest := IsTestFile(fset, f)
+		// targets maps each directive-covered line to the directives
+		// active there, for the statement-span extension below.
+		targets := make(map[int][]*directive)
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				if !strings.HasPrefix(c.Text, IgnoreDirective) {
@@ -135,13 +173,15 @@ func collectIgnores(fset *token.FileSet, files []*ast.File) (ignoreSet, []Diagno
 					continue
 				}
 				pos := fset.Position(c.Pos())
+				d := &directive{name: fields[0], pos: c.Pos(), inTest: inTest}
+				all = append(all, d)
 				// Suppress the directive's own line and the next one, so the
 				// directive works both trailing the offending statement and on
 				// a line of its own above it.
-				ignores.add(fields[0], pos.Filename, pos.Line)
-				ignores.add(fields[0], pos.Filename, pos.Line+1)
-				targets[pos.Line] = append(targets[pos.Line], fields[0])
-				targets[pos.Line+1] = append(targets[pos.Line+1], fields[0])
+				ignores.add(d, pos.Filename, pos.Line)
+				ignores.add(d, pos.Filename, pos.Line+1)
+				targets[pos.Line] = append(targets[pos.Line], d)
+				targets[pos.Line+1] = append(targets[pos.Line+1], d)
 			}
 		}
 		if len(targets) == 0 {
@@ -158,28 +198,44 @@ func collectIgnores(fset *token.FileSet, files []*ast.File) (ignoreSet, []Diagno
 				return true
 			}
 			start := fset.Position(n.Pos())
-			names := targets[start.Line]
-			if len(names) == 0 {
+			ds := targets[start.Line]
+			if len(ds) == 0 {
 				return true
 			}
 			end := fset.Position(n.End())
-			for _, name := range names {
+			for _, d := range ds {
 				for line := start.Line; line <= end.Line; line++ {
-					ignores.add(name, start.Filename, line)
+					ignores.add(d, start.Filename, line)
 				}
 			}
 			return true
 		})
 	}
-	return ignores, bad
+	return ignores, all, bad
 }
 
 // RunPackage runs the analyzers over one typechecked package, applies the
 // //fdplint:ignore suppressions, and returns the surviving diagnostics in
-// file/position order. It is the shared core of both drivers.
+// file/position order. Facts stay package-local; whole-program drivers use
+// RunPackageFacts with a shared store instead.
 func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
-	ignores, diags := collectIgnores(fset, files)
+	return RunPackageFacts(fset, files, pkg, info, analyzers, nil)
+}
+
+// RunPackageFacts is RunPackage with an explicit fact store: facts exported
+// by earlier packages of the same run are importable, and facts exported
+// here become visible to packages analyzed later. It also reports unused
+// //fdplint:ignore directives — a directive naming an analyzer in this run
+// that suppressed no diagnostic is itself a finding (pseudo-analyzer
+// "fdplint"), so stale ignores can't silently accumulate.
+func RunPackageFacts(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer, facts *FactStore) ([]Diagnostic, error) {
+	ignores, directives, diags := collectIgnores(fset, files)
+	if facts == nil {
+		facts = NewFactStore()
+	}
+	inRun := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
+		inRun[a.Name] = true
 		var collected []Diagnostic
 		pass := &Pass{
 			Analyzer:  a,
@@ -187,6 +243,7 @@ func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info
 			Files:     files,
 			Pkg:       pkg,
 			TypesInfo: info,
+			Facts:     facts,
 			Report: func(d Diagnostic) {
 				d.Analyzer = a.Name
 				collected = append(collected, d)
@@ -201,6 +258,19 @@ func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info
 				continue
 			}
 			diags = append(diags, d)
+		}
+	}
+	// Unused-directive findings: only for analyzers that actually ran (a
+	// single-analyzer fixture run must not flag another analyzer's
+	// directives), and not in test files (most analyzers skip those, so
+	// their directives could never score a hit).
+	for _, d := range directives {
+		if d.hits == 0 && !d.inTest && inRun[d.name] {
+			diags = append(diags, Diagnostic{
+				Pos:      d.pos,
+				Message:  fmt.Sprintf("unused fdplint:ignore directive: no %s diagnostic is suppressed here", d.name),
+				Analyzer: "fdplint",
+			})
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {

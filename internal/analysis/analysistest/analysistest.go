@@ -32,6 +32,12 @@ import (
 
 // Run loads each named fixture package from dir/src and checks a's
 // diagnostics against the `// want` expectations in the package's files.
+//
+// The listed packages share one fact store and are analyzed in the order
+// given, so a multi-package fixture exercises cross-package fact flow:
+// list the dependency first and the dependent package imports whatever
+// facts the analyzer exported for it. Imported-but-unlisted packages
+// (stubs) are typechecked but never analyzed.
 func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
 	t.Helper()
 	l := &loader{
@@ -40,12 +46,13 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
 		pkgs: make(map[string]*loadedPkg),
 		info: analysis.NewInfo(),
 	}
+	facts := analysis.NewFactStore()
 	for _, path := range pkgPaths {
 		lp, err := l.load(path)
 		if err != nil {
 			t.Fatalf("loading fixture package %s: %v", path, err)
 		}
-		diags, err := analysis.RunPackage(l.fset, lp.files, lp.pkg, l.info, []*analysis.Analyzer{a})
+		diags, err := analysis.RunPackageFacts(l.fset, lp.files, lp.pkg, l.info, []*analysis.Analyzer{a}, facts)
 		if err != nil {
 			t.Fatalf("running %s on %s: %v", a.Name, path, err)
 		}
@@ -129,7 +136,10 @@ type expectation struct {
 	met  bool
 }
 
-var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+// wantRe also matches a want expectation embedded later in a comment
+// (`//fdp:nondecomposable reason // want "..."`), for diagnostics that
+// anchor on a directive comment's own line.
+var wantRe = regexp.MustCompile("\\bwant\\s+([\"`].*)$")
 
 // parseWants extracts expectations from the fixture files. Each comment
 // may carry several quoted or backquoted regexps:

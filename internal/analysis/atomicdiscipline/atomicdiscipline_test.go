@@ -1,0 +1,15 @@
+package atomicdiscipline
+
+import (
+	"testing"
+
+	"fdp/internal/analysis/analysistest"
+)
+
+// TestAtomicDiscipline runs the two-package fixture dependency-first, so
+// atomb sees the AtomicFacts atoma exported for its field and var, and the
+// ignore-suppression interplay is exercised against a cross-package
+// diagnostic.
+func TestAtomicDiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "fdp/internal/atoma", "fdp/internal/atomb")
+}

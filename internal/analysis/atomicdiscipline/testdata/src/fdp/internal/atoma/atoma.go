@@ -1,0 +1,38 @@
+// Package atoma is the declaring half of the two-package atomicdiscipline
+// fixture: fields and vars first accessed atomically here taint downstream
+// packages through object facts.
+package atoma
+
+import "sync/atomic"
+
+// Counter mixes atomic and plain access to the same field in one package.
+type Counter struct {
+	hits uint64
+}
+
+// Inc is the sanctioned atomic access.
+func (c *Counter) Inc() { atomic.AddUint64(&c.hits, 1) }
+
+// Snapshot reads the field plainly: a mixed-access data race.
+func (c *Counter) Snapshot() uint64 {
+	return c.hits // want "plain access to c.hits"
+}
+
+// NewCounter initializes through a composite literal, which is exempt:
+// construction happens before the value is shared.
+func NewCounter() *Counter { return &Counter{hits: 0} }
+
+// Gauge exports a field whose atomic taint must reach other packages.
+type Gauge struct {
+	Val uint64
+}
+
+// Bump is the atomic access establishing Val's fact.
+func (g *Gauge) Bump() { atomic.AddUint64(&g.Val, 1) }
+
+// Total is a package-level var accessed atomically here and plainly in
+// atomb.
+var Total uint64
+
+// AddTotal is the atomic access establishing Total's fact.
+func AddTotal() uint64 { return atomic.AddUint64(&Total, 1) }

@@ -1,0 +1,38 @@
+// Package atomb is the downstream half of the two-package atomicdiscipline
+// fixture: the tainted objects arrive as imported facts, and an ignore
+// directive here must suppress a diagnostic raised against an upstream
+// fact.
+package atomb
+
+import (
+	"sync/atomic"
+
+	"fdp/internal/atoma"
+)
+
+// ReadTotal reads the upstream atomic var plainly.
+func ReadTotal() uint64 {
+	return atoma.Total // want "plain access to Total"
+}
+
+// ReadGauge reads the upstream atomic field plainly.
+func ReadGauge(g *atoma.Gauge) uint64 {
+	return g.Val // want "plain access to g.Val"
+}
+
+// OkTotal goes through sync/atomic: qualified atomic access is sanctioned.
+func OkTotal() uint64 { return atomic.LoadUint64(&atoma.Total) }
+
+// Audited suppresses the cross-package diagnostic with an ignore; the
+// directive counts as used, so no unused-ignore diagnostic fires either.
+func Audited() uint64 {
+	//fdplint:ignore atomicdiscipline consistent snapshot taken under external serialization
+	return atoma.Total
+}
+
+// Unrelated carries an ignore that suppresses nothing: the facility itself
+// reports it.
+func Unrelated() uint64 {
+	//fdplint:ignore atomicdiscipline nothing here needs suppression // want "unused fdplint:ignore directive: no atomicdiscipline diagnostic is suppressed here"
+	return 0
+}

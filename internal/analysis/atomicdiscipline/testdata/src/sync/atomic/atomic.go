@@ -1,0 +1,14 @@
+// Package atomic stubs the address-taking sync/atomic API.
+package atomic
+
+// AddUint64 stub.
+func AddUint64(addr *uint64, delta uint64) uint64 {
+	*addr += delta
+	return *addr
+}
+
+// LoadUint64 stub.
+func LoadUint64(addr *uint64) uint64 { return *addr }
+
+// StoreUint64 stub.
+func StoreUint64(addr *uint64, val uint64) { *addr = val }

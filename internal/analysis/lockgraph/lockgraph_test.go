@@ -1,0 +1,15 @@
+package lockgraph
+
+import (
+	"testing"
+
+	"fdp/internal/analysis/analysistest"
+)
+
+// TestLockGraph runs the two-package fixture dependency-first, so lockuse
+// imports the FuncLocks and PkgGraph facts lockdep exported — the cycle,
+// the cross-package leaf violation, and the handoff idiom are only
+// checkable with that fact flow.
+func TestLockGraph(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "fdp/internal/lockdep", "fdp/internal/lockuse")
+}

@@ -1,0 +1,39 @@
+// Package lockdep is the dependency half of the two-package lockgraph
+// fixture: it declares mutexes whose annotations and function summaries
+// must flow to the dependent package (lockuse) as facts.
+package lockdep
+
+import "sync"
+
+// MuA is acquired both directly and through WithA by the dependent package.
+var MuA sync.Mutex
+
+// WithA runs f with MuA held. Its summary (acquires lockdep.MuA) is
+// exported as an object fact; lockuse calling it under its own mutex must
+// produce a cross-package edge.
+func WithA(f func()) {
+	MuA.Lock()
+	f()
+	MuA.Unlock()
+}
+
+// Guard carries a leaf-annotated mutex.
+type Guard struct {
+	mu sync.Mutex //fdp:lockleaf
+}
+
+// Hold acquires the leaf and leaks the acquisition to the caller.
+func (g *Guard) Hold() { g.mu.Lock() }
+
+// Release balances Hold.
+func (g *Guard) Release() { g.mu.Unlock() }
+
+// bad acquires another mutex under the leaf: diagnosed in this package.
+func bad(g *Guard) {
+	g.mu.Lock()
+	MuA.Lock() // want "acquiring lockdep.MuA while holding lockdep.Guard.mu violates its //fdp:lockleaf declaration"
+	MuA.Unlock()
+	g.mu.Unlock()
+}
+
+var _ = bad

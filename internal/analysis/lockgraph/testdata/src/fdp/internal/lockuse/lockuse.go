@@ -1,0 +1,97 @@
+// Package lockuse is the dependent half of the two-package lockgraph
+// fixture: its edges combine with lockdep's exported facts into a
+// whole-program graph, where the cycle and the leaf violation below are
+// only visible across the package boundary.
+package lockuse
+
+import (
+	"sync"
+
+	"fdp/internal/lockdep"
+)
+
+// MuB participates in a cross-package cycle with lockdep.MuA.
+var MuB sync.Mutex
+
+// aThenB establishes lockdep.MuA → lockuse.MuB.
+func aThenB() {
+	lockdep.MuA.Lock()
+	MuB.Lock() // want "lock cycle"
+	MuB.Unlock()
+	lockdep.MuA.Unlock()
+}
+
+// bThenA establishes lockuse.MuB → lockdep.MuA through WithA's imported
+// summary, closing the cycle.
+func bThenA() {
+	MuB.Lock()
+	lockdep.WithA(func() {}) // want "lock cycle"
+	MuB.Unlock()
+}
+
+// underLeaf acquires MuB while holding lockdep's leaf mutex, acquired
+// through Hold's escaping-acquire summary. The leaf set arrives via the
+// package fact.
+func underLeaf(g *lockdep.Guard) {
+	g.Hold()
+	holdMuB() // want "acquiring lockuse.MuB while holding lockdep.Guard.mu violates its //fdp:lockleaf declaration"
+	g.Release()
+}
+
+func holdMuB() {
+	MuB.Lock()
+	MuB.Unlock()
+}
+
+// pair's mutex is acquired two instances at a time without an order
+// declaration: a self-cycle on the merged per-type key.
+type pair struct {
+	mu sync.Mutex
+}
+
+func both(a, b *pair) {
+	a.mu.Lock()
+	b.mu.Lock() // want "lock self-cycle: lockuse.pair.mu acquired while already held"
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// opair declares the consistent instance order, sanctioning the self-edge.
+type opair struct {
+	mu sync.Mutex //fdp:lockordered ascending address order
+}
+
+func oboth(a, b *opair) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// MuC exercises the pause/resume handoff idiom: freeze acquires and
+// installs a deferred release, so repeated calls from a polling loop must
+// not look like re-acquisition.
+var MuC sync.Mutex
+
+func acquireC() { MuC.Lock() }
+func releaseC() { MuC.Unlock() }
+
+func freeze() {
+	acquireC()
+	defer releaseC()
+}
+
+func waitLoop() {
+	for i := 0; i < 3; i++ {
+		freeze()
+	}
+}
+
+var (
+	_ = aThenB
+	_ = bThenA
+	_ = underLeaf
+	_ = both
+	_ = oboth
+	_ = waitLoop
+)

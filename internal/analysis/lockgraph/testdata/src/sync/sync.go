@@ -1,0 +1,26 @@
+// Package sync stubs the mutex API for lockgraph fixtures.
+package sync
+
+// Mutex stubs sync.Mutex.
+type Mutex struct{ _ int }
+
+// Lock stub.
+func (m *Mutex) Lock() {}
+
+// Unlock stub.
+func (m *Mutex) Unlock() {}
+
+// RWMutex stubs sync.RWMutex.
+type RWMutex struct{ _ int }
+
+// Lock stub.
+func (m *RWMutex) Lock() {}
+
+// Unlock stub.
+func (m *RWMutex) Unlock() {}
+
+// RLock stub.
+func (m *RWMutex) RLock() {}
+
+// RUnlock stub.
+func (m *RWMutex) RUnlock() {}

@@ -1,30 +1,27 @@
-// Package lockorder enforces the DESIGN.md §12 locking discipline of the
-// sharded concurrent runtime (fdp/internal/parallel):
+// Package lockorder enforces the local half of the DESIGN.md §12 locking
+// discipline of the sharded concurrent runtime (fdp/internal/parallel):
 //
-//  1. Lock order: freezeMu → actMu (per shard, ascending) → at most one
-//     leaf of {mbMu, exitMu, oracleMu}. Acquiring a lock of an earlier
-//     class while holding a later one — directly, or through a function
-//     that (transitively) pauses the world — inverts the order and can
-//     deadlock against the coordinator's epoch pause. The legacy global
-//     `snap` lock counts as pause-class, so pre-§12 code keeps its old
-//     snap → oracleMu rule as a special case.
-//  2. Leaf discipline: the leaves are terminal. While any of mbMu, exitMu
-//     or oracleMu is held, no other lock may be acquired — not directly,
-//     and not through a package function that acquires a leaf itself.
-//  3. Pairing: every Lock/RLock must be released on all paths — either a
+//  1. Pairing: every Lock/RLock must be released on all paths — either a
 //     matching (deferred or lexically later) Unlock/RUnlock of the same
 //     receiver, with no return statement inside the held region.
-//  4. Serialization: every sim.Oracle.Evaluate call site in the package
+//  2. Serialization: every sim.Oracle.Evaluate call site in the package
 //     must run under oracleMu, so stateful oracles never race with
 //     themselves between the coordinator and validateExit.
 //
+// The global half — the freezeMu → actMu → leaf acquisition ORDER that an
+// earlier version of this analyzer checked against a hand-maintained rank
+// table — is now the lockgraph analyzer's job: lockgraph infers the
+// whole-program acquisition graph from the code and rejects cycles and
+// //fdp:lockleaf violations, so the order is a property of the inferred
+// graph rather than a list this file would have to keep in sync with the
+// runtime.
+//
 // The checks are lexical within each function body (events in source
-// order), plus two package-wide fixpoints computing which functions acquire
-// pause-class and leaf-class locks transitively. That is an approximation —
-// Go lock usage is not statically decidable — but it is exact for the
-// straight-line and branch-local-release patterns §12 prescribes. The one
-// sanctioned exception, the pauseAll/resumeAll handoff (locks acquired in
-// one function and released in its inverse), carries the
+// order). That is an approximation — Go lock usage is not statically
+// decidable — but it is exact for the straight-line and
+// branch-local-release patterns §12 prescribes. The one sanctioned
+// exception, the pauseAll/resumeAll handoff (locks acquired in one
+// function and released in its inverse), carries the
 // //fdplint:ignore lockorder <reason> it deserves.
 package lockorder
 
@@ -40,7 +37,7 @@ import (
 // Analyzer is the lockorder pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "lockorder",
-	Doc:  "internal/parallel locking discipline: freezeMu → actMu → one leaf, leaves never nest, all locks released on all paths, oracle evaluation serialized (DESIGN.md §12)",
+	Doc:  "internal/parallel lock hygiene: all locks released on all paths, oracle evaluation serialized under oracleMu (DESIGN.md §12)",
 	Run:  run,
 }
 
@@ -50,21 +47,15 @@ func run(pass *analysis.Pass) (any, error) {
 	if analysis.PkgPath(pass.Pkg) != targetPkg {
 		return nil, nil
 	}
-	var decls []*ast.FuncDecl
 	for _, f := range pass.Files {
 		if analysis.IsTestFile(pass.Fset, f) {
 			continue
 		}
 		for _, d := range f.Decls {
 			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
-				decls = append(decls, fd)
+				checkFunc(pass, fd)
 			}
 		}
-	}
-	pausers := rankAcquirers(pass, decls, func(r int) bool { return r == rankPause || r == rankAct })
-	leafers := rankAcquirers(pass, decls, func(r int) bool { return r == rankLeaf })
-	for _, fd := range decls {
-		checkFunc(pass, fd, pausers, leafers)
 	}
 	return nil, nil
 }
@@ -76,9 +67,7 @@ type opKind int
 const (
 	opLock opKind = iota
 	opUnlock
-	opPauseCall // call to a function that transitively acquires a pause-class lock
-	opLeafCall  // call to a function that transitively acquires a leaf lock
-	opEvaluate  // sim.Oracle.Evaluate call
+	opEvaluate // sim.Oracle.Evaluate call
 	opReturn
 )
 
@@ -126,53 +115,11 @@ func mutexOp(pass *analysis.Pass, call *ast.CallExpr) (key string, acquire, ok b
 	return types.ExprString(sel.X), acq, true
 }
 
-// §12 lock classes, in acquisition order. rankNone locks (a mutex the
-// runtime does not know about) get pairing checks only.
-const (
-	rankNone  = -1
-	rankPause = 0 // freezeMu, and the legacy global snap lock
-	rankAct   = 1 // per-shard actMu
-	rankLeaf  = 2 // mbMu, exitMu, oracleMu — terminal
-)
-
-func lockRank(key string) int {
-	switch {
-	case hasField(key, "snap"), hasField(key, "freezeMu"):
-		return rankPause
-	case hasField(key, "actMu"):
-		return rankAct
-	case hasField(key, "mbMu"), hasField(key, "exitMu"), hasField(key, "oracleMu"):
-		return rankLeaf
-	}
-	return rankNone
-}
-
 func hasField(key, field string) bool {
 	return key == field || strings.HasSuffix(key, "."+field)
 }
 
 func isOracleMuKey(key string) bool { return hasField(key, "oracleMu") }
-
-// calleeFunc resolves a call to its *types.Func when it targets a function
-// or method of the package under analysis.
-func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
-	var obj types.Object
-	switch fun := call.Fun.(type) {
-	case *ast.Ident:
-		obj = pass.TypesInfo.Uses[fun]
-	case *ast.SelectorExpr:
-		if selection := pass.TypesInfo.Selections[fun]; selection != nil {
-			obj = selection.Obj()
-		} else {
-			obj = pass.TypesInfo.Uses[fun.Sel]
-		}
-	}
-	fn, ok := obj.(*types.Func)
-	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != targetPkg {
-		return nil
-	}
-	return fn
-}
 
 // isOracleEvaluate reports whether the call is sim.Oracle.Evaluate.
 func isOracleEvaluate(pass *analysis.Pass, call *ast.CallExpr) bool {
@@ -191,58 +138,9 @@ func isOracleEvaluate(pass *analysis.Pass, call *ast.CallExpr) bool {
 	return fn.FullName() == "(fdp/internal/sim.Oracle).Evaluate"
 }
 
-// --- transitive-acquirer fixpoint --------------------------------------
-
-// rankAcquirers computes the set of package functions that acquire a lock
-// whose rank satisfies want, directly or through package-internal calls.
-func rankAcquirers(pass *analysis.Pass, decls []*ast.FuncDecl, want func(int) bool) map[*types.Func]bool {
-	direct := make(map[*types.Func]bool)
-	calls := make(map[*types.Func][]*types.Func)
-	declObj := func(fd *ast.FuncDecl) *types.Func {
-		fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
-		return fn
-	}
-	for _, fd := range decls {
-		fn := declObj(fd)
-		if fn == nil {
-			continue
-		}
-		ast.Inspect(fd.Body, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			if key, acq, ok := mutexOp(pass, call); ok && acq && want(lockRank(key)) {
-				direct[fn] = true
-			}
-			if callee := calleeFunc(pass, call); callee != nil {
-				calls[fn] = append(calls[fn], callee)
-			}
-			return true
-		})
-	}
-	// Propagate to a fixpoint.
-	for changed := true; changed; {
-		changed = false
-		for fn, callees := range calls {
-			if direct[fn] {
-				continue
-			}
-			for _, c := range callees {
-				if direct[c] {
-					direct[fn] = true
-					changed = true
-					break
-				}
-			}
-		}
-	}
-	return direct
-}
-
 // --- per-function lexical check ----------------------------------------
 
-func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, pausers, leafers map[*types.Func]bool) {
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 	var events []event
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
@@ -264,14 +162,6 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, pausers, leafers map[*type
 			}
 			if isOracleEvaluate(pass, n) {
 				events = append(events, event{pos: int(n.Pos()), kind: opEvaluate, node: n})
-			} else if callee := calleeFunc(pass, n); callee != nil {
-				// A pause-acquirer that also touches leaves reports as the
-				// pause call: the world pause is the stronger operation.
-				if pausers[callee] {
-					events = append(events, event{pos: int(n.Pos()), kind: opPauseCall, key: callee.Name(), node: n})
-				} else if leafers[callee] {
-					events = append(events, event{pos: int(n.Pos()), kind: opLeafCall, key: callee.Name(), node: n})
-				}
 			}
 		case *ast.ReturnStmt:
 			events = append(events, event{pos: int(n.Pos()), kind: opReturn, node: n})
@@ -284,21 +174,6 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, pausers, leafers map[*type
 	lastLock := make(map[string]ast.Node)
 	everLocked := make(map[string]bool)
 	deferredRelease := make(map[string]bool)
-	// heldOfRank returns one lexically held key whose rank satisfies want.
-	heldOfRank := func(want func(int) bool) string {
-		keys := make([]string, 0, len(held))
-		for key, n := range held {
-			if n > 0 && want(lockRank(key)) {
-				keys = append(keys, key)
-			}
-		}
-		if len(keys) == 0 {
-			return ""
-		}
-		sort.Strings(keys) // deterministic diagnostics
-		return keys[0]
-	}
-	leafHeld := func() string { return heldOfRank(func(r int) bool { return r == rankLeaf }) }
 	oracleMuHeld := func() bool {
 		for key, n := range held {
 			if n > 0 && isOracleMuKey(key) {
@@ -311,22 +186,6 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, pausers, leafers map[*type
 	for _, ev := range events {
 		switch ev.kind {
 		case opLock:
-			rk := lockRank(ev.key)
-			// Ascending-order rule: a ranked lock may only be acquired while
-			// every held ranked lock has an equal or earlier class; leaves
-			// admit no equal either (they never nest). Unranked locks are
-			// still forbidden under a leaf.
-			var over string
-			if rk == rankNone {
-				over = leafHeld()
-			} else {
-				over = heldOfRank(func(r int) bool {
-					return r > rk || (r == rankLeaf && rk == rankLeaf)
-				})
-			}
-			if over != "" {
-				pass.Reportf(ev.node.Pos(), "acquiring %s while holding %s inverts the §12 lock order (freezeMu → actMu → one leaf of {mbMu, exitMu, oracleMu}) and can deadlock", ev.key, over)
-			}
 			held[ev.key]++
 			everLocked[ev.key] = true
 			lastLock[ev.key] = ev.node
@@ -342,17 +201,6 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, pausers, leafers map[*type
 				// pattern (Lock; if c {Unlock; return}; …; Unlock) — only an
 				// Unlock with no Lock anywhere before it is a sure bug.
 				pass.Reportf(ev.node.Pos(), "%s released without a preceding acquisition in this function", ev.key)
-			}
-		case opPauseCall:
-			// Pausing the world re-acquires freezeMu and every actMu, so any
-			// held runtime lock — pause-class (self-deadlock) or leaf
-			// (order inversion) — is fatal.
-			if over := heldOfRank(func(r int) bool { return r != rankNone }); over != "" {
-				pass.Reportf(ev.node.Pos(), "calling %s (which pauses the world) while holding %s inverts the §12 lock order and can deadlock", ev.key, over)
-			}
-		case opLeafCall:
-			if over := leafHeld(); over != "" {
-				pass.Reportf(ev.node.Pos(), "calling %s (which acquires a leaf lock) while holding %s violates the §12 leaf discipline: leaves never nest", ev.key, over)
 			}
 		case opEvaluate:
 			if !oracleMuHeld() && !deferredOracleMu(deferredRelease, held) {

@@ -1,7 +1,8 @@
 // Fixture: package path fdp/internal/parallel is the analyzer's scope.
-// The Runtime shape mirrors the real sharded one (§12): freezeMu and the
-// per-shard actMu pause the world, {mbMu, exitMu, oracleMu} are terminal
-// leaves, and the legacy snap lock still counts as pause-class.
+// The Runtime shape mirrors the real sharded one (§12). lockorder checks
+// only the local half of the discipline — Lock/Unlock pairing and
+// Evaluate-under-oracleMu serialization; acquisition ORDER is the
+// lockgraph analyzer's job (see its fixtures).
 package parallel
 
 import (
@@ -27,21 +28,12 @@ type Runtime struct {
 }
 
 // The §12-conforming shape: pause classes ascending, one leaf inside,
-// Evaluate under oracleMu.
+// Evaluate under oracleMu, everything deferred.
 func (rt *Runtime) validate(u ref.Ref) bool {
 	rt.freezeMu.Lock()
 	defer rt.freezeMu.Unlock()
 	rt.sh.actMu.Lock()
 	defer rt.sh.actMu.Unlock()
-	rt.oracleMu.Lock()
-	defer rt.oracleMu.Unlock()
-	return rt.oracle.Evaluate(rt.world, u)
-}
-
-// The legacy conforming shape: snap first, oracleMu inside.
-func (rt *Runtime) validateLegacy(u ref.Ref) bool {
-	rt.snap.Lock()
-	defer rt.snap.Unlock()
 	rt.oracleMu.Lock()
 	defer rt.oracleMu.Unlock()
 	return rt.oracle.Evaluate(rt.world, u)
@@ -61,73 +53,6 @@ func (rt *Runtime) leafHandoff() {
 	rt.sh.mbMu.Unlock()
 	rt.exitMu.Lock()
 	rt.exitMu.Unlock()
-}
-
-func (rt *Runtime) inverted(u ref.Ref) {
-	rt.oracleMu.Lock()
-	rt.snap.Lock() // want "inverts the §12 lock order"
-	rt.snap.Unlock()
-	rt.oracleMu.Unlock()
-}
-
-func (rt *Runtime) pauseUnderAct() {
-	rt.sh.actMu.RLock()
-	rt.freezeMu.Lock() // want "inverts the §12 lock order"
-	rt.freezeMu.Unlock()
-	rt.sh.actMu.RUnlock()
-}
-
-// Leaves are terminal: no second leaf may nest inside one.
-func (rt *Runtime) nestedLeaves() {
-	rt.exitMu.Lock()
-	rt.sh.mbMu.Lock() // want "inverts the §12 lock order"
-	rt.sh.mbMu.Unlock()
-	rt.exitMu.Unlock()
-}
-
-func (rt *Runtime) actUnderLeaf() {
-	rt.sh.mbMu.Lock()
-	rt.sh.actMu.RLock() // want "inverts the §12 lock order"
-	rt.sh.actMu.RUnlock()
-	rt.sh.mbMu.Unlock()
-}
-
-func (rt *Runtime) freeze() {
-	rt.freezeMu.Lock()
-	rt.freezeMu.Unlock()
-}
-
-// freeze pauses the world, so calling it under a leaf inverts the order
-// transitively.
-func (rt *Runtime) transitiveInversion() {
-	rt.oracleMu.Lock()
-	rt.freeze() // want "pauses the world"
-	rt.oracleMu.Unlock()
-}
-
-// ...and calling it while already holding a pause-class lock self-deadlocks.
-func (rt *Runtime) reentrantPause() {
-	rt.sh.actMu.RLock()
-	rt.freeze() // want "pauses the world"
-	rt.sh.actMu.RUnlock()
-}
-
-func (rt *Runtime) push() {
-	rt.sh.mbMu.Lock()
-	rt.sh.mbMu.Unlock()
-}
-
-// push acquires a leaf, so calling it while holding another leaf nests
-// leaves transitively.
-func (rt *Runtime) transitiveLeafNest() {
-	rt.exitMu.Lock()
-	rt.push() // want "leaves never nest"
-	rt.exitMu.Unlock()
-}
-
-// Calling a leaf acquirer with nothing held is the normal shape.
-func (rt *Runtime) leafCallClean() {
-	rt.push()
 }
 
 func (rt *Runtime) unguarded(u ref.Ref) bool {

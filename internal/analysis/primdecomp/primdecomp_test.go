@@ -1,0 +1,80 @@
+package primdecomp
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"fdp/internal/analysis"
+	"fdp/internal/analysis/analysistest"
+)
+
+// TestPrimDecomp checks the golden fixtures: the sanctioning rules, the
+// mover fixpoint with path-bearing diagnostics, the backstop for
+// stance-less protocol packages, and stance conflicts.
+func TestPrimDecomp(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer,
+		"fdp/internal/protogood", "fdp/internal/nostance", "fdp/internal/conflict")
+}
+
+// runOnSource analyzes a single self-contained fixture file and returns
+// the diagnostics, for directives whose reports anchor on the directive
+// comment itself (no room for a same-line want expectation).
+func runOnSource(t *testing.T, src string) []analysis.Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "tiny.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := analysis.NewInfo()
+	pkg, err := (&types.Config{}).Check("fdp/internal/tiny", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	diags, err := analysis.RunPackage(fset, []*ast.File{f}, pkg, info, []*analysis.Analyzer{Analyzer})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return diags
+}
+
+func wantOne(t *testing.T, diags []analysis.Diagnostic, substr string) {
+	t.Helper()
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, substr) {
+		t.Fatalf("want exactly one diagnostic containing %q, got %v", substr, diags)
+	}
+}
+
+func TestNondecomposableNeedsReason(t *testing.T) {
+	wantOne(t, runOnSource(t, `// Package tiny claims to be outside 𝒫 without saying why.
+//
+//fdp:nondecomposable
+package tiny
+`), "needs a reason")
+}
+
+func TestUnknownPrimitiveKind(t *testing.T) {
+	wantOne(t, runOnSource(t, `// Package tiny misdeclares a primitive kind.
+//
+//fdp:decomposable
+package tiny
+
+//fdp:primitive frobnicate
+func helper() {}
+`), `unknown primitive kind "frobnicate"`)
+}
+
+func TestEmptyPrimitiveKinds(t *testing.T) {
+	wantOne(t, runOnSource(t, `// Package tiny classifies a function with no kinds.
+//
+//fdp:decomposable
+package tiny
+
+//fdp:primitive
+func helper() {}
+`), "needs at least one kind")
+}

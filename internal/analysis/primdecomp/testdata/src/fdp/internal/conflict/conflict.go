@@ -1,0 +1,5 @@
+// Package conflict declares both stances at once.
+//
+//fdp:decomposable
+//fdp:nondecomposable it is also outside 𝒫, somehow // want "conflicting decomposability stances in one package"
+package conflict

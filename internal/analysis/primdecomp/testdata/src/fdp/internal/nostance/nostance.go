@@ -1,0 +1,18 @@
+// Package nostance declares a protocol implementor but takes no
+// decomposability stance: the backstop diagnostic anchors at the package
+// clause.
+package nostance // want "package declares protocol implementor Quiet but takes no decomposability stance"
+
+import (
+	"fdp/internal/ref"
+	"fdp/internal/sim"
+)
+
+// Quiet implements sim.Protocol without any stance directive.
+type Quiet struct{ n ref.Set }
+
+// Timeout implements sim.Protocol.
+func (q *Quiet) Timeout(ctx sim.Context) {}
+
+// Refs implements sim.Protocol.
+func (q *Quiet) Refs() []ref.Ref { return nil }

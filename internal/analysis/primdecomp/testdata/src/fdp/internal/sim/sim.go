@@ -1,0 +1,42 @@
+// Package sim stubs the simulator surface primdecomp keys on: the Context
+// sender, the World mutators, and the Protocol interface the backstop
+// diagnostic looks for.
+package sim
+
+import "fdp/internal/ref"
+
+// Mode stubs sim.Mode.
+type Mode int
+
+// RefInfo stubs sim.RefInfo.
+type RefInfo struct {
+	Ref  ref.Ref
+	Mode Mode
+}
+
+// Message stubs sim.Message.
+type Message struct {
+	Label string
+	Refs  []RefInfo
+}
+
+// Context stubs sim.Context.
+type Context interface {
+	Self() ref.Ref
+	Send(to ref.Ref, msg Message)
+}
+
+// Protocol stubs sim.Protocol.
+type Protocol interface {
+	Timeout(ctx Context)
+	Refs() []ref.Ref
+}
+
+// World stubs sim.World.
+type World struct{ _ int }
+
+// Enqueue stubs message injection.
+func (w *World) Enqueue(to ref.Ref, msg Message) {}
+
+// AddProcess stubs process creation.
+func (w *World) AddProcess(r ref.Ref, m Mode, p Protocol) {}

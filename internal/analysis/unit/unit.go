@@ -128,22 +128,23 @@ func run(cfgFile string, analyzers []*analysis.Analyzer, jsonOut bool) {
 		log.Fatalf("cannot decode JSON config file %s: %v", cfgFile, err)
 	}
 
-	// fdplint exports no facts, so the vetx output (consumed by dependent
-	// packages' invocations and by the build cache) is always empty — but
-	// it must exist, or cmd/go fails the action.
-	writeVetx := func() {
+	// The vetx output carries this package's serialized facts to dependent
+	// packages' invocations (and feeds the build cache); it must exist even
+	// when empty, or cmd/go fails the action.
+	writeVetx := func(data []byte) {
 		if cfg.VetxOutput != "" {
-			if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			if err := os.WriteFile(cfg.VetxOutput, data, 0o666); err != nil {
 				log.Fatalf("failed to write vetx output: %v", err)
 			}
 		}
 	}
 
-	// Dependency packages are analyzed only for facts; with no fact types
-	// there is nothing to do, which keeps `go vet ./...` from typechecking
-	// the standard library once per run.
-	if cfg.VetxOnly {
-		writeVetx()
+	// Dependency packages are analyzed only for facts. Only this module's
+	// own packages ever export fdplint facts, so everything else — the
+	// entire standard library — takes the empty-vetx fast path and is never
+	// typechecked from source.
+	if cfg.VetxOnly && !strings.HasPrefix(cfg.ImportPath, "fdp/") && cfg.ImportPath != "fdp" {
+		writeVetx(nil)
 		os.Exit(0)
 	}
 
@@ -190,11 +191,43 @@ func run(cfgFile string, analyzers []*analysis.Analyzer, jsonOut bool) {
 		log.Fatal(err)
 	}
 
-	diags, err := analysis.RunPackage(fset, files, pkg, info, analyzers)
+	// Import the facts of module dependencies from their .vetx files, keyed
+	// to the dependency packages as this compile's importer presents them.
+	facts := analysis.NewFactStore()
+	registry := analysis.FactRegistry(analyzers)
+	for path, vetx := range cfg.PackageVetx {
+		if !strings.HasPrefix(path, "fdp/") && path != "fdp" {
+			continue
+		}
+		data, err := os.ReadFile(vetx)
+		if err != nil || len(data) == 0 {
+			continue // a dep with no facts wrote an empty vetx
+		}
+		depPkg, err := compilerImporter.Import(path)
+		if err != nil {
+			continue // not imported by this unit's sources after all
+		}
+		if err := facts.Decode(depPkg, data, registry); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	diags, err := analysis.RunPackageFacts(fset, files, pkg, info, analyzers, facts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	writeVetx()
+	vetx, err := facts.Encode(pkg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	writeVetx(vetx)
+
+	if cfg.VetxOnly {
+		// A module package outside the vet patterns: facts computed and
+		// written, diagnostics suppressed (go vet reports only on the
+		// packages it was asked about).
+		os.Exit(0)
+	}
 
 	if jsonOut {
 		printJSON(os.Stdout, fset, cfg.ID, diags)

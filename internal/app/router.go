@@ -12,6 +12,8 @@
 //	oroute(origin; target,hops) — forwarded greedily towards the target key;
 //	odone(origin)               — success notification back to the origin;
 //	ofail(origin)               — failure notification (greedy dead end).
+//
+//fdp:decomposable
 package app
 
 import (
@@ -162,6 +164,7 @@ func (r *Routed) Deliver(ctx overlay.Context, label string, refs []ref.Ref, payl
 // route forwards a lookup greedily: to ourselves if the key matches, else
 // to the stored reference strictly closest to the target key; a dead end or
 // exhausted TTL fails back to the origin.
+//fdp:primitive delegation,introduction
 func (r *Routed) route(ctx overlay.Context, origin ref.Ref, p RoutePayload) {
 	self := ctx.Self()
 	myKey := r.keys[self]
@@ -195,6 +198,7 @@ func (r *Routed) route(ctx overlay.Context, origin ref.Ref, p RoutePayload) {
 	ctx.Send(best, LabelRoute, []ref.Ref{origin}, p)
 }
 
+//fdp:primitive introduction
 func (r *Routed) fail(ctx overlay.Context, origin, self ref.Ref) {
 	if origin == self {
 		r.stats.Failed++

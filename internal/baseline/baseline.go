@@ -15,6 +15,8 @@
 //   - dropping a departing neighbor's reference is a plain deletion: it is
 //     only safe because the bridge edge was installed first, i.e. the
 //     protocol is NOT decomposable into the four primitives of Section 2.
+//
+//fdp:nondecomposable the SSS 2014 baseline deletes references outright (no Reversal); being outside 𝒫 is the point of the comparison
 package baseline
 
 import (

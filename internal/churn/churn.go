@@ -9,6 +9,8 @@
 // many action-triggering messages exist, every reference belongs to a live
 // process, and at least one staying process exists per weakly connected
 // component.
+//
+//fdp:decomposable
 package churn
 
 import (
@@ -286,6 +288,7 @@ func (e *ConfigError) Error() string {
 // state: N < 1, a topology undefined at the component size, out-of-range
 // explicit leaver indices, or a leaver set that strips some weak component
 // of its last staying process (the Section 1.5 invariant).
+//fdp:primitive init
 func TryBuild(cfg Config) (*Scenario, error) {
 	if cfg.N < 1 {
 		return nil, &ConfigError{Field: "N", Reason: fmt.Sprintf("N = %d", cfg.N)}

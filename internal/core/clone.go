@@ -9,6 +9,7 @@ import (
 
 // CloneProtocol implements sim.CloneableProtocol, enabling exhaustive
 // schedule exploration of worlds running the departure protocol.
+//fdp:primitive init
 func (p *Proc) CloneProtocol() sim.Protocol {
 	c := New(p.variant)
 	for r, m := range p.n {

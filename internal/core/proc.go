@@ -18,6 +18,8 @@
 //
 // Since the protocol is self-stabilizing, any of this information may
 // initially be arbitrary (wrong beliefs, stale anchors, junk in flight).
+//
+//fdp:decomposable
 package core
 
 import (
@@ -105,6 +107,7 @@ func (p *Proc) UsesSleep() bool { return p.variant == VariantFSP }
 // SetNeighbor stores v in u.N with the given mode belief — scenario
 // construction only (possibly deliberately invalid, for self-stabilization
 // experiments).
+//fdp:primitive init
 func (p *Proc) SetNeighbor(v ref.Ref, belief sim.Mode) {
 	if v.IsNil() {
 		return
@@ -113,9 +116,11 @@ func (p *Proc) SetNeighbor(v ref.Ref, belief sim.Mode) {
 }
 
 // RemoveNeighbor removes v from u.N — scenario construction only.
+//fdp:primitive init
 func (p *Proc) RemoveNeighbor(v ref.Ref) { delete(p.n, v) }
 
 // SetAnchor sets the anchor variable — scenario construction only.
+//fdp:primitive init
 func (p *Proc) SetAnchor(v ref.Ref, belief sim.Mode) {
 	p.anchor = v
 	p.anchorMode = belief
@@ -136,6 +141,7 @@ func (p *Proc) resetVerifyPacing() {
 // contract forbids burning the last copy of a reference — re-inject the
 // returned reference as an in-flight message. The returned Ref is ref.Nil
 // when no anchor was stored.
+//fdp:primitive init
 func (p *Proc) RepointAnchor(v ref.Ref, belief sim.Mode) sim.RefInfo {
 	old := sim.RefInfo{Ref: p.anchor, Mode: p.anchorMode}
 	p.anchor = v
@@ -260,7 +266,7 @@ func (p *Proc) Timeout(ctx sim.Context) {
 		for _, v := range p.NeighborRefs() {
 			ctx.Send(u, forward(v, p.n[v])) // reference kept in flight (♦/♣)
 		}
-		p.n = make(map[ref.Ref]sim.Mode)
+		p.n = make(map[ref.Ref]sim.Mode) // ♦/♣ every reference is in flight above
 		if p.variant == VariantFSP {
 			// Sleep immediately; the just-sent self-messages wake us.
 			ctx.Sleep()
@@ -280,7 +286,7 @@ func (p *Proc) Timeout(ctx sim.Context) {
 	// reintegrated it, consumed the self-present silently, and disconnected
 	// itself (the anchor-reintegration-burn fixture). This store handles
 	// anchors of either claimed mode; a leaving-claimed one is shed by the
-	// reversal in the loop below within the same timeout.
+	// reversal in the loop below within the same timeout. ♠
 	if !p.anchor.IsNil() {
 		if p.anchor != u {
 			p.n[p.anchor] = p.anchorMode
@@ -289,7 +295,7 @@ func (p *Proc) Timeout(ctx sim.Context) {
 	}
 	for _, v := range p.NeighborRefs() {
 		if p.n[v] == sim.Leaving {
-			delete(p.n, v)                       // drop the reference ...
+			delete(p.n, v)                       // ♣ drop the reference ...
 			ctx.Send(v, present(u, sim.Staying)) // ... and hand v our own: ♣ reversal
 			continue
 		}
@@ -323,7 +329,7 @@ func (p *Proc) onPresent(ctx sim.Context, ri sim.RefInfo) {
 	}
 	// Incoming information refreshes stored knowledge about v.
 	if _, ok := p.n[v]; ok {
-		p.n[v] = claim
+		p.n[v] = claim // ♠ belief refresh on a stored edge
 	}
 	// Lines 1–2: an anchor reported to be leaving is dropped. ♠
 	if v == p.anchor {
@@ -351,7 +357,7 @@ func (p *Proc) onPresent(ctx sim.Context, ri sim.RefInfo) {
 		// delegates the reply to its anchor (self-discarded when the anchor
 		// is us), and its verification backoff and FSP sleep bound any
 		// repeats — so leavers still hibernate.
-		delete(p.n, v)
+		delete(p.n, v) // ♣ reversal (with the send below)
 		ctx.Send(v, forward(u, sim.Staying))
 		return
 	}
@@ -390,7 +396,7 @@ func (p *Proc) onPresent(ctx sim.Context, ri sim.RefInfo) {
 // the message.
 func (p *Proc) Undeliverable(ctx sim.Context, to ref.Ref, msg sim.Message) {
 	if p.anchor == to {
-		p.anchor = ref.Nil
+		p.anchor = ref.Nil // a gone target is never a valid anchor (fdp:primitive)
 	}
 	if msg.Label != LabelForward || len(msg.Refs) != 1 {
 		return
@@ -412,7 +418,7 @@ func (p *Proc) onForward(ctx sim.Context, ri sim.RefInfo) {
 		return
 	}
 	if _, ok := p.n[v]; ok {
-		p.n[v] = claim
+		p.n[v] = claim // ♠ belief refresh on a stored edge
 	}
 	// Lines 1–2. ♠
 	if v == p.anchor {
@@ -431,12 +437,12 @@ func (p *Proc) onForward(ctx sim.Context, ri sim.RefInfo) {
 			// Line 8: delegate v's reference to the anchor. ♥
 			// (The only place invalid information could be copied — but v
 			// is not kept, so Φ does not increase; see Lemma 3.)
-			ctx.Send(p.anchor, forward(v, claim))
+			ctx.Send(p.anchor, forward(v, claim)) // ♥
 			return
 		}
 		// Lines 10–12: staying process sheds v and reverses the edge. ♣
 		delete(p.n, v)
-		ctx.Send(v, forward(u, sim.Staying))
+		ctx.Send(v, forward(u, sim.Staying)) // ♣
 		return
 	}
 	// claim == staying.

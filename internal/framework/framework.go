@@ -30,6 +30,8 @@
 // process exit while somebody's unverified message still references it —
 // verify messages therefore always reach a live process and are always
 // answered. No transport-level failure detection is needed.
+//
+//fdp:decomposable
 package framework
 
 import (
@@ -137,6 +139,7 @@ func (w *Wrapper) Overlay() overlay.Protocol { return w.inner }
 func (w *Wrapper) Variant() core.Variant { return w.variant }
 
 // SetAnchor sets the anchor variable — scenario construction only.
+//fdp:primitive init
 func (w *Wrapper) SetAnchor(v ref.Ref, belief sim.Mode) {
 	w.anchor = v
 	w.anchorMode = belief
@@ -147,6 +150,7 @@ func (w *Wrapper) Anchor() ref.Ref { return w.anchor }
 
 // InjectPending adds a (possibly corrupted) mlist entry — scenario
 // construction only.
+//fdp:primitive init
 func (w *Wrapper) InjectPending(to ref.Ref, label string, refs []ref.Ref, modes map[ref.Ref]sim.Mode) {
 	if modes == nil {
 		modes = make(map[ref.Ref]sim.Mode)
@@ -210,6 +214,7 @@ func (p *pctx) Send(to ref.Ref, label string, refs []ref.Ref, payload any) {
 // saved in mlist is not saved again (Fusion ♠ — P protocols re-send their
 // periodic messages every timeout, and duplicating them in mlist while the
 // first copy awaits verification would flood the system).
+//fdp:primitive fusion,introduction
 func (w *Wrapper) preprocess(ctx sim.Context, to ref.Ref, label string, refs []ref.Ref, payload any) {
 	if to.IsNil() {
 		return
@@ -240,7 +245,7 @@ func verifyMsg(ctx sim.Context) sim.Message {
 func (w *Wrapper) Timeout(ctx sim.Context) {
 	u := ctx.Self()
 
-	// Anchor hygiene, exactly as in Algorithm 1 lines 1-3.
+	// Anchor hygiene, exactly as in Algorithm 1 lines 1-3. ♥ (anchor funnels into u's own channel)
 	if !w.anchor.IsNil() && w.anchorMode == sim.Leaving {
 		ctx.Send(u, sim.NewMessage(core.LabelPresent, sim.RefInfo{Ref: w.anchor, Mode: w.anchorMode}))
 		w.anchor = ref.Nil
@@ -253,6 +258,7 @@ func (w *Wrapper) Timeout(ctx sim.Context) {
 	w.stayingTimeout(ctx)
 }
 
+//fdp:primitive delegation,fusion,introduction
 func (w *Wrapper) stayingTimeout(ctx sim.Context) {
 	u := ctx.Self()
 	// A staying process needs no anchor: reintegrate it (Algorithm 1 lines
@@ -291,6 +297,7 @@ func (w *Wrapper) stayingTimeout(ctx sim.Context) {
 	w.inner.Timeout(&pctx{w: w, ctx: ctx})
 }
 
+//fdp:primitive reversal,introduction
 func (w *Wrapper) leavingTimeout(ctx sim.Context) {
 	u := ctx.Self()
 	// Dissolve P state: strip every reference P still holds, and every
@@ -339,6 +346,7 @@ func (w *Wrapper) leavingTimeout(ctx sim.Context) {
 
 // flush sends or postprocesses every fully verified pending message
 // (staying processes only).
+//fdp:primitive delegation,reversal,fusion
 func (w *Wrapper) flush(ctx sim.Context) {
 	u := ctx.Self()
 	kept := w.mlist[:0]
@@ -403,6 +411,7 @@ func (w *Wrapper) Deliver(ctx sim.Context, msg sim.Message) {
 // onVerify answers with our true mode. The verify itself carried the
 // sender's reference and true mode — free, always-valid knowledge, which we
 // use to update pending entries.
+//fdp:primitive introduction
 func (w *Wrapper) onVerify(ctx sim.Context, msg sim.Message) {
 	if len(msg.Refs) != 1 {
 		return
@@ -429,6 +438,7 @@ func (w *Wrapper) onProcess(ctx sim.Context, msg sim.Message) {
 
 // learn incorporates ground-truth mode knowledge about v (from a process or
 // verify message, where the information is about the sender itself).
+//fdp:primitive fusion,delegation,reversal
 func (w *Wrapper) learn(ctx sim.Context, v sim.RefInfo) {
 	u := ctx.Self()
 	for _, e := range w.mlist {
@@ -488,6 +498,7 @@ func has(refs []ref.Ref, r ref.Ref) bool {
 // onPF handles the departure protocol's present/forward actions, adapted as
 // Section 4 prescribes: references exchanged between staying processes are
 // reintegrated into P instead of a separate neighborhood.
+//fdp:primitive fusion,delegation,reversal
 func (w *Wrapper) onPF(ctx sim.Context, v sim.RefInfo, isForward bool) {
 	u := ctx.Self()
 	if v.Ref == u {
@@ -556,14 +567,14 @@ func (w *Wrapper) Undeliverable(ctx sim.Context, to ref.Ref, msg sim.Message) {
 	for _, e := range w.mlist {
 		for _, r := range e.every() {
 			if r == to {
-				e.modes[r] = sim.Absent
+				e.modes[r] = sim.Absent // ♠ belief update on an already-saved entry
 			}
 		}
 	}
-	w.shed.Remove(to)
+	w.shed.Remove(to) // reference to an absent process: no PG edge to keep (fdp:primitive)
 	w.inner.Exclude(to)
 	if w.anchor == to {
-		w.anchor = ref.Nil
+		w.anchor = ref.Nil // absent anchor (fdp:primitive)
 	}
 	if ctx.Mode() == sim.Staying {
 		w.flush(ctx)
@@ -578,7 +589,7 @@ func (w *Wrapper) onPMessage(ctx sim.Context, msg sim.Message) {
 		// to every referenced process so references to it disappear.
 		for _, ri := range msg.Refs {
 			if ri.Ref != u {
-				ctx.Send(ri.Ref, sim.NewMessage(core.LabelPresent, sim.RefInfo{Ref: u, Mode: sim.Leaving}))
+				ctx.Send(ri.Ref, sim.NewMessage(core.LabelPresent, sim.RefInfo{Ref: u, Mode: sim.Leaving})) // ♦ presents its own reference
 			}
 		}
 		return

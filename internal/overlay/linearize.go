@@ -31,6 +31,7 @@ func NewLinearize(keys Keys) *Linearize {
 func (l *Linearize) Name() string { return "linearize" }
 
 // AddNeighbor seeds the initial neighborhood — scenario construction only.
+//fdp:primitive init
 func (l *Linearize) AddNeighbor(v ref.Ref) { l.n.Add(v) }
 
 // Refs implements Protocol.
@@ -68,8 +69,8 @@ func (l *Linearize) Timeout(ctx Context) {
 		for _, v := range left[1:] {
 			// Delegation ♥: hand the farther-left reference to the closest
 			// left neighbor and forget it.
-			l.n.Remove(v)
-			ctx.Send(closest, LabelLink, []ref.Ref{v}, nil)
+			l.n.Remove(v) // ♥
+			ctx.Send(closest, LabelLink, []ref.Ref{v}, nil) // ♥
 		}
 		// Introduction ♦: periodic self-introduction.
 		ctx.Send(closest, LabelLink, []ref.Ref{u}, nil)
@@ -77,10 +78,10 @@ func (l *Linearize) Timeout(ctx Context) {
 	if len(right) > 0 {
 		closest := right[0]
 		for _, v := range right[1:] {
-			l.n.Remove(v)
+			l.n.Remove(v) // ♥
 			ctx.Send(closest, LabelLink, []ref.Ref{v}, nil)
 		}
-		ctx.Send(closest, LabelLink, []ref.Ref{u}, nil)
+		ctx.Send(closest, LabelLink, []ref.Ref{u}, nil) // ♦ self-introduction
 	}
 }
 
@@ -98,6 +99,7 @@ func (l *Linearize) Deliver(ctx Context, label string, refs []ref.Ref, payload a
 
 // Reintegrate implements Protocol: an undeliverable reference is simply a
 // new neighbor candidate, linearized away on the next timeout.
+//fdp:primitive fusion
 func (l *Linearize) Reintegrate(ctx Context, r ref.Ref) {
 	if r != ctx.Self() {
 		l.n.Add(r)
@@ -147,4 +149,5 @@ func (l *Linearize) InTarget(members []ref.Ref, lookup func(ref.Ref) Protocol) b
 }
 
 // Exclude implements Protocol: remove every stored occurrence of r.
+//fdp:primitive reversal
 func (l *Linearize) Exclude(r ref.Ref) { l.n.Remove(r) }

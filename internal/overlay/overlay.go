@@ -16,6 +16,8 @@
 // must not use: a fixed total order on processes. Keys models that order
 // (think of it as the name/identifier baked into a process's address). The
 // departure protocol of internal/core never touches keys.
+//
+//fdp:decomposable
 package overlay
 
 import (
@@ -124,7 +126,7 @@ func (c *standaloneCtx) Send(to ref.Ref, label string, refs []ref.Ref, payload a
 	for i, r := range refs {
 		ris[i] = sim.RefInfo{Ref: r, Mode: sim.Staying}
 	}
-	c.inner.Send(to, sim.Message{Label: label, Refs: ris, Payload: payload})
+	c.inner.Send(to, sim.Message{Label: label, Refs: ris, Payload: payload}) // transport only: the caller's overlay-level Send is the audited move (fdp:primitive)
 }
 
 // CheckTarget is a convenience wrapper resolving Standalone instances in a

@@ -38,6 +38,7 @@ func NewSortRing(keys Keys) *SortRing {
 func (s *SortRing) Name() string { return "sortring" }
 
 // AddNeighbor seeds the initial neighborhood — scenario construction only.
+//fdp:primitive init
 func (s *SortRing) AddNeighbor(v ref.Ref) { s.lin.AddNeighbor(v) }
 
 // Wrap returns the ring-closing reference (⊥ if none).
@@ -55,6 +56,7 @@ func (s *SortRing) Refs() []ref.Ref {
 // setWrap replaces the wrap reference; the old one is not deleted (that
 // would risk disconnection) but moved into the ordinary neighborhood, where
 // linearization delegates it away safely.
+//fdp:primitive fusion
 func (s *SortRing) setWrap(self, v ref.Ref) {
 	if v == self || v == s.wrap {
 		return
@@ -66,6 +68,7 @@ func (s *SortRing) setWrap(self, v ref.Ref) {
 }
 
 // dropWrap moves the wrap reference into the ordinary neighborhood.
+//fdp:primitive fusion
 func (s *SortRing) dropWrap() {
 	if !s.wrap.IsNil() {
 		s.lin.n.Add(s.wrap)
@@ -81,7 +84,7 @@ func (s *SortRing) Timeout(ctx Context) {
 	switch {
 	case len(left) == 0 && len(right) > 0:
 		// I believe I am the minimum: launch a seek rightwards.
-		ctx.Send(right[0], LabelSeek, []ref.Ref{u}, nil)
+		ctx.Send(right[0], LabelSeek, []ref.Ref{u}, nil) // ♦ carries u's own reference
 		// A stale wrap pointing left of the maximum is re-linearized; a
 		// correct one is re-confirmed by the seek, so keeping it is safe.
 	case len(left) > 0 && len(right) > 0:
@@ -108,7 +111,7 @@ func (s *SortRing) Deliver(ctx Context, label string, refs []ref.Ref, payload an
 		// I believe I am the maximum: adopt the seeker as my wrap and
 		// answer with my own reference (introduction ♦).
 		s.setWrap(u, m)
-		ctx.Send(m, LabelWrap, []ref.Ref{u}, nil)
+		ctx.Send(m, LabelWrap, []ref.Ref{u}, nil) // ♦
 	case LabelWrap:
 		if len(refs) != 1 || refs[0] == u {
 			return
@@ -120,6 +123,7 @@ func (s *SortRing) Deliver(ctx Context, label string, refs []ref.Ref, payload an
 }
 
 // Reintegrate implements Protocol.
+//fdp:primitive fusion
 func (s *SortRing) Reintegrate(ctx Context, r ref.Ref) {
 	s.lin.Reintegrate(ctx, r)
 }
@@ -157,6 +161,7 @@ func (s *SortRing) InTarget(members []ref.Ref, lookup func(ref.Ref) Protocol) bo
 
 // Exclude implements Protocol: remove every stored occurrence of r,
 // including the wrap reference.
+//fdp:primitive reversal
 func (s *SortRing) Exclude(r ref.Ref) {
 	s.lin.Exclude(r)
 	if s.wrap == r {

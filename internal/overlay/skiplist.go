@@ -38,10 +38,12 @@ func NewSkipList(keys Keys) *SkipList {
 func (s *SkipList) Name() string { return "skiplist" }
 
 // AddNeighbor seeds the level-0 neighborhood — scenario construction only.
+//fdp:primitive init
 func (s *SkipList) AddNeighbor(v ref.Ref) { s.lin.AddNeighbor(v) }
 
 // AddLevel1 seeds the level-1 neighborhood — scenario construction only
 // (possibly deliberately wrong, for stabilization tests).
+//fdp:primitive init
 func (s *SkipList) AddLevel1(v ref.Ref) { s.l1.Add(v) }
 
 // Level1 returns a copy of the level-1 neighborhood.
@@ -66,14 +68,14 @@ func (s *SkipList) Timeout(ctx Context) {
 	s.lin.Timeout(ctx)
 	if !s.even(u) {
 		// Initial-state garbage: an odd node has no level 1; the refs are
-		// kept by handing them to level 0 (local move, no edge change).
+		// kept by handing them to level 0 (local move, no edge change). ♠
 		for r := range s.l1 {
 			s.lin.n.Add(r)
 		}
-		s.l1 = ref.NewSet()
+		s.l1 = ref.NewSet() // ♠ refs kept at level 0 above
 		return
 	}
-	// Drop any odd-key refs from level 1 into level 0 (local move).
+	// Drop any odd-key refs from level 1 into level 0 (local move). ♠
 	for r := range s.l1 {
 		if !s.even(r) {
 			s.lin.n.Add(r)
@@ -85,17 +87,17 @@ func (s *SkipList) Timeout(ctx Context) {
 	left, right := s.l1Sides(u)
 	if len(left) > 0 {
 		for _, v := range left[1:] {
-			s.l1.Remove(v)
+			s.l1.Remove(v) // ♥
 			ctx.Send(left[0], LabelLvl1, []ref.Ref{v}, nil) // ♥
 		}
 		ctx.Send(left[0], LabelLvl1, []ref.Ref{u}, nil) // ♦ self-introduction
 	}
 	if len(right) > 0 {
 		for _, v := range right[1:] {
-			s.l1.Remove(v)
+			s.l1.Remove(v) // ♥
 			ctx.Send(right[0], LabelLvl1, []ref.Ref{v}, nil)
 		}
-		ctx.Send(right[0], LabelLvl1, []ref.Ref{u}, nil)
+		ctx.Send(right[0], LabelLvl1, []ref.Ref{u}, nil) // ♦ self-introduction
 	}
 	// Probe rightwards along level 0 for the next even node, so level 1
 	// gets discovered even from a bare list.
@@ -133,7 +135,7 @@ func (s *SkipList) Deliver(ctx Context, label string, refs []ref.Ref, payload an
 		if s.even(u) {
 			// The probe found its level-1 successor: adopt and answer. ♠/♦
 			s.l1.Add(m)
-			ctx.Send(m, LabelLvl1, []ref.Ref{u}, nil)
+			ctx.Send(m, LabelLvl1, []ref.Ref{u}, nil) // ♦
 			return
 		}
 		// Odd node: pass the probe rightwards along level 0. ♥
@@ -150,7 +152,7 @@ func (s *SkipList) Deliver(ctx Context, label string, refs []ref.Ref, payload an
 		if s.even(u) && s.even(refs[0]) {
 			s.l1.Add(refs[0]) // ♠
 		} else {
-			s.lin.n.Add(refs[0]) // garbage flows back to level 0
+			s.lin.n.Add(refs[0]) // garbage flows back to level 0 ♠
 		}
 	default:
 		s.lin.Deliver(ctx, label, refs, payload)
@@ -158,11 +160,13 @@ func (s *SkipList) Deliver(ctx Context, label string, refs []ref.Ref, payload an
 }
 
 // Reintegrate implements Protocol.
+//fdp:primitive fusion
 func (s *SkipList) Reintegrate(ctx Context, r ref.Ref) {
 	s.lin.Reintegrate(ctx, r)
 }
 
 // Exclude implements Protocol.
+//fdp:primitive reversal
 func (s *SkipList) Exclude(r ref.Ref) {
 	s.lin.Exclude(r)
 	s.l1.Remove(r)

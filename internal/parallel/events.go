@@ -134,11 +134,17 @@ func (rt *Runtime) StartTime() time.Time { return rt.startTime }
 
 // ExitLatencies returns the wall-clock time from Start to each committed
 // exit, in commit order — the runtime's time-to-exit-per-leaver series.
+// Commits append to per-shard buffers; the merge sorts the combined series,
+// which recovers commit order because every latency is measured from the
+// same monotonic start time.
 func (rt *Runtime) ExitLatencies() []time.Duration {
-	rt.exitMu.Lock()
-	defer rt.exitMu.Unlock()
-	out := make([]time.Duration, len(rt.exitLatency))
-	copy(out, rt.exitLatency)
+	var out []time.Duration
+	for _, sh := range rt.shards {
+		sh.latMu.Lock()
+		out = append(out, sh.exitLat...)
+		sh.latMu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

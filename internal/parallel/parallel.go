@@ -44,6 +44,8 @@
 // Oracles used with this runtime must be stateless values (like
 // oracle.Single); evaluations are serialized by oracleMu and run on sealed
 // snapshots, never on live state.
+//
+//fdp:nondecomposable runtime machinery: implements the model itself (delivery, absorption, exit commits), not a protocol in 𝒫; frozenProto is a snapshot shim, not a protocol
 package parallel
 
 import (
@@ -123,7 +125,7 @@ type proc struct {
 	// only for live leaving processes of degree-tracked runs; guarded by
 	// degMu (pair updates lock both endpoints in ascending pid order).
 	nbr   map[uint32]int32
-	degMu sync.Mutex
+	degMu sync.Mutex //fdp:lockordered pair updates lock both endpoints in ascending pid order
 
 	// refsA/refsB are the action-diff scratch buffers of degree tracking,
 	// touched only by the owning worker (or under a full pause).
@@ -147,13 +149,13 @@ type Runtime struct {
 
 	// oracleMu serializes oracle evaluations so stateful oracles never race
 	// with themselves. Leaf lock: nothing else is acquired under it.
-	oracleMu sync.Mutex
+	oracleMu sync.Mutex //fdp:lockleaf
 
-	// exitMu guards the pending-exit list and the exit-latency series. Leaf
-	// lock.
-	exitMu       sync.Mutex
+	// exitMu guards the pending-exit list. Leaf lock. The exit-latency
+	// series lives in per-shard buffers (shard.exitLat) so commits touch no
+	// global state beyond this queue.
+	exitMu       sync.Mutex //fdp:lockleaf
 	pendingExits []*proc
-	exitLatency  []time.Duration
 
 	// exitKick is a capacity-1 signal that exit requests are pending, so the
 	// coordinator runs an early epoch instead of sleeping out its interval.
@@ -482,9 +484,9 @@ func (rt *Runtime) commitExit(p *proc) {
 		rt.dropPairsOf(p)
 	}
 	rt.exits.Add(1)
-	rt.exitMu.Lock()
-	rt.exitLatency = append(rt.exitLatency, time.Since(rt.startTime))
-	rt.exitMu.Unlock()
+	sh.latMu.Lock()
+	sh.exitLat = append(sh.exitLat, time.Since(rt.startTime))
+	sh.latMu.Unlock()
 	p.record(sim.Event{Kind: sim.EvExit, Proc: p.id,
 		CID: rt.causal.Add(1), Parent: p.curCID, Clock: p.clock})
 }

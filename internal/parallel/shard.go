@@ -99,7 +99,7 @@ type shard struct {
 	// owned processes, the run queue, and the procs' inRun flags. Strictly a
 	// leaf: no other lock is ever acquired under it. Senders on other shards
 	// take it briefly per push; the worker amortizes it over message batches.
-	mbMu   sync.Mutex
+	mbMu   sync.Mutex //fdp:lockleaf
 	runq   []uint32
 	rqHead int
 
@@ -117,6 +117,13 @@ type shard struct {
 	// awake counts owned processes in the awake state; 0 lets the worker
 	// block indefinitely instead of polling (FSP hibernation).
 	awake atomic.Int32
+
+	// latMu guards the shard's exit-latency buffer. Commits append here
+	// (owning worker or coordinator under pause — never both at once, the
+	// lock is for the concurrent reader); ExitLatencies merges the shard
+	// buffers at read time. Strictly a leaf.
+	latMu   sync.Mutex //fdp:lockleaf
+	exitLat []time.Duration
 }
 
 func (sh *shard) wake() {
