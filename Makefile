@@ -2,7 +2,7 @@ GO ?= go
 
 FDPLINT := bin/fdplint
 
-.PHONY: all ci vet lint lint-unit build test race bench bench-artifacts bench-baseline bench-compare replay-golden fuzz-smoke fuzz-hunt
+.PHONY: all ci vet lint lint-unit build test race bench bench-artifacts bench-baseline bench-compare replay-golden fuzz-smoke fuzz-hunt node-churn
 
 all: vet lint build test race replay-golden fuzz-smoke
 
@@ -44,7 +44,7 @@ test:
 # driving both engines) and the model core they exercise run under the race
 # detector.
 race:
-	$(GO) test -race ./internal/sim/... ./internal/parallel/... ./internal/core/... ./internal/diffval/... ./internal/faults/... ./internal/obs/... ./internal/trace/... ./internal/fuzz/...
+	$(GO) test -race ./internal/sim/... ./internal/parallel/... ./internal/core/... ./internal/diffval/... ./internal/faults/... ./internal/obs/... ./internal/trace/... ./internal/fuzz/... ./internal/transport/... ./internal/node/...
 
 # replay-golden holds the committed journals in cmd/fdpreplay/testdata to
 # the replay determinism contract: each must re-drive byte-identically.
@@ -69,6 +69,36 @@ fuzz-smoke:
 FUZZ_DURATION ?= 10m
 fuzz-hunt:
 	$(GO) run ./cmd/fdpfuzz -seed $$(date +%Y%m%d) -duration $(FUZZ_DURATION) -out fuzz-artifacts
+
+# node-churn runs a real multi-process churn: NODES fdpnode processes on
+# localhost TCP, each owning a slice of one shared scenario, then merges the
+# per-node journals and summaries into the run verdict (causal join, every
+# leaver exited, Lemma 2 on the survivors). Small n — the processes share
+# whatever cores the host has.
+NODES ?= 3
+NODE_N ?= 12
+NODE_SEED ?= 42
+NODE_PORT ?= 7450
+NODE_OUT ?= node-out
+node-churn:
+	$(GO) build -o bin/fdpnode ./cmd/fdpnode
+	rm -rf $(NODE_OUT) && mkdir -p $(NODE_OUT)
+	@set -e; pids=""; i=0; \
+	while [ $$i -lt $(NODES) ]; do \
+	  peers=""; j=0; \
+	  while [ $$j -lt $(NODES) ]; do \
+	    if [ $$j -ne $$i ]; then \
+	      [ -n "$$peers" ] && peers="$$peers,"; \
+	      peers="$$peers$$j=127.0.0.1:$$(($(NODE_PORT)+$$j))"; \
+	    fi; j=$$((j+1)); \
+	  done; \
+	  bin/fdpnode -id $$i -nodes $(NODES) -listen 127.0.0.1:$$(($(NODE_PORT)+$$i)) \
+	    -peers "$$peers" -n $(NODE_N) -topology line -leave 0.4 -pattern random \
+	    -seed $(NODE_SEED) -out $(NODE_OUT) -timeout 60s & \
+	  pids="$$pids $$!"; i=$$((i+1)); \
+	done; \
+	rc=0; for p in $$pids; do wait $$p || rc=1; done; [ $$rc -eq 0 ]
+	bin/fdpnode -merge $(NODE_OUT)
 
 bench:
 	$(GO) test -bench . -benchmem -run XXX .

@@ -15,17 +15,26 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"fdp"
 )
+
+// isClosedErr recognizes the errors a server goroutine sees during a clean
+// shutdown — they are not failures worth reporting.
+func isClosedErr(err error) bool {
+	return err == nil || errors.Is(err, http.ErrServerClosed) || errors.Is(err, net.ErrClosed)
+}
 
 // parseSizes parses the -sizes value: a comma-separated, strictly
 // increasing list of positive system sizes. An empty string selects the
@@ -122,6 +131,17 @@ func main() {
 	)
 	flag.Parse()
 
+	// The suite has no mid-run stop hook; a graceful ^C still deserves a
+	// message and a conventional exit code. Artifacts are written whole per
+	// experiment, so whatever is on disk at this point is complete.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "fdpbench: interrupted")
+		os.Exit(130)
+	}()
+
 	var reg *fdp.Observer
 	if *serve != "" {
 		reg = fdp.NewObserver()
@@ -132,7 +152,7 @@ func main() {
 		}
 		fmt.Printf("metrics: http://%s/metrics (pprof at /debug/pprof/)\n", ln.Addr())
 		go func() {
-			if err := http.Serve(ln, fdp.ObserveMux(reg)); err != nil {
+			if err := http.Serve(ln, fdp.ObserveMux(reg)); !isClosedErr(err) {
 				fmt.Fprintln(os.Stderr, "fdpbench: -serve:", err)
 			}
 		}()

@@ -23,15 +23,29 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"fdp/internal/fuzz"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	// Graceful ^C: the sweep ends after the current case and failures found
+	// so far are still shrunk and written as fixtures. A second signal kills.
+	stop := make(chan struct{})
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "fdpfuzz: interrupted, reporting failures found so far")
+		close(stop)
+		<-sigc
+		os.Exit(130)
+	}()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, stop))
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) int {
 	fs := flag.NewFlagSet("fdpfuzz", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -66,6 +80,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Timeout:     *timeout,
 		Mutate:      *mutate,
 		MaxFailures: *maxFail,
+		Stop:        stop,
 	}
 	if *verbose {
 		opts.Log = func(format string, args ...any) {

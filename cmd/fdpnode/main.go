@@ -1,0 +1,254 @@
+// Command fdpnode runs one node of a multi-node departure-protocol churn, or
+// merges the per-node artifacts of a finished run into a verdict.
+//
+// Deployment is coordinator-free: every node gets the same scenario flags and
+// rebuilds the same global world, keeping the slice it owns (round-robin by
+// process index). Peers find each other through -peers; there is no leader.
+//
+//	fdpnode -id 0 -nodes 3 -listen 127.0.0.1:7450 \
+//	        -peers 1=127.0.0.1:7451,2=127.0.0.1:7452 \
+//	        -n 12 -topology line -leave 0.4 -seed 42 -out run/
+//	fdpnode -merge run/
+//
+// Run mode writes out/journal-<id>.jsonl (causal event journal, joinable with
+// its siblings) and out/summary-<id>.json (final owned-process state). SIGINT
+// or SIGTERM winds the node down gracefully: the journal flushes, the summary
+// records the interruption, and the exit status stays 0 — partial artifacts
+// from an interrupted run are diagnostic input, not an error.
+//
+// Merge mode reads every summary-*.json and journal-*.jsonl in the directory
+// and prints the run verdict: journals must join causally, every leaver must
+// have exited with journal evidence, and the survivors must satisfy the
+// Lemma 2 connectivity invariant. Exit status 1 on any problem, 2 on I/O or
+// usage errors.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"fdp/internal/node"
+	"fdp/internal/trace"
+	"fdp/internal/transport"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("fdpnode", flag.ContinueOnError)
+	var (
+		merge = fs.String("merge", "", "merge mode: verify the run artifacts in this directory")
+
+		id     = fs.Int("id", 0, "this node's id, in [0, nodes)")
+		nodes  = fs.Int("nodes", 1, "total node count")
+		listen = fs.String("listen", "127.0.0.1:0", "address to accept peer frames on")
+		peers  = fs.String("peers", "", "peer addresses as id=host:port, comma separated")
+		out    = fs.String("out", ".", "directory for journal-<id>.jsonl and summary-<id>.json")
+
+		n       = fs.Int("n", 16, "number of processes")
+		topo    = fs.String("topology", "line", "initial topology (line, ring, tree, clique, hypercube, ...)")
+		leave   = fs.Float64("leave", 0.5, "fraction of processes leaving")
+		pattern = fs.String("pattern", "random", "leaver placement (random, articulation, block, neighborhood, all-but-one)")
+		variant = fs.String("variant", "fdp", "fdp (exit) or fsp (sleep)")
+		seed    = fs.Int64("seed", 1, "scenario seed (identical on every node)")
+
+		timeout    = fs.Duration("timeout", 60*time.Second, "wall-clock budget before the node gives up")
+		linger     = fs.Duration("linger", 500*time.Millisecond, "post-agreement drain window for late frames")
+		roundEvery = fs.Duration("round-every", 50*time.Millisecond, "oracle snapshot round interval")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: fdpnode -id I -nodes N -listen ADDR -peers LIST [scenario flags] -out DIR")
+		fmt.Fprintln(os.Stderr, "       fdpnode -merge DIR")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *merge != "" {
+		return runMerge(*merge)
+	}
+
+	scn := trace.Scenario{N: *n, Topology: *topo, LeaveFraction: *leave,
+		Pattern: *pattern, Variant: strings.ToUpper(*variant),
+		Oracle: "SINGLE", Seed: *seed}
+
+	peerMap, err := parsePeers(*peers, *id, *nodes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fdpnode:", err)
+		return 2
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "fdpnode:", err)
+		return 2
+	}
+	jf, err := os.Create(filepath.Join(*out, fmt.Sprintf("journal-%d.jsonl", *id)))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fdpnode:", err)
+		return 2
+	}
+	defer jf.Close()
+
+	nd, err := node.New(node.Config{ID: *id, Nodes: *nodes, Scenario: scn,
+		Journal: jf, MaxWall: *timeout, Linger: *linger, RoundEvery: *roundEvery})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fdpnode:", err)
+		return 2
+	}
+	tr, err := transport.NewTCP(transport.TCPConfig{
+		Self: transport.NodeID(*id), Listen: *listen, Peers: peerMap, Handler: nd})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fdpnode:", err)
+		return 2
+	}
+	defer tr.Close()
+	fmt.Printf("node %d/%d listening on %s (n=%d seed=%d)\n", *id, *nodes, tr.Addr(), *n, *seed)
+
+	// Graceful shutdown: first signal stops the pump, which flushes the
+	// journal and writes the summary on its way out; the immediate Interrupt
+	// flush bounds the data at risk if the pump is slow to notice. A second
+	// signal kills the process the traditional way.
+	stop := make(chan struct{})
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "fdpnode: signal received, winding down")
+		nd.Interrupt()
+		close(stop)
+		<-sigc
+		os.Exit(130)
+	}()
+
+	res := nd.Run(tr, stop)
+	if err := jf.Sync(); err != nil {
+		fmt.Fprintln(os.Stderr, "fdpnode: journal sync:", err)
+	}
+
+	sb, err := json.MarshalIndent(res.Summary, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fdpnode:", err)
+		return 2
+	}
+	sumPath := filepath.Join(*out, fmt.Sprintf("summary-%d.json", *id))
+	if err := os.WriteFile(sumPath, append(sb, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "fdpnode:", err)
+		return 2
+	}
+
+	switch {
+	case res.Summary.Interrupted:
+		fmt.Printf("node %d interrupted after %d steps (journal flushed)\n", *id, res.Summary.Steps)
+		return 0
+	case res.Summary.TimedOut:
+		fmt.Printf("node %d timed out after %d steps: %d/%d owned leavers exited\n",
+			*id, res.Summary.Steps, len(res.Summary.Exited), len(res.Summary.Leavers))
+		return 1
+	default:
+		fmt.Printf("node %d done: %d steps, %d/%d owned leavers exited\n",
+			*id, res.Summary.Steps, len(res.Summary.Exited), len(res.Summary.Leavers))
+		return 0
+	}
+}
+
+// parsePeers decodes "1=host:port,2=host:port" and demands exactly the other
+// nodes' ids — a missing or surplus peer is a deployment typo worth refusing.
+func parsePeers(s string, self, nodes int) (map[transport.NodeID]string, error) {
+	m := make(map[transport.NodeID]string)
+	if s != "" {
+		for _, part := range strings.Split(s, ",") {
+			id, addr, ok := strings.Cut(strings.TrimSpace(part), "=")
+			if !ok {
+				return nil, fmt.Errorf("-peers entry %q is not id=addr", part)
+			}
+			pid, err := strconv.Atoi(id)
+			if err != nil || pid < 0 || pid >= nodes {
+				return nil, fmt.Errorf("-peers id %q out of range for %d nodes", id, nodes)
+			}
+			if pid == self {
+				return nil, fmt.Errorf("-peers lists this node's own id %d", pid)
+			}
+			m[transport.NodeID(pid)] = addr
+		}
+	}
+	if len(m) != nodes-1 {
+		return nil, fmt.Errorf("-peers has %d entries, want %d (every node but this one)", len(m), nodes-1)
+	}
+	return m, nil
+}
+
+// runMerge reads a run directory and prints the merged verdict.
+func runMerge(dir string) int {
+	sumPaths, err := filepath.Glob(filepath.Join(dir, "summary-*.json"))
+	if err != nil || len(sumPaths) == 0 {
+		fmt.Fprintf(os.Stderr, "fdpnode: no summary-*.json in %s\n", dir)
+		return 2
+	}
+	sort.Strings(sumPaths)
+	var (
+		hdrs  []trace.Header
+		parts [][]trace.Record
+		sums  []node.Summary
+	)
+	for _, sp := range sumPaths {
+		b, err := os.ReadFile(sp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fdpnode:", err)
+			return 2
+		}
+		var s node.Summary
+		if err := json.Unmarshal(b, &s); err != nil {
+			fmt.Fprintf(os.Stderr, "fdpnode: %s: %v\n", sp, err)
+			return 2
+		}
+		jp := filepath.Join(dir, fmt.Sprintf("journal-%d.jsonl", s.Node))
+		jf, err := os.Open(jp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fdpnode:", err)
+			return 2
+		}
+		hdr, recs, err := trace.ReadJournal(jf)
+		jf.Close()
+		var trunc *trace.TruncatedError
+		if errors.As(err, &trunc) {
+			// A torn tail means the node died mid-write; the intact prefix
+			// still joins, and the verdict will flag the interruption.
+			fmt.Printf("warning: %s truncated at line %d; using %d intact records (last cid %d)\n",
+				jp, trunc.Line, trunc.Records, trunc.LastCID)
+		} else if err != nil {
+			fmt.Fprintf(os.Stderr, "fdpnode: %s: %v\n", jp, err)
+			return 2
+		}
+		hdrs = append(hdrs, hdr)
+		parts = append(parts, recs)
+		sums = append(sums, s)
+	}
+
+	v, err := node.Verify(hdrs, parts, sums)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fdpnode:", err)
+		return 2
+	}
+	fmt.Printf("nodes:      %d\n", v.Nodes)
+	fmt.Printf("records:    %d joined (%d sends, %d delivers, %d duplicates)\n",
+		len(v.Joined.Records), v.Joined.Sends, v.Joined.Delivers, v.Joined.Duplicates)
+	fmt.Printf("converged:  %v\n", v.Converged)
+	for _, p := range v.Problems {
+		fmt.Printf("problem:    %s\n", p)
+	}
+	if !v.Converged {
+		return 1
+	}
+	return 0
+}

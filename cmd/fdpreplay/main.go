@@ -7,6 +7,12 @@
 //	fdpreplay -diff a.jsonl b.jsonl      # align two journals by causal ID, report first divergence
 //	fdpreplay -spans journal.jsonl       # render per-leaver departure span trees
 //	fdpreplay -chrome journal.jsonl      # export Chrome trace-event JSON (Perfetto / chrome://tracing)
+//	fdpreplay -join j0.jsonl j1.jsonl …  # join per-node journals into one causal order
+//
+// A journal whose final line was torn off mid-write (crash, SIGKILL, full
+// disk) is diagnosed, not rejected: verify mode reports the truncation point
+// by causal ID and fails; the inspection modes warn and work on the intact
+// prefix.
 //
 // Exit status: 0 on success, 1 on divergence or failed verification, 2 on
 // usage or I/O errors.
@@ -14,6 +20,7 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -39,11 +46,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		strict = fs.Bool("strict", false, "with -diff: also compare timing fields (step, clock, ages), not just causal structure")
 		spans  = fs.Bool("spans", false, "render per-leaver departure span trees instead of verifying")
 		chrome = fs.Bool("chrome", false, "export the journal as Chrome trace-event JSON")
-		out    = fs.String("o", "", "write -chrome output to this file instead of stdout")
+		join   = fs.Bool("join", false, "join per-node journals of one multi-node run into a single causal order")
+		out    = fs.String("o", "", "write -chrome or -join output to this file instead of stdout")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "usage: fdpreplay [-spans|-chrome [-o out.json]] journal.jsonl")
 		fmt.Fprintln(stderr, "       fdpreplay -diff [-strict] a.jsonl b.jsonl")
+		fmt.Fprintln(stderr, "       fdpreplay -join [-o joined.jsonl] journal-0.jsonl journal-1.jsonl ...")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -51,6 +60,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	switch {
+	case *join:
+		if fs.NArg() < 2 {
+			fs.Usage()
+			return 2
+		}
+		return runJoin(fs.Args(), *out, stdout, stderr)
 	case *diff:
 		if fs.NArg() != 2 {
 			fs.Usage()
@@ -78,18 +93,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 }
 
-func loadJournal(path string, stderr io.Writer) (trace.Header, []trace.Record, []byte, bool) {
+// loadJournal reads one journal. A truncated tail (writer killed mid-line) is
+// not fatal here: the caller gets the intact prefix plus the truncation
+// diagnosis and decides — inspection modes warn and proceed, verification
+// refuses.
+func loadJournal(path string, stderr io.Writer) (trace.Header, []trace.Record, []byte, *trace.TruncatedError, bool) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintln(stderr, "fdpreplay:", err)
-		return trace.Header{}, nil, nil, false
+		return trace.Header{}, nil, nil, nil, false
 	}
 	hdr, recs, err := trace.ReadJournal(bytes.NewReader(raw))
+	var trunc *trace.TruncatedError
+	if errors.As(err, &trunc) {
+		return hdr, recs, raw, trunc, true
+	}
 	if err != nil {
 		fmt.Fprintf(stderr, "fdpreplay: %s: %v\n", path, err)
-		return trace.Header{}, nil, nil, false
+		return trace.Header{}, nil, nil, nil, false
 	}
-	return hdr, recs, raw, true
+	return hdr, recs, raw, nil, true
+}
+
+// warnTrunc reports a truncated journal on stderr for the modes that proceed
+// with the intact prefix anyway.
+func warnTrunc(path string, trunc *trace.TruncatedError, stderr io.Writer) {
+	if trunc != nil {
+		fmt.Fprintf(stderr, "fdpreplay: warning: %s truncated at line %d; continuing with %d intact records (last cid %d)\n",
+			path, trunc.Line, trunc.Records, trunc.LastCID)
+	}
 }
 
 // runVerify re-drives the recorded sequential run from the journal's
@@ -97,9 +129,16 @@ func loadJournal(path string, stderr io.Writer) (trace.Header, []trace.Record, [
 // journal be byte-identical to the recording — the replay determinism
 // contract of DESIGN.md §11.
 func runVerify(path string, stdout, stderr io.Writer) int {
-	hdr, recs, raw, ok := loadJournal(path, stderr)
+	hdr, recs, raw, trunc, ok := loadJournal(path, stderr)
 	if !ok {
 		return 2
+	}
+	if trunc != nil {
+		// A torn tail cannot verify byte-identical, but the diagnosis is the
+		// useful part: how far the crashed run provably got.
+		fmt.Fprintf(stdout, "journal TRUNCATED: %d intact records end at cid %d (line %d torn mid-write)\n",
+			trunc.Records, trunc.LastCID, trunc.Line)
+		return 1
 	}
 	replayed, err := trace.Replay(hdr, recs)
 	if err != nil {
@@ -126,14 +165,16 @@ func runVerify(path string, stdout, stderr io.Writer) int {
 }
 
 func runDiff(pathA, pathB string, strict bool, stdout, stderr io.Writer) int {
-	_, a, _, ok := loadJournal(pathA, stderr)
+	_, a, _, ta, ok := loadJournal(pathA, stderr)
 	if !ok {
 		return 2
 	}
-	_, b, _, ok := loadJournal(pathB, stderr)
+	warnTrunc(pathA, ta, stderr)
+	_, b, _, tb, ok := loadJournal(pathB, stderr)
 	if !ok {
 		return 2
 	}
+	warnTrunc(pathB, tb, stderr)
 	div := trace.Diff(a, b)
 	if strict && div == nil {
 		div = trace.DiffStrict(a, b)
@@ -147,21 +188,66 @@ func runDiff(pathA, pathB string, strict bool, stdout, stderr io.Writer) int {
 }
 
 func runSpans(path string, stdout, stderr io.Writer) int {
-	_, recs, _, ok := loadJournal(path, stderr)
+	_, recs, _, trunc, ok := loadJournal(path, stderr)
 	if !ok {
 		return 2
 	}
+	warnTrunc(path, trunc, stderr)
 	sp := trace.BuildSpans(recs)
 	fmt.Fprintf(stdout, "%d departure span(s)\n", len(sp))
 	io.WriteString(stdout, trace.SpanTrees(sp))
 	return 0
 }
 
+// runJoin merges the per-node journals of one multi-node run into a single
+// causally ordered journal and reports cross-node invariant violations.
+func runJoin(paths []string, outPath string, stdout, stderr io.Writer) int {
+	hdrs := make([]trace.Header, len(paths))
+	parts := make([][]trace.Record, len(paths))
+	for i, p := range paths {
+		hdr, recs, _, trunc, ok := loadJournal(p, stderr)
+		if !ok {
+			return 2
+		}
+		warnTrunc(p, trunc, stderr)
+		hdrs[i], parts[i] = hdr, recs
+	}
+	j, err := trace.Join(hdrs, parts)
+	if err != nil {
+		fmt.Fprintln(stderr, "fdpreplay:", err)
+		return 2
+	}
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "fdpreplay:", err)
+			return 2
+		}
+		defer f.Close()
+		// The joined header keeps node 0's identity; Nodes says how many
+		// journals went in.
+		if err := trace.WriteJournal(f, hdrs[0], j.Records); err != nil {
+			fmt.Fprintln(stderr, "fdpreplay:", err)
+			return 2
+		}
+	}
+	fmt.Fprintf(stdout, "joined %d journals: %d records, %d sends, %d delivers, %d duplicates\n",
+		j.Nodes, len(j.Records), j.Sends, j.Delivers, j.Duplicates)
+	for _, p := range j.Problems {
+		fmt.Fprintf(stdout, "problem: %s\n", p)
+	}
+	if len(j.Problems) > 0 {
+		return 1
+	}
+	return 0
+}
+
 func runChrome(path, outPath string, stdout, stderr io.Writer) int {
-	hdr, recs, _, ok := loadJournal(path, stderr)
+	hdr, recs, _, trunc, ok := loadJournal(path, stderr)
 	if !ok {
 		return 2
 	}
+	warnTrunc(path, trunc, stderr)
 	w := stdout
 	if outPath != "" {
 		f, err := os.Create(outPath)

@@ -7,16 +7,25 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 	"time"
 
 	"fdp"
 )
+
+// isClosedErr recognizes the errors a server goroutine sees during a clean
+// shutdown — they are not failures worth reporting.
+func isClosedErr(err error) bool {
+	return err == nil || errors.Is(err, http.ErrServerClosed) || errors.Is(err, net.ErrClosed)
+}
 
 var topologies = map[string]fdp.Topology{
 	"line": fdp.Line, "dirline": fdp.DirectedLine, "ring": fdp.Ring,
@@ -106,11 +115,34 @@ func main() {
 		}
 		fmt.Printf("metrics:          http://%s/metrics (pprof at /debug/pprof/)\n", ln.Addr())
 		go func() {
-			if err := http.Serve(ln, fdp.ObserveMux(cfg.Observe)); err != nil {
+			if err := http.Serve(ln, fdp.ObserveMux(cfg.Observe)); !isClosedErr(err) {
 				fmt.Fprintln(os.Stderr, "fdpsim: -serve:", err)
 			}
 		}()
 	}
+
+	// Graceful ^C: the sequential engine stops at the next step boundary and
+	// reports Interrupted; the concurrent runtime has no stop hook, so for
+	// -parallel the handler flushes the journal file and exits directly.
+	// A second signal force-kills either way.
+	stopc := make(chan struct{})
+	cfg.Stop = stopc
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "fdpsim: interrupted, winding down")
+		if *par {
+			if f, ok := cfg.Journal.(*os.File); ok {
+				f.Sync()
+			}
+			os.Exit(130)
+		}
+		close(stopc)
+		<-sigc
+		os.Exit(130)
+	}()
+
 	var (
 		rep fdp.Report
 		err error
@@ -139,6 +171,12 @@ func main() {
 	if *serve != "" && *hold > 0 {
 		fmt.Printf("holding -serve endpoint for %v\n", *hold)
 		time.Sleep(*hold)
+	}
+	if rep.Interrupted {
+		// A clean interrupt is not a failed run: the journal written so far
+		// is a valid prefix (fdpreplay diagnoses where it stops).
+		fmt.Println("interrupted before convergence")
+		return
 	}
 	if !rep.Converged || rep.SafetyViolated {
 		os.Exit(1)

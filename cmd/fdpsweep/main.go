@@ -13,9 +13,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"fdp/internal/churn"
 	"fdp/internal/oracle"
@@ -67,10 +69,22 @@ func journalRun(dir string, cfg churn.Config, corr float64, seed int, w *sim.Wor
 }
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	// Graceful ^C: the current run stops at its next step boundary, its
+	// journal closes cleanly, and the CSV emitted so far stays usable.
+	stop := make(chan struct{})
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "fdpsweep: interrupted, finishing current step")
+		close(stop)
+		<-sigc
+		os.Exit(130)
+	}()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, stop))
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) int {
 	fs := flag.NewFlagSet("fdpsweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -118,12 +132,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	stopped := func() bool {
+		select {
+		case <-stop:
+			return true
+		default:
+			return false
+		}
+	}
+
 	fmt.Fprintln(stdout, "n,leave,corrupt,seed,converged,steps,messages,exits,max_channel,safety_ok")
 	bad := 0
 	for _, n := range sizes {
 		for _, frac := range fracs {
 			for _, corr := range corrs {
 				for seed := 0; seed < *seeds; seed++ {
+					if stopped() {
+						fmt.Fprintln(stderr, "fdpsweep: interrupted; partial CSV above")
+						return 130
+					}
 					cfg := churn.Config{
 						N: n, Topology: topo, LeaveFraction: frac,
 						Pattern: churn.LeaveRandom,
@@ -145,6 +172,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 					}
 					r := sim.Run(s.World, sim.NewRandomScheduler(int64(seed), 512), sim.RunOptions{
 						Variant: sim.FDP, MaxSteps: *maxSteps, CheckSafety: true,
+						Stop: stop,
 					})
 					if jw != nil {
 						if err := jw.Err(); err != nil {
@@ -156,6 +184,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 							fmt.Fprintln(stderr, "fdpsweep: journal write:", err)
 							return 2
 						}
+					}
+					if r.Interrupted {
+						fmt.Fprintln(stderr, "fdpsweep: interrupted; partial CSV above")
+						return 130
 					}
 					safetyOK := r.SafetyViolation == nil
 					if !r.Converged || !safetyOK {

@@ -19,7 +19,7 @@ func TestSweepJournalDir(t *testing.T) {
 	code := run([]string{
 		"-n", "10", "-leave", "0.3", "-corrupt", "0", "-seeds", "2",
 		"-topology", "line", "-journal-dir", dir,
-	}, &stdout, &stderr)
+	}, &stdout, &stderr, nil)
 	if code != 0 {
 		t.Fatalf("fdpsweep exited %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
 	}
@@ -54,7 +54,7 @@ func TestSweepJournalDir(t *testing.T) {
 // TestSweepNoJournalDir keeps the plain CSV path intact.
 func TestSweepNoJournalDir(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	code := run([]string{"-n", "8", "-leave", "0.25", "-corrupt", "0", "-seeds", "1", "-topology", "line"}, &stdout, &stderr)
+	code := run([]string{"-n", "8", "-leave", "0.25", "-corrupt", "0", "-seeds", "1", "-topology", "line"}, &stdout, &stderr, nil)
 	if code != 0 {
 		t.Fatalf("fdpsweep exited %d\nstderr: %s", code, stderr.String())
 	}

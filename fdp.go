@@ -161,6 +161,12 @@ type Config struct {
 	// byte-identically; runtime journals carry the same causal schema
 	// but are diff-only.
 	Journal io.Writer
+
+	// Stop, when non-nil, interrupts the run when it closes: the simulator
+	// finishes the current step and returns with Converged false. Wire it
+	// to a signal handler for graceful ^C — the journal written so far
+	// stays a valid prefix.
+	Stop <-chan struct{}
 }
 
 // Report is the outcome of a simulation.
@@ -182,6 +188,9 @@ type Report struct {
 	// SafetyViolated reports a Lemma 2 violation (only with CheckSafety;
 	// expected only with OracleUnsafe).
 	SafetyViolated bool
+	// Interrupted reports that Config.Stop closed before the run finished
+	// (Converged is false in that case, but the run is not a failure).
+	Interrupted bool
 }
 
 // ErrBadConfig is returned for invalid configurations.
@@ -271,6 +280,7 @@ func Simulate(cfg Config) (Report, error) {
 		Variant:     simVariant,
 		MaxSteps:    cfg.MaxSteps,
 		CheckSafety: cfg.CheckSafety,
+		Stop:        cfg.Stop,
 	})
 	if jw != nil {
 		if err := jw.Err(); err != nil {
@@ -290,6 +300,7 @@ func reportFrom(res sim.RunResult) Report {
 		Exits:           res.Stats.Exits,
 		MaxChannel:      res.Stats.MaxChannel,
 		SafetyViolated:  res.SafetyViolation != nil,
+		Interrupted:     res.Interrupted,
 	}
 }
 

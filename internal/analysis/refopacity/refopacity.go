@@ -52,6 +52,8 @@ var denied = map[string]string{
 	"Less":     "imposes an order on references",
 	"NewSpace": "mints fresh references",
 	"Space":    "is the reference-minting authority",
+	"Wire":     "serializes the reference's integer identity for the wire",
+	"FromWire": "mints a reference from a wire identity",
 }
 
 // Analyzer is the refopacity pass.

@@ -19,10 +19,12 @@ func (s *Space) NewN(n int) []Ref {
 	return out
 }
 
-func Index(r Ref) int    { return int(r.id) - 1 }
-func ByIndex(i int) Ref  { return Ref{id: int32(i) + 1} }
-func Less(a, b Ref) bool { return a.id < b.id }
-func Sort(refs []Ref)    {}
+func Index(r Ref) int      { return int(r.id) - 1 }
+func ByIndex(i int) Ref    { return Ref{id: int32(i) + 1} }
+func Less(a, b Ref) bool   { return a.id < b.id }
+func Sort(refs []Ref)      {}
+func Wire(r Ref) uint32    { return uint32(r.id) }
+func FromWire(i uint32) Ref { return Ref{id: int32(i)} }
 
 type Set map[Ref]struct{}
 

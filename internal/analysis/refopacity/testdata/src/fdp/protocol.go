@@ -26,6 +26,14 @@ func render(r ref.Ref) string {
 	return r.String() // want "protocol code must not render Ref.String"
 }
 
+func wiring(r ref.Ref) uint32 {
+	return ref.Wire(r) // want "ref.Wire serializes the reference's integer identity for the wire"
+}
+
+func unwiring(id uint32) ref.Ref {
+	return ref.FromWire(id) // want "ref.FromWire mints a reference from a wire identity"
+}
+
 // The sanctioned operations stay silent: copy, store, send-shaped pass,
 // ==-compare, and deterministic iteration via ref.Sort / Set.Sorted.
 func sanctioned(a, b ref.Ref, s ref.Set) bool {

@@ -95,6 +95,9 @@ type Options struct {
 	MaxFailures int
 	// Log, when non-nil, receives progress lines.
 	Log func(format string, args ...any)
+	// Stop, when non-nil, ends the sweep after the current case once it
+	// closes. Failures found so far are still reported (and shrunk).
+	Stop <-chan struct{}
 }
 
 func (o Options) timeout() time.Duration {
@@ -252,6 +255,13 @@ func Run(opts Options) Result {
 	for i := 0; runs <= 0 || i < runs; i++ {
 		if !deadline.IsZero() && !time.Now().Before(deadline) {
 			break
+		}
+		if opts.Stop != nil {
+			select {
+			case <-opts.Stop:
+				return res
+			default:
+			}
 		}
 		c := Generate(rng)
 		if opts.Mutate {

@@ -1,0 +1,472 @@
+// Package node runs one node of a multi-node churn run: a slice of the
+// global scenario driven by the sequential engine, stitched to its siblings
+// by a transport (DESIGN.md §15).
+//
+// Deployment is coordinator-free. Every node rebuilds the identical global
+// scenario from the shared recipe (churn.TryBuild is a pure function of the
+// config, and trace.Scenario serializes the config), keeps only the
+// processes it owns — ownership is round-robin by process index — and wires
+// its engine's router hook to the transport: a send whose target lives
+// elsewhere leaves as a wire frame, arrives at the owner, and is injected
+// with its causal identity intact. Each node seeds its causal counter into
+// a disjoint namespace (trace.NodeCausalBase), so the per-node journals
+// join into one happens-before order (trace.Join).
+//
+// The oracle is the distributed SINGLE of oracle.go: exit permissions are
+// granted per leaver by its owner from consistent-round global snapshots
+// and revoked on any fresh relevant traffic. Termination is gossiped: a
+// node whose owned leavers are all gone says so, rebroadcasting until every
+// node agrees; then each node drains stragglers for a linger period (late
+// frames still inject or bounce — exits must not corrupt staying processes'
+// final state) and writes its summary.
+package node
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"fdp/internal/churn"
+	"fdp/internal/ref"
+	"fdp/internal/sim"
+	"fdp/internal/trace"
+	"fdp/internal/transport"
+)
+
+// Config describes one node's slice of a multi-node run.
+type Config struct {
+	// ID is this node's id, in [0, Nodes); Nodes the total count.
+	ID, Nodes int
+	// Scenario is the shared global recipe. Every node must receive the
+	// exact same value — the run's correctness rests on all nodes
+	// rebuilding the same world.
+	Scenario trace.Scenario
+	// Journal, if non-nil, receives this node's journal (engine "node").
+	// The node flushes it at every wind-down and on Interrupt.
+	Journal io.Writer
+
+	// MaxWall bounds the run in wall time (default 60s); a node that hits
+	// it reports TimedOut. Linger is the post-agreement drain window
+	// (default 500ms). StepBatch is how many local actions run per pump
+	// iteration (default 64). RoundEvery is the owner's oracle round
+	// interval and DoneEvery the done-gossip rebroadcast interval
+	// (defaults 50ms and 200ms).
+	MaxWall    time.Duration
+	Linger     time.Duration
+	StepBatch  int
+	RoundEvery time.Duration
+	DoneEvery  time.Duration
+}
+
+// inKind discriminates inbox entries.
+type inKind uint8
+
+const (
+	inData inKind = iota
+	inBounce
+	inLocalBounce
+	inControl
+)
+
+type inbound struct {
+	kind    inKind
+	from    transport.NodeID
+	to      ref.Ref
+	msg     sim.Message
+	payload []byte
+}
+
+// Node is one running slice. It implements transport.Handler; handler
+// calls enqueue into the inbox and everything else happens on the single
+// pump goroutine inside Run — the engine, the journal hook, the oracle
+// state and the summary never see concurrency.
+type Node struct {
+	cfg    Config
+	global *churn.Scenario
+	world  *sim.World
+	sched  sim.Scheduler
+	jw     *trace.StreamWriter
+	orc    *distOracle
+	tr     transport.Transport
+
+	owned      []ref.Ref // sorted
+	ownedSet   ref.Set
+	ownedLeave []ref.Ref // owned leavers, sorted
+
+	// inbox carries handler calls to the pump. A full inbox blocks the
+	// transport's reader — backpressure all the way to the sending peer's
+	// TCP link. dead closes when Run returns, unblocking handlers so the
+	// transport can drain and close after the pump is gone.
+	inbox chan inbound
+	dead  chan struct{}
+
+	// Exactly-once injection state, per source node. Data frames from node
+	// j carry CIDs stamped by j's world counter, so they arrive in
+	// increasing CID order per link and a high watermark recognizes
+	// transport retransmits (redial after a torn write, chaos duplication).
+	// Bounce frames echo arbitrary foreign CIDs, so they get a seen-set;
+	// bounces are rare, the set stays small.
+	hiCID      []uint64
+	seenBounce []map[uint64]bool
+
+	doneNodes []bool
+	steps     int
+}
+
+// New rebuilds the global scenario and prepares this node's world. The
+// transport is attached in Run so that New can be used as the
+// transport.Handler during transport construction.
+func New(cfg Config) (*Node, error) {
+	if cfg.Nodes < 1 || cfg.ID < 0 || cfg.ID >= cfg.Nodes {
+		return nil, fmt.Errorf("node: id %d out of range for %d nodes", cfg.ID, cfg.Nodes)
+	}
+	if cfg.MaxWall <= 0 {
+		cfg.MaxWall = 60 * time.Second
+	}
+	if cfg.Linger <= 0 {
+		cfg.Linger = 500 * time.Millisecond
+	}
+	if cfg.StepBatch <= 0 {
+		cfg.StepBatch = 64
+	}
+	if cfg.RoundEvery <= 0 {
+		cfg.RoundEvery = 50 * time.Millisecond
+	}
+	if cfg.DoneEvery <= 0 {
+		cfg.DoneEvery = 200 * time.Millisecond
+	}
+	ccfg, err := cfg.Scenario.ChurnConfig()
+	if err != nil {
+		return nil, err
+	}
+	global, err := churn.TryBuild(ccfg)
+	if err != nil {
+		return nil, err
+	}
+
+	n := &Node{cfg: cfg, global: global,
+		ownedSet:   ref.NewSet(),
+		inbox:      make(chan inbound, 1<<16),
+		dead:       make(chan struct{}),
+		hiCID:      make([]uint64, cfg.Nodes),
+		seenBounce: make([]map[uint64]bool, cfg.Nodes),
+		doneNodes:  make([]bool, cfg.Nodes),
+	}
+	for _, r := range global.Nodes {
+		if n.ownerOf(r) == cfg.ID {
+			n.owned = append(n.owned, r)
+			n.ownedSet.Add(r)
+		}
+	}
+	ref.Sort(n.owned)
+
+	n.orc = newDistOracle(n)
+	w := sim.NewWorld(n.orc)
+	for _, r := range n.owned {
+		w.AddProcess(r, global.World.ModeOf(r), global.World.ProtocolOf(r))
+		if global.World.LifeOf(r) == sim.Asleep {
+			w.ForceAsleep(r)
+		}
+		if global.Leaving.Has(r) {
+			n.ownedLeave = append(n.ownedLeave, r)
+		}
+	}
+	// The builder's initial in-flight messages keep their small CIDs
+	// (Inject preserves them; Enqueue would restamp), so journal joins can
+	// recognize them as owner-injected.
+	for _, r := range n.owned {
+		for _, m := range global.World.ChannelSnapshot(r) {
+			w.Inject(r, m)
+		}
+	}
+	w.SeedCausal(trace.NodeCausalBase(cfg.ID))
+	w.SetRouter(n.route)
+	w.SealInitialState()
+	if cfg.Journal != nil {
+		n.jw = trace.NewStreamWriter(cfg.Journal, trace.Header{
+			Version: trace.Version, Engine: trace.EngineNode,
+			Scenario: cfg.Scenario, Node: cfg.ID, Nodes: cfg.Nodes,
+		})
+		w.AddEventHook(n.jw.Record)
+	}
+	n.world = w
+	// Distinct per-node seeds: each node schedules its own slice; the run
+	// is one concurrent schedule, not a replayable one.
+	n.sched = sim.NewRandomScheduler(cfg.Scenario.Seed+int64(cfg.ID)*7919+1, 0)
+	return n, nil
+}
+
+// ownerOf is the global ownership function: round-robin by process index.
+func (n *Node) ownerOf(r ref.Ref) int { return ref.Index(r) % n.cfg.Nodes }
+
+// enqueue hands one inbound entry to the pump. It blocks on a full inbox
+// while the pump lives (backpressure to the peer) and discards once the pump
+// has exited — late frames after the summary have nowhere to go, and a
+// blocked handler would wedge the transport's reader forever on Close.
+func (n *Node) enqueue(in inbound) {
+	select {
+	case n.inbox <- in:
+	case <-n.dead:
+	}
+}
+
+// HandleDeliver implements transport.Handler.
+func (n *Node) HandleDeliver(from transport.NodeID, to ref.Ref, msg sim.Message) {
+	n.enqueue(inbound{kind: inData, from: from, to: to, msg: msg})
+}
+
+// HandleBounce implements transport.Handler.
+func (n *Node) HandleBounce(from transport.NodeID, to ref.Ref, msg sim.Message) {
+	k := inBounce
+	if from == transport.LocalBounce {
+		k = inLocalBounce
+	}
+	n.enqueue(inbound{kind: k, from: from, to: to, msg: msg})
+}
+
+// HandleControl implements transport.Handler.
+func (n *Node) HandleControl(from transport.NodeID, payload []byte) {
+	n.enqueue(inbound{kind: inControl, from: from, payload: append([]byte(nil), payload...)})
+}
+
+// route is the engine's outbound hook, run inside the sending process's
+// atomic action on the pump goroutine.
+func (n *Node) route(to ref.Ref, msg sim.Message) bool {
+	owner := n.ownerOf(to)
+	if owner == n.cfg.ID {
+		// Ours but unknown or gone: the model's drop path handles it.
+		return false
+	}
+	if !n.tr.Send(transport.NodeID(owner), to, msg) {
+		return false
+	}
+	n.orc.noteSent(owner, to, msg)
+	return true
+}
+
+// Result is what one node reports at the end of its run.
+type Result struct {
+	Summary Summary
+	// Converged is the local view of the global outcome: every node
+	// gossiped done, and every owned leaver is gone.
+	Converged bool
+}
+
+// Run drives the node until every node gossips done, the stop channel
+// closes, or MaxWall elapses. It owns the pump goroutine; tr's handler must
+// be this node.
+func (n *Node) Run(tr transport.Transport, stop <-chan struct{}) Result {
+	n.tr = tr
+	defer close(n.dead)
+	deadline := time.Now().Add(n.cfg.MaxWall)
+	var lastRound, lastDone time.Time
+	interrupted, timedOut := false, false
+
+	stopped := func() bool {
+		select {
+		case <-stop:
+			return true
+		default:
+			return false
+		}
+	}
+
+	for {
+		if stopped() {
+			interrupted = true
+			break
+		}
+		if time.Now().After(deadline) {
+			timedOut = true
+			break
+		}
+		absorbed := n.drainInbox()
+		drained := absorbed > 0
+
+		// Step a batch of local actions, scaled to what the drain just
+		// injected: every inbound frame needs a local delivery step to
+		// consume it, so a fixed batch would let a flooding sibling starve
+		// this engine — the queue grows and owned leavers stop making
+		// progress.
+		for i := 0; i < n.cfg.StepBatch+absorbed; i++ {
+			a, ok := n.sched.Next(n.world)
+			if !ok {
+				break
+			}
+			n.world.Execute(a)
+			n.steps++
+		}
+
+		now := time.Now()
+		// Open a round when due; an open round is left to gather answers
+		// and only declared lost (and restarted) after a generous multiple
+		// of the interval.
+		roundDue := now.Sub(lastRound) >= n.cfg.RoundEvery
+		if n.orc.roundOpen() {
+			roundDue = now.Sub(lastRound) >= 20*n.cfg.RoundEvery
+		}
+		if n.orc.ownsLive() && roundDue {
+			lastRound = now
+			n.orc.startRound()
+		}
+		if n.localDone() && now.Sub(lastDone) >= n.cfg.DoneEvery {
+			lastDone = now
+			n.doneNodes[n.cfg.ID] = true
+			n.broadcastDone()
+		}
+		if n.allDone() {
+			break
+		}
+		if !drained && n.world.Stats().TotalInQueue == 0 {
+			// Nothing arrived and no local deliveries are pending: any steps
+			// the batch above ran were pure timeout spinning. The
+			// asynchronous model is indifferent to timeout rates, so pace
+			// them instead of flooding the siblings with periodic
+			// self-introductions at CPU speed — and don't hog the core they
+			// share on a single-host deployment.
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	if !interrupted && !timedOut {
+		n.linger(stop, &interrupted)
+	}
+	sum := n.buildSummary(interrupted, timedOut)
+	if n.jw != nil {
+		n.jw.Flush()
+	}
+	return Result{Summary: sum, Converged: !interrupted && !timedOut && n.allDone() && n.localDone()}
+}
+
+// inboxBatch bounds how many inbox entries one pump iteration absorbs. The
+// bound matters: siblings spinning timeout actions can keep the inbox
+// non-empty indefinitely, and an unbounded drain would starve the local
+// engine outright — injected messages would pile up in channels no step
+// ever delivers.
+const inboxBatch = 1024
+
+// drainInbox processes up to inboxBatch queued entries without blocking and
+// returns how many it processed.
+func (n *Node) drainInbox() int {
+	for i := 0; i < inboxBatch; i++ {
+		select {
+		case in := <-n.inbox:
+			n.dispatch(in)
+		default:
+			return i
+		}
+	}
+	return inboxBatch
+}
+
+func (n *Node) dispatch(in inbound) {
+	switch in.kind {
+	case inData:
+		// Exactly-once injection: a frame at or below the source's CID
+		// watermark is a transport retransmit already processed here. Drop
+		// it before any accounting — the sender counted it once, so must
+		// we, or the oracle's matrix never balances again.
+		if cid := in.msg.CID(); cid != 0 {
+			if cid <= n.hiCID[in.from] {
+				return
+			}
+			n.hiCID[in.from] = cid
+		}
+		// Count before injecting: a fresh relevant frame revokes its
+		// leaver's grant before the message can reach a channel, closing
+		// the grant-vs-late-arrival race for owned leavers.
+		n.orc.noteRecv(int(in.from), in.to, in.msg)
+		if !n.world.Inject(in.to, in.msg) {
+			// Target unknown or gone here: return it. The bounce frame is
+			// relevant traffic too — it keeps the matrix unbalanced until
+			// the origin has absorbed the failure.
+			if n.tr.SendBounce(in.from, in.to, in.msg) {
+				n.orc.noteSent(int(in.from), in.to, in.msg)
+			}
+		}
+	case inBounce:
+		// Bounced messages echo the original (foreign-namespace) CID, so
+		// retransmit detection uses a seen-set instead of the watermark.
+		if cid := in.msg.CID(); cid != 0 {
+			if n.seenBounce[in.from] == nil {
+				n.seenBounce[in.from] = make(map[uint64]bool)
+			}
+			if n.seenBounce[in.from][cid] {
+				return
+			}
+			n.seenBounce[in.from][cid] = true
+		}
+		n.orc.noteRecv(int(in.from), in.to, in.msg)
+		n.world.Bounce(in.msg.From(), in.to, in.msg)
+	case inLocalBounce:
+		// The transport gave up on the link: the data frame never arrived
+		// anywhere, so undo its send count.
+		n.orc.noteUnsent(n.ownerOf(in.to), in.to, in.msg)
+		n.world.Bounce(in.msg.From(), in.to, in.msg)
+	case inControl:
+		n.orc.handleControl(int(in.from), in.payload)
+	}
+}
+
+// localDone reports whether every owned leaver is gone.
+func (n *Node) localDone() bool {
+	for _, u := range n.ownedLeave {
+		if n.world.LifeOf(u) != sim.Gone {
+			return false
+		}
+	}
+	return true
+}
+
+func (n *Node) allDone() bool {
+	for _, d := range n.doneNodes {
+		if !d {
+			return false
+		}
+	}
+	return true
+}
+
+func (n *Node) broadcastDone() {
+	n.tr.BroadcastControl(marshalCtl(ctlMsg{K: "done", N: n.cfg.ID}))
+}
+
+// linger keeps absorbing late frames after global agreement: an exit on a
+// fast node can still bounce a slower node's in-flight message, and that
+// bounce must reach the sender's protocol before the final state is
+// summarized — otherwise staying processes would be frozen holding
+// references the run already invalidated.
+func (n *Node) linger(stop <-chan struct{}, interrupted *bool) {
+	deadline := time.Now().Add(n.cfg.Linger)
+	for time.Now().Before(deadline) {
+		select {
+		case <-stop:
+			*interrupted = true
+			return
+		default:
+		}
+		if n.drainInbox() == 0 {
+			time.Sleep(time.Millisecond)
+		}
+		// Bounced deliveries may have woken protocols; let them settle.
+		for i := 0; i < n.cfg.StepBatch; i++ {
+			a, ok := n.sched.Next(n.world)
+			if !ok {
+				break
+			}
+			n.world.Execute(a)
+			n.steps++
+		}
+	}
+}
+
+// Journal returns the node's stream writer (nil without a journal).
+func (n *Node) Journal() *trace.StreamWriter { return n.jw }
+
+// Interrupt flushes the journal from a signal handler context. Safe to call
+// concurrently with the pump; the stream writer is a leaf.
+func (n *Node) Interrupt() {
+	if n.jw != nil {
+		n.jw.Flush()
+	}
+}

@@ -1,0 +1,318 @@
+package node
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"fdp/internal/sim"
+	"fdp/internal/trace"
+	"fdp/internal/transport"
+)
+
+func testScenario(n int, seed int64) trace.Scenario {
+	return trace.Scenario{N: n, Topology: "line", LeaveFraction: 0.4,
+		Pattern: "random", Variant: "FDP", Oracle: "SINGLE", Seed: seed}
+}
+
+// meshTiming returns (MaxWall, RoundEvery) for mesh tests. Under the race
+// detector the wall budget is a coverage window, not a convergence
+// deadline: a grant needs an undisturbed round — a quiet window with no
+// u-relevant frame in flight anywhere — and the detector's ~20x slowdown
+// on a shared core stretches round trips until such windows all but vanish
+// for flood-heavy scenarios. Liveness is therefore asserted without the
+// detector only; race builds run the full mesh for instrumentation
+// coverage and hold it to its safety properties.
+func meshTiming() (time.Duration, time.Duration) {
+	if raceEnabled {
+		return 15 * time.Second, 10 * time.Millisecond
+	}
+	return 30 * time.Second, 2 * time.Millisecond
+}
+
+// runMesh runs a full multi-node churn over an in-process loopback and
+// returns everything the merge step consumes.
+func runMesh(t *testing.T, scn trace.Scenario, nn int,
+	tune func(*transport.Loopback)) ([]Result, []trace.Header, [][]trace.Record, []Summary) {
+	t.Helper()
+	mesh := transport.NewLoopback()
+	ns := make([]*Node, nn)
+	bufs := make([]*bytes.Buffer, nn)
+	ports := make([]*transport.Port, nn)
+	maxWall, roundEvery := meshTiming()
+	for i := 0; i < nn; i++ {
+		bufs[i] = &bytes.Buffer{}
+		n, err := New(Config{ID: i, Nodes: nn, Scenario: scn, Journal: bufs[i],
+			MaxWall: maxWall, Linger: 150 * time.Millisecond,
+			RoundEvery: roundEvery, DoneEvery: 10 * time.Millisecond})
+		if err != nil {
+			t.Fatalf("New(%d): %v", i, err)
+		}
+		ports[i] = mesh.Attach(n)
+		ns[i] = n
+	}
+	if tune != nil {
+		tune(mesh)
+	}
+	results := make([]Result, nn)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := range ns {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = ns[i].Run(ports[i], stop)
+		}(i)
+	}
+	wg.Wait()
+
+	hdrs := make([]trace.Header, nn)
+	parts := make([][]trace.Record, nn)
+	sums := make([]Summary, nn)
+	for i := 0; i < nn; i++ {
+		h, recs, err := trace.ReadJournal(bytes.NewReader(bufs[i].Bytes()))
+		if err != nil {
+			t.Fatalf("journal %d: %v", i, err)
+		}
+		hdrs[i], parts[i], sums[i] = h, recs, results[i].Summary
+	}
+	return results, hdrs, parts, sums
+}
+
+func TestThreeNodeLoopbackMatchesSequentialVerdict(t *testing.T) {
+	scn := testScenario(12, 42)
+
+	// The same scenario must converge on the sequential engine — the
+	// multi-node run is checked against the same verdict, not a weaker one.
+	seq, err := scn.BuildScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sim.Run(seq.World, sim.NewRandomScheduler(scn.Seed, 0), sim.RunOptions{
+		Variant: sim.FDP, MaxSteps: 200000, CheckSafety: true})
+	if !res.Converged || res.SafetyViolation != nil {
+		t.Fatalf("sequential reference run did not converge: %+v", res)
+	}
+
+	results, hdrs, parts, sums := runMesh(t, scn, 3, nil)
+	v, err := Verify(hdrs, parts, sums)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Joined.Sends == 0 || v.Joined.Delivers == 0 {
+		t.Fatal("no cross-checked traffic in the joined journal")
+	}
+	if raceEnabled {
+		// See meshTiming: the run above gave the detector full coverage of
+		// the pump/transport/oracle paths; convergence within the window is
+		// a wall-clock property the instrumented build can't promise.
+		if v.Joined.Duplicates != 0 {
+			t.Errorf("joined journal counted %d duplicate deliveries", v.Joined.Duplicates)
+		}
+		t.Skip("liveness asserted without -race only; safety checks passed")
+	}
+	for i, r := range results {
+		if !r.Converged {
+			t.Errorf("node %d did not converge: %+v", i, r.Summary)
+		}
+	}
+	if !v.Converged {
+		t.Fatalf("merged verdict failed:\n%v", v.Problems)
+	}
+}
+
+func TestThreeNodeLoopbackSurvivesChaos(t *testing.T) {
+	scn := testScenario(10, 7)
+	var mu sync.Mutex
+	drops, dups := 0, 0
+	results, hdrs, parts, sums := runMesh(t, scn, 3, func(mesh *transport.Loopback) {
+		n := 0
+		mesh.Drop = func(_, _ transport.NodeID, _ sim.Message) bool {
+			mu.Lock()
+			defer mu.Unlock()
+			n++
+			if n%13 == 0 && drops < 5 {
+				drops++
+				return true
+			}
+			return false
+		}
+		mesh.Duplicate = func(_, _ transport.NodeID, _ sim.Message) bool {
+			mu.Lock()
+			defer mu.Unlock()
+			if n%7 == 0 && dups < 5 {
+				dups++
+				return true
+			}
+			return false
+		}
+	})
+	for i, r := range results {
+		if !r.Converged {
+			t.Errorf("node %d did not converge under chaos: %+v", i, r.Summary)
+		}
+	}
+	v, err := Verify(hdrs, parts, sums)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Converged {
+		t.Fatalf("merged verdict failed under chaos:\n%v", v.Problems)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if drops == 0 && dups == 0 {
+		t.Skip("chaos hooks never fired (scenario too quiet)")
+	}
+	// Duplicated frames are absorbed by the node's exactly-once watermark
+	// before they reach an engine, so the joined journal sees each delivery
+	// once.
+	if v.Joined.Duplicates != 0 {
+		t.Errorf("joined journal counted %d duplicate deliveries; dedupe leaked", v.Joined.Duplicates)
+	}
+}
+
+func TestThreeNodeTCPConverges(t *testing.T) {
+	scn := testScenario(9, 11)
+	const nn = 3
+	ns := make([]*Node, nn)
+	bufs := make([]*bytes.Buffer, nn)
+	trs := make([]*transport.TCP, nn)
+	maxWall, roundEvery := meshTiming()
+	if roundEvery < 5*time.Millisecond {
+		roundEvery = 5 * time.Millisecond
+	}
+	for i := 0; i < nn; i++ {
+		bufs[i] = &bytes.Buffer{}
+		n, err := New(Config{ID: i, Nodes: nn, Scenario: scn, Journal: bufs[i],
+			MaxWall: maxWall, Linger: 200 * time.Millisecond,
+			RoundEvery: roundEvery, DoneEvery: 20 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ns[i] = n
+		tr, err := transport.NewTCP(transport.TCPConfig{
+			Self: transport.NodeID(i), Listen: "127.0.0.1:0",
+			Peers: make(map[transport.NodeID]string), Handler: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		trs[i] = tr
+	}
+	// Peer addresses exist only after all listeners are up; fill them in
+	// before any node starts sending.
+	for i := 0; i < nn; i++ {
+		for j := 0; j < nn; j++ {
+			if i != j {
+				trs[i].SetPeer(transport.NodeID(j), trs[j].Addr())
+			}
+		}
+	}
+	results := make([]Result, nn)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := range ns {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = ns[i].Run(trs[i], stop)
+		}(i)
+	}
+	wg.Wait()
+	for _, tr := range trs {
+		tr.Close()
+	}
+
+	hdrs := make([]trace.Header, nn)
+	parts := make([][]trace.Record, nn)
+	sums := make([]Summary, nn)
+	for i := 0; i < nn; i++ {
+		h, recs, err := trace.ReadJournal(bytes.NewReader(bufs[i].Bytes()))
+		if err != nil {
+			t.Fatalf("journal %d: %v", i, err)
+		}
+		hdrs[i], parts[i], sums[i] = h, recs, results[i].Summary
+	}
+	v, err := Verify(hdrs, parts, sums)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raceEnabled {
+		// See meshTiming: TCP read/write/redial paths got their race
+		// coverage above; convergence is asserted without the detector.
+		if v.Joined.Duplicates != 0 {
+			t.Errorf("joined journal counted %d duplicate deliveries", v.Joined.Duplicates)
+		}
+		t.Skip("liveness asserted without -race only; safety checks passed")
+	}
+	for i, r := range results {
+		if !r.Converged {
+			t.Errorf("node %d did not converge over TCP: %+v", i, r.Summary)
+		}
+	}
+	if !v.Converged {
+		t.Fatalf("merged TCP verdict failed:\n%v", v.Problems)
+	}
+}
+
+func TestInterruptedRunFlushesReadableJournal(t *testing.T) {
+	scn := testScenario(14, 3)
+	// One-node run (everything local) interrupted immediately: the journal
+	// must still be a parseable prefix and the summary must say interrupted.
+	buf := &bytes.Buffer{}
+	n, err := New(Config{ID: 0, Nodes: 1, Scenario: scn, Journal: buf,
+		MaxWall: 30 * time.Second, StepBatch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesh := transport.NewLoopback()
+	port := mesh.Attach(n)
+	stop := make(chan struct{})
+	close(stop)
+	res := n.Run(port, stop)
+	if !res.Summary.Interrupted || res.Converged {
+		t.Fatalf("interrupted run misreported: %+v", res)
+	}
+	if _, _, err := trace.ReadJournal(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("interrupted journal unreadable: %v", err)
+	}
+}
+
+func TestVerifyFlagsMissingExit(t *testing.T) {
+	if raceEnabled {
+		// Pure verdict-bookkeeping test, but it needs a converged mesh to
+		// doctor; see meshTiming for why race builds can't promise one.
+		t.Skip("needs a converged mesh; liveness asserted without -race only")
+	}
+	scn := testScenario(12, 42)
+	_, hdrs, parts, sums := runMesh(t, scn, 3, nil)
+	// Pretend one exited leaver is still live and its exit never happened.
+	for si := range sums {
+		if len(sums[si].Exited) == 0 {
+			continue
+		}
+		u := sums[si].Exited[0]
+		sums[si].Exited = sums[si].Exited[1:]
+		sums[si].Live = append(sums[si].Live, ProcState{Index: u, Mode: "leaving"})
+		v, err := Verify(hdrs, parts, sums)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Converged {
+			t.Fatalf("verdict accepted a run where p%d never exited", u+1)
+		}
+		found := false
+		for _, p := range v.Problems {
+			if p == fmt.Sprintf("leaver p%d did not exit", u+1) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("missing-exit problem not reported: %v", v.Problems)
+		}
+		return
+	}
+	t.Fatal("no node reported an exited leaver")
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package node
+
+// raceEnabled reports whether the race detector is compiled in; mesh tests
+// scale their scenarios and wall budgets down/up accordingly.
+const raceEnabled = false

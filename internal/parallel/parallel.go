@@ -273,6 +273,41 @@ func (rt *Runtime) Enqueue(to ref.Ref, msg sim.Message) {
 	rt.push(rt.procs[to], msg)
 }
 
+// Inject delivers a message arriving from outside the runtime (the wire
+// transport) into a live process's mailbox while the workers are running.
+// Messages that already carry a causal identity keep it, and the runtime's
+// causal counter is CAS-advanced past it so locally minted CIDs stay unique
+// within this runtime; bare messages get a fresh CID. It reports whether the
+// message was accepted — false for an unknown reference, a gone process, or
+// a closed mailbox, in which case the caller owes the origin an
+// undeliverable bounce.
+//
+// Locking: push requires its caller to run under some shard's action read
+// lock (any shard's read side blocks pauseAll, which takes every write
+// side). Inject takes the target's current shard's actMu; push re-resolves
+// the shard under mbMu, so a concurrent rebalance is harmless.
+func (rt *Runtime) Inject(to ref.Ref, msg sim.Message) bool {
+	p := rt.procs[to]
+	if p == nil || p.life.Load() == 2 {
+		return false
+	}
+	if msg.CID() == 0 {
+		msg = sim.StampCausal(msg, rt.causal.Add(1), 0, 0)
+	} else {
+		for {
+			cur := rt.causal.Load()
+			if msg.CID() <= cur || rt.causal.CompareAndSwap(cur, msg.CID()) {
+				break
+			}
+		}
+	}
+	sh := rt.shards[p.shard.Load()]
+	sh.actMu.RLock()
+	_, ok := rt.push(p, msg)
+	sh.actMu.RUnlock()
+	return ok
+}
+
 // KindCount returns the number of events of kind k emitted so far.
 func (rt *Runtime) KindCount(k sim.EventKind) uint64 {
 	if int(k) >= len(rt.kindCounts) {

@@ -1,0 +1,20 @@
+package ref
+
+// Wire identity: the serialized form of a reference used by the transport
+// layer (fdp/internal/transport) to carry references between OS processes.
+//
+// A wire identity is a dense uint32 (0 = ⊥) valid only between nodes that
+// built their reference spaces identically — which the multi-node harness
+// guarantees by rebuilding the same scenario from the same seed on every
+// node. The functions live here, next to the other simulator-bookkeeping
+// identities (Index/ByIndex), and are equally off-limits to protocol code:
+// the refopacity analyzer flags any use from a protocol package, so the wire
+// codec can exist without weakening the copy-store-send model.
+
+// Wire returns the node-portable wire identity of r (0 for ⊥). Transport
+// bookkeeping only; protocol code must not call it.
+func Wire(r Ref) uint32 { return uint32(r.id) }
+
+// FromWire reconstructs the reference with the given wire identity (inverse
+// of Wire; 0 yields ⊥). Transport bookkeeping only.
+func FromWire(id uint32) Ref { return Ref{id: int32(id)} }

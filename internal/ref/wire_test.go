@@ -1,0 +1,40 @@
+package ref
+
+import "testing"
+
+func TestWireRoundTrip(t *testing.T) {
+	s := NewSpace()
+	refs := s.NewN(5)
+	seen := map[uint32]bool{}
+	for _, r := range refs {
+		w := Wire(r)
+		if w == 0 {
+			t.Fatalf("Wire(%v) = 0, reserved for nil", r)
+		}
+		if seen[w] {
+			t.Fatalf("Wire(%v) = %d not unique", r, w)
+		}
+		seen[w] = true
+		if got := FromWire(w); got != r {
+			t.Fatalf("FromWire(Wire(%v)) = %v", r, got)
+		}
+	}
+	if Wire(Nil) != 0 {
+		t.Fatalf("Wire(Nil) = %d, want 0", Wire(Nil))
+	}
+	if !FromWire(0).IsNil() {
+		t.Fatalf("FromWire(0) is not nil")
+	}
+}
+
+func TestWireMatchesAcrossSpaces(t *testing.T) {
+	// Two spaces built identically (the multi-node contract: every node
+	// rebuilds the same scenario) must agree on wire identities.
+	a := NewSpace().NewN(4)
+	b := NewSpace().NewN(4)
+	for i := range a {
+		if Wire(a[i]) != Wire(b[i]) {
+			t.Fatalf("wire identity %d differs across identically built spaces", i)
+		}
+	}
+}

@@ -150,6 +150,16 @@ func StampCausal(m Message, cid, parent, lclock uint64) Message {
 	return m
 }
 
+// WithSender returns m with the tracing sender set. It exists for the wire
+// transport (package transport), which reconstructs messages on the
+// receiving node and must restore the sender the originating engine stamped;
+// protocol code never calls it — the paper's messages carry no implicit
+// sender.
+func WithSender(m Message, from ref.Ref) Message {
+	m.from = from
+	return m
+}
+
 // Protocol is the per-process protocol instance: its variables and actions.
 // Implementations must be deterministic (iterate reference sets in ref.Sort
 // order) so that seeded runs are reproducible.

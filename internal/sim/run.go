@@ -26,6 +26,11 @@ type RunOptions struct {
 	Potential func(*World) int
 	// OnStep, if set, runs after every executed action.
 	OnStep func(*World)
+	// Stop, if set, makes the driver return early (Interrupted=true) once
+	// the channel is closed — checked at every legitimacy check, so the
+	// granularity is CheckEvery steps. This is the cooperative cancellation
+	// the cmd/ binaries' signal handlers use for graceful shutdown.
+	Stop <-chan struct{}
 }
 
 // RunResult reports the outcome of a run.
@@ -41,6 +46,10 @@ type RunResult struct {
 	// SafetyViolation is non-nil if a safety check failed; the run stops
 	// immediately in that case.
 	SafetyViolation error
+	// Interrupted reports that RunOptions.Stop fired before the run reached
+	// a verdict; Converged is false in that case unless the final check
+	// happened to pass.
+	Interrupted bool
 }
 
 // ErrSafety is wrapped by any safety-violation error.
@@ -64,6 +73,18 @@ func Run(w *World, sched Scheduler, opts RunOptions) RunResult {
 		}
 	}
 	res := RunResult{}
+	stopped := func() bool {
+		if opts.Stop == nil {
+			return false
+		}
+		select {
+		case <-opts.Stop:
+			res.Interrupted = true
+			return true
+		default:
+			return false
+		}
+	}
 	sample := func() bool {
 		if opts.Potential != nil {
 			res.PotentialSteps = append(res.PotentialSteps, w.Steps())
@@ -107,6 +128,9 @@ func Run(w *World, sched Scheduler, opts RunOptions) RunResult {
 		if w.Steps()%checkEvery == 0 {
 			if !sample() {
 				res.Converged = res.SafetyViolation == nil
+				break
+			}
+			if stopped() {
 				break
 			}
 		}

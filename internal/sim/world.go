@@ -154,6 +154,11 @@ type World struct {
 
 	onEvent []func(Event) // optional trace hooks, fanned out in attach order
 
+	// router, when installed, is consulted for sends whose target is not a
+	// process of this world — the outbound hook the wire transport hangs the
+	// multi-node deployment on (see SetRouter).
+	router func(to ref.Ref, msg Message) bool
+
 	// awake counts processes in the Awake state, for O(1) EnabledCount.
 	awake int
 	// asleep counts processes in the Asleep state; when it is zero no
@@ -275,6 +280,131 @@ func (w *World) Enqueue(to ref.Ref, msg Message) {
 		w.stats.MaxChannel = len(p.ch)
 	}
 	w.pgEnqueue(p.id, &msg)
+}
+
+// SetRouter installs the outbound transport hook. When a process sends to a
+// reference that names no process of this world, the router is offered the
+// fully causal-stamped message; returning true means the transport accepted
+// it for (possibly asynchronous) remote delivery and the send is recorded as
+// a normal EvSend. Returning false — no route, link known dead — falls
+// through to the model's drop path, including the sender's synchronous
+// Undeliverable callback. Worlds without a router behave exactly as before:
+// sends to unknown references drop.
+//
+// The hook runs inside the sending process's atomic action, on the world's
+// goroutine; implementations must not call back into the world.
+func (w *World) SetRouter(fn func(to ref.Ref, msg Message) bool) { w.router = fn }
+
+// Inject places a remotely sent message into to's channel, preserving the
+// causal identity stamped by the sending engine: CID, parent and Lamport
+// clock survive the wire, which is what lets per-node journals join into one
+// causal trace. Callers guarantee cross-engine CID uniqueness (the node
+// harness namespaces each engine's counter via SeedCausal); unlike Enqueue,
+// Inject does not advance the local causal counter past foreign CIDs —
+// foreign namespaces must not bleed into ours. Messages without a causal
+// identity get a fresh local one. Returns false — without enqueueing — when
+// the target is unknown or gone, so the transport can bounce the message to
+// its sender.
+func (w *World) Inject(to ref.Ref, msg Message) bool {
+	p := w.byRef[to]
+	if p == nil || p.life == Gone {
+		w.stats.Dropped++
+		return false
+	}
+	if msg.cid == 0 {
+		w.causal++
+		msg.cid = w.causal
+	}
+	w.seq++
+	msg.seq = w.seq
+	msg.enqStep = w.stats.Steps
+	p.ch = append(p.ch, msg)
+	w.stats.TotalInQueue++
+	if len(p.ch) > w.stats.MaxChannel {
+		w.stats.MaxChannel = len(p.ch)
+	}
+	w.pgEnqueue(p.id, &msg)
+	return true
+}
+
+// SeedCausal raises the causal-ID counter to base so every identity this
+// world assigns afterwards is > base. The node harness gives each node a
+// disjoint namespace (node i seeds (i+1)<<40) so CIDs stay globally unique
+// across a multi-node run without coordination. No-op when the counter is
+// already past base.
+func (w *World) SeedCausal(base uint64) {
+	if base > w.causal {
+		w.causal = base
+	}
+}
+
+// Bounce runs from's Undeliverable handler as its own pseudo-action: the
+// asynchronous analogue of the drop path in Send, used when a remote bounce
+// arrives long after the original send's atomic action finished. It emits an
+// EvDrop with a fresh CID whose parent is the bounced message (the send
+// already has its own record), wakes an asleep sender like any incoming
+// notification would, and applies the usual post-action lifecycle. No-op if
+// the sender is unknown or gone, or handles no undeliverables.
+func (w *World) Bounce(from, to ref.Ref, msg Message) {
+	p := w.byRef[from]
+	if p == nil || p.life == Gone {
+		return
+	}
+	h, ok := p.proto.(UndeliverableHandler)
+	if !ok {
+		return
+	}
+	w.stats.Steps++
+	w.stats.Dropped++
+	w.current = p
+	w.sleepRequested = false
+	w.exitRequested = false
+	if msg.lclock > p.clock {
+		p.clock = msg.lclock
+	}
+	p.clock++
+	if p.life == Asleep {
+		p.life = Awake
+		w.awake++
+		w.asleep--
+		w.stats.Wakes++
+		w.causal++
+		w.emit(Event{Kind: EvWake, Proc: p.id, CID: w.causal, Parent: msg.cid, Clock: p.clock})
+	}
+	w.causal++
+	w.curCID = w.causal
+	w.emit(Event{Kind: EvDrop, Proc: p.id, Peer: to, Label: msg.Label,
+		CID: w.curCID, Parent: msg.cid, MsgID: msg.cid, Clock: p.clock})
+	h.Undeliverable(&procCtx{w: w, p: p}, to, msg)
+
+	if w.exitRequested {
+		if p.life == Awake {
+			w.awake--
+		} else if p.life == Asleep {
+			w.asleep--
+		}
+		p.life = Gone
+		w.stats.Exits++
+		w.stats.TotalInQueue -= len(p.ch)
+		p.ch = nil
+		w.pgExit(p)
+		w.causal++
+		w.emit(Event{Kind: EvExit, Proc: p.id, CID: w.causal, Parent: w.curCID, Clock: p.clock})
+	} else {
+		w.pgSyncRefs(p)
+		if w.sleepRequested {
+			if p.life == Awake {
+				w.awake--
+				w.asleep++
+			}
+			p.life = Asleep
+			w.stats.Sleeps++
+			w.gen++
+			w.causal++
+			w.emit(Event{Kind: EvSleep, Proc: p.id, CID: w.causal, Parent: w.curCID, Clock: p.clock})
+		}
+	}
+	w.current = nil
 }
 
 // SealInitialState captures the weakly-connected-component partition of the
@@ -612,6 +742,14 @@ func (c *procCtx) Send(to ref.Ref, msg Message) {
 	target := c.w.byRef[to]
 	c.w.stats.Sent++
 	c.w.stats.SentByLabel[msg.Label]++
+	if target == nil && c.w.router != nil && c.w.router(to, msg) {
+		// The transport accepted the message for remote delivery. Depth and
+		// MsgSeq are unknowable here (the receiving engine assigns them); the
+		// causal fields are what cross-node joins align on.
+		c.w.emit(Event{Kind: EvSend, Proc: c.p.id, Peer: to, Label: msg.Label,
+			CID: msg.cid, Parent: msg.parent, MsgID: msg.cid, Clock: c.p.clock})
+		return
+	}
 	if target == nil || target.life == Gone {
 		c.w.stats.Dropped++
 		c.w.emit(Event{Kind: EvDrop, Proc: c.p.id, Peer: to, Label: msg.Label,

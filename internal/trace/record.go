@@ -69,11 +69,19 @@ type Record struct {
 type Header struct {
 	// Version is the journal format version (see Version).
 	Version int `json:"v"`
-	// Engine identifies the producer: "sim" (deterministically replayable)
-	// or "runtime" (one concurrent schedule; diffable, not replayable).
+	// Engine identifies the producer: "sim" (deterministically replayable),
+	// "runtime" (one concurrent schedule; diffable, not replayable) or
+	// "node" (one node's slice of a multi-node run; joinable with its
+	// siblings, see Join).
 	Engine string `json:"engine"`
 	// Scenario is the recorded run's construction recipe.
 	Scenario Scenario `json:"scenario"`
+	// Node and Nodes identify the writer within a multi-node run: Node is
+	// this journal's 0-based node id, Nodes the total node count. Nodes is
+	// zero for single-engine journals; Node alone is ambiguous (0 is a
+	// valid id and the JSON zero), so Nodes > 0 is the multi-node marker.
+	Node  int `json:"node,omitempty"`
+	Nodes int `json:"nodes,omitempty"`
 }
 
 // Engine names written into journal headers.
@@ -82,7 +90,19 @@ const (
 	EngineSim = "sim"
 	// EngineRuntime marks a concurrent-runtime journal.
 	EngineRuntime = "runtime"
+	// EngineNode marks one node's journal from a multi-node wire-transport
+	// run (cmd/fdpnode).
+	EngineNode = "node"
 )
+
+// NodeCausalBase returns the causal-ID namespace base for node i of a
+// multi-node run. Each node seeds its engine's causal counter to this base,
+// so node i mints CIDs in ((i+1)<<40, (i+2)<<40) and CIDs from different
+// nodes never collide when journals are joined. Builder-assigned
+// initial-message CIDs (small integers, one per initial in-flight message)
+// sit below every node's namespace; joins treat message IDs under
+// NodeCausalBase(0) as owner-injected and exempt from send-record matching.
+func NodeCausalBase(i int) uint64 { return uint64(i+1) << 40 }
 
 // FromEvent renders one engine event as a journal record.
 func FromEvent(e sim.Event) Record {

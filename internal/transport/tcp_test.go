@@ -1,0 +1,228 @@
+package transport
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"fdp/internal/obs"
+)
+
+// waitFor polls cond for up to two seconds — transport delivery is
+// asynchronous, so tests wait for effects rather than sleeping blind.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func newPair(t *testing.T, reg *obs.Registry) (*TCP, *TCP, *collector, *collector) {
+	t.Helper()
+	h0, h1 := &collector{}, &collector{}
+	t0, err := NewTCP(TCPConfig{Self: 0, Listen: "127.0.0.1:0", Handler: h0, Metrics: reg,
+		Peers: map[NodeID]string{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := NewTCP(TCPConfig{Self: 1, Listen: "127.0.0.1:0", Handler: h1, Metrics: reg,
+		Peers: map[NodeID]string{0: t0.Addr()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0.cfg.Peers[1] = t1.Addr()
+	t.Cleanup(func() { t0.Close(); t1.Close() })
+	return t0, t1, h0, h1
+}
+
+func TestTCPDeliversWithMetadataAndMetrics(t *testing.T) {
+	rs := testRefs(5)
+	reg := obs.NewRegistry()
+	t0, t1, h0, h1 := newPair(t, reg)
+
+	msg := sampleMessage(rs, int64(-4))
+	if !t0.Send(1, rs[4], msg) {
+		t.Fatal("send refused")
+	}
+	waitFor(t, "delivery", func() bool { d, _, _ := h1.counts(); return d == 1 })
+	got := h1.delivers[0]
+	if h1.deliverTo[0] != rs[4] || got.Label != msg.Label || got.From() != rs[3] ||
+		got.CID() != msg.CID() || got.CausalParent() != msg.CausalParent() ||
+		got.SendClock() != msg.SendClock() || got.Payload != int64(-4) {
+		t.Fatalf("message mangled in flight: %+v", got)
+	}
+
+	// Bounce and control travel the same stream.
+	if !t1.SendBounce(0, rs[4], got) {
+		t.Fatal("bounce refused")
+	}
+	t1.BroadcastControl([]byte("oq"))
+	waitFor(t, "bounce+control", func() bool { _, b, c := h0.counts(); return b == 1 && c == 1 })
+	if h0.bounces[0].CID() != msg.CID() || h0.controls[0] != "oq" {
+		t.Fatalf("bounce/control mangled: %+v %v", h0.bounces, h0.controls)
+	}
+
+	if c := reg.Counter("fdp_transport_frames_total{link=\"0->1\"}", ""); c.Value() != 1 {
+		t.Fatalf("tx frame counter = %d, want 1", c.Value())
+	}
+	if c := reg.Counter("fdp_transport_frames_total{link=\"1->0\",dir=\"rx\"}", ""); c.Value() != 2 {
+		t.Fatalf("rx frame counter = %d, want 2 (bounce+control)", c.Value())
+	}
+	if t0.Send(7, rs[4], msg) {
+		t.Fatal("send to unknown peer accepted")
+	}
+}
+
+// TestTCPReassemblesSplitFrames drives a listener with a hand-rolled peer
+// that dribbles one frame byte by byte and then packs many frames into one
+// write — both segmentations must decode identically.
+func TestTCPReassemblesSplitFrames(t *testing.T) {
+	rs := testRefs(5)
+	h := &collector{}
+	tr, err := NewTCP(TCPConfig{Self: 0, Listen: "127.0.0.1:0", Handler: h,
+		Peers: map[NodeID]string{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	conn, err := net.Dial("tcp", tr.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	body, err := encodeDataBody(rs[4], sampleMessage(rs, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := encodeFrame(frameData, 1, body)
+
+	// Byte-by-byte: the reader must block on partial reads, not error.
+	for _, b := range frame {
+		if _, err := conn.Write([]byte{b}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "dribbled frame", func() bool { d, _, _ := h.counts(); return d == 1 })
+
+	// Three frames coalesced into one write must yield three deliveries.
+	batch := append(append(append([]byte(nil), frame...), frame...), frame...)
+	if _, err := conn.Write(batch); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "coalesced frames", func() bool { d, _, _ := h.counts(); return d == 4 })
+	if h.delivers[3].CID() != h.delivers[0].CID() {
+		t.Fatal("coalesced frames decoded differently")
+	}
+}
+
+// TestTCPSurvivesMidFrameDrop cuts a connection halfway through a frame:
+// the torn frame must vanish without a delivery or a panic, and a fresh
+// connection must deliver normally afterwards.
+func TestTCPSurvivesMidFrameDrop(t *testing.T) {
+	rs := testRefs(5)
+	h := &collector{}
+	tr, err := NewTCP(TCPConfig{Self: 0, Listen: "127.0.0.1:0", Handler: h,
+		Peers: map[NodeID]string{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	body, err := encodeDataBody(rs[4], sampleMessage(rs, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := encodeFrame(frameData, 1, body)
+
+	conn, err := net.Dial("tcp", tr.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(frame[:len(frame)/2]); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close() // the drop: half a frame then RST/FIN
+
+	// A retransmitting peer reconnects and sends the frame twice — the
+	// duplicate-delivery case the journals tolerate.
+	conn2, err := net.Dial("tcp", tr.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	if _, err := conn2.Write(append(append([]byte(nil), frame...), frame...)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "retransmitted frames", func() bool { d, _, _ := h.counts(); return d == 2 })
+	if h.delivers[0].CID() != h.delivers[1].CID() {
+		t.Fatal("duplicate delivery changed identity")
+	}
+}
+
+// TestTCPDialRetryAndBounce covers the outbound failure paths: a peer that
+// comes up late is reached by redial, and a peer that never comes up
+// bounces the frame after the budget runs out.
+func TestTCPDialRetryAndBounce(t *testing.T) {
+	rs := testRefs(5)
+
+	// Reserve an address, then close it so nothing listens there yet.
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lateAddr := probe.Addr().String()
+	probe.Close()
+
+	h0 := &collector{}
+	t0, err := NewTCP(TCPConfig{Self: 0, Listen: "127.0.0.1:0", Handler: h0,
+		Peers:        map[NodeID]string{1: lateAddr},
+		RedialBudget: 50, BackoffBase: 5 * time.Millisecond, DialTimeout: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t0.Close()
+
+	msg := sampleMessage(rs, nil)
+	if !t0.Send(1, rs[4], msg) {
+		t.Fatal("send refused")
+	}
+	time.Sleep(20 * time.Millisecond) // let a few dial attempts fail first
+	h1 := &collector{}
+	t1, err := NewTCP(TCPConfig{Self: 1, Listen: lateAddr, Handler: h1,
+		Peers: map[NodeID]string{0: t0.Addr()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t1.Close()
+	waitFor(t, "redial delivery", func() bool { d, _, _ := h1.counts(); return d == 1 })
+
+	// A link that never comes up: the frame must come back as a bounce
+	// carrying the original message.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+	h2 := &collector{}
+	t2, err := NewTCP(TCPConfig{Self: 2, Listen: "127.0.0.1:0", Handler: h2,
+		Peers:        map[NodeID]string{3: deadAddr},
+		RedialBudget: 3, BackoffBase: time.Millisecond, DialTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t2.Close()
+	if !t2.Send(3, rs[4], msg) {
+		t.Fatal("send refused outright; failure should be async")
+	}
+	waitFor(t, "budget-exhausted bounce", func() bool { _, b, _ := h2.counts(); return b == 1 })
+	if h2.bounceTo[0] != rs[4] || h2.bounces[0].CID() != msg.CID() {
+		t.Fatalf("bounce mangled: %+v to %v", h2.bounces, h2.bounceTo)
+	}
+}

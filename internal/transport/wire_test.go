@@ -1,0 +1,92 @@
+package transport
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+
+	"fdp/internal/ref"
+	"fdp/internal/sim"
+)
+
+func testRefs(n int) []ref.Ref { return ref.NewSpace().NewN(n) }
+
+func sampleMessage(rs []ref.Ref, payload any) sim.Message {
+	m := sim.NewMessage("forward",
+		sim.RefInfo{Ref: rs[0], Mode: sim.Leaving},
+		sim.RefInfo{Ref: rs[1], Mode: sim.Staying},
+		sim.RefInfo{Ref: rs[2], Mode: sim.Unknown})
+	m.Payload = payload
+	m = sim.StampCausal(m, 1<<40|7, 1<<40|3, 42)
+	return sim.WithSender(m, rs[3])
+}
+
+func TestDataBodyRoundTrip(t *testing.T) {
+	rs := testRefs(5)
+	payloads := []any{nil, "route", int64(-9), 17, true, []byte{0, 1, 2}}
+	for _, p := range payloads {
+		msg := sampleMessage(rs, p)
+		body, err := encodeDataBody(rs[4], msg)
+		if err != nil {
+			t.Fatalf("encode (%T payload): %v", p, err)
+		}
+		to, got, err := decodeDataBody(body)
+		if err != nil {
+			t.Fatalf("decode (%T payload): %v", p, err)
+		}
+		if to != rs[4] || got.Label != msg.Label || got.From() != rs[3] {
+			t.Fatalf("endpoints wrong: to=%v label=%q from=%v", to, got.Label, got.From())
+		}
+		if !reflect.DeepEqual(got.Refs, msg.Refs) {
+			t.Fatalf("refs did not round-trip: %v vs %v", got.Refs, msg.Refs)
+		}
+		if !reflect.DeepEqual(got.Payload, p) {
+			t.Fatalf("payload did not round-trip: %#v vs %#v", got.Payload, p)
+		}
+		if got.CID() != msg.CID() || got.CausalParent() != msg.CausalParent() || got.SendClock() != msg.SendClock() {
+			t.Fatalf("causal metadata lost: cid=%d parent=%d clock=%d", got.CID(), got.CausalParent(), got.SendClock())
+		}
+	}
+	if _, err := encodeDataBody(rs[0], sim.Message{Label: "x", Payload: struct{ X int }{1}}); err == nil {
+		t.Fatal("unencodable payload accepted")
+	}
+}
+
+func TestFrameRoundTripAndGuards(t *testing.T) {
+	body := []byte("control-payload")
+	raw := encodeFrame(frameControl, 3, body)
+	kind, from, got, err := readFrameBytes(raw)
+	if err != nil || kind != frameControl || from != 3 || !bytes.Equal(got, body) {
+		t.Fatalf("frame round-trip: kind=%d from=%d body=%q err=%v", kind, from, got, err)
+	}
+
+	// A frame length beyond the guard must refuse before allocating.
+	huge := make([]byte, 8)
+	huge[0], huge[1], huge[2], huge[3] = 0xff, 0xff, 0xff, 0xff
+	if _, _, _, err := readFrameBytes(huge); err == nil {
+		t.Fatal("oversized frame length accepted")
+	}
+
+	// A torn frame (stream ends mid-body) is an unexpected EOF, not a
+	// clean close.
+	if _, _, _, err := readFrameBytes(raw[:len(raw)-3]); err != io.ErrUnexpectedEOF {
+		t.Fatalf("torn frame: got %v, want %v", err, io.ErrUnexpectedEOF)
+	}
+
+	// Truncated bodies at every cut point must error, never panic or
+	// fabricate a message.
+	rs := testRefs(5)
+	full, err := encodeDataBody(rs[4], sampleMessage(rs, "p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(full); cut++ {
+		if _, _, err := decodeDataBody(full[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d decoded successfully", cut, len(full))
+		}
+	}
+	if _, _, err := decodeDataBody(append(full, 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
