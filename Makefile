@@ -79,11 +79,19 @@ NODES ?= 3
 NODE_N ?= 12
 NODE_SEED ?= 42
 NODE_PORT ?= 7450
+# NODE_MPORT is the /metrics port base: node i serves on NODE_MPORT+i.
+NODE_MPORT ?= 9450
 NODE_OUT ?= node-out
+# Every node runs with -serve (live per-node /metrics + pprof), -hold (the
+# endpoint outlives the run until the TERM below releases it) and an armed
+# -stall watchdog. While the fleet runs, fdpnode -scrape aggregates the
+# cluster's liveness series and the target asserts each node exposes its own
+# fdp_progress_* slice (distinct node labels) plus transport counters; then
+# it waits for every summary, winds the fleet down, and merges the verdict.
 node-churn:
 	$(GO) build -o bin/fdpnode ./cmd/fdpnode
 	rm -rf $(NODE_OUT) && mkdir -p $(NODE_OUT)
-	@set -e; pids=""; i=0; \
+	@set -e; pids=""; addrs=""; i=0; \
 	while [ $$i -lt $(NODES) ]; do \
 	  peers=""; j=0; \
 	  while [ $$j -lt $(NODES) ]; do \
@@ -92,11 +100,36 @@ node-churn:
 	      peers="$$peers$$j=127.0.0.1:$$(($(NODE_PORT)+$$j))"; \
 	    fi; j=$$((j+1)); \
 	  done; \
+	  [ -n "$$addrs" ] && addrs="$$addrs,"; \
+	  addrs="$$addrs 127.0.0.1:$$(($(NODE_MPORT)+$$i))"; \
 	  bin/fdpnode -id $$i -nodes $(NODES) -listen 127.0.0.1:$$(($(NODE_PORT)+$$i)) \
 	    -peers "$$peers" -n $(NODE_N) -topology line -leave 0.4 -pattern random \
-	    -seed $(NODE_SEED) -out $(NODE_OUT) -timeout 60s & \
+	    -seed $(NODE_SEED) -out $(NODE_OUT) -timeout 60s \
+	    -serve 127.0.0.1:$$(($(NODE_MPORT)+$$i)) -hold 60s -stall 10s & \
 	  pids="$$pids $$!"; i=$$((i+1)); \
 	done; \
+	tries=0; \
+	until bin/fdpnode -scrape "$$addrs" > $(NODE_OUT)/scrape.txt 2>/dev/null; do \
+	  tries=$$((tries+1)); \
+	  [ $$tries -lt 150 ] || { echo "node-churn: scrape never succeeded"; exit 1; }; \
+	  sleep 0.2; \
+	done; \
+	i=0; while [ $$i -lt $(NODES) ]; do \
+	  grep -q "fdp_progress_leavers_remaining{node=\"$$i\"}" $(NODE_OUT)/scrape.txt \
+	    || { echo "node-churn: no fdp_progress series for node $$i"; cat $(NODE_OUT)/scrape.txt; exit 1; }; \
+	  i=$$((i+1)); \
+	done; \
+	grep -q "fdp_transport_frames_total" $(NODE_OUT)/scrape.txt \
+	  || { echo "node-churn: no transport series in scrape"; cat $(NODE_OUT)/scrape.txt; exit 1; }; \
+	i=0; while [ $$i -lt $(NODES) ]; do \
+	  tries=0; \
+	  while [ ! -f $(NODE_OUT)/summary-$$i.json ]; do \
+	    tries=$$((tries+1)); \
+	    [ $$tries -lt 400 ] || { echo "node-churn: node $$i never wrote its summary"; exit 1; }; \
+	    sleep 0.2; \
+	  done; i=$$((i+1)); \
+	done; \
+	kill -TERM $$pids; \
 	rc=0; for p in $$pids; do wait $$p || rc=1; done; [ $$rc -eq 0 ]
 	bin/fdpnode -merge $(NODE_OUT)
 

@@ -21,6 +21,21 @@
 // have exited with journal evidence, and the survivors must satisfy the
 // Lemma 2 connectivity invariant. Exit status 1 on any problem, 2 on I/O or
 // usage errors.
+//
+// -serve ADDR additionally exposes the node's live metrics (per-link
+// fdp_transport_* plus per-leaver fdp_progress_*/fdp_stall_*, labeled with
+// the node id) and pprof on ADDR for the duration of the run; -hold keeps
+// the endpoint up afterwards so a scraper can read the final state. -stall D
+// arms the liveness watchdog: a run that makes no departure progress for D
+// is classified (livelock / starvation / quiescent-stuck) and the flight
+// recorder's recent-event ring is snapshotted to out/flight-<id>.jsonl (a
+// joinable journal fragment fdpreplay accepts) next to out/stall-<id>.json.
+//
+// Scrape mode (fdpnode -scrape addr,addr,...) polls each node's /metrics
+// once and prints the per-node liveness series plus a cluster aggregate —
+// the quickest way to see which node's leavers are stuck:
+//
+//	fdpnode -scrape 127.0.0.1:9450,127.0.0.1:9451,127.0.0.1:9452
 package main
 
 import (
@@ -28,6 +43,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -38,9 +56,16 @@ import (
 	"time"
 
 	"fdp/internal/node"
+	"fdp/internal/obs"
 	"fdp/internal/trace"
 	"fdp/internal/transport"
 )
+
+// isClosedErr recognizes the errors a serve goroutine sees during a clean
+// shutdown: the listener closed underneath it, nothing more.
+func isClosedErr(err error) bool {
+	return err == nil || errors.Is(err, http.ErrServerClosed) || errors.Is(err, net.ErrClosed)
+}
 
 func main() {
 	os.Exit(run(os.Args[1:]))
@@ -49,7 +74,8 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("fdpnode", flag.ContinueOnError)
 	var (
-		merge = fs.String("merge", "", "merge mode: verify the run artifacts in this directory")
+		merge  = fs.String("merge", "", "merge mode: verify the run artifacts in this directory")
+		scrape = fs.String("scrape", "", "scrape mode: aggregate liveness metrics from these node /metrics addresses (comma separated)")
 
 		id     = fs.Int("id", 0, "this node's id, in [0, nodes)")
 		nodes  = fs.Int("nodes", 1, "total node count")
@@ -67,10 +93,15 @@ func run(args []string) int {
 		timeout    = fs.Duration("timeout", 60*time.Second, "wall-clock budget before the node gives up")
 		linger     = fs.Duration("linger", 500*time.Millisecond, "post-agreement drain window for late frames")
 		roundEvery = fs.Duration("round-every", 50*time.Millisecond, "oracle snapshot round interval")
+
+		serve = fs.String("serve", "", "serve /metrics (Prometheus text) and /debug/pprof on this address during the run (e.g. 127.0.0.1:9450)")
+		hold  = fs.Duration("hold", 0, "keep the -serve endpoint up this long after the run finishes (a signal releases it early)")
+		stall = fs.Duration("stall", 0, "arm the liveness watchdog with this window; on stall, write flight-<id>.jsonl and stall-<id>.json to -out")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: fdpnode -id I -nodes N -listen ADDR -peers LIST [scenario flags] -out DIR")
 		fmt.Fprintln(os.Stderr, "       fdpnode -merge DIR")
+		fmt.Fprintln(os.Stderr, "       fdpnode -scrape ADDR[,ADDR...]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -78,6 +109,9 @@ func run(args []string) int {
 	}
 	if *merge != "" {
 		return runMerge(*merge)
+	}
+	if *scrape != "" {
+		return runScrape(*scrape)
 	}
 
 	scn := trace.Scenario{N: *n, Topology: *topo, LeaveFraction: *leave,
@@ -100,19 +134,66 @@ func run(args []string) int {
 	}
 	defer jf.Close()
 
+	// One registry per node: the transport's per-link series and the
+	// watchdog's per-leaver progress series share the same /metrics page.
+	var reg *obs.Registry
+	if *serve != "" {
+		reg = obs.NewRegistry()
+	}
+	onStall := func(v obs.StallVerdict, hdr trace.Header, flight []trace.Record, complete bool) {
+		fmt.Fprintf(os.Stderr, "fdpnode: node %d stalled: %s (%d flight records, complete=%v)\n",
+			*id, v.Kind, len(flight), complete)
+		fp := filepath.Join(*out, fmt.Sprintf("flight-%d.jsonl", *id))
+		ff, err := os.Create(fp)
+		if err == nil {
+			err = trace.WriteJournal(ff, hdr, flight)
+			if cerr := ff.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fdpnode: flight dump:", err)
+		}
+		vb, err := json.MarshalIndent(v, "", "  ")
+		if err == nil {
+			err = os.WriteFile(filepath.Join(*out, fmt.Sprintf("stall-%d.json", *id)), append(vb, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fdpnode: stall verdict:", err)
+		}
+	}
 	nd, err := node.New(node.Config{ID: *id, Nodes: *nodes, Scenario: scn,
-		Journal: jf, MaxWall: *timeout, Linger: *linger, RoundEvery: *roundEvery})
+		Journal: jf, MaxWall: *timeout, Linger: *linger, RoundEvery: *roundEvery,
+		Metrics: reg, StallWindow: *stall, OnStall: onStall})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fdpnode:", err)
 		return 2
 	}
 	tr, err := transport.NewTCP(transport.TCPConfig{
-		Self: transport.NodeID(*id), Listen: *listen, Peers: peerMap, Handler: nd})
+		Self: transport.NodeID(*id), Listen: *listen, Peers: peerMap, Handler: nd,
+		Metrics: reg})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fdpnode:", err)
 		return 2
 	}
 	defer tr.Close()
+	if *serve != "" {
+		// Same graceful-shutdown path as fdpsim/fdpbench: closing the
+		// listener on exit makes Serve return a closed-network error, which
+		// is the clean outcome, not a failure.
+		ln, err := net.Listen("tcp", *serve)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fdpnode: -serve:", err)
+			return 2
+		}
+		defer ln.Close()
+		fmt.Printf("node %d metrics on http://%s/metrics\n", *id, ln.Addr())
+		go func() {
+			if err := http.Serve(ln, obs.NewServeMux(reg)); !isClosedErr(err) {
+				fmt.Fprintln(os.Stderr, "fdpnode: -serve:", err)
+			}
+		}()
+	}
 	fmt.Printf("node %d/%d listening on %s (n=%d seed=%d)\n", *id, *nodes, tr.Addr(), *n, *seed)
 
 	// Graceful shutdown: first signal stops the pump, which flushes the
@@ -145,6 +226,17 @@ func run(args []string) int {
 	if err := os.WriteFile(sumPath, append(sb, '\n'), 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "fdpnode:", err)
 		return 2
+	}
+
+	if *serve != "" && *hold > 0 {
+		// Keep the final metric values scrapeable; a signal releases the
+		// hold early so supervised runs (the Makefile's node-churn) can
+		// wind the fleet down without waiting it out.
+		fmt.Printf("holding -serve endpoint for %v\n", *hold)
+		select {
+		case <-time.After(*hold):
+		case <-stop:
+		}
 	}
 
 	switch {
@@ -186,6 +278,80 @@ func parsePeers(s string, self, nodes int) (map[transport.NodeID]string, error) 
 		return nil, fmt.Errorf("-peers has %d entries, want %d (every node but this one)", len(m), nodes-1)
 	}
 	return m, nil
+}
+
+// runScrape polls each address's /metrics once, echoes the liveness and
+// transport series per node, and prints a cluster aggregate: the sum of
+// leavers remaining across nodes is the run's distance from Lemma 3. Exit
+// status 2 if any node cannot be scraped.
+func runScrape(list string) int {
+	client := &http.Client{Timeout: 5 * time.Second}
+	var (
+		remaining, grants, denials float64
+		failed                     bool
+	)
+	for _, a := range strings.Split(list, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		resp, err := client.Get("http://" + a + "/metrics")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fdpnode: scrape %s: %v\n", a, err)
+			failed = true
+			continue
+		}
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil || resp.StatusCode != http.StatusOK {
+			fmt.Fprintf(os.Stderr, "fdpnode: scrape %s: status %s\n", a, resp.Status)
+			failed = true
+			continue
+		}
+		fmt.Printf("# node %s\n", a)
+		for _, line := range strings.Split(string(body), "\n") {
+			if !strings.HasPrefix(line, "fdp_progress_") && !strings.HasPrefix(line, "fdp_stall_") &&
+				!strings.HasPrefix(line, "fdp_transport_frames_total") {
+				continue
+			}
+			fmt.Println(line)
+			name, v, ok := parseSample(line)
+			if !ok {
+				continue
+			}
+			switch name {
+			case obs.MetricProgressLeavers:
+				remaining += v
+			case obs.MetricProgressGrants:
+				grants += v
+			case obs.MetricProgressDenials:
+				denials += v
+			}
+		}
+	}
+	fmt.Printf("# cluster: leavers_remaining=%g grants=%g denials=%g\n", remaining, grants, denials)
+	if failed {
+		return 2
+	}
+	return 0
+}
+
+// parseSample splits one Prometheus text line into its metric name (label
+// block stripped) and value.
+func parseSample(line string) (string, float64, bool) {
+	sp := strings.LastIndexByte(line, ' ')
+	if sp < 0 {
+		return "", 0, false
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(line[sp+1:]), 64)
+	if err != nil {
+		return "", 0, false
+	}
+	name := line[:sp]
+	if b := strings.IndexByte(name, '{'); b >= 0 {
+		name = name[:b]
+	}
+	return name, v, true
 }
 
 // runMerge reads a run directory and prints the merged verdict.

@@ -37,3 +37,36 @@ func bad(g *Guard) {
 }
 
 var _ = bad
+
+// Ring mirrors the flight recorder (trace.Flight): a //fdp:lockleaf mutex
+// guarding a bounded ring, held for the copy only.
+type Ring struct {
+	mu  sync.Mutex //fdp:lockleaf
+	buf []int
+}
+
+// Push is the conforming hot-path shape: lock, write, unlock — nothing
+// acquired underneath.
+func (r *Ring) Push(v int) {
+	r.mu.Lock()
+	r.buf = append(r.buf, v)
+	r.mu.Unlock()
+}
+
+// Hold and ReleaseRing expose an escaping acquisition of the ring leaf for
+// the cross-package half of the fixture.
+func (r *Ring) Hold() { r.mu.Lock() }
+
+// ReleaseRing balances Hold.
+func (r *Ring) ReleaseRing() { r.mu.Unlock() }
+
+// renderLocked renders (acquires MuA) inside the ring's critical section:
+// the regression the leaf declaration exists to catch.
+func renderLocked(r *Ring) {
+	r.mu.Lock()
+	MuA.Lock() // want "acquiring lockdep.MuA while holding lockdep.Ring.mu violates its //fdp:lockleaf declaration"
+	MuA.Unlock()
+	r.mu.Unlock()
+}
+
+var _ = renderLocked

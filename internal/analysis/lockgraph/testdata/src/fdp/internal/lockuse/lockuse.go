@@ -95,3 +95,14 @@ var (
 	_ = oboth
 	_ = waitLoop
 )
+
+// renderUnderRing acquires MuB while holding the flight ring's leaf (taken
+// through Hold's escaping-acquire summary): the cross-package form of the
+// snapshot-renders-outside-the-lock discipline.
+func renderUnderRing(r *lockdep.Ring) {
+	r.Hold()
+	holdMuB() // want "acquiring lockuse.MuB while holding lockdep.Ring.mu violates its //fdp:lockleaf declaration"
+	r.ReleaseRing()
+}
+
+var _ = renderUnderRing

@@ -51,3 +51,45 @@ func (s *sink) leak() {
 	s.mu.Lock() // want "never released"
 	s.out = nil
 }
+
+// The flight-recorder ring shape (trace.Flight): a leaf mutex guards the
+// copy-in and copy-out only; rendering — which may take other locks — runs
+// after release.
+type ring struct {
+	mu   sync.Mutex
+	buf  []byte
+	next int
+}
+
+func (r *ring) record(b byte) {
+	r.mu.Lock()
+	r.buf[r.next] = b
+	r.next++
+	r.mu.Unlock()
+}
+
+type renderer struct {
+	mu sync.Mutex
+}
+
+func (re *renderer) render(b []byte) []byte {
+	re.mu.Lock()
+	defer re.mu.Unlock()
+	return append([]byte(nil), b...)
+}
+
+// The conforming snapshot: copy out under the ring mutex, render after.
+func (r *ring) snapshot(re *renderer) []byte {
+	r.mu.Lock()
+	cp := append([]byte(nil), r.buf...)
+	r.mu.Unlock()
+	return re.render(cp)
+}
+
+// Rendering inside the critical section nests the renderer's lock under the
+// ring mutex: the shape Flight.Snapshot must never regress into.
+func (r *ring) snapshotLocked(re *renderer) []byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return re.render(r.buf) // want "acquires a lock"
+}

@@ -26,6 +26,7 @@ import (
 	"fdp/internal/churn"
 	"fdp/internal/core"
 	"fdp/internal/faults"
+	"fdp/internal/obs"
 	"fdp/internal/parallel"
 	"fdp/internal/ref"
 	"fdp/internal/sim"
@@ -69,6 +70,18 @@ type Config struct {
 	// TraceK is how many recent events each engine retains for the
 	// dump-on-disagreement diagnostics (0 = 64, negative = disabled).
 	TraceK int
+	// StallSteps enables the sequential liveness watchdog: every StallSteps
+	// executed steps, a window with remaining leavers and no settles is
+	// classified (livelock / starvation / quiescent, see obs.StallKind) and
+	// the first stall captures a flight-recorder snapshot. 0 disables.
+	StallSteps int
+	// StallWindow is the concurrent watchdog's wall-clock window, checked
+	// from the legitimacy-polling loop. 0 disables.
+	StallWindow time.Duration
+	// FlightK bounds each engine's flight-recorder ring (0 =
+	// trace.DefaultFlightCap). A ring that never wraps yields a snapshot
+	// that is a complete, replayable prefix of the run.
+	FlightK int
 }
 
 // waves flattens the legacy Strike/StrikeAfter pair and Waves into the
@@ -127,6 +140,35 @@ type Outcome struct {
 	// Steps is the executed sequential steps / concurrent events
 	// (informational; never compared).
 	Steps uint64
+	// Stall is the watchdog's classification ("livelock", "starvation",
+	// "quiescent") when the run failed to converge and a stall was
+	// detected; empty otherwise. Informational, never compared — the two
+	// engines legitimately stall in different shapes (the sequential
+	// scheduler can starve a queue the parallel shards drain).
+	Stall string `json:"stall,omitempty"`
+}
+
+// StallReport is the evidence captured at an engine's FIRST stall verdict:
+// the classification plus a flight-recorder snapshot, rendered the same
+// way a finished run's artifacts are. For the sequential engine a
+// Complete snapshot is a replayable journal prefix (Header names the
+// scenario; trace.VerifyReplay accepts it); the concurrent engine's
+// snapshot is one real interleaving, joinable and diffable but not
+// replayable.
+type StallReport struct {
+	// Verdict is the watchdog classification and its window evidence.
+	Verdict obs.StallVerdict
+	// Header frames Flight as a journal fragment for WriteJournal /
+	// fdpreplay.
+	Header trace.Header
+	// Flight is the flight-recorder snapshot, oldest event first.
+	Flight []trace.Record
+	// Complete reports the ring never wrapped: Flight is the entire event
+	// stream from step 0.
+	Complete bool
+	// Spans renders the per-leaver departure span trees of the snapshot —
+	// the causal story of how far each stuck departure got.
+	Spans string
 }
 
 // Verdict pairs the two engines' outcomes for one seed.
@@ -134,6 +176,11 @@ type Verdict struct {
 	Seed       int64
 	Sequential Outcome
 	Concurrent Outcome
+
+	// SequentialStall and ConcurrentStall carry each engine's first stall
+	// report when its watchdog was enabled and fired; nil otherwise.
+	SequentialStall *StallReport
+	ConcurrentStall *StallReport
 
 	// SequentialTrace and ConcurrentTrace hold the last-K trace events of
 	// each engine (sim.FormatEvents rendering), filled in ONLY when the
@@ -213,9 +260,10 @@ func Run(cfg Config, seed int64) Verdict {
 	if scn.Variant == core.VariantFSP {
 		variant = sim.FSP
 	}
-	seqOut, seqTrace := runSequential(cfg, scn, variant, maxSteps, seed)
-	concOut, concTrace := runConcurrent(cfg, scn, variant, timeout, poll, seed)
-	v := Verdict{Seed: seed, Sequential: seqOut, Concurrent: concOut}
+	seqOut, seqTrace, seqStall := runSequential(cfg, scn, variant, maxSteps, seed)
+	concOut, concTrace, concStall := runConcurrent(cfg, scn, variant, timeout, poll, seed)
+	v := Verdict{Seed: seed, Sequential: seqOut, Concurrent: concOut,
+		SequentialStall: seqStall, ConcurrentStall: concStall}
 	if !v.Agree() {
 		// Keep the dumps only on divergence: a Verdict slice over 50+ seeds
 		// stays small, and the traces point straight at the diverging run.
@@ -239,7 +287,7 @@ func SequentialOutcome(cfg Config, seed int64) Outcome {
 	if scn.Variant == core.VariantFSP {
 		variant = sim.FSP
 	}
-	out, _ := runSequential(cfg, scn, variant, maxSteps, seed)
+	out, _, _ := runSequential(cfg, scn, variant, maxSteps, seed)
 	return out
 }
 
@@ -263,7 +311,7 @@ func Disagreements(vs []Verdict) []Verdict {
 	return out
 }
 
-func runSequential(cfg Config, scn churn.Config, variant sim.Variant, maxSteps int, seed int64) (Outcome, string) {
+func runSequential(cfg Config, scn churn.Config, variant sim.Variant, maxSteps int, seed int64) (Outcome, string, *StallReport) {
 	s := churn.Build(scn)
 	leavers := s.LeavingNodes()
 	sched, schedName := cfg.scheduler(seed)
@@ -280,8 +328,33 @@ func runSequential(cfg Config, scn churn.Config, variant sim.Variant, maxSteps i
 	}
 
 	waves := cfg.waves()
-	var res sim.RunResult
+	var stall *StallReport
 	fired := make([]trace.StrikeSpec, 0, len(waves))
+	if cfg.StallSteps > 0 {
+		prog := obs.NewProgress(nil, "", leavers)
+		flight := trace.NewFlight(cfg.FlightK)
+		s.World.AddEventHook(flight.Record)
+		s.World.AddEventHook(prog.NoteEvent)
+		s.World.SetOracleHook(prog.NoteOracle)
+		wd := obs.NewStepWatchdog(prog, cfg.StallSteps)
+		w := s.World
+		opts.OnStep = func(*sim.World) {
+			v, stalled := wd.Tick(w.Steps(), func() int { return w.Stats().TotalInQueue })
+			if stalled && stall == nil {
+				fl, complete := flight.Snapshot()
+				hs := trace.ScenarioFor(scn, schedName)
+				hs.Strikes = append([]trace.StrikeSpec(nil), fired...)
+				stall = &StallReport{
+					Verdict:  v,
+					Header:   trace.Header{Version: trace.Version, Engine: trace.EngineSim, Scenario: hs},
+					Flight:   fl,
+					Complete: complete,
+					Spans:    trace.SpanTrees(trace.BuildSpansFor(fl, leaverNames(leavers))),
+				}
+			}
+		}
+	}
+	var res sim.RunResult
 	for i, wv := range waves {
 		if wv.After > s.World.Steps() {
 			opts.MaxSteps = wv.After
@@ -318,21 +391,59 @@ func runSequential(cfg Config, scn churn.Config, variant sim.Variant, maxSteps i
 		StayingPreserved: res.SafetyViolation == nil && s.World.StayingComponentsPreserved(),
 		Steps:            uint64(s.World.Steps()),
 	}
-	trace := ""
-	if rec != nil {
-		trace = rec.Dump()
+	if !out.Converged && stall != nil {
+		out.Stall = stall.Verdict.Kind.String()
 	}
-	return out, trace
+	dump := ""
+	if rec != nil {
+		dump = rec.Dump()
+	}
+	return out, dump, stall
 }
 
-func runConcurrent(cfg Config, scn churn.Config, variant sim.Variant, timeout, poll time.Duration, seed int64) (Outcome, string) {
+func runConcurrent(cfg Config, scn churn.Config, variant sim.Variant, timeout, poll time.Duration, seed int64) (Outcome, string, *StallReport) {
 	s := churn.Build(scn)
 	leavers := s.LeavingNodes()
 	rt := MirrorWorld(s.World, scn.Oracle)
 	if k := cfg.traceK(); k > 0 {
 		rt.EnableTrace(k)
 	}
+	var stall *StallReport
+	var wd *obs.Watchdog
+	var flight *trace.Flight
+	if cfg.StallWindow > 0 {
+		prog := obs.NewProgress(nil, "", leavers)
+		flight = trace.NewFlight(cfg.FlightK)
+		rt.SetEventSink(func(e sim.Event) {
+			flight.Record(e)
+			prog.NoteEvent(e)
+		})
+		rt.SetOracleHook(prog.NoteOracle)
+		wd = obs.NewWatchdog(prog, cfg.StallWindow)
+	}
 	rt.Start()
+	// checkStall runs from the single polling goroutine below; the runtime
+	// has no cheap queue-depth counter, so pending is approximated from the
+	// always-on atomics (sends that neither delivered nor dropped).
+	checkStall := func() {
+		if wd == nil {
+			return
+		}
+		pending := func() int {
+			return int(rt.Sent() - rt.KindCount(sim.EvDeliver) - rt.Dropped())
+		}
+		if v, stalled := wd.Tick(rt.Events(), pending); stalled && stall == nil {
+			fl, complete := flight.Snapshot()
+			hs := trace.ScenarioFor(scn, "")
+			stall = &StallReport{
+				Verdict:  v,
+				Header:   trace.Header{Version: trace.Version, Engine: trace.EngineRuntime, Scenario: hs},
+				Flight:   fl,
+				Complete: complete,
+				Spans:    trace.SpanTrees(trace.BuildSpansFor(fl, leaverNames(leavers))),
+			}
+		}
+	}
 
 	// One deadline bounds both wait phases — the same total budget the
 	// replaced wall-clock loop used. A closed channel, unlike a one-shot
@@ -349,19 +460,37 @@ func runConcurrent(cfg Config, scn churn.Config, variant sim.Variant, timeout, p
 		faults.New(wv.Config, faults.WaveSeed(seed, i)).StrikeRuntime(rt)
 	}
 
-	converged := waitFor(func() bool { return rt.Freeze().Legitimate(variant) }, poll, deadline)
+	converged := waitFor(func() bool {
+		checkStall()
+		return rt.Freeze().Legitimate(variant)
+	}, poll, deadline)
 	rt.Stop()
 	final := rt.Freeze()
 
 	violated := !final.RelevantComponentsIntact()
-	return Outcome{
+	out := Outcome{
 		Converged:        converged && !violated,
 		SafetyViolated:   violated,
 		Gone:             rt.Gone(),
 		LeaversSettled:   leaversSettledRuntime(final, leavers, variant),
 		StayingPreserved: !violated && final.StayingComponentsPreserved(),
 		Steps:            rt.Events(),
-	}, sim.FormatEvents(rt.TraceEvents())
+	}
+	if !out.Converged && stall != nil {
+		out.Stall = stall.Verdict.Kind.String()
+	}
+	return out, sim.FormatEvents(rt.TraceEvents()), stall
+}
+
+// leaverNames renders the leaver set as journal proc names — the seeds a
+// stall dump's span trees are built from (a stuck departure has no exit
+// record to be discovered by).
+func leaverNames(leavers []ref.Ref) []string {
+	names := make([]string, len(leavers))
+	for i, l := range leavers {
+		names[i] = l.String()
+	}
+	return names
 }
 
 // waitFor re-evaluates cond every poll tick until it holds or deadline is

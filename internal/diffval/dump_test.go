@@ -27,8 +27,8 @@ func TestDumpJoinableByCausalID(t *testing.T) {
 	scn := cfg.Scenario
 	scn.Seed = 5
 
-	_, seqTrace := runSequential(cfg, scn, sim.FDP, 50000, 5)
-	_, concTrace := runConcurrent(cfg, scn, sim.FDP, 10*time.Second, time.Millisecond, 5)
+	_, seqTrace, _ := runSequential(cfg, scn, sim.FDP, 50000, 5)
+	_, concTrace, _ := runConcurrent(cfg, scn, sim.FDP, 10*time.Second, time.Millisecond, 5)
 
 	for name, tr := range map[string]string{"sequential": seqTrace, "concurrent": concTrace} {
 		if !strings.Contains(tr, "cid=") {

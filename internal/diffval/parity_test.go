@@ -82,14 +82,14 @@ func TestTracesFilledOnDisagreementPlumbing(t *testing.T) {
 	scn := cfg.Scenario
 	scn.Seed = 3
 
-	seqOut, seqTrace := runSequential(cfg, scn, sim.FDP, 400000, 3)
+	seqOut, seqTrace, _ := runSequential(cfg, scn, sim.FDP, 400000, 3)
 	if !seqOut.Converged {
 		t.Fatalf("sequential runner did not converge: %+v", seqOut)
 	}
 	if seqTrace == "" || !strings.Contains(seqTrace, "exit") {
 		t.Fatalf("sequential trace missing exit events:\n%s", seqTrace)
 	}
-	concOut, concTrace := runConcurrent(cfg, scn, sim.FDP, 30*time.Second, time.Millisecond, 3)
+	concOut, concTrace, _ := runConcurrent(cfg, scn, sim.FDP, 30*time.Second, time.Millisecond, 3)
 	if !concOut.Converged {
 		t.Fatalf("concurrent runner did not converge: %+v", concOut)
 	}

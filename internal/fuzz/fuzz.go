@@ -192,6 +192,10 @@ func (c Case) diffConfig(opts Options) (diffval.Config, error) {
 	for _, sp := range c.Scenario.Strikes {
 		waves = append(waves, sp.Wave())
 	}
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 400000 // diffval's own default; mirrored for the watchdog window
+	}
 	return diffval.Config{
 		Scenario:  scn,
 		Waves:     waves,
@@ -199,6 +203,13 @@ func (c Case) diffConfig(opts Options) (diffval.Config, error) {
 		MaxSteps:  opts.MaxSteps,
 		Timeout:   opts.timeout(),
 		Poll:      opts.Poll,
+		// The liveness watchdog rides along on every case, so a case that
+		// burns its budget reports *why* (livelock / starvation / quiescent)
+		// instead of a bare deadline. Eight windows per budget keeps the
+		// check overhead negligible while catching a stall well before the
+		// budget expires.
+		StallSteps:  maxSteps / 8,
+		StallWindow: opts.timeout() / 8,
 	}, nil
 }
 
@@ -234,10 +245,24 @@ func classify(c Case, v diffval.Verdict) *Failure {
 		return &Failure{Kind: KindDisagreement, Case: c, Verdict: v,
 			Note: fmt.Sprintf("sequential %+v vs concurrent %+v", v.Sequential, v.Concurrent)}
 	case !v.Sequential.Converged:
-		return &Failure{Kind: KindNoConvergence, Case: c, Verdict: v,
-			Note: fmt.Sprintf("both engines stalled (%d steps)", v.Sequential.Steps)}
+		note := fmt.Sprintf("both engines stalled (%d steps)", v.Sequential.Steps)
+		if v.Sequential.Stall != "" || v.Concurrent.Stall != "" {
+			// The watchdog saw the stall happen: say what shape it had
+			// instead of a bare deadline (see obs.StallKind).
+			note = fmt.Sprintf("both engines stalled (%d steps; watchdog: sequential=%s concurrent=%s)",
+				v.Sequential.Steps, orNone(v.Sequential.Stall), orNone(v.Concurrent.Stall))
+		}
+		return &Failure{Kind: KindNoConvergence, Case: c, Verdict: v, Note: note}
 	}
 	return nil
+}
+
+// orNone renders an absent stall classification explicitly.
+func orNone(kind string) string {
+	if kind == "" {
+		return "none"
+	}
+	return kind
 }
 
 // Run drives the fuzzing loop: generate, execute, collect failures.

@@ -27,9 +27,29 @@ func (MutantSingle) Evaluate(w *sim.World, u ref.Ref) bool {
 // the same broken guard, so the mutant breaks both engines identically.
 func (MutantSingle) JudgeDegree(deg int) bool { return deg <= 2 }
 
-// The mutant registers itself so journals recorded under it replay — the
-// shrunk counterexample of a mutation run is verified with the same
-// byte-identical replay check as a real fixture.
+// MutantSingleNever is the liveness dual of MutantSingle: the guard is
+// tightened to never grant, so every departure spins forever — the exact
+// livelock shape the watchdog (DESIGN.md §16) must classify. MutantSingle
+// plants a Lemma 2 (safety) bug; this mutant plants a Lemma 3 (liveness)
+// one. It seeds the deterministic watchdog test: under it, messages keep
+// flowing, the oracle keeps denying, and no leaver ever settles.
+type MutantSingleNever struct{}
+
+// Name returns "MUTANT-SINGLE-NEVER".
+func (MutantSingleNever) Name() string { return "MUTANT-SINGLE-NEVER" }
+
+// Evaluate implements sim.Oracle: no exit is ever granted.
+func (MutantSingleNever) Evaluate(*sim.World, ref.Ref) bool { return false }
+
+// JudgeDegree denies on the concurrent runtime's incremental-degree fast
+// path too, so the livelock reproduces identically on both engines.
+func (MutantSingleNever) JudgeDegree(int) bool { return false }
+
+// The mutants register themselves so journals recorded under them replay —
+// the shrunk counterexample of a mutation run (and the watchdog's flight-
+// recorder fragment) is verified with the same byte-identical replay check
+// as a real fixture.
 func init() {
 	trace.RegisterOracle(MutantSingle{}.Name(), func() sim.Oracle { return MutantSingle{} })
+	trace.RegisterOracle(MutantSingleNever{}.Name(), func() sim.Oracle { return MutantSingleNever{} })
 }

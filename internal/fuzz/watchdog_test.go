@@ -1,0 +1,131 @@
+package fuzz
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"fdp/internal/diffval"
+	"fdp/internal/trace"
+)
+
+// livelockCase seeds the canonical liveness bug: MUTANT-SINGLE-NEVER denies
+// every exit, so the protocol keeps delegating and re-asking forever —
+// messages flow, grants never come, nobody settles. The dual of the
+// MUTANT-SINGLE safety anchor (which grants too much), it anchors the
+// watchdog the same way: a watchdog that cannot classify this livelock
+// cannot be trusted to explain a real stuck run.
+func livelockCase(seed int64) Case {
+	return Case{Scenario: trace.Scenario{
+		N: 8, Topology: "line", LeaveFraction: 0.5, Pattern: "random",
+		Variant: "FDP", Oracle: MutantSingleNever{}.Name(),
+		Seed: seed, Scheduler: "random",
+	}}
+}
+
+func livelockConfig(t *testing.T, c Case) diffval.Config {
+	t.Helper()
+	cfg, err := c.diffConfig(Options{MaxSteps: 20000, Timeout: 3 * time.Second})
+	if err != nil {
+		t.Fatalf("diffConfig: %v", err)
+	}
+	// Tight windows so the stall is classified well inside the budget, and
+	// a ring big enough that the sequential snapshot stays a complete
+	// (replayable) prefix.
+	cfg.StallSteps = 1500
+	cfg.StallWindow = 200 * time.Millisecond
+	cfg.FlightK = 1 << 16
+	return cfg
+}
+
+// TestWatchdogClassifiesSeededLivelock re-injects the liveness mutant and
+// demands the full observability chain: both engines stall, the watchdog
+// calls it a livelock (not starvation, not a bare deadline), the verdict
+// carries window evidence, and the sequential flight dump is a complete
+// journal fragment that satisfies the byte-identical replay contract —
+// exactly what fdpreplay needs to step through the stuck run.
+func TestWatchdogClassifiesSeededLivelock(t *testing.T) {
+	c := livelockCase(23)
+	v := diffval.Run(livelockConfig(t, c), c.Scenario.Seed)
+
+	if v.Sequential.Converged || v.Concurrent.Converged {
+		t.Fatalf("never-granting oracle converged: seq=%+v conc=%+v", v.Sequential, v.Concurrent)
+	}
+	if v.Sequential.SafetyViolated || v.Concurrent.SafetyViolated {
+		t.Fatal("liveness mutant violated safety — it must only deny")
+	}
+	if v.Sequential.Stall != "livelock" {
+		t.Fatalf("sequential stall = %q, want livelock", v.Sequential.Stall)
+	}
+	if v.Concurrent.Stall != "livelock" {
+		t.Fatalf("concurrent stall = %q, want livelock", v.Concurrent.Stall)
+	}
+
+	rep := v.SequentialStall
+	if rep == nil {
+		t.Fatal("no sequential stall report")
+	}
+	if rep.Verdict.WindowDenials == 0 || rep.Verdict.WindowGrants != 0 {
+		t.Fatalf("verdict evidence inconsistent with a livelock: %s", rep.Verdict)
+	}
+	if rep.Verdict.LeaversRemaining == 0 {
+		t.Fatalf("livelock verdict with no leavers remaining: %s", rep.Verdict)
+	}
+	if len(rep.Flight) == 0 {
+		t.Fatal("stall report carries no flight records")
+	}
+	if rep.Spans == "" {
+		t.Fatal("stall report carries no departure span trees")
+	}
+	if !rep.Complete {
+		t.Fatalf("flight ring wrapped (%d records) — FlightK too small for the stall window", len(rep.Flight))
+	}
+	if rep.Header.Engine != trace.EngineSim || rep.Header.Scenario.Oracle != (MutantSingleNever{}).Name() {
+		t.Fatalf("flight header does not name the run: %+v", rep.Header)
+	}
+	div, err := trace.VerifyReplay(rep.Header, rep.Flight)
+	if err != nil {
+		t.Fatalf("VerifyReplay on flight dump: %v", err)
+	}
+	if div != nil {
+		t.Fatalf("flight dump diverged under replay: %v", div)
+	}
+
+	crep := v.ConcurrentStall
+	if crep == nil {
+		t.Fatal("no concurrent stall report")
+	}
+	if crep.Verdict.Kind.String() != "livelock" || len(crep.Flight) == 0 {
+		t.Fatalf("concurrent report incomplete: kind=%v flight=%d", crep.Verdict.Kind, len(crep.Flight))
+	}
+
+	// The fuzzer's classifier surfaces the diagnosis in its failure note.
+	f := classify(c, v)
+	if f == nil || f.Kind != KindNoConvergence {
+		t.Fatalf("classify = %+v, want no-convergence", f)
+	}
+	if !strings.Contains(f.Note, "sequential=livelock") {
+		t.Fatalf("failure note %q does not carry the watchdog diagnosis", f.Note)
+	}
+}
+
+// TestWatchdogLivelockDeterministic: the sequential side of the seeded
+// livelock is a deterministic schedule, so two runs must produce identical
+// flight dumps — the property that makes a stall fragment a shareable,
+// re-runnable bug report.
+func TestWatchdogLivelockDeterministic(t *testing.T) {
+	c := livelockCase(23)
+	v1 := diffval.Run(livelockConfig(t, c), c.Scenario.Seed)
+	v2 := diffval.Run(livelockConfig(t, c), c.Scenario.Seed)
+	r1, r2 := v1.SequentialStall, v2.SequentialStall
+	if r1 == nil || r2 == nil {
+		t.Fatal("missing sequential stall report")
+	}
+	if r1.Verdict != r2.Verdict {
+		t.Fatalf("verdicts differ across identical runs:\n %s\n %s", r1.Verdict, r2.Verdict)
+	}
+	if !reflect.DeepEqual(r1.Flight, r2.Flight) {
+		t.Fatalf("flight dumps differ across identical runs (%d vs %d records)", len(r1.Flight), len(r2.Flight))
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"fdp/internal/churn"
+	"fdp/internal/obs"
 	"fdp/internal/ref"
 	"fdp/internal/sim"
 	"fdp/internal/trace"
@@ -56,6 +57,27 @@ type Config struct {
 	StepBatch  int
 	RoundEvery time.Duration
 	DoneEvery  time.Duration
+
+	// Metrics, if non-nil, receives this node's liveness series
+	// (fdp_progress_* / fdp_stall_*, labeled node="<id>"). Pass the same
+	// registry to transport.TCPConfig.Metrics for one /metrics view
+	// combining per-link transport and per-leaver progress (cmd/fdpnode
+	// -serve does).
+	Metrics *obs.Registry
+	// StallWindow enables the wall-clock liveness watchdog on the pump
+	// loop: every window with owned leavers remaining and no settles is
+	// classified (obs.StallKind). Pick it well above RoundEvery — a grant
+	// takes at least one oracle round. 0 disables.
+	StallWindow time.Duration
+	// FlightK bounds the always-on flight recorder (0 =
+	// trace.DefaultFlightCap). The recorder runs whenever Metrics,
+	// StallWindow or OnStall is set.
+	FlightK int
+	// OnStall, if non-nil, receives the FIRST stall verdict together with
+	// the flight-recorder snapshot framed as an engine-"node" journal
+	// fragment (joinable with the siblings' journals). Called on the pump
+	// goroutine; cmd/fdpnode writes the artifacts next to the journal.
+	OnStall func(v obs.StallVerdict, hdr trace.Header, flight []trace.Record, complete bool)
 }
 
 // inKind discriminates inbox entries.
@@ -111,6 +133,13 @@ type Node struct {
 
 	doneNodes []bool
 	steps     int
+
+	// Liveness observability (DESIGN.md §16), pump-goroutine only.
+	prog      *obs.Progress
+	flight    *trace.Flight
+	wd        *obs.Watchdog
+	stallKind string
+	stallStep int
 }
 
 // New rebuilds the global scenario and prepares this node's world. The
@@ -188,6 +217,20 @@ func New(cfg Config) (*Node, error) {
 			Scenario: cfg.Scenario, Node: cfg.ID, Nodes: cfg.Nodes,
 		})
 		w.AddEventHook(n.jw.Record)
+	}
+	if cfg.Metrics != nil || cfg.StallWindow > 0 || cfg.OnStall != nil {
+		// One Progress per node, its series labeled with the node id so a
+		// scrape across the cluster tells slices apart. The flight recorder
+		// mirrors the journal hook: same events, bounded ring instead of a
+		// stream, snapshot only on stall.
+		n.prog = obs.NewProgress(cfg.Metrics, fmt.Sprintf("node=%q", fmt.Sprint(cfg.ID)), n.ownedLeave)
+		n.flight = trace.NewFlight(cfg.FlightK)
+		w.AddEventHook(n.flight.Record)
+		w.AddEventHook(n.prog.NoteEvent)
+		w.SetOracleHook(n.prog.NoteOracle)
+		if cfg.StallWindow > 0 {
+			n.wd = obs.NewWatchdog(n.prog, cfg.StallWindow)
+		}
 	}
 	n.world = w
 	// Distinct per-node seeds: each node schedules its own slice; the run
@@ -317,6 +360,7 @@ func (n *Node) Run(tr transport.Transport, stop <-chan struct{}) Result {
 		if n.allDone() {
 			break
 		}
+		n.checkStall()
 		if !drained && n.world.Stats().TotalInQueue == 0 {
 			// Nothing arrived and no local deliveries are pending: any steps
 			// the batch above ran were pure timeout spinning. The
@@ -405,6 +449,33 @@ func (n *Node) dispatch(in inbound) {
 		n.world.Bounce(in.msg.From(), in.to, in.msg)
 	case inControl:
 		n.orc.handleControl(int(in.from), in.payload)
+	}
+}
+
+// checkStall ticks the liveness watchdog (no-op unless StallWindow is set;
+// cheap until a window elapses). The first stall is recorded in the summary
+// and handed to OnStall with the flight snapshot; later verdicts only keep
+// the fdp_stall_* series current.
+func (n *Node) checkStall() {
+	if n.wd == nil {
+		return
+	}
+	// Pending = undelivered local messages plus frames parked in the inbox.
+	// Stats() copies a map, so the closure runs only at window boundaries.
+	v, stalled := n.wd.Tick(uint64(n.steps), func() int {
+		return n.world.Stats().TotalInQueue + len(n.inbox)
+	})
+	if !stalled || n.stallKind != "" {
+		return
+	}
+	n.stallKind = v.Kind.String()
+	n.stallStep = n.steps
+	if n.cfg.OnStall != nil {
+		recs, complete := n.flight.Snapshot()
+		n.cfg.OnStall(v, trace.Header{
+			Version: trace.Version, Engine: trace.EngineNode,
+			Scenario: n.cfg.Scenario, Node: n.cfg.ID, Nodes: n.cfg.Nodes,
+		}, recs, complete)
 	}
 }
 

@@ -36,13 +36,19 @@ type Summary struct {
 	Exited  []int `json:"exited"`
 	// Live is every owned process still present, with its final edges.
 	Live []ProcState `json:"live"`
+	// Stall and StallStep record the liveness watchdog's first verdict on
+	// this node ("" = no stall observed; see obs.StallKind). Informational:
+	// a transient stall that later resolved still shows here.
+	Stall     string `json:"stall,omitempty"`
+	StallStep int    `json:"stall_step,omitempty"`
 }
 
 // buildSummary snapshots the node's final state on the pump goroutine.
 func (n *Node) buildSummary(interrupted, timedOut bool) Summary {
 	s := Summary{Node: n.cfg.ID, Nodes: n.cfg.Nodes,
 		Interrupted: interrupted, TimedOut: timedOut, Steps: n.steps,
-		Leavers: []int{}, Exited: []int{}, Live: []ProcState{}}
+		Leavers: []int{}, Exited: []int{}, Live: []ProcState{},
+		Stall: n.stallKind, StallStep: n.stallStep}
 	for _, r := range n.ownedLeave {
 		s.Leavers = append(s.Leavers, ref.Index(r))
 	}

@@ -103,7 +103,7 @@ func InstrumentRuntime(rt *parallel.Runtime, reg *Registry) {
 		ExpBuckets(1, 2, 12))
 	timeToExit := reg.Histogram(MetricTimeToExitSeconds,
 		"wall-clock seconds from Start to each committed exit",
-		ExpBuckets(0.0001, 4, 12))
+		ExitSecondsBuckets())
 	rt.SetEventSink(func(e sim.Event) {
 		if int(e.Kind) < sim.NumEventKinds {
 			kinds[e.Kind].Inc()

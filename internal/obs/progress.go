@@ -1,0 +1,420 @@
+package obs
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"fdp/internal/ref"
+	"fdp/internal/sim"
+)
+
+// Liveness observability (DESIGN.md §16). The FDP/FSP guarantees are
+// liveness properties — Lemma 3 promises every leaver eventually settles —
+// so a run that is *stuck* looks, from the outside, exactly like a run
+// that is merely slow. Progress turns the event stream and the oracle's
+// grant/denial stream into per-leaver progress accounting, and the
+// watchdogs periodically classify a window with remaining leavers and no
+// settles into one of three stall kinds:
+//
+//   - livelock: actions and messages keep flowing but the oracle grants
+//     nothing — the protocol is spinning (the shape of four of the five
+//     bugs the fuzzer found);
+//   - starvation: messages are queued but none get delivered — a scheduler
+//     or shard/queue is not draining;
+//   - quiescent: nothing executes at all while leavers remain — with an
+//     empty queue this is a wedged engine or a Lemma 2 violation in the
+//     making (a leaver nothing will ever talk to again).
+//
+// Everything on the hot path (NoteEvent, NoteOracle) is lock-free and
+// zero-alloc: per-leaver slots live behind a map that is read-only after
+// New, and every update is an atomic on pre-allocated state —
+// TestProgressNoteAllocs pins 0 allocs/op. Classification (Check) runs on
+// one driver goroutine and is the only place window deltas are kept.
+
+// Canonical liveness series names (suffixed with the instance labels the
+// Progress was created with, e.g. engine="sim" or node="0").
+const (
+	// MetricProgressLeavers is the live count of unsettled leavers.
+	MetricProgressLeavers = "fdp_progress_leavers_remaining"
+	// MetricProgressGrants counts oracle grants observed at exit-guard
+	// evaluation sites.
+	MetricProgressGrants = "fdp_progress_grants_total"
+	// MetricProgressDenials counts oracle denials at the same sites.
+	MetricProgressDenials = "fdp_progress_denials_total"
+	// MetricProgressHops counts forward progress hops: sends performed by
+	// a still-unsettled leaver (delegations, introductions — the visible
+	// work of a departure in flight).
+	MetricProgressHops = "fdp_progress_forward_hops_total"
+	// MetricProgressDenialStreak is the largest current run of consecutive
+	// denials any single leaver has accumulated since its last grant.
+	MetricProgressDenialStreak = "fdp_progress_denial_streak_max"
+	// MetricStallState is the current stall classification (StallKind as
+	// an integer; 0 = progressing).
+	MetricStallState = "fdp_stall_state"
+	// MetricStallVerdicts counts emitted stall verdicts per kind label.
+	MetricStallVerdicts = "fdp_stall_verdicts_total"
+)
+
+// StallKind classifies why a run with remaining leavers stopped settling.
+type StallKind int
+
+const (
+	// StallNone means the window saw progress (or no leavers remain).
+	StallNone StallKind = iota
+	// StallLivelock: actions and messages flowing, zero grants, zero
+	// settles.
+	StallLivelock
+	// StallStarvation: messages are queued but none were delivered.
+	StallStarvation
+	// StallQuiescent: nothing executed at all while leavers remain.
+	StallQuiescent
+)
+
+// String names the kind for labels and verdict dumps.
+func (k StallKind) String() string {
+	switch k {
+	case StallNone:
+		return "none"
+	case StallLivelock:
+		return "livelock"
+	case StallStarvation:
+		return "starvation"
+	case StallQuiescent:
+		return "quiescent"
+	default:
+		return "unknown"
+	}
+}
+
+// StallVerdict is one watchdog classification: the kind plus the window
+// evidence it was judged on.
+type StallVerdict struct {
+	Kind StallKind `json:"kind"`
+	// LeaversRemaining is the unsettled-leaver count at the check.
+	LeaversRemaining int `json:"leavers_remaining"`
+	// Pending is the queued-message count supplied by the driver.
+	Pending int `json:"pending"`
+	// Window deltas: what happened between the previous check and this one.
+	WindowTimeouts  uint64 `json:"window_timeouts"`
+	WindowDelivers  uint64 `json:"window_delivers"`
+	WindowSends     uint64 `json:"window_sends"`
+	WindowGrants    uint64 `json:"window_grants"`
+	WindowDenials   uint64 `json:"window_denials"`
+	WindowHops      uint64 `json:"window_hops"`
+	WindowSettles   uint64 `json:"window_settles"`
+	MaxDenialStreak uint64 `json:"max_denial_streak"`
+	// OldestIdleWindows is how many consecutive check windows the
+	// least-recently-active unsettled leaver has gone without a forward
+	// hop or a grant.
+	OldestIdleWindows uint64 `json:"oldest_idle_windows"`
+	// Step is the driver-supplied logical time of the check (sequential
+	// steps, concurrent events, or node pump steps).
+	Step uint64 `json:"step"`
+}
+
+// KindString is Kind.String, exported as a stable field for JSON dumps.
+func (v StallVerdict) KindString() string { return v.Kind.String() }
+
+func (v StallVerdict) String() string {
+	return fmt.Sprintf("stall=%s leavers=%d pending=%d window[timeouts=%d delivers=%d sends=%d grants=%d denials=%d hops=%d settles=%d] streak=%d idle=%dw step=%d",
+		v.Kind, v.LeaversRemaining, v.Pending,
+		v.WindowTimeouts, v.WindowDelivers, v.WindowSends,
+		v.WindowGrants, v.WindowDenials, v.WindowHops, v.WindowSettles,
+		v.MaxDenialStreak, v.OldestIdleWindows, v.Step)
+}
+
+// leaverSlot is one leaver's progress epoch. All fields are atomics: the
+// sequential engine updates them from its single-threaded hook, the
+// concurrent runtime from many goroutines at once.
+type leaverSlot struct {
+	settled atomic.Bool
+	// denialStreak counts consecutive denials since the last grant.
+	denialStreak atomic.Uint64
+	// lastActive is the check-window index of the leaver's most recent
+	// forward hop or grant (progress epochs, in watchdog windows).
+	lastActive atomic.Uint64
+}
+
+// Progress is the per-run liveness tracker: per-leaver progress slots plus
+// windowed activity counters, feeding the fdp_progress_*/fdp_stall_*
+// series of a Registry. NoteEvent and NoteOracle are the hot path —
+// lock-free, zero-alloc, safe for concurrent use. Check (and the watchdogs
+// wrapping it) must be driven from a single goroutine.
+type Progress struct {
+	slots map[ref.Ref]*leaverSlot // read-only after NewProgress
+	list  []*leaverSlot           // deterministic iteration for Check
+
+	// Cumulative activity, windowed by Check.
+	timeouts atomic.Uint64
+	delivers atomic.Uint64
+	sends    atomic.Uint64
+	grants   atomic.Uint64
+	denials  atomic.Uint64
+	hops     atomic.Uint64
+	settles  atomic.Uint64
+	// window is the current check-window index (slots stamp lastActive
+	// with it).
+	window atomic.Uint64
+
+	// Checker-goroutine-only window baselines (not atomics: single caller).
+	lastTimeouts, lastDelivers, lastSends uint64
+	lastGrants, lastDenials, lastHops     uint64
+	lastSettles                           uint64
+
+	// Registry series (nil when constructed without a registry).
+	remainingG *Gauge
+	grantsC    *Counter
+	denialsC   *Counter
+	hopsC      *Counter
+	streakG    *Gauge
+	stateG     *Gauge
+	verdicts   [4]*Counter
+}
+
+// NewProgress builds a tracker for the given leavers. labels is the
+// instance label set merged into every series name (`engine="sim"`,
+// `node="2"`, ...); empty means unlabeled. reg may be nil for a tracker
+// that only classifies (no exposition).
+func NewProgress(reg *Registry, labels string, leavers []ref.Ref) *Progress {
+	p := &Progress{slots: make(map[ref.Ref]*leaverSlot, len(leavers))}
+	for _, r := range leavers {
+		if _, dup := p.slots[r]; dup {
+			continue
+		}
+		s := &leaverSlot{}
+		p.slots[r] = s
+		p.list = append(p.list, s)
+	}
+	if reg != nil {
+		suffix := ""
+		if labels != "" {
+			suffix = "{" + labels + "}"
+		}
+		p.remainingG = reg.Gauge(MetricProgressLeavers+suffix, "unsettled leavers")
+		p.grantsC = reg.Counter(MetricProgressGrants+suffix, "oracle grants at exit-guard sites")
+		p.denialsC = reg.Counter(MetricProgressDenials+suffix, "oracle denials at exit-guard sites")
+		p.hopsC = reg.Counter(MetricProgressHops+suffix, "sends by unsettled leavers (departure progress hops)")
+		p.streakG = reg.Gauge(MetricProgressDenialStreak+suffix, "largest current consecutive-denial run of any leaver")
+		p.stateG = reg.Gauge(MetricStallState+suffix, "current stall classification (0 none, 1 livelock, 2 starvation, 3 quiescent)")
+		for k := StallLivelock; k <= StallQuiescent; k++ {
+			p.verdicts[k] = reg.Counter(MetricStallVerdicts+"{"+mergedKind(labels, k)+"}",
+				"stall verdicts emitted per kind")
+		}
+		p.remainingG.Set(int64(len(p.list)))
+	}
+	return p
+}
+
+func mergedKind(labels string, k StallKind) string {
+	if labels == "" {
+		return `kind="` + k.String() + `"`
+	}
+	return labels + `,kind="` + k.String() + `"`
+}
+
+// Remaining returns the current unsettled-leaver count.
+func (p *Progress) Remaining() int {
+	n := 0
+	for _, s := range p.list {
+		if !s.settled.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// NoteEvent is the engine event hook: install with World.AddEventHook or
+// Runtime.SetEventSink (or call from a fan-out that also feeds a journal
+// writer). Zero-alloc; safe for concurrent use.
+func (p *Progress) NoteEvent(e sim.Event) {
+	switch e.Kind {
+	case sim.EvTimeout:
+		p.timeouts.Add(1)
+	case sim.EvDeliver:
+		p.delivers.Add(1)
+	case sim.EvSend:
+		p.sends.Add(1)
+		if s := p.slots[e.Proc]; s != nil && !s.settled.Load() {
+			p.hops.Add(1)
+			s.lastActive.Store(p.window.Load())
+			if p.hopsC != nil {
+				p.hopsC.Inc()
+			}
+		}
+	case sim.EvExit:
+		p.settle(e.Proc)
+	case sim.EvSleep:
+		// FSP: hibernation is the settle event.
+		p.settle(e.Proc)
+	case sim.EvWake:
+		if s := p.slots[e.Proc]; s != nil && s.settled.CompareAndSwap(true, false) {
+			if p.remainingG != nil {
+				p.remainingG.Add(1)
+			}
+		}
+	}
+}
+
+func (p *Progress) settle(r ref.Ref) {
+	if s := p.slots[r]; s != nil && s.settled.CompareAndSwap(false, true) {
+		p.settles.Add(1)
+		if p.remainingG != nil {
+			p.remainingG.Add(-1)
+		}
+	}
+}
+
+// NoteOracle is the oracle grant/denial hook: install with
+// World.SetOracleHook (sequential), Runtime.SetOracleHook (concurrent) or
+// call directly where grants are decided (the distributed oracle's round
+// settlement). Zero-alloc; safe for concurrent use. Verdicts for
+// non-leavers are counted but carry no streak.
+func (p *Progress) NoteOracle(u ref.Ref, granted bool) {
+	if granted {
+		p.grants.Add(1)
+		if p.grantsC != nil {
+			p.grantsC.Inc()
+		}
+		if s := p.slots[u]; s != nil {
+			s.denialStreak.Store(0)
+			s.lastActive.Store(p.window.Load())
+		}
+		return
+	}
+	p.denials.Add(1)
+	if p.denialsC != nil {
+		p.denialsC.Inc()
+	}
+	if s := p.slots[u]; s != nil {
+		s.denialStreak.Add(1)
+	}
+}
+
+// Check classifies the window since the previous Check. pending is the
+// driver's queued-message count (sequential: Stats().TotalInQueue;
+// concurrent: sent - delivered - dropped; node: local queue + inbox).
+// step is the driver's logical time, recorded in the verdict. Check must
+// be called from one goroutine; stalled is true when the window made no
+// settle progress while leavers remain.
+func (p *Progress) Check(step uint64, pending int) (v StallVerdict, stalled bool) {
+	timeouts := p.timeouts.Load()
+	delivers := p.delivers.Load()
+	sends := p.sends.Load()
+	grants := p.grants.Load()
+	denials := p.denials.Load()
+	hops := p.hops.Load()
+	settles := p.settles.Load()
+
+	v = StallVerdict{
+		Pending:        pending,
+		Step:           step,
+		WindowTimeouts: timeouts - p.lastTimeouts,
+		WindowDelivers: delivers - p.lastDelivers,
+		WindowSends:    sends - p.lastSends,
+		WindowGrants:   grants - p.lastGrants,
+		WindowDenials:  denials - p.lastDenials,
+		WindowHops:     hops - p.lastHops,
+		WindowSettles:  settles - p.lastSettles,
+	}
+	p.lastTimeouts, p.lastDelivers, p.lastSends = timeouts, delivers, sends
+	p.lastGrants, p.lastDenials, p.lastHops = grants, denials, hops
+	p.lastSettles = settles
+
+	window := p.window.Add(1)
+	var maxStreak, oldestIdle uint64
+	for _, s := range p.list {
+		if s.settled.Load() {
+			continue
+		}
+		v.LeaversRemaining++
+		if st := s.denialStreak.Load(); st > maxStreak {
+			maxStreak = st
+		}
+		// window was just bumped, so an idle leaver's gap is at least 1.
+		if idle := window - s.lastActive.Load(); idle > oldestIdle {
+			oldestIdle = idle
+		}
+	}
+	v.MaxDenialStreak = maxStreak
+	v.OldestIdleWindows = oldestIdle
+	if p.streakG != nil {
+		p.streakG.Set(int64(maxStreak))
+	}
+
+	switch {
+	case v.LeaversRemaining == 0,
+		v.WindowSettles > 0,
+		v.WindowGrants > 0:
+		v.Kind = StallNone
+	case v.WindowTimeouts == 0 && v.WindowDelivers == 0 && v.WindowSends == 0 && pending == 0:
+		v.Kind = StallQuiescent
+	case v.WindowDelivers == 0 && pending > 0:
+		v.Kind = StallStarvation
+	default:
+		// Actions and messages flowing, zero grants, zero settles.
+		v.Kind = StallLivelock
+	}
+	if p.stateG != nil {
+		p.stateG.Set(int64(v.Kind))
+	}
+	if v.Kind != StallNone && p.verdicts[v.Kind] != nil {
+		p.verdicts[v.Kind].Inc()
+	}
+	return v, v.Kind != StallNone
+}
+
+// StepWatchdog drives Progress.Check on a logical-step cadence — the
+// deterministic form the sequential engine uses from RunOptions.OnStep.
+// pending is queried only at window boundaries (Stats() copies a map, so
+// per-step calls would violate the zero-alloc steady state).
+type StepWatchdog struct {
+	p     *Progress
+	every int
+	next  int
+}
+
+// NewStepWatchdog checks every `every` steps (minimum 1).
+func NewStepWatchdog(p *Progress, every int) *StepWatchdog {
+	if every < 1 {
+		every = 1
+	}
+	return &StepWatchdog{p: p, every: every, next: every}
+}
+
+// Tick is called after every step; at window boundaries it runs one Check
+// with pending(). Between boundaries it is two integer compares.
+func (w *StepWatchdog) Tick(step int, pending func() int) (StallVerdict, bool) {
+	if step < w.next {
+		return StallVerdict{}, false
+	}
+	w.next = step + w.every
+	return w.p.Check(uint64(step), pending())
+}
+
+// Watchdog drives Progress.Check on a wall-clock cadence for engines with
+// no deterministic step stream (the concurrent runtime, the node pump).
+// Tick is cheap between windows; call it from any single polling loop.
+type Watchdog struct {
+	p      *Progress
+	window time.Duration
+	next   time.Time
+}
+
+// NewWatchdog checks once per window (minimum 1ms).
+func NewWatchdog(p *Progress, window time.Duration) *Watchdog {
+	if window < time.Millisecond {
+		window = time.Millisecond
+	}
+	return &Watchdog{p: p, window: window, next: time.Now().Add(window)}
+}
+
+// Tick runs one Check when the window has elapsed.
+func (w *Watchdog) Tick(step uint64, pending func() int) (StallVerdict, bool) {
+	now := time.Now()
+	if now.Before(w.next) {
+		return StallVerdict{}, false
+	}
+	w.next = now.Add(w.window)
+	return w.p.Check(step, pending())
+}

@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"fdp/internal/ref"
+	"fdp/internal/sim"
+)
+
+func leavers3() []ref.Ref {
+	return []ref.Ref{ref.ByIndex(0), ref.ByIndex(1), ref.ByIndex(2)}
+}
+
+func ev(kind sim.EventKind, proc ref.Ref) sim.Event {
+	return sim.Event{Kind: kind, Proc: proc}
+}
+
+// TestProgressClassification walks one Progress through every stall kind:
+// the classification switch of Check is the contract DESIGN.md §16 states,
+// so each branch gets a window constructed to hit exactly it.
+func TestProgressClassification(t *testing.T) {
+	ls := leavers3()
+	p := NewProgress(nil, "", ls)
+
+	// Window 1: sends and delivers flowed, the oracle denied throughout,
+	// nobody settled — livelock.
+	p.NoteEvent(ev(sim.EvSend, ls[0]))
+	p.NoteEvent(ev(sim.EvDeliver, ls[1]))
+	p.NoteOracle(ls[0], false)
+	p.NoteOracle(ls[0], false)
+	v, stalled := p.Check(100, 5)
+	if !stalled || v.Kind != StallLivelock {
+		t.Fatalf("flow+denials window classified %v, want livelock", v.Kind)
+	}
+	if v.WindowDenials != 2 || v.MaxDenialStreak != 2 {
+		t.Fatalf("denial accounting off: %+v", v)
+	}
+	if v.WindowHops != 1 {
+		t.Fatalf("leaver send did not count as a hop: %+v", v)
+	}
+
+	// Window 2: timeouts fire but no deliveries while messages are queued —
+	// starvation (something is not draining).
+	p.NoteEvent(ev(sim.EvTimeout, ls[0]))
+	v, stalled = p.Check(200, 7)
+	if !stalled || v.Kind != StallStarvation {
+		t.Fatalf("queued+undelivered window classified %v, want starvation", v.Kind)
+	}
+
+	// Window 3: nothing at all happened and the queue is empty — quiescent.
+	v, stalled = p.Check(300, 0)
+	if !stalled || v.Kind != StallQuiescent {
+		t.Fatalf("dead window classified %v, want quiescent", v.Kind)
+	}
+	if v.OldestIdleWindows < 2 {
+		t.Fatalf("idle leaver not aging across windows: %+v", v)
+	}
+
+	// Window 4: a grant is progress even without a settle yet.
+	p.NoteOracle(ls[0], true)
+	v, stalled = p.Check(400, 3)
+	if stalled || v.Kind != StallNone {
+		t.Fatalf("granted window classified %v, want none", v.Kind)
+	}
+	if v.MaxDenialStreak != 0 {
+		t.Fatalf("grant did not reset the denial streak: %+v", v)
+	}
+
+	// Window 5: settles drain the leaver set; once it is empty no window
+	// can stall regardless of activity.
+	for _, l := range ls {
+		p.NoteEvent(ev(sim.EvExit, l))
+	}
+	if p.Remaining() != 0 {
+		t.Fatalf("remaining = %d after all exits", p.Remaining())
+	}
+	if v, stalled = p.Check(500, 0); stalled || v.LeaversRemaining != 0 {
+		t.Fatalf("empty leaver set still stalls: %+v", v)
+	}
+}
+
+// TestProgressSleepWake pins the FSP settle semantics: hibernation settles a
+// leaver, a wake-up unsettles it again (its departure is back in flight).
+func TestProgressSleepWake(t *testing.T) {
+	ls := leavers3()
+	reg := NewRegistry()
+	p := NewProgress(reg, `engine="test"`, ls)
+
+	p.NoteEvent(ev(sim.EvSleep, ls[0]))
+	if p.Remaining() != 2 {
+		t.Fatalf("remaining = %d after sleep, want 2", p.Remaining())
+	}
+	// Double settle must not double-count.
+	p.NoteEvent(ev(sim.EvSleep, ls[0]))
+	if g := reg.Gauge(MetricProgressLeavers+`{engine="test"}`, "").Value(); g != 2 {
+		t.Fatalf("remaining gauge = %d, want 2", g)
+	}
+	p.NoteEvent(ev(sim.EvWake, ls[0]))
+	if p.Remaining() != 3 {
+		t.Fatalf("remaining = %d after wake, want 3", p.Remaining())
+	}
+	// A settled leaver's sends are not hops; an unsettled one's are.
+	p.NoteEvent(ev(sim.EvSleep, ls[1]))
+	p.NoteEvent(ev(sim.EvSend, ls[1]))
+	p.NoteEvent(ev(sim.EvSend, ls[0]))
+	if v, _ := p.Check(1, 0); v.WindowHops != 1 {
+		t.Fatalf("hops = %d, want 1 (settled leaver's send counted?)", v.WindowHops)
+	}
+}
+
+// TestProgressNonLeaver: events and verdicts for processes outside the
+// leaver set count toward window activity but never toward slots.
+func TestProgressNonLeaver(t *testing.T) {
+	p := NewProgress(nil, "", leavers3())
+	stayer := ref.ByIndex(9)
+	p.NoteEvent(ev(sim.EvSend, stayer))
+	p.NoteEvent(ev(sim.EvExit, stayer)) // not a leaver: no settle
+	p.NoteOracle(stayer, false)
+	v, stalled := p.Check(1, 1)
+	if v.WindowSends != 1 || v.WindowHops != 0 {
+		t.Fatalf("stayer send misclassified as hop: %+v", v)
+	}
+	if v.LeaversRemaining != 3 || !stalled {
+		t.Fatalf("stayer exit settled a leaver slot: %+v", v)
+	}
+	if v.WindowDenials != 1 || v.MaxDenialStreak != 0 {
+		t.Fatalf("stayer denial grew a leaver streak: %+v", v)
+	}
+}
+
+// TestProgressExposition: the registry-backed form emits every liveness
+// series with the instance labels merged in, and a stall verdict moves the
+// state gauge and the per-kind verdict counter.
+func TestProgressExposition(t *testing.T) {
+	ls := leavers3()
+	reg := NewRegistry()
+	p := NewProgress(reg, `node="2"`, ls)
+
+	p.NoteEvent(ev(sim.EvSend, ls[0]))
+	p.NoteOracle(ls[0], false)
+	p.NoteOracle(ls[1], true)
+	if _, stalled := p.Check(10, 0); stalled {
+		t.Fatal("granted window stalled")
+	}
+	p.NoteEvent(ev(sim.EvSend, ls[0]))
+	p.NoteEvent(ev(sim.EvDeliver, ls[1]))
+	p.NoteOracle(ls[0], false)
+	if v, stalled := p.Check(20, 1); !stalled || v.Kind != StallLivelock {
+		t.Fatalf("want livelock, got %+v", v)
+	}
+
+	out := reg.String()
+	for _, want := range []string{
+		`fdp_progress_leavers_remaining{node="2"} 3`,
+		`fdp_progress_grants_total{node="2"} 1`,
+		`fdp_progress_denials_total{node="2"} 2`,
+		`fdp_progress_forward_hops_total{node="2"} 2`,
+		`fdp_progress_denial_streak_max{node="2"} 2`,
+		`fdp_stall_state{node="2"} 1`,
+		`fdp_stall_verdicts_total{node="2",kind="livelock"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestProgressNoteAllocs pins the hot path at zero allocations — Progress
+// hooks ride inside every engine step, so a single allocation per event
+// would dominate a 100k-process churn.
+func TestProgressNoteAllocs(t *testing.T) {
+	ls := leavers3()
+	reg := NewRegistry()
+	p := NewProgress(reg, `engine="alloc"`, ls)
+	send := ev(sim.EvSend, ls[0])
+	deliver := ev(sim.EvDeliver, ls[1])
+	if n := testing.AllocsPerRun(1000, func() {
+		p.NoteEvent(send)
+		p.NoteEvent(deliver)
+	}); n != 0 {
+		t.Fatalf("NoteEvent allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		p.NoteOracle(ls[0], false)
+		p.NoteOracle(ls[1], true)
+	}); n != 0 {
+		t.Fatalf("NoteOracle allocates %v/op", n)
+	}
+}
+
+// TestStepWatchdogCadence: ticks between window boundaries must not invoke
+// the pending callback (it may allocate — Stats() copies a map).
+func TestStepWatchdogCadence(t *testing.T) {
+	p := NewProgress(nil, "", leavers3())
+	wd := NewStepWatchdog(p, 100)
+	calls := 0
+	pending := func() int { calls++; return 0 }
+	for s := 1; s <= 250; s++ {
+		wd.Tick(s, pending)
+	}
+	if calls != 2 {
+		t.Fatalf("pending queried %d times over 250 steps at window 100, want 2", calls)
+	}
+}

@@ -146,6 +146,19 @@ func ExpBuckets(start, factor float64, n int) []float64 {
 	return out
 }
 
+// ExitSecondsBuckets is the wall-clock time-to-exit schedule: coarse
+// geometric bounds below half a second, a fine ~8%-spaced log series
+// through the 0.5s–40s band, then a coarse tail. The committed n=100k
+// baseline puts p50 at 6.7s and p99 at 7.6s — a plain ExpBuckets(0.0001,
+// 4, 12) schedule collapses that whole band into one (6.55, 26.2] bucket,
+// so quantiles at 100k scale were pure interpolation artifacts. The fine
+// band resolves ratios down to 1.08x where the mass actually lands.
+func ExitSecondsBuckets() []float64 {
+	out := ExpBuckets(0.0001, 4, 7)                 // 100µs … 0.41s
+	out = append(out, ExpBuckets(0.5, 1.08, 57)...) // 0.5s … ~37s
+	return append(out, ExpBuckets(60, 4, 4)...)     // 60s … 3840s
+}
+
 // LinearBuckets returns n upper bounds start, start+width, ….
 func LinearBuckets(start, width float64, n int) []float64 {
 	out := make([]float64, n)

@@ -194,3 +194,54 @@ func BenchmarkHistogramObserve(b *testing.B) {
 		h.Observe(float64(i & 1023))
 	}
 }
+
+// TestExitSecondsBucketsResolveChurnBand is the regression test for the
+// time-to-exit schedule: the committed n=100k baseline lands p50 at 6.7s and
+// p99 at 7.6s, and the old ExpBuckets(0.0001, 4, 12) schedule put both in
+// the single (6.55, 26.2] bucket — every quantile in that band was an
+// interpolation artifact. The widened schedule must (a) keep both values in
+// finite, *distinct* buckets and (b) let a histogram fed a synthetic
+// 100k-scale sample actually distinguish p50 from p99.
+func TestExitSecondsBucketsResolveChurnBand(t *testing.T) {
+	bs := ExitSecondsBuckets()
+	for i := 1; i < len(bs); i++ {
+		if bs[i] <= bs[i-1] {
+			t.Fatalf("bounds not strictly ascending at %d: %g <= %g", i, bs[i], bs[i-1])
+		}
+	}
+	idx := func(v float64) int {
+		for i, b := range bs {
+			if v <= b {
+				return i
+			}
+		}
+		return len(bs) // +Inf
+	}
+	i50, i99 := idx(6.7), idx(7.6)
+	if i50 >= len(bs) || i99 >= len(bs) {
+		t.Fatalf("churn band overflows to +Inf: p50 bucket %d, p99 bucket %d of %d", i50, i99, len(bs))
+	}
+	if i50 == i99 {
+		t.Fatalf("6.7s and 7.6s share bucket %d (le=%g) — p50/p99 indistinguishable again", i50, bs[i50])
+	}
+
+	// Synthetic 100k-scale sample: 98% of exits near 6.7s, a 2% tail near
+	// 7.6s. The old schedule reported p50 == p99 here.
+	h := newHistogram(bs)
+	for i := 0; i < 9800; i++ {
+		h.Observe(6.7)
+	}
+	for i := 0; i < 200; i++ {
+		h.Observe(7.6)
+	}
+	p50, p99 := h.Quantile(0.50), h.Quantile(0.99)
+	if !(p50 < p99) {
+		t.Fatalf("p50=%g !< p99=%g on a bimodal 6.7s/7.6s sample", p50, p99)
+	}
+	if p50 < 6.0 || p50 > 7.3 {
+		t.Fatalf("p50=%g, want within the 6.7s mode's bucket neighborhood", p50)
+	}
+	if p99 < 7.0 || p99 > 8.3 {
+		t.Fatalf("p99=%g, want within the 7.6s mode's bucket neighborhood", p99)
+	}
+}

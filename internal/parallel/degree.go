@@ -208,7 +208,11 @@ func (rt *Runtime) reseedDegrees() {
 // mutator. Caller holds the world paused.
 func (rt *Runtime) epochFast(jd degreeOracle) {
 	for _, p := range rt.takePendingExits() {
-		if jd.JudgeDegree(len(p.nbr)) {
+		ok := jd.JudgeDegree(len(p.nbr))
+		if rt.oracleHook != nil {
+			rt.oracleHook(p.id, ok)
+		}
+		if ok {
 			p.exitPending.Store(false)
 			rt.commitExit(p)
 		} else {

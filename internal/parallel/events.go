@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"fdp/internal/ref"
 	"fdp/internal/sim"
 )
 
@@ -74,6 +75,14 @@ func (rt *Runtime) EnableTrace(perProc int) {
 // event. fn runs on the emitting goroutine and MUST be safe for concurrent
 // use (obs registry metrics are). Must be called before Start; nil clears.
 func (rt *Runtime) SetEventSink(fn func(sim.Event)) { rt.eventSink = fn }
+
+// SetOracleHook installs fn as an observer of every exit-validation
+// verdict (granted or denied), from both the frozen-snapshot epoch path
+// and the incremental-degree fast path. fn runs on the coordinator
+// goroutine and must be safe for concurrent use with the event sink (the
+// liveness watchdog's hook only touches atomics). Must be called before
+// Start; nil clears.
+func (rt *Runtime) SetOracleHook(fn func(ref.Ref, bool)) { rt.oracleHook = fn }
 
 // record is the runtime's emit: per-kind counter, owner ring, sink. The
 // caller must hold the owning shard's action read lock or a full pause (see

@@ -188,7 +188,13 @@ type Runtime struct {
 	kindCounts [sim.NumEventKinds]atomic.Uint64
 	traceCap   int             // per-proc ring capacity set by EnableTrace
 	eventSink  func(sim.Event) // optional synchronous observer (obs bridge)
-	startTime  time.Time       // set by Start; exit latencies measured from it
+	// oracleHook, when set, observes every exit-validation verdict — the
+	// grant/denial stream the liveness watchdog classifies stalls from.
+	// Called from the coordinator's epoch (both the frozen-world and the
+	// incremental-degree path) outside oracleMu; must touch only state
+	// safe for that goroutine (atomics).
+	oracleHook func(ref.Ref, bool)
+	startTime  time.Time // set by Start; exit latencies measured from it
 
 	stop     atomic.Bool
 	stopCh   chan struct{} // closed by Stop; unblocks idle waits promptly
@@ -553,6 +559,9 @@ func (rt *Runtime) validateExitOn(w *sim.World, p *proc) bool {
 		rt.oracleMu.Lock()
 		ok := rt.oracle.Evaluate(w, p.id)
 		rt.oracleMu.Unlock()
+		if rt.oracleHook != nil {
+			rt.oracleHook(p.id, ok)
+		}
 		if !ok {
 			p.oracleOK.Store(false) // the cache was stale; stop re-requesting
 			rt.exitDenied.Add(1)

@@ -154,6 +154,12 @@ type World struct {
 
 	onEvent []func(Event) // optional trace hooks, fanned out in attach order
 
+	// onOracle, when installed, observes every OracleSays verdict — the
+	// grant/denial stream the liveness watchdog (internal/obs) classifies
+	// stalls from. It runs inside the asking process's atomic action and
+	// must not mutate the world.
+	onOracle func(ref.Ref, bool)
+
 	// router, when installed, is consulted for sends whose target is not a
 	// process of this world — the outbound hook the wire transport hangs the
 	// multi-node deployment on (see SetRouter).
@@ -206,6 +212,12 @@ func (w *World) SetEventHook(fn func(Event)) {
 	}
 	w.onEvent = []func(Event){fn}
 }
+
+// SetOracleHook installs fn as an observer of every OracleSays verdict
+// (nil clears). fn runs inside the asking process's atomic action, after
+// the oracle evaluated, and must not mutate the world — the liveness
+// watchdog's hook only touches atomics.
+func (w *World) SetOracleHook(fn func(ref.Ref, bool)) { w.onOracle = fn }
 
 // AddEventHook attaches one more trace callback; every installed hook
 // receives every emitted event, in attach order. This is the fan-out that
@@ -780,5 +792,9 @@ func (c *procCtx) OracleSays() bool {
 	if c.w.oracle == nil {
 		return false
 	}
-	return c.w.oracle.Evaluate(c.w, c.p.id)
+	ok := c.w.oracle.Evaluate(c.w, c.p.id)
+	if c.w.onOracle != nil {
+		c.w.onOracle(c.p.id, ok)
+	}
+	return ok
 }

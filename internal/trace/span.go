@@ -91,10 +91,28 @@ func (s *Span) EndStep() int {
 // trace order of their first event. For an FDP run the span count equals
 // the gone count — one complete span per departed leaver.
 func BuildSpans(recs []Record) []*Span {
-	// Pass 1: find the departing processes (exit or sleep records), in
-	// first-event order.
+	return BuildSpansFor(recs, nil)
+}
+
+// BuildSpansFor is BuildSpans with explicitly seeded departing processes
+// (journal proc names, e.g. "p3"): a span is built for every seed whether or
+// not the trace contains its exit/sleep. This is the shape a stall dump
+// needs — the watchdog knows exactly which leavers are stuck, and the whole
+// point of the dump is that their departures never terminated, so discovery
+// by terminator records would come up empty. Terminator discovery still adds
+// any departing processes beyond the seeds.
+func BuildSpansFor(recs []Record, seeds []string) []*Span {
+	// Pass 1: seeds first (in caller order), then the departing processes
+	// the trace itself reveals (exit or sleep records), in first-event order.
 	spanByProc := make(map[string]*Span)
 	var spans []*Span
+	for _, proc := range seeds {
+		if proc != "" && spanByProc[proc] == nil {
+			sp := &Span{Proc: proc}
+			spanByProc[proc] = sp
+			spans = append(spans, sp)
+		}
+	}
 	for i := range recs {
 		rec := &recs[i]
 		if rec.Kind != "exit" && rec.Kind != "sleep" {
